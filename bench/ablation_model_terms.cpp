@@ -1,0 +1,115 @@
+// Ablation of the model's design choices (DESIGN.md, per-experiment
+// index): how each modelling decision affects accuracy near the
+// optimum. Variants:
+//
+//   full            — exact ceil row-sums, family-averaged geometry,
+//                     best-k selection (the library default),
+//   paper-exact     — the equations exactly as printed (A-family
+//                     geometry only),
+//   closed-form     — ceilings relaxed to exact division,
+//   k = k_max       — always use maximal residency instead of the
+//                     best feasible k,
+//   no-sync         — tau_sync and T_sync terms dropped.
+//
+// For each variant we report the relative RMSE against the simulator
+// over the top-20%-GFLOPS subset of a baseline-style sweep.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "gpusim/microbench.hpp"
+#include "gpusim/timing.hpp"
+#include "model/talg.hpp"
+#include "tuner/optimizer.hpp"
+
+using namespace repro;
+
+namespace {
+
+struct Variant {
+  std::string name;
+  model::RowSumMode row_sum = model::RowSumMode::kExactCeil;
+  model::TileGeometryMode geometry = model::TileGeometryMode::kFamilyAveraged;
+  bool force_k_max = false;
+  bool no_sync = false;
+};
+
+double predict(const model::ModelInputs& base, const Variant& v,
+               const stencil::ProblemSize& p, const hhc::TileSizes& ts) {
+  model::ModelInputs in = base;
+  in.row_sum = v.row_sum;
+  in.geometry = v.geometry;
+  if (v.no_sync) {
+    in.mb.tau_sync = 0.0;
+    in.mb.T_sync = 0.0;
+  }
+  if (v.force_k_max) {
+    return model::talg(in, p, ts, model::k_max(p.dim, ts, in.hw)).talg;
+  }
+  return model::talg_auto_k(in, p, ts).talg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const bench::Scale scale = bench::Scale::from_args(args);
+  const auto& dev = gpusim::device_by_name(args.get_or("device", "GTX 980"));
+
+  const std::vector<Variant> variants = {
+      {.name = "full (default)"},
+      {.name = "paper-exact geometry",
+       .geometry = model::TileGeometryMode::kPaperExact},
+      {.name = "closed-form row sums",
+       .row_sum = model::RowSumMode::kClosedForm},
+      {.name = "k = k_max", .force_k_max = true},
+      {.name = "no sync terms", .no_sync = true},
+  };
+
+  std::cout << "=== Ablation: model-term impact on top-20% RMSE ("
+            << dev.name << ") ===\n";
+  AsciiTable t({"Benchmark", "variant", "RMSE (top 20%)", "RMSE (all)"});
+
+  for (const auto kind : stencil::paper_2d_benchmarks()) {
+    const auto& def = stencil::get_stencil(kind);
+    const model::ModelInputs in = gpusim::calibrate_model(dev, def);
+
+    // One baseline-style sweep, measured once, predicted per variant.
+    tuner::EnumOptions opt;
+    opt.tS1_step = scale.full ? 2 : 4;
+    const auto tiles = tuner::baseline_tile_set(2, in.hw, 85, opt);
+    const hhc::ThreadConfig thr{.n1 = 32, .n2 = 8, .n3 = 1};
+    const stencil::ProblemSize p{.dim = 2, .S = {4096, 4096, 0}, .T = 2048};
+
+    std::vector<hhc::TileSizes> kept;
+    std::vector<double> meas;
+    std::vector<double> gflops;
+    for (const auto& ts : tiles) {
+      const auto r = gpusim::measure_best_of(dev, def, p, ts, thr);
+      if (!r.feasible) continue;
+      kept.push_back(ts);
+      meas.push_back(r.seconds);
+      gflops.push_back(r.gflops);
+    }
+    const auto top = indices_within_of_max(gflops, 0.20);
+
+    for (const Variant& v : variants) {
+      std::vector<double> pred(kept.size());
+      for (std::size_t i = 0; i < kept.size(); ++i) {
+        pred[i] = predict(in, v, p, kept[i]);
+      }
+      std::vector<double> pt;
+      std::vector<double> mt;
+      for (const std::size_t i : top) {
+        pt.push_back(pred[i]);
+        mt.push_back(meas[i]);
+      }
+      t.add_row({def.name, v.name, AsciiTable::fmt_pct(relative_rmse(pt, mt)),
+                 AsciiTable::fmt_pct(relative_rmse(pred, meas))});
+    }
+  }
+  std::cout << t.render();
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Shared helpers for the per-table/per-figure report binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "gpusim/device.hpp"
+#include "stencil/problem.hpp"
+#include "stencil/stencil.hpp"
+
+namespace repro::bench {
+
+// Scale knobs common to all reports: default runs are reduced but
+// shape-preserving; --full runs the paper-scale grids.
+struct Scale {
+  bool full = false;
+  std::string csv_dir;  // where to drop raw CSVs ("." by default)
+
+  static Scale from_args(const CliArgs& args) {
+    Scale s;
+    s.full = args.has_flag("full");
+    s.csv_dir = args.get_or("csv-dir", ".");
+    return s;
+  }
+};
+
+inline std::vector<stencil::ProblemSize> sizes_2d(const Scale& s) {
+  if (s.full) return stencil::paper_2d_problem_sizes();
+  // Reduced: one spatial size, three T values — preserves the
+  // time-dimension sweep that drives Fig. 3's dynamic range.
+  return {{.dim = 2, .S = {4096, 4096, 0}, .T = 1024},
+          {.dim = 2, .S = {4096, 4096, 0}, .T = 4096},
+          {.dim = 2, .S = {8192, 8192, 0}, .T = 2048}};
+}
+
+inline std::vector<stencil::ProblemSize> sizes_3d(const Scale& s) {
+  if (s.full) return stencil::paper_3d_problem_sizes();
+  return {{.dim = 3, .S = {384, 384, 384}, .T = 128},
+          {.dim = 3, .S = {512, 512, 512}, .T = 256}};
+}
+
+inline std::vector<const gpusim::DeviceParams*> devices(const Scale&) {
+  return {&gpusim::gtx980(), &gpusim::titan_x()};
+}
+
+}  // namespace repro::bench

@@ -1,0 +1,98 @@
+// Reproduces Fig. 4: Talg for Heat2D on GTX 980 as a function of tT
+// and tS2, with tS1 fixed at 8. Prints a coarse ASCII heat map, marks
+// the minimum (the red dot of the figure), and writes the full
+// surface to CSV.
+//
+// Flags: --tS1=8 --stencil=Heat2D --device="GTX 980" --S=8192 --T=8192
+#include <iostream>
+#include <limits>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "gpusim/microbench.hpp"
+#include "model/talg.hpp"
+
+using namespace repro;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const bench::Scale scale = bench::Scale::from_args(args);
+  const auto& dev = gpusim::device_by_name(args.get_or("device", "GTX 980"));
+  const auto& def =
+      stencil::get_stencil_by_name(args.get_or("stencil", "Heat2D"));
+  const std::int64_t tS1 = args.get_int_or("tS1", 8);
+  stencil::ProblemSize p{.dim = 2,
+                         .S = {args.get_int_or("S", 8192),
+                               args.get_int_or("S", 8192), 0},
+                         .T = args.get_int_or("T", 8192)};
+
+  const model::ModelInputs in = gpusim::calibrate_model(dev, def);
+
+  CsvWriter csv(scale.csv_dir + "/fig4_talg_surface.csv",
+                {"tT", "tS2", "talg_s", "k", "feasible"});
+
+  std::vector<std::int64_t> tT_axis;
+  for (std::int64_t tT = 2; tT <= 40; tT += 2) tT_axis.push_back(tT);
+  std::vector<std::int64_t> tS2_axis = {4, 8, 16};
+  for (std::int64_t tS2 = 32; tS2 <= 512; tS2 += 32) tS2_axis.push_back(tS2);
+
+  double t_min = std::numeric_limits<double>::infinity();
+  std::int64_t best_tT = 0;
+  std::int64_t best_tS2 = 0;
+  std::vector<std::vector<double>> surface(
+      tT_axis.size(), std::vector<double>(tS2_axis.size(), -1.0));
+
+  for (std::size_t i = 0; i < tT_axis.size(); ++i) {
+    for (std::size_t j = 0; j < tS2_axis.size(); ++j) {
+      const hhc::TileSizes ts{.tT = tT_axis[i], .tS1 = tS1,
+                              .tS2 = tS2_axis[j], .tS3 = 1};
+      if (!model::tile_fits(2, ts, in.hw)) {
+        csv.row({CsvWriter::cell(static_cast<long long>(tT_axis[i])),
+                 CsvWriter::cell(static_cast<long long>(tS2_axis[j])), "",
+                 "", "0"});
+        continue;
+      }
+      const model::TalgBreakdown b = model::talg_auto_k(in, p, ts);
+      surface[i][j] = b.talg;
+      csv.row({CsvWriter::cell(static_cast<long long>(tT_axis[i])),
+               CsvWriter::cell(static_cast<long long>(tS2_axis[j])),
+               CsvWriter::cell(b.talg),
+               CsvWriter::cell(static_cast<long long>(b.k)), "1"});
+      if (b.talg < t_min) {
+        t_min = b.talg;
+        best_tT = tT_axis[i];
+        best_tS2 = tS2_axis[j];
+      }
+    }
+  }
+
+  std::cout << "=== Fig. 4: Talg(tT, tS2) for " << def.name << " on "
+            << dev.name << ", tS1 = " << tS1 << ", " << p.to_string()
+            << " ===\n";
+  std::cout << "ASCII heat map (each cell = Talg / Talg_min; '*' marks the "
+               "minimum, '.' infeasible):\n      ";
+  for (std::size_t j = 0; j < tS2_axis.size(); j += 2) {
+    std::printf("%5lld ", static_cast<long long>(tS2_axis[j]));
+  }
+  std::cout << "  <- tS2\n";
+  for (std::size_t i = 0; i < tT_axis.size(); ++i) {
+    std::printf("tT=%-3lld", static_cast<long long>(tT_axis[i]));
+    for (std::size_t j = 0; j < tS2_axis.size(); j += 2) {
+      if (surface[i][j] < 0) {
+        std::printf("%6s", ".");
+      } else if (tT_axis[i] == best_tT && tS2_axis[j] == best_tS2) {
+        std::printf("%6s", "*");
+      } else {
+        std::printf("%6.2f", surface[i][j] / t_min);
+      }
+    }
+    std::cout << '\n';
+  }
+  std::cout << "\nTalg_min = " << t_min << " s at tT = " << best_tT
+            << ", tS2 = " << best_tS2
+            << " (the figure's red dot). Full surface in "
+               "fig4_talg_surface.csv.\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Reproduces Table 2: "GPU configuration" — the elementary hardware
+// parameters of the two platforms, as exported to the model.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "gpusim/device.hpp"
+
+using namespace repro;
+
+int main() {
+  std::cout << "=== Table 2: GPU configuration ===\n";
+  AsciiTable t({"Architecture Parameters", "Type", "GTX 980", "Titan X"});
+  const auto& a = gpusim::gtx980();
+  const auto& b = gpusim::titan_x();
+  t.add_row({"nSM", "EH", std::to_string(a.n_sm), std::to_string(b.n_sm)});
+  t.add_row({"nv", "EH", std::to_string(a.n_v), std::to_string(b.n_v)});
+  t.add_row({"MSM [KB]", "EH", std::to_string(a.shared_bytes_per_sm / 1024),
+             std::to_string(b.shared_bytes_per_sm / 1024)});
+  t.add_row({"RSM", "EH", std::to_string(a.regs_per_sm),
+             std::to_string(b.regs_per_sm)});
+  t.add_row({"shared memory banks", "EH", std::to_string(a.shared_banks),
+             std::to_string(b.shared_banks)});
+  t.add_row({"max threadblocks per SM", "EH", std::to_string(a.max_tb_per_sm),
+             std::to_string(b.max_tb_per_sm)});
+  std::cout << t.render();
+
+  std::cout << "\nSimulator-only physical parameters (not part of Table 2;\n"
+               "the analytical model never sees these):\n";
+  AsciiTable t2({"parameter", "GTX 980", "Titan X"});
+  t2.add_row({"SM clock [GHz]", AsciiTable::fmt(a.clock_hz / 1e9, 3),
+              AsciiTable::fmt(b.clock_hz / 1e9, 3)});
+  t2.add_row({"effective bandwidth [GB/s]",
+              AsciiTable::fmt(a.mem_bandwidth_bps / 1e9, 1),
+              AsciiTable::fmt(b.mem_bandwidth_bps / 1e9, 1)});
+  t2.add_row({"kernel launch [us]", AsciiTable::fmt(a.kernel_launch_s * 1e6, 2),
+              AsciiTable::fmt(b.kernel_launch_s * 1e6, 2)});
+  std::cout << t2.render();
+  return 0;
+}

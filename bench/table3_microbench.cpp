@@ -1,0 +1,49 @@
+// Reproduces Table 3: the micro-benchmark-measured machine parameters
+// L, tau_sync and T_sync, next to the values the paper reports.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/microbench.hpp"
+
+using namespace repro;
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  double gtx980;
+  double titanx;
+};
+
+}  // namespace
+
+int main() {
+  const gpusim::MachineMicrobench a =
+      gpusim::run_machine_microbench(gpusim::gtx980());
+  const gpusim::MachineMicrobench b =
+      gpusim::run_machine_microbench(gpusim::titan_x());
+
+  // Paper values (Table 3).
+  const PaperRow paper_l{"L [s/GB]", 7.36e-3, 5.42e-3};
+  const PaperRow paper_tau{"tau_sync [s]", 7.96e-10, 6.74e-10};
+  const PaperRow paper_tsync{"Tsync [s]", 9.24e-7, 9.00e-7};
+
+  std::cout << "=== Table 3: micro-benchmark parameter values ===\n";
+  AsciiTable t({"Parameter", "GTX 980 (measured)", "GTX 980 (paper)",
+                "Titan X (measured)", "Titan X (paper)"});
+  t.add_row({paper_l.name, AsciiTable::fmt_sci(a.L_s_per_gb),
+             AsciiTable::fmt_sci(paper_l.gtx980),
+             AsciiTable::fmt_sci(b.L_s_per_gb),
+             AsciiTable::fmt_sci(paper_l.titanx)});
+  t.add_row({paper_tau.name, AsciiTable::fmt_sci(a.tau_sync),
+             AsciiTable::fmt_sci(paper_tau.gtx980),
+             AsciiTable::fmt_sci(b.tau_sync),
+             AsciiTable::fmt_sci(paper_tau.titanx)});
+  t.add_row({paper_tsync.name, AsciiTable::fmt_sci(a.t_sync),
+             AsciiTable::fmt_sci(paper_tsync.gtx980),
+             AsciiTable::fmt_sci(b.t_sync),
+             AsciiTable::fmt_sci(paper_tsync.titanx)});
+  std::cout << t.render();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Production-style autotuner report: given a stencil, device and
+// problem size, run the paper's full pipeline and print everything a
+// performance engineer would want to see — calibration values, the
+// feasible-space statistics, the candidate list with predictions and
+// measurements, and the final recommendation.
+//
+// Usage:
+//   autotune_report [--stencil=Heat2D] [--device="Titan X"]
+//                   [--S=8192] [--T=4096] [--delta=0.10] [--top=12]
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "gpusim/microbench.hpp"
+#include "tuner/optimizer.hpp"
+
+using namespace repro;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto& dev = gpusim::device_by_name(args.get_or("device", "GTX 980"));
+  const auto& def =
+      stencil::get_stencil_by_name(args.get_or("stencil", "Heat2D"));
+  const double delta = args.get_double_or("delta", 0.10);
+  const std::size_t top = static_cast<std::size_t>(args.get_int_or("top", 12));
+
+  stencil::ProblemSize p;
+  p.dim = def.dim;
+  const std::int64_t S = args.get_int_or("S", def.dim == 3 ? 384 : 8192);
+  p.S = {S, def.dim >= 2 ? S : 0, def.dim >= 3 ? S : 0};
+  p.T = args.get_int_or("T", def.dim == 3 ? 256 : 4096);
+
+  std::cout << "=== autotune report: " << def.name << " " << p.to_string()
+            << " on " << dev.name << " ===\n\n";
+
+  // Calibration.
+  const model::ModelInputs in = gpusim::calibrate_model(dev, def);
+  std::cout << "calibration: C_iter = " << in.c_iter << " s, L = "
+            << model::l_s_per_gb_from_per_word(in.mb.L_s_per_word)
+            << " s/GB, tau_sync = " << in.mb.tau_sync
+            << " s, T_sync = " << in.mb.T_sync << " s\n";
+
+  // Feasible space and model sweep.
+  tuner::EnumOptions opt;
+  if (def.dim == 3) {
+    opt.tS2_step = 8;
+    opt.tS2_max = 64;
+    opt.tS1_max = 16;
+  }
+  const auto space = tuner::enumerate_feasible(p.dim, in.hw, opt);
+  const tuner::ModelSweep sweep = tuner::sweep_model(in, p, space, delta);
+  std::cout << "feasible space: " << space.size()
+            << " tile-size combinations\n"
+            << "model minimum: Talg = " << sweep.talg_min << " s at "
+            << sweep.argmin.to_string() << "\n"
+            << "candidates within " << static_cast<int>(delta * 100)
+            << "%: " << sweep.candidates.size() << "\n\n";
+
+  // Measure all candidates.
+  std::vector<tuner::EvaluatedPoint> measured;
+  for (const auto& ts : sweep.candidates) {
+    const auto ep = tuner::best_over_threads(dev, def, p, in, ts);
+    if (ep.feasible) measured.push_back(ep);
+  }
+  std::sort(measured.begin(), measured.end(),
+            [](const auto& a, const auto& b) { return a.texec < b.texec; });
+
+  AsciiTable t({"rank", "tiles", "threads", "Talg [s]", "measured [s]",
+                "GFLOP/s", "model err"});
+  for (std::size_t i = 0; i < std::min(top, measured.size()); ++i) {
+    const auto& ep = measured[i];
+    t.add_row({std::to_string(i + 1), ep.dp.ts.to_string(),
+               std::to_string(ep.dp.thr.total()),
+               AsciiTable::fmt(ep.talg, 3), AsciiTable::fmt(ep.texec, 3),
+               AsciiTable::fmt(ep.gflops, 1),
+               AsciiTable::fmt_pct(ep.talg / ep.texec - 1.0)});
+  }
+  std::cout << t.render();
+
+  if (!measured.empty()) {
+    const auto& best = measured.front();
+    std::cout << "\nRECOMMENDATION: compile with " << best.dp.ts.to_string()
+              << ", threads = " << best.dp.thr.n1 << "x" << best.dp.thr.n2
+              << "x" << best.dp.thr.n3 << "  (expected "
+              << AsciiTable::fmt(best.gflops, 1) << " GFLOP/s)\n"
+              << "empirical evaluations spent: "
+              << measured.size() * tuner::default_thread_configs(p.dim).size()
+              << " runs instead of "
+              << space.size() * tuner::default_thread_configs(p.dim).size()
+              << " for exhaustive search\n";
+  }
+  return measured.empty() ? 1 : 0;
+}

@@ -1,0 +1,82 @@
+// Define your own stencil in the textual DSL, then tune and run it —
+// no library recompilation. Pass --spec=<file> to load a description
+// from disk; otherwise a built-in anisotropic-diffusion example runs.
+//
+// Usage: custom_stencil [--spec=my.stencil] [--S=1024] [--T=256]
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "gpusim/microbench.hpp"
+#include "hhc/tiled_executor.hpp"
+#include "stencil/parser.hpp"
+#include "stencil/reference.hpp"
+#include "tuner/optimizer.hpp"
+
+using namespace repro;
+
+namespace {
+
+// An anisotropic smoother: diffuses twice as fast along s2 as along
+// s1 — not in the built-in catalogue, which is the point.
+constexpr const char* kDefaultSpec = R"(
+stencil AnisoDiffusion {
+  dim 2
+  tap (0,0)   0.70
+  tap (-1,0)  0.05
+  tap (1,0)   0.05
+  tap (0,-1)  0.10
+  tap (0,1)   0.10
+}
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const stencil::StencilDef def =
+      args.get("spec") ? stencil::parse_stencil_file(*args.get("spec"))
+                       : stencil::parse_stencil(kDefaultSpec);
+
+  std::cout << "parsed stencil '" << def.name << "': dim=" << def.dim
+            << " taps=" << def.taps.size() << " radius=" << def.radius
+            << " flops/pt=" << def.flops_per_point << "\n\n";
+
+  stencil::ProblemSize p;
+  p.dim = def.dim;
+  const std::int64_t S = args.get_int_or("S", 1024);
+  p.S = {S, def.dim >= 2 ? S : 0, def.dim >= 3 ? S : 0};
+  p.T = args.get_int_or("T", 256);
+
+  // Tune it like any catalogue stencil.
+  const auto& dev = gpusim::gtx980();
+  const model::ModelInputs in = gpusim::calibrate_model(dev, def);
+  const auto space =
+      tuner::enumerate_feasible(p.dim, in.hw, {}, def.radius);
+  const tuner::ModelSweep sweep = tuner::sweep_model(in, p, space, 0.10);
+
+  tuner::EvaluatedPoint best;
+  for (const auto& ts : sweep.candidates) {
+    const auto ep = tuner::best_over_threads(dev, def, p, in, ts);
+    if (ep.feasible && (!best.feasible || ep.texec < best.texec)) best = ep;
+  }
+  std::cout << "C_iter (measured) = " << in.c_iter << " s\n"
+            << "candidates tried  = " << sweep.candidates.size() << " of "
+            << space.size() << "\n"
+            << "recommended tiles = " << best.dp.ts.to_string()
+            << ", threads = " << best.dp.thr.total() << " ("
+            << AsciiTable::fmt(best.gflops, 1) << " GFLOP/s simulated)\n\n";
+
+  // And actually run it (small instance) with a correctness check.
+  const stencil::ProblemSize small{.dim = p.dim,
+                                   .S = {64, p.dim >= 2 ? 64 : 0,
+                                         p.dim >= 3 ? 64 : 0},
+                                   .T = 16};
+  const auto init = stencil::make_initial_grid(small, 11);
+  const auto tiled = hhc::run_tiled(def, small, best.dp.ts, init);
+  const auto reference = stencil::run_reference(def, small, init);
+  const double diff = stencil::max_abs_diff(tiled, reference);
+  std::cout << "functional check: max |tiled - reference| = " << diff
+            << (diff == 0.0 ? " (ok)\n" : " (FAIL)\n");
+  return diff == 0.0 ? 0 : 1;
+}

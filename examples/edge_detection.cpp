@@ -1,0 +1,92 @@
+// Domain example: image-processing pipeline (another workload class
+// from the paper's introduction). A synthetic image is smoothed with
+// a few Jacobi relaxation steps and then edges are extracted with the
+// Gradient2D stencil — both executed through the HHC-tiled schedule.
+// Prints a coarse ASCII rendering of the input and the detected edges.
+//
+// Usage: edge_detection [--N=192] [--smooth=6]
+#include <iostream>
+#include <string>
+
+#include "common/cli.hpp"
+#include "hhc/tiled_executor.hpp"
+#include "stencil/reference.hpp"
+
+using namespace repro;
+
+namespace {
+
+// Synthetic scene: a bright disk and a rectangle on a dark background.
+stencil::Grid<float> synthetic_image(std::int64_t n) {
+  stencil::Grid<float> img(2, {n, n, 0}, 0.1F);
+  const double cx = 0.35 * static_cast<double>(n);
+  const double cy = 0.4 * static_cast<double>(n);
+  const double r = 0.18 * static_cast<double>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      const double dx = static_cast<double>(i) - cx;
+      const double dy = static_cast<double>(j) - cy;
+      if (dx * dx + dy * dy < r * r) img.at(i, j) = 1.0F;
+      if (i > 11 * n / 16 && i < 15 * n / 16 && j > n / 2 && j < 15 * n / 16) {
+        img.at(i, j) = 0.8F;
+      }
+    }
+  }
+  return img;
+}
+
+void render_ascii(const stencil::Grid<float>& g, const std::string& title,
+                  double lo, double hi) {
+  static const char kRamp[] = " .:-=+*#%@";
+  const std::int64_t n = g.extent(0);
+  const std::int64_t step = std::max<std::int64_t>(n / 48, 1);
+  std::cout << title << "\n";
+  for (std::int64_t i = 0; i < n; i += step * 2) {  // chars are ~2:1
+    for (std::int64_t j = 0; j < n; j += step) {
+      double v = (g.at(i, j) - lo) / (hi - lo);
+      v = std::min(1.0, std::max(0.0, v));
+      std::cout << kRamp[static_cast<int>(v * 9.0)];
+    }
+    std::cout << '\n';
+  }
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::int64_t n = args.get_int_or("N", 192);
+  const std::int64_t smooth_steps = args.get_int_or("smooth", 6);
+
+  const auto& jacobi = stencil::get_stencil(stencil::StencilKind::kJacobi2D);
+  const auto& gradient =
+      stencil::get_stencil(stencil::StencilKind::kGradient2D);
+  const hhc::TileSizes ts{.tT = 2, .tS1 = 8, .tS2 = 32, .tS3 = 1};
+
+  stencil::Grid<float> img = synthetic_image(n);
+  render_ascii(img, "input image:", 0.0, 1.0);
+
+  // Stage 1: denoise with a few Jacobi averaging sweeps.
+  const stencil::ProblemSize p_smooth{.dim = 2, .S = {n, n, 0},
+                                      .T = smooth_steps};
+  stencil::Grid<float> smoothed = hhc::run_tiled(jacobi, p_smooth, ts, img);
+
+  // Stage 2: one Gradient2D application = edge magnitude.
+  const stencil::ProblemSize p_edge{.dim = 2, .S = {n, n, 0}, .T = 1};
+  stencil::Grid<float> edges = hhc::run_tiled(gradient, p_edge, ts, smoothed);
+
+  // Normalize display range to the observed edge magnitudes.
+  float peak = 0.0F;
+  for (const float v : edges.raw()) peak = std::max(peak, v);
+  render_ascii(edges, "detected edges (gradient magnitude):", 0.0,
+               static_cast<double>(peak));
+
+  // Pipeline sanity: the stages must agree with the reference path.
+  const auto ref_smoothed = stencil::run_reference(jacobi, p_smooth, img);
+  const auto ref_edges = stencil::run_reference(gradient, p_edge, ref_smoothed);
+  const double diff = stencil::max_abs_diff(edges, ref_edges);
+  std::cout << "pipeline check vs reference executor: max diff = " << diff
+            << " (expect 0)\n";
+  return diff == 0.0 ? 0 : 1;
+}

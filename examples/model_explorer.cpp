@@ -1,0 +1,102 @@
+// model_explorer: dump the analytical prediction, its breakdown, and
+// the simulated measurement for one configuration (or a small sweep).
+//
+// Usage:
+//   model_explorer [--stencil=Heat2D] [--device="GTX 980"]
+//                  [--S=2048] [--T=512] [--tT=8] [--tS1=16] [--tS2=64]
+//                  [--tS3=1] [--threads=256] [--sweep]
+#include <cstdio>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "gpusim/microbench.hpp"
+#include "gpusim/timing.hpp"
+#include "model/talg.hpp"
+#include "tuner/space.hpp"
+
+using namespace repro;
+
+namespace {
+
+void explain_one(const gpusim::DeviceParams& dev,
+                 const stencil::StencilDef& def,
+                 const stencil::ProblemSize& p, const model::ModelInputs& in,
+                 const hhc::TileSizes& ts, const hhc::ThreadConfig& thr) {
+  std::cout << "config: " << ts.to_string() << " threads=" << thr.total()
+            << "\n";
+  if (!model::tile_fits(p.dim, ts, in.hw)) {
+    std::cout << "  -> tile does not fit shared memory; skipped\n";
+    return;
+  }
+  const model::TalgBreakdown b = model::talg_auto_k(in, p, ts);
+  const gpusim::SimResult r = gpusim::measure_best_of(dev, def, p, ts, thr);
+
+  AsciiTable t({"quantity", "model", "simulator"});
+  t.add_row({"time [s]", AsciiTable::fmt_sci(b.talg, 4),
+             r.feasible ? AsciiTable::fmt_sci(r.seconds, 4) : "infeasible"});
+  t.add_row({"wavefronts Nw", AsciiTable::fmt(b.nw, 0),
+             std::to_string(r.kernel_calls)});
+  t.add_row({"tiles/wavefront w", AsciiTable::fmt(b.w, 0), "-"});
+  t.add_row({"k (residency)", std::to_string(b.k), std::to_string(r.k)});
+  t.add_row({"m' per subtile [s]", AsciiTable::fmt_sci(b.m_prime, 3),
+             AsciiTable::fmt_sci(r.mem_seconds, 3) + " (total)"});
+  t.add_row({"c per subtile [s]", AsciiTable::fmt_sci(b.c, 3),
+             AsciiTable::fmt_sci(r.compute_seconds, 3) + " (total)"});
+  t.add_row({"launch [s]", AsciiTable::fmt_sci(b.nw * in.mb.T_sync, 3),
+             AsciiTable::fmt_sci(r.launch_seconds, 3)});
+  t.add_row({"sched [s]", "-", AsciiTable::fmt_sci(r.sched_seconds, 3)});
+  t.add_row({"subtiles/tile", std::to_string(b.n_subtiles), "-"});
+  t.add_row({"regs/thread", "-", std::to_string(r.regs_per_thread)});
+  std::cout << t.render();
+  if (r.feasible) {
+    std::cout << "  model/measured = " << b.talg / r.seconds
+              << ", GFLOP/s = " << r.gflops << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto& dev = gpusim::device_by_name(args.get_or("device", "GTX 980"));
+  const auto& def =
+      stencil::get_stencil_by_name(args.get_or("stencil", "Heat2D"));
+
+  stencil::ProblemSize p;
+  p.dim = def.dim;
+  const std::int64_t S = args.get_int_or("S", def.dim == 3 ? 256 : 2048);
+  p.S = {S, def.dim >= 2 ? S : 0, def.dim >= 3 ? S : 0};
+  p.T = args.get_int_or("T", def.dim == 3 ? 128 : 512);
+
+  std::cout << "calibrating " << def.name << " on " << dev.name << "...\n";
+  const model::ModelInputs in = gpusim::calibrate_model(dev, def);
+  std::cout << "  C_iter = " << in.c_iter
+            << " s, L = " << model::l_s_per_gb_from_per_word(in.mb.L_s_per_word)
+            << " s/GB, tau = " << in.mb.tau_sync << " s, Tsync = "
+            << in.mb.T_sync << " s\n\n";
+
+  const hhc::ThreadConfig thr{
+      static_cast<int>(args.get_int_or("threads1", 32)),
+      static_cast<int>(args.get_int_or("threads2", def.dim >= 2 ? 8 : 1)),
+      static_cast<int>(args.get_int_or("threads3", 1))};
+
+  if (args.has_flag("sweep")) {
+    for (std::int64_t tT : {2, 4, 8, 16, 32}) {
+      for (std::int64_t tS1 : {4, 16, 48}) {
+        hhc::TileSizes ts{.tT = tT, .tS1 = tS1,
+                          .tS2 = def.dim >= 2 ? 64 : 1,
+                          .tS3 = def.dim >= 3 ? 8 : 1};
+        explain_one(dev, def, p, in, ts, thr);
+      }
+    }
+    return 0;
+  }
+
+  hhc::TileSizes ts{.tT = args.get_int_or("tT", 8),
+                    .tS1 = args.get_int_or("tS1", 16),
+                    .tS2 = args.get_int_or("tS2", def.dim >= 2 ? 64 : 1),
+                    .tS3 = args.get_int_or("tS3", def.dim >= 3 ? 8 : 1)};
+  explain_one(dev, def, p, in, ts, thr);
+  return 0;
+}

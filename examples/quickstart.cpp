@@ -1,0 +1,62 @@
+// Quickstart: the 60-second tour of the library.
+//
+//  1. Pick a stencil and a problem size.
+//  2. Calibrate the analytical model for a device (micro-benchmarks).
+//  3. Ask the model for near-optimal tile sizes (the paper's
+//     within-10%-of-Talg_min candidate set).
+//  4. Measure the candidates and pick the winner.
+//  5. Actually run the stencil with the winning tiles and check the
+//     numerics against the naive reference executor.
+#include <iostream>
+
+#include "gpusim/microbench.hpp"
+#include "hhc/tiled_executor.hpp"
+#include "stencil/reference.hpp"
+#include "tuner/optimizer.hpp"
+
+using namespace repro;
+
+int main() {
+  // 1. Problem: 2D heat stencil, 2048^2 cells, 512 time steps.
+  const stencil::StencilDef& def =
+      stencil::get_stencil(stencil::StencilKind::kHeat2D);
+  const stencil::ProblemSize problem{.dim = 2, .S = {2048, 2048, 0},
+                                     .T = 512};
+  const gpusim::DeviceParams& device = gpusim::gtx980();
+
+  // 2. Calibrate: measures L, tau_sync, T_sync and C_iter on the
+  //    device (here: the bundled GPU simulator).
+  std::cout << "Calibrating " << def.name << " on " << device.name << "...\n";
+  const model::ModelInputs model_in = gpusim::calibrate_model(device, def);
+  std::cout << "  C_iter = " << model_in.c_iter << " s/iteration\n";
+
+  // 3. Model-guided search: evaluate Talg over the feasible tile
+  //    space, keep everything within 10% of the predicted minimum.
+  const auto space = tuner::enumerate_feasible(problem.dim, model_in.hw);
+  const tuner::ModelSweep sweep =
+      tuner::sweep_model(model_in, problem, space, 0.10);
+  std::cout << "Feasible tile sizes: " << space.size() << "; candidates: "
+            << sweep.candidates.size() << " (predicted Talg_min = "
+            << sweep.talg_min << " s)\n";
+
+  // 4. Measure only the candidates (plus the thread-count sweep) and
+  //    keep the best.
+  tuner::EvaluatedPoint best;
+  for (const auto& ts : sweep.candidates) {
+    const auto ep = tuner::best_over_threads(device, def, problem, model_in, ts);
+    if (ep.feasible && (!best.feasible || ep.texec < best.texec)) best = ep;
+  }
+  std::cout << "Winner: " << best.dp.ts.to_string() << " with "
+            << best.dp.thr.total() << " threads -> " << best.texec
+            << " s (" << best.gflops << " GFLOP/s simulated)\n";
+
+  // 5. Run the real numbers with the winning tile sizes on a smaller
+  //    instance and verify against the reference executor.
+  const stencil::ProblemSize small{.dim = 2, .S = {128, 128, 0}, .T = 32};
+  const auto init = stencil::make_initial_grid(small, /*seed=*/42);
+  const auto tiled = hhc::run_tiled(def, small, best.dp.ts, init);
+  const auto reference = stencil::run_reference(def, small, init);
+  std::cout << "Functional check: max |tiled - reference| = "
+            << stencil::max_abs_diff(tiled, reference) << " (expect 0)\n";
+  return stencil::max_abs_diff(tiled, reference) == 0.0 ? 0 : 1;
+}

@@ -1,0 +1,54 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+
+namespace repro {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      kv_[arg] = argv[++i];
+    } else {
+      kv_[arg] = "";  // bare flag
+    }
+  }
+}
+
+bool CliArgs::has_flag(const std::string& name) const {
+  return kv_.contains(name);
+}
+
+std::optional<std::string> CliArgs::get(const std::string& name) const {
+  const auto it = kv_.find(name);
+  if (it == kv_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string CliArgs::get_or(const std::string& name,
+                            const std::string& def) const {
+  return get(name).value_or(def);
+}
+
+long long CliArgs::get_int_or(const std::string& name, long long def) const {
+  const auto v = get(name);
+  if (!v || v->empty()) return def;
+  return std::strtoll(v->c_str(), nullptr, 10);
+}
+
+double CliArgs::get_double_or(const std::string& name, double def) const {
+  const auto v = get(name);
+  if (!v || v->empty()) return def;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+}  // namespace repro

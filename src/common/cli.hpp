@@ -1,0 +1,35 @@
+// Tiny command-line flag parser for bench/example binaries.
+// Supports --flag (bool), --key=value and "--key value" forms.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace repro {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  bool has_flag(const std::string& name) const;
+  std::optional<std::string> get(const std::string& name) const;
+  std::string get_or(const std::string& name, const std::string& def) const;
+  long long get_int_or(const std::string& name, long long def) const;
+  double get_double_or(const std::string& name, double def) const;
+
+  // Non-flag positional arguments, in order.
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  const std::string& program_name() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace repro

@@ -1,0 +1,57 @@
+#include "common/csv.hpp"
+
+#include <iomanip>
+#include <limits>
+#include <stdexcept>
+
+namespace repro {
+
+namespace {
+void write_row(std::ofstream& out, const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out << ',';
+    // Cells in this project never contain commas or quotes, but guard
+    // anyway so a stray stencil name cannot corrupt the file.
+    const std::string& c = cells[i];
+    if (c.find_first_of(",\"\n") != std::string::npos) {
+      out << '"';
+      for (char ch : c) {
+        if (ch == '"') out << '"';
+        out << ch;
+      }
+      out << '"';
+    } else {
+      out << c;
+    }
+  }
+  out << '\n';
+}
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : out_(path), width_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  write_row(out_, header);
+}
+
+void CsvWriter::row(std::initializer_list<std::string> cells) {
+  row(std::vector<std::string>(cells));
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (cells.size() != width_) {
+    throw std::runtime_error("CsvWriter: row width mismatch");
+  }
+  write_row(out_, cells);
+  ++rows_;
+}
+
+std::string CsvWriter::cell(double v) {
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+  return os.str();
+}
+
+std::string CsvWriter::cell(long long v) { return std::to_string(v); }
+
+}  // namespace repro

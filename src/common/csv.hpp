@@ -1,0 +1,38 @@
+// Minimal CSV emitter for experiment outputs. Every bench binary can
+// dump its raw data points next to the human-readable tables so plots
+// (Fig. 3-6 equivalents) can be regenerated offline.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace repro {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing and emits the header row immediately.
+  // Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  // Append one row; the number of cells must match the header width.
+  void row(std::initializer_list<std::string> cells);
+  void row(const std::vector<std::string>& cells);
+
+  // Convenience: format doubles with full round-trip precision.
+  static std::string cell(double v);
+  static std::string cell(long long v);
+  static std::string cell(std::string_view v) { return std::string(v); }
+
+  std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t width_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace repro

@@ -1,0 +1,53 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+
+namespace repro {
+
+namespace {
+
+LogLevel initial_threshold() {
+  const char* env = std::getenv("REPRO_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  const std::string v(env);
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel>& threshold_storage() noexcept {
+  static std::atomic<LogLevel> level{initial_threshold()};
+  return level;
+}
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_threshold() noexcept { return threshold_storage().load(); }
+
+void set_log_threshold(LogLevel level) noexcept {
+  threshold_storage().store(level);
+}
+
+void log_message(LogLevel level, const std::string& msg) {
+  std::cerr << '[' << level_name(level) << "] " << msg << '\n';
+}
+
+}  // namespace repro

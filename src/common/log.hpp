@@ -1,0 +1,43 @@
+// Minimal leveled logging to stderr. Bench binaries run quiet by
+// default; set REPRO_LOG=debug (or info/warn) to see progress.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace repro {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Current threshold, read once from the REPRO_LOG environment variable
+// (values: debug, info, warn, error; default warn).
+LogLevel log_threshold() noexcept;
+void set_log_threshold(LogLevel level) noexcept;
+
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+#define REPRO_LOG(level)                                       \
+  if (::repro::log_threshold() <= ::repro::LogLevel::k##level) \
+  ::repro::detail::LogLine(::repro::LogLevel::k##level)
+
+}  // namespace repro

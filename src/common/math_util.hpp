@@ -1,0 +1,73 @@
+// Small integer-math helpers shared by the model, the tiling geometry,
+// and the simulator. All are branch-light and constexpr so they can be
+// used in compile-time tests of the closed-form model identities.
+#pragma once
+
+#include <cassert>
+#include <concepts>
+#include <cstdint>
+
+namespace repro {
+
+// Ceiling division for non-negative integers: ceil(a / b), b > 0.
+template <std::integral T>
+constexpr T ceil_div(T a, T b) {
+  assert(b > 0);
+  assert(a >= 0);
+  return (a + b - 1) / b;
+}
+
+// Floor division (a >= 0, b > 0).
+template <std::integral T>
+constexpr T floor_div(T a, T b) {
+  assert(b > 0);
+  assert(a >= 0);
+  return a / b;
+}
+
+// Smallest multiple of m that is >= a.
+template <std::integral T>
+constexpr T round_up(T a, T m) {
+  return ceil_div(a, m) * m;
+}
+
+// Largest multiple of m that is <= a.
+template <std::integral T>
+constexpr T round_down(T a, T m) {
+  assert(m > 0);
+  return (a / m) * m;
+}
+
+template <std::integral T>
+constexpr bool is_even(T a) {
+  return (a % 2) == 0;
+}
+
+// Sum of ceil(x / d) for x = lo, lo+step, ..., hi (inclusive), d > 0.
+// This is the row-sum that appears in the per-tile compute-time
+// formulas (Eqns 9, 15, 27 of the paper). Exact, O(number of terms).
+constexpr std::int64_t sum_ceil_div(std::int64_t lo, std::int64_t hi,
+                                    std::int64_t step, std::int64_t d) {
+  assert(step > 0);
+  assert(d > 0);
+  std::int64_t acc = 0;
+  for (std::int64_t x = lo; x <= hi; x += step) acc += ceil_div(x, d);
+  return acc;
+}
+
+// Closed-form *optimistic* approximation of sum_ceil_div: treats the
+// ceilings as exact division, i.e. sum(x)/d over the arithmetic
+// progression. Used by the "closed-form" model variant; always <= the
+// exact sum + number-of-terms.
+constexpr double sum_div_closed_form(std::int64_t lo, std::int64_t hi,
+                                     std::int64_t step, std::int64_t d) {
+  assert(step > 0);
+  assert(d > 0);
+  if (hi < lo) return 0.0;
+  const std::int64_t n = (hi - lo) / step + 1;
+  const std::int64_t last = lo + (n - 1) * step;
+  return static_cast<double>(n) * static_cast<double>(lo + last) / 2.0 /
+         static_cast<double>(d);
+}
+
+}  // namespace repro

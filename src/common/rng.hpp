@@ -1,0 +1,46 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything in this project that needs randomness (micro-benchmark
+// instance selection, simulator timing jitter, property-test sweeps)
+// must be reproducible run-to-run, so we use an explicitly seeded
+// xoshiro256** generator instead of std::random_device. A second,
+// stateless helper (hash_jitter) produces a deterministic per-entity
+// perturbation from an integer key, which the timing simulator uses to
+// model run-to-run hardware noise without any global state.
+#pragma once
+
+#include <cstdint>
+
+namespace repro {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  // Uniform in [0, 2^64).
+  std::uint64_t next_u64() noexcept;
+
+  // Uniform in [0, n). n must be > 0.
+  std::uint64_t next_below(std::uint64_t n) noexcept;
+
+  // Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  // Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+// SplitMix64 finalizer: a high-quality stateless 64-bit mix.
+std::uint64_t mix64(std::uint64_t x) noexcept;
+
+// Deterministic multiplicative jitter in [1, 1 + amplitude), derived
+// from `key`. Same key -> same jitter, across runs and platforms.
+double hash_jitter(std::uint64_t key, double amplitude) noexcept;
+
+}  // namespace repro

@@ -1,0 +1,125 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace repro {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double min_of(std::span<const double> xs) {
+  assert(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  assert(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double percentile(std::span<const double> xs, double p) {
+  assert(!xs.empty());
+  assert(p >= 0.0 && p <= 1.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double relative_rmse(std::span<const double> predicted,
+                     std::span<const double> observed) {
+  assert(predicted.size() == observed.size());
+  if (predicted.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    assert(observed[i] > 0.0);
+    const double rel = (predicted[i] - observed[i]) / observed[i];
+    acc += rel * rel;
+  }
+  return std::sqrt(acc / static_cast<double>(predicted.size()));
+}
+
+double mean_absolute_relative_error(std::span<const double> predicted,
+                                    std::span<const double> observed) {
+  assert(predicted.size() == observed.size());
+  if (predicted.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    assert(observed[i] > 0.0);
+    acc += std::abs((predicted[i] - observed[i]) / observed[i]);
+  }
+  return acc / static_cast<double>(predicted.size());
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  assert(xs.size() == ys.size());
+  if (xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<std::size_t> indices_within_of_min(std::span<const double> values,
+                                               double fraction) {
+  std::vector<std::size_t> out;
+  if (values.empty()) return out;
+  const double best = min_of(values);
+  const double cutoff = best * (1.0 + fraction);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] <= cutoff) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> indices_within_of_max(std::span<const double> values,
+                                               double fraction) {
+  std::vector<std::size_t> out;
+  if (values.empty()) return out;
+  const double best = max_of(values);
+  const double cutoff = best * (1.0 - fraction);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] >= cutoff) out.push_back(i);
+  }
+  return out;
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.mean = mean(xs);
+  s.min = min_of(xs);
+  s.max = max_of(xs);
+  s.stddev = stddev(xs);
+  return s;
+}
+
+}  // namespace repro

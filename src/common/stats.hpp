@@ -1,0 +1,53 @@
+// Statistics used by the validation study: relative RMSE between
+// predicted and observed execution times (Section 5.3 of the paper),
+// correlation for the Fig. 3 scatter, and simple summaries.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace repro {
+
+double mean(std::span<const double> xs);
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+double stddev(std::span<const double> xs);  // population std-dev
+
+// p in [0,1]; linear interpolation between order statistics.
+double percentile(std::span<const double> xs, double p);
+
+// Root-mean-square of the *relative* error (pred - obs) / obs,
+// reported as a fraction (0.10 == 10 %). This is the error metric the
+// paper quotes ("RMSE in the execution time is less than 10%").
+double relative_rmse(std::span<const double> predicted,
+                     std::span<const double> observed);
+
+// Mean absolute relative error, as a fraction.
+double mean_absolute_relative_error(std::span<const double> predicted,
+                                    std::span<const double> observed);
+
+// Pearson correlation coefficient.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+// Indices of elements of `values` that are within `fraction` of the
+// best (smallest) value: v <= best * (1 + fraction).
+std::vector<std::size_t> indices_within_of_min(std::span<const double> values,
+                                               double fraction);
+
+// Indices of elements within `fraction` of the largest value:
+// v >= best * (1 - fraction). Used for "within 20% of top GFLOPS".
+std::vector<std::size_t> indices_within_of_max(std::span<const double> values,
+                                               double fraction);
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+}  // namespace repro

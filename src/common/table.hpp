@@ -1,0 +1,29 @@
+// ASCII table printer used by the bench harness to render the paper's
+// tables (Table 2/3/4) and figure-equivalent summaries on stdout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace repro {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Render with column-aligned padding and +---+ separators.
+  std::string render() const;
+
+  // Helpers for consistent numeric formatting in table cells.
+  static std::string fmt(double v, int precision = 4);
+  static std::string fmt_sci(double v, int precision = 2);
+  static std::string fmt_pct(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace repro

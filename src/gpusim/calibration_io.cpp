@@ -1,0 +1,86 @@
+#include "gpusim/calibration_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace repro::gpusim {
+
+namespace {
+constexpr int kFormatVersion = 1;
+}
+
+void save_calibration(const std::string& path, const model::ModelInputs& in) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_calibration: cannot open " + path);
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << "version " << kFormatVersion << '\n';
+  out << "hw.name " << in.hw.name << '\n';
+  out << "hw.n_sm " << in.hw.n_sm << '\n';
+  out << "hw.n_v " << in.hw.n_v << '\n';
+  out << "hw.regs_per_sm " << in.hw.regs_per_sm << '\n';
+  out << "hw.shared_words_per_sm " << in.hw.shared_words_per_sm << '\n';
+  out << "hw.max_shared_words_per_block " << in.hw.max_shared_words_per_block
+      << '\n';
+  out << "hw.max_tb_per_sm " << in.hw.max_tb_per_sm << '\n';
+  out << "mb.L_s_per_word " << in.mb.L_s_per_word << '\n';
+  out << "mb.tau_sync " << in.mb.tau_sync << '\n';
+  out << "mb.T_sync " << in.mb.T_sync << '\n';
+  out << "c_iter " << in.c_iter << '\n';
+  out << "radius " << in.radius << '\n';
+  if (!out) throw std::runtime_error("save_calibration: write failed");
+}
+
+model::ModelInputs load_calibration(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_calibration: cannot open " + path);
+
+  std::map<std::string, std::string> kv;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto sp = line.find(' ');
+    if (sp == std::string::npos) {
+      throw std::runtime_error("load_calibration: malformed line: " + line);
+    }
+    kv[line.substr(0, sp)] = line.substr(sp + 1);
+  }
+
+  auto require = [&](const std::string& key) -> const std::string& {
+    const auto it = kv.find(key);
+    if (it == kv.end()) {
+      throw std::runtime_error("load_calibration: missing key " + key);
+    }
+    return it->second;
+  };
+  auto as_double = [&](const std::string& key) {
+    return std::stod(require(key));
+  };
+  auto as_int = [&](const std::string& key) {
+    return std::stoll(require(key));
+  };
+
+  if (as_int("version") != kFormatVersion) {
+    throw std::runtime_error("load_calibration: unsupported version");
+  }
+
+  model::ModelInputs out;
+  out.hw.name = require("hw.name");
+  out.hw.n_sm = static_cast<int>(as_int("hw.n_sm"));
+  out.hw.n_v = static_cast<int>(as_int("hw.n_v"));
+  out.hw.regs_per_sm = as_int("hw.regs_per_sm");
+  out.hw.shared_words_per_sm = as_int("hw.shared_words_per_sm");
+  out.hw.max_shared_words_per_block = as_int("hw.max_shared_words_per_block");
+  out.hw.max_tb_per_sm = static_cast<int>(as_int("hw.max_tb_per_sm"));
+  out.mb.L_s_per_word = as_double("mb.L_s_per_word");
+  out.mb.tau_sync = as_double("mb.tau_sync");
+  out.mb.T_sync = as_double("mb.T_sync");
+  out.c_iter = as_double("c_iter");
+  out.radius = static_cast<int>(as_int("radius"));
+  return out;
+}
+
+}  // namespace repro::gpusim

@@ -1,0 +1,21 @@
+// Persistence for calibrated model inputs. The micro-benchmarks are
+// cheap on the simulator but tens of minutes on real hardware, so a
+// production autotuner caches them; this mirrors that workflow with a
+// small key=value text format (versioned, order-independent).
+#pragma once
+
+#include <string>
+
+#include "model/talg.hpp"
+
+namespace repro::gpusim {
+
+// Writes `in` to `path`. Throws std::runtime_error on I/O failure.
+void save_calibration(const std::string& path, const model::ModelInputs& in);
+
+// Reads a calibration written by save_calibration. Throws
+// std::runtime_error on I/O failure, unknown keys, missing keys or a
+// version mismatch.
+model::ModelInputs load_calibration(const std::string& path);
+
+}  // namespace repro::gpusim

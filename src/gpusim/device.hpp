@@ -1,0 +1,93 @@
+// Device descriptors for the simulated GPUs.
+//
+// The two devices mirror Table 2 of the paper (GTX 980 and Titan X,
+// both Maxwell) plus the physical quantities Table 2 omits but a
+// timing simulation needs: clocks, memory bandwidth and latency,
+// kernel-launch and barrier costs, and the per-instruction-class cycle
+// prices used to derive the loop-body issue cost. The model never
+// reads these; it only sees what the micro-benchmarks measure.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "model/params.hpp"
+
+namespace repro::gpusim {
+
+struct InstructionCosts {
+  double issue_base = 12.0;   // decode/issue/branch overhead per iter
+  double shared_load = 3.0;   // per shared-memory read
+  double fma = 2.0;           // per fused multiply-add
+  double add = 1.0;           // per plain add/sub
+  double special = 22.0;      // per SFU op (sqrt, div)
+  double addr = 2.0;          // per integer addressing op
+};
+
+struct DeviceParams {
+  std::string name;
+
+  // Table 2 quantities.
+  int n_sm = 0;
+  int n_v = 0;                           // vector units per SM
+  std::int64_t regs_per_sm = 65536;      // R_SM
+  std::int64_t shared_bytes_per_sm = 96 * 1024;   // M_SM
+  std::int64_t max_shared_bytes_per_block = 48 * 1024;
+  int shared_banks = 32;
+  int max_tb_per_sm = 32;
+
+  // Physical machine quantities (not in Table 2).
+  int max_threads_per_block = 1024;
+  int max_threads_per_sm = 2048;
+  int max_regs_per_thread = 255;
+  double clock_hz = 0.0;            // SM clock
+  double mem_bandwidth_bps = 0.0;   // effective global-memory bandwidth
+  double mem_latency_s = 0.0;       // per-transfer startup latency
+  double kernel_launch_s = 0.0;     // host-side launch + sync
+  double block_sched_s = 0.0;       // per-threadblock dispatch cost
+  double sync_cycles = 1.0;         // per __syncthreads, in cycles
+  double spill_cycles_per_reg = 8.0;  // extra cycles/iter per spilled reg
+  double jitter_amplitude = 0.02;   // deterministic run-to-run noise
+
+  // Latency hiding: an SM needs ~`warps_for_full_issue` resident warps
+  // to keep the issue pipeline full; below that, per-iteration cost
+  // inflates by up to `latency_stall_factor`. This is what makes
+  // higher hyperthreading factors win over max-footprint tiles
+  // (Section 7, "revisiting conventional wisdom").
+  double warps_for_full_issue = 40.0;
+  double latency_stall_factor = 0.45;
+
+  // DRAM coalescing: transfers whose contiguous run along the
+  // innermost dimension is shorter than `coalesce_words` achieve only
+  // a fraction of peak bandwidth.
+  double coalesce_words = 32.0;
+
+  InstructionCosts cost;
+
+  std::int64_t shared_words_per_sm() const noexcept {
+    return shared_bytes_per_sm / 4;
+  }
+
+  // Export the subset the analytical model is allowed to see
+  // (vendor-spec values only — the Table 2 columns).
+  model::HardwareParams to_model_hardware() const;
+};
+
+// The two platforms of Section 5.
+const DeviceParams& gtx980();
+const DeviceParams& titan_x();
+
+// The paper's conclusion discusses *parametric* tile code: one
+// compiled kernel whose tile sizes are runtime values, trading code
+// efficiency for a single compilation. This variant models that
+// trade-off: per-iteration instruction cost inflates (no full
+// unrolling/specialization), and because nothing is unrolled the
+// register pressure drops to a small constant (no spills).
+DeviceParams parametric_codegen_variant(DeviceParams dev,
+                                        double efficiency_loss = 0.15);
+std::span<const DeviceParams> paper_devices();
+
+const DeviceParams& device_by_name(const std::string& name);
+
+}  // namespace repro::gpusim

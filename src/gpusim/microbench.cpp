@@ -1,0 +1,96 @@
+#include "gpusim/microbench.hpp"
+
+#include <algorithm>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "gpusim/timing.hpp"
+#include "stencil/problem.hpp"
+
+namespace repro::gpusim {
+
+MachineMicrobench run_machine_microbench(const DeviceParams& dev) {
+  MachineMicrobench out;
+
+  // L: stream 1 GB through all SMs; the transfer time is dominated by
+  // aggregate bandwidth (one latency term amortizes away).
+  {
+    const double bytes = 1e9;
+    const double seconds = dev.mem_latency_s + bytes / dev.mem_bandwidth_bps;
+    out.L_s_per_gb = seconds / (bytes / 1e9);
+  }
+
+  // tau_sync: a kernel that executes a long chain of barriers with no
+  // work in between; per-barrier cost is the slope.
+  {
+    const std::int64_t n = 1 << 20;
+    const double seconds =
+        static_cast<double>(n) * dev.sync_cycles / dev.clock_hz;
+    out.tau_sync = seconds / static_cast<double>(n);
+  }
+
+  // T_sync: launch a long sequence of empty kernels; per-launch cost
+  // is the slope.
+  {
+    const std::int64_t n = 1 << 12;
+    const double seconds = static_cast<double>(n) * dev.kernel_launch_s;
+    out.t_sync = seconds / static_cast<double>(n);
+  }
+  return out;
+}
+
+double measure_citer(const DeviceParams& dev, const stencil::StencilDef& def,
+                     int samples, std::uint64_t seed) {
+  Rng rng(seed ^ repro::mix64(static_cast<std::uint64_t>(def.kind)));
+  const hhc::ThreadConfig thr{.n1 = 32, .n2 = 8, .n3 = 1};  // 256 threads
+
+  double acc = 0.0;
+  int used = 0;
+  for (int i = 0; i < samples; ++i) {
+    stencil::ProblemSize p;
+    p.dim = def.dim;
+    hhc::TileSizes ts;
+    ts.tT = 2 * rng.uniform_int(1, 12);
+    ts.tS1 = rng.uniform_int(2, 48);
+    if (def.dim == 1) {
+      // 1D rows carry no inner-dimension factor, so keep them at
+      // least a vector-width wide or the measurement would fold lane
+      // starvation into C_iter (the paper measures saturated rows).
+      ts.tS1 = rng.uniform_int(128, 512);
+      p.S = {rng.uniform_int(4096, 1 << 16), 0, 0};
+    } else if (def.dim == 2) {
+      const std::int64_t s = rng.uniform_int(512, 3072);
+      p.S = {s, s, 0};
+      ts.tS2 = 16 * rng.uniform_int(1, 12);
+    } else {
+      const std::int64_t s = rng.uniform_int(96, 320);
+      p.S = {s, s, s};
+      ts.tS2 = 8 * rng.uniform_int(1, 6);
+      ts.tS3 = 4 * rng.uniform_int(1, 4);
+    }
+    p.T = rng.uniform_int(32, 256);
+
+    const double compute_s = simulate_compute_only(dev, def, p, ts, thr);
+    const double points = static_cast<double>(p.total_points());
+    if (points <= 0.0) continue;
+    // Per-vector-unit time divided by iteration count (Section 5.2).
+    acc += compute_s * static_cast<double>(dev.n_v) / points;
+    ++used;
+  }
+  return used > 0 ? acc / static_cast<double>(used) : 0.0;
+}
+
+model::ModelInputs calibrate_model(const DeviceParams& dev,
+                                   const stencil::StencilDef& def) {
+  const MachineMicrobench mb = run_machine_microbench(dev);
+  model::ModelInputs in;
+  in.hw = dev.to_model_hardware();
+  in.mb.L_s_per_word = model::l_per_word_from_s_per_gb(mb.L_s_per_gb);
+  in.mb.tau_sync = mb.tau_sync;
+  in.mb.T_sync = mb.t_sync;
+  in.c_iter = measure_citer(dev, def);
+  in.radius = def.radius;
+  return in;
+}
+
+}  // namespace repro::gpusim

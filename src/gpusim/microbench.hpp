@@ -1,0 +1,35 @@
+// Micro-benchmarks (Section 5.2): measure the model parameters that
+// cannot be read off a spec sheet. Each benchmark drives the
+// *simulator* the same way the paper drives the hardware — the model
+// only ever sees the measured numbers, never the simulator internals.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/device.hpp"
+#include "model/talg.hpp"
+#include "stencil/stencil.hpp"
+
+namespace repro::gpusim {
+
+struct MachineMicrobench {
+  double L_s_per_gb = 0.0;  // Table 3 row 1
+  double tau_sync = 0.0;    // Table 3 row 2 (seconds)
+  double t_sync = 0.0;      // Table 3 row 3 (seconds)
+};
+
+// Streaming-transfer, barrier-storm and empty-kernel-storm benchmarks.
+MachineMicrobench run_machine_microbench(const DeviceParams& dev);
+
+// C_iter (Table 4): run `samples` random (problem, tile) instances
+// with all global<->shared transfers removed, divide the per-vector-
+// unit execution time by the iteration count, and average.
+double measure_citer(const DeviceParams& dev, const stencil::StencilDef& def,
+                     int samples = 70, std::uint64_t seed = 0x517e5);
+
+// Bundle everything the analytical model needs for one
+// (device, stencil) pair.
+model::ModelInputs calibrate_model(const DeviceParams& dev,
+                                   const stencil::StencilDef& def);
+
+}  // namespace repro::gpusim

@@ -1,0 +1,48 @@
+#include "gpusim/registers.hpp"
+
+#include <algorithm>
+
+#include "common/math_util.hpp"
+
+namespace repro::gpusim {
+
+int estimate_regs_per_thread(const stencil::StencilDef& def,
+                             const hhc::TileSizes& ts, int threads) {
+  // Widest row of the hexagon times the inner extents = the largest
+  // per-level work, which HHC unrolls across the threads of the block.
+  const std::int64_t w_tile = ts.tS1 + ts.tT - 2;
+  std::int64_t level_points = w_tile;
+  if (def.dim >= 2) level_points *= ts.tS2;
+  if (def.dim >= 3) level_points *= ts.tS3;
+  const std::int64_t unroll =
+      repro::ceil_div(level_points, static_cast<std::int64_t>(threads));
+
+  // ~22 bookkeeping registers (pointers, loop bounds, thread ids),
+  // plus index registers per dimension, plus roughly two live values
+  // per unrolled point (accumulator + staged operand).
+  const std::int64_t regs = 22 + 3 * def.dim + 2 * unroll +
+                            static_cast<std::int64_t>(def.mix.special_ops);
+  return static_cast<int>(std::min<std::int64_t>(regs, 4096));
+}
+
+double bank_conflict_factor(int dim, const hhc::TileSizes& ts, int banks) {
+  // Innermost stride of the shared-memory tile buffer (matches the
+  // M_tile layouts of footprint.hpp).
+  std::int64_t stride = 0;
+  switch (dim) {
+    case 1:
+      stride = ts.tS1 + ts.tT;
+      break;
+    case 2:
+      stride = ts.tS2 + ts.tT + 1;
+      break;
+    default:
+      stride = ts.tS3 + ts.tT + 1;
+      break;
+  }
+  if (stride % banks == 0) return 1.30;
+  if (stride % (banks / 2) == 0) return 1.12;
+  return 1.0;
+}
+
+}  // namespace repro::gpusim

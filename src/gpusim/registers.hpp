@@ -1,0 +1,27 @@
+// Register-pressure estimation for the simulated back-end compiler.
+//
+// The paper stresses (Sections 6.1 and 7) that the number of physical
+// registers a configuration needs is only known after nvcc runs, and
+// that register spills make the optimistic model fail. This estimator
+// plays the role of nvcc: the *simulator* uses it for occupancy and
+// spill penalties, but the analytical model and the optimizer never
+// see it — recreating the paper's information asymmetry.
+#pragma once
+
+#include "hhc/tile_sizes.hpp"
+#include "stencil/stencil.hpp"
+
+namespace repro::gpusim {
+
+// Estimated registers per thread for fully unrolled HHC tile code:
+// a fixed bookkeeping cost plus live values proportional to the
+// per-thread unrolled work of the widest tile row.
+int estimate_regs_per_thread(const stencil::StencilDef& def,
+                             const hhc::TileSizes& ts, int threads);
+
+// Shared-memory bank-conflict factor (>= 1.0) for the tile's shared
+// array layout: the innermost shared-array stride hitting a multiple
+// of the bank count serializes accesses. Multiples of 32 hurt most.
+double bank_conflict_factor(int dim, const hhc::TileSizes& ts, int banks);
+
+}  // namespace repro::gpusim

@@ -1,0 +1,32 @@
+// Wavefront pricing shared by the tiling back-ends (hexagonal and
+// ghost-zone): given the cost of one thread block and the number of
+// independent blocks in a kernel, compute the kernel's wall time on a
+// device with k-way block residency per SM.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/device.hpp"
+
+namespace repro::gpusim {
+
+struct BlockWork {
+  double compute_s = 0.0;  // per-block compute incl. barriers
+  double io_bytes = 0.0;   // per-block global<->shared traffic
+};
+
+struct WavefrontCost {
+  double mem = 0.0;    // aggregate transfer time across rounds
+  double comp = 0.0;   // aggregate per-SM compute time across rounds
+  double sched = 0.0;  // thread-block dispatch overhead
+  double time = 0.0;   // wall time of the kernel body (no launch)
+};
+
+// Rounds of n_sm * k resident blocks; within a round transfers overlap
+// compute when k >= 2 (one block's transfer stays exposed at the
+// pipeline head), and serialize when k == 1; aggregate bandwidth
+// lower-bounds every round.
+WavefrontCost price_wavefront(const DeviceParams& dev, const BlockWork& bw,
+                              std::int64_t blocks, std::int64_t k);
+
+}  // namespace repro::gpusim

@@ -1,0 +1,55 @@
+// Classic time-skewed tiling of the inner space dimensions (s2, s3).
+//
+// Within a hexagonal prism/slab, the inner dimensions are cut by the
+// planes r*t + s = const into bands of width tS (normal vector
+// (1,0,1) in the paper's Figure 2 for radius r = 1; for higher-order
+// stencils the skew slope scales with the dependence radius). Bands
+// are executed in ascending order; each dependence (t-1, s+a) with
+// |a| <= r keeps r*t + s constant or decreases it, so ascending band
+// order is always legal.
+#pragma once
+
+#include <cstdint>
+
+#include "hhc/interval.hpp"
+
+namespace repro::hhc {
+
+class SkewedBands {
+ public:
+  // Domain s in [0, S); time levels the enclosing prism spans are
+  // [t_lo, t_hi) (absolute). Band index b covers r*t + s in
+  // [off + b*ts, off + (b+1)*ts) where off = r*t_lo so that band 0 is
+  // the first non-empty one.
+  SkewedBands(std::int64_t S, std::int64_t ts, std::int64_t t_lo,
+              std::int64_t t_hi, std::int64_t radius = 1) noexcept
+      : S_(S), ts_(ts), t_lo_(t_lo), t_hi_(t_hi), r_(radius) {}
+
+  // Number of bands intersecting the prism: the paper's
+  // ceil((S + tT) / tS) when the prism spans tT full levels (Eqn 23),
+  // generalized to ceil((S + r*tT) / tS).
+  std::int64_t num_bands() const noexcept {
+    const std::int64_t span =
+        (S_ - 1) + r_ * (t_hi_ - 1 - t_lo_);  // max r*t + s - off
+    return span / ts_ + 1;
+  }
+
+  // s-interval of band b at absolute time level t, clipped to [0, S).
+  Interval range_at(std::int64_t b, std::int64_t t) const noexcept {
+    const std::int64_t lo = r_ * t_lo_ + b * ts_ - r_ * t;
+    return Interval{lo, lo + ts_}.clipped(0, S_);
+  }
+
+  std::int64_t S() const noexcept { return S_; }
+  std::int64_t ts() const noexcept { return ts_; }
+  std::int64_t radius() const noexcept { return r_; }
+
+ private:
+  std::int64_t S_;
+  std::int64_t ts_;
+  std::int64_t t_lo_;
+  std::int64_t t_hi_;
+  std::int64_t r_;
+};
+
+}  // namespace repro::hhc

@@ -1,0 +1,53 @@
+#include "hhc/footprint.hpp"
+
+#include <cassert>
+
+namespace repro::hhc {
+
+std::int64_t shared_words_per_tile(int dim, const TileSizes& ts,
+                                   std::int64_t radius) noexcept {
+  assert(dim >= 1 && dim <= 3);
+  assert(radius >= 1);
+  const std::int64_t h = radius * ts.tT;  // halo extent per dimension
+  switch (dim) {
+    case 1:
+      return 2 * (ts.tS1 + h);
+    case 2:
+      return 2 * (ts.tS1 + h + 1) * (ts.tS2 + h + 1);
+    default:
+      return 2 * (ts.tS1 + h + 1) * (ts.tS2 + h + 1) * (ts.tS3 + h + 1);
+  }
+}
+
+std::int64_t io_words_per_subtile(int dim, const TileSizes& ts,
+                                  std::int64_t radius) noexcept {
+  assert(dim >= 1 && dim <= 3);
+  // Eqn 7 (per side: m_i), slopes scaled by the radius.
+  const std::int64_t line = ts.tS1 + 2 * radius * ts.tT;
+  switch (dim) {
+    case 1:
+      return line;              // m_i of Eqn 7 (m_io = 2 * this)
+    case 2:
+      return ts.tS2 * line;     // Eqn 13 / 18
+    default:
+      return ts.tS2 * ts.tS3 * line;  // Eqn 24
+  }
+}
+
+std::int64_t subtile_volume(int dim, const TileSizes& ts,
+                            std::int64_t radius) noexcept {
+  assert(dim >= 1 && dim <= 3);
+  const std::int64_t w_tile = ts.tS1 + radius * (ts.tT - 2);
+  // Hexagon area = tT * (w_tile + tS1) / 2 (Eqn 26's cross-section).
+  const std::int64_t hex_area = ts.tT * (w_tile + ts.tS1) / 2;
+  switch (dim) {
+    case 1:
+      return hex_area;
+    case 2:
+      return hex_area * ts.tS2;
+    default:
+      return hex_area * ts.tS2 * ts.tS3;
+  }
+}
+
+}  // namespace repro::hhc

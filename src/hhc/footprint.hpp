@@ -1,0 +1,46 @@
+// Shared-memory footprint of a tile (the paper's M_tile, Table 1) and
+// the per-sub-tile global<->shared transfer volumes (m_i, m_o).
+//
+// These are the *model-side* closed forms (Eqns 7, 13, 18, 19, 24 and
+// the 1D M_tile formula in Section 4.1.1), used both by the analytical
+// model and by the optimizer's feasibility constraints (Eqn 31). The
+// exact per-tile counts live in hhc::TileShape; tests pin down the
+// difference (the closed forms are within O(1) of exact for interior
+// tiles).
+#pragma once
+
+#include <cstdint>
+
+#include "hhc/tile_sizes.hpp"
+
+namespace repro::hhc {
+
+inline constexpr std::int64_t kWordBytes = 4;
+
+// Shared memory (in 4-byte words) needed by one tile/threadblock.
+//   1D: 2*(tS1 + r*tT)                        (Section 4.1.1)
+//   2D: 2*(tS1 + r*tT + 1)*(tS2 + r*tT + 1)   (Eqn 19)
+//   3D: the same pattern extended along s3.
+// `radius` generalizes to higher-order stencils (Section 7): the
+// hexagon slopes, and hence the halo extents, scale with the
+// dependence radius.
+std::int64_t shared_words_per_tile(int dim, const TileSizes& ts,
+                                   std::int64_t radius = 1) noexcept;
+
+inline std::int64_t shared_bytes_per_tile(int dim, const TileSizes& ts,
+                                          std::int64_t radius = 1) noexcept {
+  return shared_words_per_tile(dim, ts, radius) * kWordBytes;
+}
+
+// Input/output footprint (words) of one tile (1D) or one sub-prism /
+// sub-slab (2D/3D): Eqns 7, 13/18, 24. m_i == m_o for the stencils of
+// the paper, so a single accessor is provided.
+std::int64_t io_words_per_subtile(int dim, const TileSizes& ts,
+                                  std::int64_t radius = 1) noexcept;
+
+// Volume (iteration count) of one full hexagonal tile (1D), sub-prism
+// (2D) or sub-slab (3D); Eqn 26 generalized.
+std::int64_t subtile_volume(int dim, const TileSizes& ts,
+                            std::int64_t radius = 1) noexcept;
+
+}  // namespace repro::hhc

@@ -1,0 +1,24 @@
+// Half-open integer intervals used throughout the tiling geometry.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace repro::hhc {
+
+struct Interval {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;  // exclusive
+
+  std::int64_t size() const noexcept { return hi > lo ? hi - lo : 0; }
+  bool empty() const noexcept { return hi <= lo; }
+  bool contains(std::int64_t x) const noexcept { return x >= lo && x < hi; }
+
+  Interval clipped(std::int64_t lo_bound, std::int64_t hi_bound) const noexcept {
+    return {std::max(lo, lo_bound), std::min(hi, hi_bound)};
+  }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+}  // namespace repro::hhc

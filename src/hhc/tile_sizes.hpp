@@ -1,0 +1,53 @@
+// Tile-size and thread-count parameters: the inputs of the HHC
+// compiler that the paper's model predicts over (Table 1, "ES" rows).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "stencil/problem.hpp"
+
+namespace repro::hhc {
+
+// t_T: time-tile height (must be even, per the HHC compiler);
+// t_Si: spatial tile extents. Unused trailing extents stay 1.
+struct TileSizes {
+  std::int64_t tT = 2;
+  std::int64_t tS1 = 1;
+  std::int64_t tS2 = 1;
+  std::int64_t tS3 = 1;
+
+  std::string to_string() const {
+    return "tT=" + std::to_string(tT) + ",tS1=" + std::to_string(tS1) +
+           ",tS2=" + std::to_string(tS2) + ",tS3=" + std::to_string(tS3);
+  }
+
+  friend bool operator==(const TileSizes&, const TileSizes&) = default;
+};
+
+// Threads per threadblock in each dimension (n_thr,i of Table 1).
+struct ThreadConfig {
+  int n1 = 32;
+  int n2 = 1;
+  int n3 = 1;
+
+  int total() const noexcept { return n1 * n2 * n3; }
+
+  friend bool operator==(const ThreadConfig&, const ThreadConfig&) = default;
+};
+
+// Throws std::invalid_argument when the combination violates the HHC
+// compiler's hard requirements (even tT, positive extents, dimension
+// agreement with the problem).
+inline void validate(const TileSizes& ts, int dim) {
+  if (ts.tT < 2 || ts.tT % 2 != 0) {
+    throw std::invalid_argument("tT must be even and >= 2, got " +
+                                std::to_string(ts.tT));
+  }
+  if (ts.tS1 < 1) throw std::invalid_argument("tS1 must be >= 1");
+  if (dim >= 2 && ts.tS2 < 1) throw std::invalid_argument("tS2 must be >= 1");
+  if (dim >= 3 && ts.tS3 < 1) throw std::invalid_argument("tS3 must be >= 1");
+}
+
+}  // namespace repro::hhc

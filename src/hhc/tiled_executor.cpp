@@ -1,0 +1,147 @@
+#include "hhc/tiled_executor.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "hhc/bands.hpp"
+#include "hhc/hex_schedule.hpp"
+#include "stencil/apply.hpp"
+
+namespace repro::hhc {
+
+using stencil::Coord;
+using stencil::Grid;
+
+namespace {
+
+// Executes all levels of one (tile, band2, band3) piece in ascending
+// time order. Returns the number of points computed.
+std::int64_t run_piece(const stencil::StencilDef& def, const TileShape& shape,
+                       const SkewedBands* bands2, const SkewedBands* bands3,
+                       std::int64_t b2, std::int64_t b3, Grid<float>* buf) {
+  std::int64_t points = 0;
+  for (std::size_t lev = 0; lev < shape.level_cols.size(); ++lev) {
+    const Interval cols = shape.level_cols[lev];
+    if (cols.empty()) continue;
+    const std::int64_t t = shape.first_level + static_cast<std::int64_t>(lev);
+    const Interval r2 = bands2 ? bands2->range_at(b2, t) : Interval{0, 1};
+    if (r2.empty()) continue;
+    const Interval r3 = bands3 ? bands3->range_at(b3, t) : Interval{0, 1};
+    if (r3.empty()) continue;
+    const Grid<float>& rd = buf[t & 1];
+    Grid<float>& wr = buf[(t + 1) & 1];
+    for (Coord s1 = cols.lo; s1 < cols.hi; ++s1) {
+      for (Coord s2 = r2.lo; s2 < r2.hi; ++s2) {
+        for (Coord s3 = r3.lo; s3 < r3.hi; ++s3) {
+          wr.at(s1, s2, s3) = stencil::apply_point(def, rd, s1, s2, s3);
+        }
+      }
+    }
+    points += cols.size() * r2.size() * r3.size();
+  }
+  return points;
+}
+
+// Executes one tile (all its bands in legal order). Returns points
+// computed and sub-tile pieces touched.
+std::pair<std::int64_t, std::int64_t> run_tile(const stencil::StencilDef& def,
+                                               const stencil::ProblemSize& p,
+                                               const TileSizes& ts,
+                                               const TileShape& shape,
+                                               Grid<float>* buf) {
+  std::int64_t points = 0;
+  std::int64_t pieces = 0;
+  const std::int64_t t_lo = shape.first_level;
+  const std::int64_t t_hi =
+      t_lo + static_cast<std::int64_t>(shape.level_cols.size());
+
+  if (p.dim == 1) {
+    points = run_piece(def, shape, nullptr, nullptr, 0, 0, buf);
+    pieces = 1;
+    return {points, pieces};
+  }
+  const SkewedBands bands2(p.S[1], ts.tS2, t_lo, t_hi, def.radius);
+  if (p.dim == 2) {
+    for (std::int64_t b2 = 0; b2 < bands2.num_bands(); ++b2) {
+      const std::int64_t n = run_piece(def, shape, &bands2, nullptr, b2, 0, buf);
+      if (n > 0) {
+        points += n;
+        ++pieces;
+      }
+    }
+    return {points, pieces};
+  }
+  const SkewedBands bands3(p.S[2], ts.tS3, t_lo, t_hi, def.radius);
+  for (std::int64_t b2 = 0; b2 < bands2.num_bands(); ++b2) {
+    for (std::int64_t b3 = 0; b3 < bands3.num_bands(); ++b3) {
+      const std::int64_t n =
+          run_piece(def, shape, &bands2, &bands3, b2, b3, buf);
+      if (n > 0) {
+        points += n;
+        ++pieces;
+      }
+    }
+  }
+  return {points, pieces};
+}
+
+template <bool kParallel>
+Grid<float> run_tiled_impl(const stencil::StencilDef& def,
+                           const stencil::ProblemSize& p, const TileSizes& ts,
+                           const Grid<float>& initial, ExecStats* stats) {
+  if (def.dim != p.dim) {
+    throw std::invalid_argument("run_tiled: stencil/problem dim mismatch");
+  }
+  validate(ts, p.dim);
+
+  // Parity buffers: buf[t % 2] holds state t while plane t is current.
+  Grid<float> buf[2] = {initial, Grid<float>(p.dim, p.S)};
+
+  const HexSchedule sched(p.T, p.S[0], ts.tT, ts.tS1, def.radius);
+  ExecStats local;
+
+  for (std::int64_t r = 0; r < sched.num_rows(); ++r) {
+    ++local.kernel_calls;
+    const std::int64_t q0 = sched.q_begin(r);
+    const std::int64_t q1 = sched.q_end(r);
+    std::int64_t points = 0;
+    std::int64_t blocks = 0;
+    std::int64_t pieces = 0;
+    // Tiles within a row are independent (the one-row-per-kernel
+    // property), so this loop is safely parallel.
+#pragma omp parallel for schedule(dynamic) \
+    reduction(+ : points, blocks, pieces) if (kParallel)
+    for (std::int64_t q = q0; q < q1; ++q) {
+      const TileShape shape = sched.shape(r, q);
+      if (shape.empty()) continue;
+      ++blocks;
+      const auto [n, np] = run_tile(def, p, ts, shape, buf);
+      points += n;
+      pieces += np;
+    }
+    local.points += points;
+    local.thread_blocks += blocks;
+    local.sub_tiles += pieces;
+  }
+
+  if (stats != nullptr) *stats = local;
+  // State T lives in buf[T % 2].
+  return std::move(buf[p.T & 1]);
+}
+
+}  // namespace
+
+Grid<float> run_tiled(const stencil::StencilDef& def,
+                      const stencil::ProblemSize& p, const TileSizes& ts,
+                      const Grid<float>& initial, ExecStats* stats) {
+  return run_tiled_impl<false>(def, p, ts, initial, stats);
+}
+
+Grid<float> run_tiled_parallel(const stencil::StencilDef& def,
+                               const stencil::ProblemSize& p,
+                               const TileSizes& ts,
+                               const Grid<float>& initial, ExecStats* stats) {
+  return run_tiled_impl<true>(def, p, ts, initial, stats);
+}
+
+}  // namespace repro::hhc

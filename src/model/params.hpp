@@ -1,0 +1,43 @@
+// Parameters of the execution-time model (Table 1 of the paper).
+//
+// The split mirrors the paper's taxonomy:
+//  * HardwareParams  — "EH": fixed per device, from vendor specs.
+//  * MeasuredParams  — "EH" values that must be measured by
+//    micro-benchmarks (L, tau_sync, T_sync; Table 3).
+//  * C_iter          — the one stencil-and-machine-specific value,
+//    measured per benchmark (Table 4).
+// The model deliberately knows nothing about register pressure,
+// thread-count effects, or scheduling overheads (Section 7,
+// "Limitations") — those exist only in the simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace repro::model {
+
+struct HardwareParams {
+  std::string name;
+  int n_sm = 0;                    // streaming multiprocessors
+  int n_v = 0;                     // vector units (lanes) per SM
+  std::int64_t regs_per_sm = 0;    // R_SM
+  std::int64_t shared_words_per_sm = 0;  // M_SM in 4-byte words
+  std::int64_t max_shared_words_per_block = 0;  // 48 KB limit
+  int max_tb_per_sm = 0;           // MTB_SM
+};
+
+struct MeasuredParams {
+  double L_s_per_word = 0.0;  // global-memory time per 4-byte word (s)
+  double tau_sync = 0.0;      // intra-kernel synchronization (s)
+  double T_sync = 0.0;        // host<->GPU kernel boundary (s)
+};
+
+// Convenience: the paper reports L in seconds per gigabyte (1e9 B).
+constexpr double l_per_word_from_s_per_gb(double s_per_gb) {
+  return s_per_gb * 4.0 / 1e9;
+}
+constexpr double l_s_per_gb_from_per_word(double per_word) {
+  return per_word * 1e9 / 4.0;
+}
+
+}  // namespace repro::model

@@ -1,0 +1,84 @@
+// The analytical execution-time model of Section 4.
+//
+// Every formula is implemented exactly as printed, with the paper's
+// equation number cited next to it. The model is *deliberately
+// optimistic* (Contribution 1): it ignores thread-count effects,
+// register pressure, memory-latency and scheduling overheads. Its
+// purpose is to rank tile sizes near the optimum, not to predict the
+// absolute time of bad configurations.
+#pragma once
+
+#include <cstdint>
+
+#include "hhc/tile_sizes.hpp"
+#include "model/params.hpp"
+#include "stencil/problem.hpp"
+
+namespace repro::model {
+
+// How the per-tile row sums (Eqns 9, 15, 27) are evaluated:
+//  * kExactCeil   — the printed sum of ceilings (default);
+//  * kClosedForm  — ceilings relaxed to exact division, giving a
+//    smooth function (used by the heuristic solver and the ablation
+//    bench).
+enum class RowSumMode : std::uint8_t { kExactCeil, kClosedForm };
+
+// Which tile geometry the per-tile formulas describe:
+//  * kPaperExact     — the equations exactly as printed, which price
+//    every hexagon like the family whose base width is tS1.
+//  * kFamilyAveraged — the staggered tiling is made of two interlocked
+//    hexagon families whose base widths are tS1 and tS1 + 2; the
+//    averaged variant prices a tile as the mean of the two. For
+//    tS1 + tT/2 >> 1 the two coincide; for degenerate tiles the
+//    printed formulas undercount compute by up to 2x, which would let
+//    junk configurations into the within-10% candidate set, so the
+//    averaged variant is the default for optimization.
+enum class TileGeometryMode : std::uint8_t { kPaperExact, kFamilyAveraged };
+
+struct ModelInputs {
+  HardwareParams hw;
+  MeasuredParams mb;
+  double c_iter = 0.0;  // Table 4 value for this stencil/device
+  int radius = 1;       // dependence radius (1 for all paper stencils)
+  RowSumMode row_sum = RowSumMode::kExactCeil;
+  TileGeometryMode geometry = TileGeometryMode::kFamilyAveraged;
+};
+
+// Intermediate quantities, exposed for tests and the ablation bench.
+struct TalgBreakdown {
+  double nw = 0.0;       // number of wavefronts, Eqn 3 / 20
+  double w = 0.0;        // tiles per wavefront, Eqn 5 / 22
+  double w_tile = 0.0;   // tile width, Eqn 4 / 21
+  double m_prime = 0.0;  // global<->shared transfer time, Eqn 8/14/25
+  double c = 0.0;        // per-(sub)tile compute time, Eqn 9/15/27
+  double t_tile = 0.0;   // T_tile / T_prism / T_slab (Eqns 10-12/16/28-29)
+  std::int64_t n_subtiles = 1;  // sub-prisms / sub-slabs, Eqn 23
+  std::int64_t k = 1;    // hyper-threading factor used
+  double talg = 0.0;     // total, Eqn 6 / 17 / 30
+};
+
+// Shared-memory-derived bound on the hyper-threading factor k
+// (Eqn 11 without the register term, which the model cannot know;
+// also capped by MTB_SM and the 48 KB/block rule from Section 5.1).
+std::int64_t k_max(int dim, const hhc::TileSizes& ts,
+                   const HardwareParams& hw, std::int64_t radius = 1);
+
+// True when a tile of this size can run at all (fits the per-block
+// shared-memory limit).
+bool tile_fits(int dim, const hhc::TileSizes& ts, const HardwareParams& hw,
+               std::int64_t radius = 1);
+
+// Predicted total execution time (seconds) for the given problem,
+// tile sizes and hyper-threading factor k (>= 1). Dimension is taken
+// from `p.dim`; 1D uses Section 4.1, 2D Section 4.2, 3D Section 4.3.
+TalgBreakdown talg(const ModelInputs& in, const stencil::ProblemSize& p,
+                   const hhc::TileSizes& ts, std::int64_t k);
+
+// Same, choosing the k in [1, k_max] that minimizes the prediction.
+// Eqn 11 only *bounds* k; the residency the scheduler actually
+// achieves is whatever serves the workload best, so the optimistic
+// model takes the minimum over the feasible range.
+TalgBreakdown talg_auto_k(const ModelInputs& in, const stencil::ProblemSize& p,
+                          const hhc::TileSizes& ts);
+
+}  // namespace repro::model

@@ -1,0 +1,429 @@
+#include "overtile/ghost.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "gpusim/registers.hpp"
+#include "gpusim/scheduling.hpp"
+#include "stencil/apply.hpp"
+
+namespace repro::overtile {
+
+using stencil::Coord;
+using stencil::Grid;
+using repro::ceil_div;
+
+std::string GhostTileSizes::to_string() const {
+  std::ostringstream os;
+  os << "tT=" << tT << ",b=" << b[0] << "x" << b[1] << "x" << b[2];
+  return os.str();
+}
+
+void validate(const GhostTileSizes& ts, int dim) {
+  if (ts.tT < 1) throw std::invalid_argument("ghost: tT must be >= 1");
+  for (int i = 0; i < dim; ++i) {
+    if (ts.b[static_cast<std::size_t>(i)] < 1) {
+      throw std::invalid_argument("ghost: core extents must be >= 1");
+    }
+  }
+}
+
+namespace {
+
+// Number of blocks along each dimension and in total.
+std::array<std::int64_t, 3> blocks_per_dim(const stencil::ProblemSize& p,
+                                           const GhostTileSizes& ts) {
+  std::array<std::int64_t, 3> n{1, 1, 1};
+  for (int i = 0; i < p.dim; ++i) {
+    n[static_cast<std::size_t>(i)] = ceil_div(
+        p.S[static_cast<std::size_t>(i)], ts.b[static_cast<std::size_t>(i)]);
+  }
+  return n;
+}
+
+std::int64_t total_blocks(const std::array<std::int64_t, 3>& n) {
+  return n[0] * n[1] * n[2];
+}
+
+// Working-set extent along one dimension after computing `levels_left`
+// more local steps (shrinks by radius per step already taken).
+std::int64_t plane_extent(std::int64_t core, std::int64_t radius,
+                          std::int64_t steps_left) {
+  return core + 2 * radius * steps_left;
+}
+
+}  // namespace
+
+std::int64_t ghost_shared_words(int dim, const GhostTileSizes& ts,
+                                std::int64_t radius) {
+  std::int64_t ext = 1;
+  for (int i = 0; i < dim; ++i) {
+    ext *= ts.b[static_cast<std::size_t>(i)] + 2 * radius * ts.tT;
+  }
+  return 2 * ext;  // double buffer
+}
+
+std::int64_t ghost_block_compute_points(int dim, const GhostTileSizes& ts,
+                                        std::int64_t radius) {
+  std::int64_t total = 0;
+  for (std::int64_t step = 1; step <= ts.tT; ++step) {
+    std::int64_t plane = 1;
+    for (int i = 0; i < dim; ++i) {
+      plane *= plane_extent(ts.b[static_cast<std::size_t>(i)], radius,
+                            ts.tT - step);
+    }
+    total += plane;
+  }
+  return total;
+}
+
+Grid<float> run_ghost(const stencil::StencilDef& def,
+                      const stencil::ProblemSize& p, const GhostTileSizes& ts,
+                      const Grid<float>& initial, GhostStats* stats) {
+  if (def.dim != p.dim) {
+    throw std::invalid_argument("run_ghost: stencil/problem dim mismatch");
+  }
+  validate(ts, p.dim);
+  const std::int64_t radius = def.radius;
+
+  Grid<float> state = initial;
+  GhostStats local;
+  local.core_points = p.total_points();
+
+  std::int64_t done = 0;
+  while (done < p.T) {
+    const std::int64_t steps = std::min(ts.tT, p.T - done);
+    const std::int64_t halo = radius * steps;
+    ++local.supersteps;
+
+    Grid<float> next(p.dim, p.S);
+    const auto nblk = blocks_per_dim(p, ts);
+    for (std::int64_t bi = 0; bi < nblk[0]; ++bi) {
+      for (std::int64_t bj = 0; bj < nblk[1]; ++bj) {
+        for (std::int64_t bk = 0; bk < nblk[2]; ++bk) {
+          ++local.thread_blocks;
+          // Core region (clipped to the domain) and its halo-extended
+          // bounding box in global coordinates.
+          std::array<Coord, 3> core_lo{bi * ts.b[0], bj * ts.b[1],
+                                       bk * ts.b[2]};
+          std::array<Coord, 3> core_hi{
+              std::min<Coord>(core_lo[0] + ts.b[0], p.S[0]),
+              std::min<Coord>(core_lo[1] + ts.b[1],
+                              p.dim >= 2 ? p.S[1] : 1),
+              std::min<Coord>(core_lo[2] + ts.b[2],
+                              p.dim >= 3 ? p.S[2] : 1)};
+          std::array<Coord, 3> ext_lo{core_lo[0] - halo, core_lo[1],
+                                      core_lo[2]};
+          std::array<Coord, 3> ext_hi{core_hi[0] + halo, core_hi[1],
+                                      core_hi[2]};
+          if (p.dim >= 2) {
+            ext_lo[1] -= halo;
+            ext_hi[1] += halo;
+          }
+          if (p.dim >= 3) {
+            ext_lo[2] -= halo;
+            ext_hi[2] += halo;
+          }
+
+          // Local double buffers over the extended box. Cells mapping
+          // outside the domain hold the Dirichlet boundary value (0)
+          // and are never overwritten with anything else.
+          const std::array<Coord, 3> ext{ext_hi[0] - ext_lo[0],
+                                         ext_hi[1] - ext_lo[1],
+                                         ext_hi[2] - ext_lo[2]};
+          Grid<float> buf_a(p.dim, ext);
+          Grid<float> buf_b(p.dim, ext);
+          for (Coord i = 0; i < ext[0]; ++i) {
+            for (Coord j = 0; j < ext[1]; ++j) {
+              for (Coord k = 0; k < ext[2]; ++k) {
+                buf_a.at(i, j, k) = state.read_or_boundary(
+                    ext_lo[0] + i, ext_lo[1] + j, ext_lo[2] + k);
+              }
+            }
+          }
+
+          Grid<float>* prev = &buf_a;
+          Grid<float>* cur = &buf_b;
+          for (std::int64_t step = 1; step <= steps; ++step) {
+            const std::int64_t shrink = radius * step;
+            // Compute the plane shrunk by `shrink` from the extended
+            // box (still a superset of the core's dependence cone).
+            std::array<Coord, 3> lo = ext_lo;
+            std::array<Coord, 3> hi = ext_hi;
+            lo[0] += shrink;
+            hi[0] -= shrink;
+            if (p.dim >= 2) {
+              lo[1] += shrink;
+              hi[1] -= shrink;
+            }
+            if (p.dim >= 3) {
+              lo[2] += shrink;
+              hi[2] -= shrink;
+            }
+            for (Coord gi = lo[0]; gi < hi[0]; ++gi) {
+              for (Coord gj = lo[1]; gj < hi[1]; ++gj) {
+                for (Coord gk = lo[2]; gk < hi[2]; ++gk) {
+                  const Coord li = gi - ext_lo[0];
+                  const Coord lj = gj - ext_lo[1];
+                  const Coord lk = gk - ext_lo[2];
+                  const bool in_domain =
+                      gi >= 0 && gi < p.S[0] &&
+                      (p.dim < 2 || (gj >= 0 && gj < p.S[1])) &&
+                      (p.dim < 3 || (gk >= 0 && gk < p.S[2]));
+                  if (!in_domain) {
+                    cur->at(li, lj, lk) = 0.0F;  // Dirichlet boundary
+                    continue;
+                  }
+                  cur->at(li, lj, lk) =
+                      stencil::apply_point(def, *prev, li, lj, lk);
+                  ++local.computed_points;
+                }
+              }
+            }
+            std::swap(prev, cur);
+          }
+
+          // Write the core back.
+          for (Coord gi = core_lo[0]; gi < core_hi[0]; ++gi) {
+            for (Coord gj = core_lo[1]; gj < core_hi[1]; ++gj) {
+              for (Coord gk = core_lo[2]; gk < core_hi[2]; ++gk) {
+                next.at(gi, gj, gk) = prev->at(
+                    gi - ext_lo[0], gj - ext_lo[1], gk - ext_lo[2]);
+              }
+            }
+          }
+        }
+      }
+    }
+    state = std::move(next);
+    done += steps;
+  }
+
+  if (stats != nullptr) *stats = local;
+  return state;
+}
+
+bool ghost_tile_fits(int dim, const GhostTileSizes& ts,
+                     const model::HardwareParams& hw, std::int64_t radius) {
+  return ghost_shared_words(dim, ts, radius) <= hw.max_shared_words_per_block;
+}
+
+model::TalgBreakdown ghost_talg(const model::ModelInputs& in,
+                                const stencil::ProblemSize& p,
+                                const GhostTileSizes& ts) {
+  validate(ts, p.dim);
+  const std::int64_t radius = in.radius;
+  const std::int64_t m_words = ghost_shared_words(p.dim, ts, radius);
+  if (m_words > in.hw.max_shared_words_per_block) {
+    throw std::invalid_argument("ghost_talg: tile does not fit");
+  }
+  const std::int64_t k_hi = std::min<std::int64_t>(
+      in.hw.max_tb_per_sm, in.hw.shared_words_per_sm / m_words);
+
+  const std::int64_t n_super = ceil_div(p.T, ts.tT);
+  const std::int64_t w = total_blocks(blocks_per_dim(p, ts));
+
+  // Transfers: load the extended box, store the core.
+  std::int64_t ext_words = 1;
+  std::int64_t core_words = 1;
+  for (int i = 0; i < p.dim; ++i) {
+    ext_words *= ts.b[static_cast<std::size_t>(i)] + 2 * radius * ts.tT;
+    core_words *= ts.b[static_cast<std::size_t>(i)];
+  }
+  const double m_prime =
+      static_cast<double>(ext_words + core_words) * in.mb.L_s_per_word +
+      2.0 * in.mb.tau_sync;
+
+  // Compute: tT shrinking planes, each parallel over n_v lanes.
+  double c = 0.0;
+  for (std::int64_t step = 1; step <= ts.tT; ++step) {
+    std::int64_t plane = 1;
+    for (int i = 0; i < p.dim; ++i) {
+      plane *= plane_extent(ts.b[static_cast<std::size_t>(i)], radius,
+                            ts.tT - step);
+    }
+    c += static_cast<double>(
+        ceil_div(plane, static_cast<std::int64_t>(in.hw.n_v)));
+  }
+  c = c * in.c_iter + static_cast<double>(ts.tT) * in.mb.tau_sync;
+
+  model::TalgBreakdown best;
+  best.talg = std::numeric_limits<double>::infinity();
+  for (std::int64_t k = 1; k <= k_hi; ++k) {
+    const double t_block =
+        m_prime + c + static_cast<double>(k - 1) * std::max(m_prime, c);
+    const std::int64_t waves =
+        ceil_div(ceil_div(w, k), static_cast<std::int64_t>(in.hw.n_sm));
+    const double talg =
+        static_cast<double>(n_super) *
+        (in.mb.T_sync + t_block * static_cast<double>(waves));
+    if (talg < best.talg) {
+      best.talg = talg;
+      best.k = k;
+      best.m_prime = m_prime;
+      best.c = c;
+      best.t_tile = t_block;
+      best.nw = static_cast<double>(n_super);
+      best.w = static_cast<double>(w);
+    }
+  }
+  return best;
+}
+
+gpusim::SimResult simulate_ghost_time(const gpusim::DeviceParams& dev,
+                                      const stencil::StencilDef& def,
+                                      const stencil::ProblemSize& p,
+                                      const GhostTileSizes& ts,
+                                      const hhc::ThreadConfig& thr,
+                                      std::uint64_t run_id) {
+  gpusim::SimResult res;
+  try {
+    validate(ts, p.dim);
+  } catch (const std::invalid_argument& e) {
+    res.infeasible_reason = e.what();
+    return res;
+  }
+  const std::int64_t radius = def.radius;
+  const std::int64_t m_bytes = 4 * ghost_shared_words(p.dim, ts, radius);
+  if (m_bytes > dev.max_shared_bytes_per_block) {
+    res.infeasible_reason = "tile exceeds per-block shared memory";
+    return res;
+  }
+  const int threads = thr.total();
+  if (threads < 1 || threads > dev.max_threads_per_block) {
+    res.infeasible_reason = "invalid thread count";
+    return res;
+  }
+
+  // Registers: the widest plane is the first one.
+  std::int64_t widest = 1;
+  for (int i = 0; i < p.dim; ++i) {
+    widest *= plane_extent(ts.b[static_cast<std::size_t>(i)], radius,
+                           ts.tT - 1);
+  }
+  const std::int64_t unroll =
+      ceil_div(widest, static_cast<std::int64_t>(threads));
+  const int regs = static_cast<int>(
+      std::min<std::int64_t>(22 + 3 * def.dim + 2 * unroll, 4096));
+  res.regs_per_thread = regs;
+  const int spilled = std::max(0, regs - dev.max_regs_per_thread);
+  res.spills = spilled > 0;
+  const int regs_res = std::min(regs, dev.max_regs_per_thread);
+
+  const std::int64_t k = std::max<std::int64_t>(
+      1, std::min({static_cast<std::int64_t>(dev.max_tb_per_sm),
+                   dev.shared_bytes_per_sm / m_bytes,
+                   dev.regs_per_sm /
+                       std::max<std::int64_t>(
+                           1, static_cast<std::int64_t>(regs_res) * threads),
+                   static_cast<std::int64_t>(dev.max_threads_per_sm) /
+                       threads}));
+  res.k = k;
+
+  double cyc_iter =
+      dev.cost.issue_base +
+      dev.cost.shared_load * def.mix.shared_loads +
+      dev.cost.fma * def.mix.fma_ops + dev.cost.add * def.mix.add_ops +
+      dev.cost.special * def.mix.special_ops +
+      dev.cost.addr * def.mix.addr_ops;
+  cyc_iter +=
+      dev.spill_cycles_per_reg * static_cast<double>(std::min(spilled, 64));
+  const double warps =
+      std::max(1.0, static_cast<double>(k) * threads / 32.0);
+  if (warps < dev.warps_for_full_issue) {
+    cyc_iter *= 1.0 + dev.latency_stall_factor *
+                          (dev.warps_for_full_issue - warps) /
+                          dev.warps_for_full_issue;
+  }
+
+  // Coalescing along the innermost dimension of the extended box.
+  const std::int64_t run =
+      ts.b[static_cast<std::size_t>(p.dim - 1)] + 2 * radius * ts.tT;
+  const double coalesce_eff =
+      std::min(1.0, static_cast<double>(run) / dev.coalesce_words);
+
+  // One block's work (full supersteps; the final partial superstep is
+  // priced the same, a <= 1-superstep approximation).
+  const std::int64_t threads_r =
+      repro::round_up<std::int64_t>(threads, 32);
+  double cycles = 0.0;
+  for (std::int64_t step = 1; step <= ts.tT; ++step) {
+    std::int64_t plane = 1;
+    for (int i = 0; i < p.dim; ++i) {
+      plane *= plane_extent(ts.b[static_cast<std::size_t>(i)], radius,
+                            ts.tT - step);
+    }
+    const std::int64_t per_thread = ceil_div(plane, threads_r);
+    const std::int64_t active = repro::round_up<std::int64_t>(
+        std::min(plane, threads_r), 32);
+    const std::int64_t waves =
+        ceil_div(active, static_cast<std::int64_t>(dev.n_v));
+    cycles += static_cast<double>(per_thread * waves) * cyc_iter;
+    cycles += dev.sync_cycles;
+  }
+  cycles += 2.0 * dev.sync_cycles;
+
+  std::int64_t ext_words = 1;
+  std::int64_t core_words = 1;
+  for (int i = 0; i < p.dim; ++i) {
+    ext_words *= ts.b[static_cast<std::size_t>(i)] + 2 * radius * ts.tT;
+    core_words *= ts.b[static_cast<std::size_t>(i)];
+  }
+
+  gpusim::BlockWork bw;
+  bw.compute_s = cycles / dev.clock_hz;
+  bw.io_bytes =
+      static_cast<double>(ext_words + core_words) * 4.0 / coalesce_eff;
+
+  const std::int64_t n_super = ceil_div(p.T, ts.tT);
+  const std::int64_t blocks = total_blocks(blocks_per_dim(p, ts));
+  const gpusim::WavefrontCost wc =
+      gpusim::price_wavefront(dev, bw, blocks, k);
+
+  double total = static_cast<double>(n_super) *
+                 (dev.kernel_launch_s + wc.time);
+  res.kernel_calls = n_super;
+  res.launch_seconds = static_cast<double>(n_super) * dev.kernel_launch_s;
+  res.mem_seconds = static_cast<double>(n_super) * wc.mem;
+  res.compute_seconds = static_cast<double>(n_super) * wc.comp;
+  res.sched_seconds = static_cast<double>(n_super) * wc.sched;
+
+  std::uint64_t key = repro::mix64(0x9405743ULL ^ run_id);
+  key = repro::mix64(key ^ static_cast<std::uint64_t>(ts.tT * 7919 +
+                                                      ts.b[0] * 31 +
+                                                      ts.b[1] * 131 +
+                                                      ts.b[2]));
+  key = repro::mix64(key ^ static_cast<std::uint64_t>(def.kind));
+  key = repro::mix64(key ^ static_cast<std::uint64_t>(p.T + p.S[0]));
+  key = repro::mix64(key ^ static_cast<std::uint64_t>(threads));
+  total *= repro::hash_jitter(key, dev.jitter_amplitude);
+
+  res.feasible = true;
+  res.seconds = total;
+  res.gflops = stencil::total_flops(def, p) / total / 1e9;
+  return res;
+}
+
+gpusim::SimResult measure_ghost_best_of(const gpusim::DeviceParams& dev,
+                                        const stencil::StencilDef& def,
+                                        const stencil::ProblemSize& p,
+                                        const GhostTileSizes& ts,
+                                        const hhc::ThreadConfig& thr,
+                                        int runs) {
+  gpusim::SimResult best;
+  for (int r = 0; r < runs; ++r) {
+    const gpusim::SimResult cur =
+        simulate_ghost_time(dev, def, p, ts, thr,
+                            static_cast<std::uint64_t>(r));
+    if (!cur.feasible) return cur;
+    if (r == 0 || cur.seconds < best.seconds) best = cur;
+  }
+  return best;
+}
+
+}  // namespace repro::overtile

@@ -1,0 +1,95 @@
+// Ghost-zone (overlapped rectangular) time tiling — the baseline
+// scheme of the paper's related work (Meng & Skadron [37]; Overtile
+// [26]). Each thread block loads a rectangular tile plus a halo of
+// radius*tT ghost cells, computes tT time steps locally on a working
+// set that shrinks by the radius per step (redundantly recomputing the
+// overlap with its neighbours), and writes back only its core. All
+// blocks are independent, so one kernel covers tT time steps.
+//
+// HHC's hexagonal tiling exists precisely to avoid this scheme's
+// redundant computation; implementing both lets the bench suite show
+// the crossover the literature reports (ghost zones win at shallow
+// time tiles, hexagons win as tT grows).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "gpusim/device.hpp"
+#include "gpusim/timing.hpp"
+#include "model/talg.hpp"
+#include "stencil/grid.hpp"
+#include "stencil/problem.hpp"
+#include "stencil/stencil.hpp"
+
+namespace repro::overtile {
+
+// Time depth and rectangular core extents (b2/b3 unused below dim).
+struct GhostTileSizes {
+  std::int64_t tT = 1;
+  std::array<std::int64_t, 3> b{1, 1, 1};
+
+  std::string to_string() const;
+};
+
+void validate(const GhostTileSizes& ts, int dim);
+
+struct GhostStats {
+  std::int64_t supersteps = 0;
+  std::int64_t thread_blocks = 0;  // over all supersteps
+  std::int64_t computed_points = 0;  // includes redundant work
+  std::int64_t core_points = 0;      // the useful T * prod(S) work
+
+  double redundancy() const noexcept {
+    return core_points > 0 ? static_cast<double>(computed_points) /
+                                 static_cast<double>(core_points)
+                           : 0.0;
+  }
+};
+
+// Functional execution: bit-identical to the reference executor (the
+// halo always contains every value the core's dependence cone needs).
+stencil::Grid<float> run_ghost(const stencil::StencilDef& def,
+                               const stencil::ProblemSize& p,
+                               const GhostTileSizes& ts,
+                               const stencil::Grid<float>& initial,
+                               GhostStats* stats = nullptr);
+
+// Shared-memory requirement of one ghost-zone block (double-buffered
+// extended tile), in 4-byte words.
+std::int64_t ghost_shared_words(int dim, const GhostTileSizes& ts,
+                                std::int64_t radius);
+
+// Redundant-compute volume of one block-superstep (all tT shrinking
+// planes), and the core volume it produces.
+std::int64_t ghost_block_compute_points(int dim, const GhostTileSizes& ts,
+                                        std::int64_t radius);
+
+// Analytical execution-time prediction in the paper's style (same
+// elementary parameters; different geometry terms). Picks the best
+// feasible hyper-threading factor like model::talg_auto_k.
+model::TalgBreakdown ghost_talg(const model::ModelInputs& in,
+                                const stencil::ProblemSize& p,
+                                const GhostTileSizes& ts);
+
+bool ghost_tile_fits(int dim, const GhostTileSizes& ts,
+                     const model::HardwareParams& hw, std::int64_t radius);
+
+// Timing simulation on the same simulated devices as the hexagonal
+// path (same overhead classes, same measurement protocol).
+gpusim::SimResult simulate_ghost_time(const gpusim::DeviceParams& dev,
+                                      const stencil::StencilDef& def,
+                                      const stencil::ProblemSize& p,
+                                      const GhostTileSizes& ts,
+                                      const hhc::ThreadConfig& thr,
+                                      std::uint64_t run_id = 0);
+
+gpusim::SimResult measure_ghost_best_of(const gpusim::DeviceParams& dev,
+                                        const stencil::StencilDef& def,
+                                        const stencil::ProblemSize& p,
+                                        const GhostTileSizes& ts,
+                                        const hhc::ThreadConfig& thr,
+                                        int runs = 5);
+
+}  // namespace repro::overtile

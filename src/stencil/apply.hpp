@@ -1,0 +1,48 @@
+// The single definition of one stencil update. Both the reference
+// executor and the HHC tiled executor call apply_point, so any
+// disagreement between them is a schedule bug, never a numerics bug.
+#pragma once
+
+#include <cmath>
+
+#include "stencil/grid.hpp"
+#include "stencil/stencil.hpp"
+
+namespace repro::stencil {
+
+// Value of A_t(i,j,k) given the grid holding A_{t-1}.
+inline float apply_point(const StencilDef& def, const Grid<float>& prev,
+                         Coord i, Coord j = 0, Coord k = 0) {
+  switch (def.body) {
+    case BodyKind::kWeightedSum: {
+      double acc = def.constant;
+      for (const Tap& tap : def.taps) {
+        acc += tap.weight *
+               static_cast<double>(prev.read_or_boundary(
+                   i + tap.ds[0], j + tap.ds[1], k + tap.ds[2]));
+      }
+      return static_cast<float>(acc);
+    }
+    case BodyKind::kGradientMagnitude: {
+      // Taps come in difference pairs: (E, W) then (N, S); each pair
+      // forms one central-difference quotient.
+      double dx = 0.0;
+      double dy = 0.0;
+      for (std::size_t a = 0; a < def.taps.size(); ++a) {
+        const Tap& tap = def.taps[a];
+        const double v = tap.weight *
+                         static_cast<double>(prev.read_or_boundary(
+                             i + tap.ds[0], j + tap.ds[1], k + tap.ds[2]));
+        if (a < 2) {
+          dx += v;
+        } else {
+          dy += v;
+        }
+      }
+      return static_cast<float>(std::sqrt(dx * dx + dy * dy + def.constant));
+    }
+  }
+  return 0.0F;  // unreachable
+}
+
+}  // namespace repro::stencil

@@ -1,0 +1,76 @@
+// Dense grids for functional stencil execution.
+//
+// Data is stored as 4-byte floats (matching the paper's word size) in
+// row-major order with the last spatial dimension fastest. Reads
+// outside the domain return the Dirichlet boundary value (0), which is
+// the "appropriate boundary values" convention of Eqn (1); reference
+// and tiled executors share this via read_or_boundary so their
+// numerics agree bit-for-bit.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace repro::stencil {
+
+using Coord = std::int64_t;
+
+template <typename T = float>
+class Grid {
+ public:
+  Grid() = default;
+
+  Grid(int dim, std::array<Coord, 3> extents, T fill = T{})
+      : dim_(dim), extents_(extents) {
+    assert(dim >= 1 && dim <= 3);
+    for (int i = dim; i < 3; ++i) extents_[static_cast<std::size_t>(i)] = 1;
+    std::size_t n = 1;
+    for (int i = 0; i < 3; ++i) {
+      assert(extents_[static_cast<std::size_t>(i)] >= 1);
+      n *= static_cast<std::size_t>(extents_[static_cast<std::size_t>(i)]);
+    }
+    data_.assign(n, fill);
+  }
+
+  int dim() const noexcept { return dim_; }
+  Coord extent(int i) const noexcept {
+    return extents_[static_cast<std::size_t>(i)];
+  }
+  std::size_t size() const noexcept { return data_.size(); }
+
+  bool in_bounds(Coord i, Coord j = 0, Coord k = 0) const noexcept {
+    return i >= 0 && i < extents_[0] && j >= 0 && j < extents_[1] && k >= 0 &&
+           k < extents_[2];
+  }
+
+  T& at(Coord i, Coord j = 0, Coord k = 0) noexcept {
+    assert(in_bounds(i, j, k));
+    return data_[index(i, j, k)];
+  }
+  const T& at(Coord i, Coord j = 0, Coord k = 0) const noexcept {
+    assert(in_bounds(i, j, k));
+    return data_[index(i, j, k)];
+  }
+
+  // Dirichlet boundary: out-of-domain reads yield `boundary`.
+  T read_or_boundary(Coord i, Coord j = 0, Coord k = 0,
+                     T boundary = T{}) const noexcept {
+    return in_bounds(i, j, k) ? data_[index(i, j, k)] : boundary;
+  }
+
+  std::vector<T>& raw() noexcept { return data_; }
+  const std::vector<T>& raw() const noexcept { return data_; }
+
+ private:
+  std::size_t index(Coord i, Coord j, Coord k) const noexcept {
+    return static_cast<std::size_t>((i * extents_[1] + j) * extents_[2] + k);
+  }
+
+  int dim_ = 1;
+  std::array<Coord, 3> extents_{1, 1, 1};
+  std::vector<T> data_;
+};
+
+}  // namespace repro::stencil

@@ -1,0 +1,228 @@
+#include "stencil/parser.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace repro::stencil {
+
+namespace {
+
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+  int line = 1;
+
+  bool eof() const noexcept { return pos >= text.size(); }
+  char peek() const noexcept { return eof() ? '\0' : text[pos]; }
+  char take() noexcept {
+    const char c = peek();
+    ++pos;
+    if (c == '\n') ++line;
+    return c;
+  }
+
+  void skip_ws_and_comments() {
+    while (!eof()) {
+      const char c = peek();
+      if (c == '#') {
+        while (!eof() && peek() != '\n') take();
+      } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        take();
+      } else {
+        break;
+      }
+    }
+  }
+
+  // Reads an identifier-like token (letters, digits, '_').
+  std::string word() {
+    skip_ws_and_comments();
+    std::string out;
+    while (!eof()) {
+      const char c = peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_') {
+        out.push_back(take());
+      } else {
+        break;
+      }
+    }
+    return out;
+  }
+
+  void expect(char c, const char* what) {
+    skip_ws_and_comments();
+    if (peek() != c) {
+      throw ParseError(line, std::string("expected '") + c + "' " + what);
+    }
+    take();
+  }
+
+  double number(const char* what) {
+    skip_ws_and_comments();
+    const std::size_t start = pos;
+    if (peek() == '+' || peek() == '-') take();
+    bool any = false;
+    while (!eof() && (std::isdigit(static_cast<unsigned char>(peek())) != 0 ||
+                      peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                      ((peek() == '+' || peek() == '-') && pos > start &&
+                       (text[pos - 1] == 'e' || text[pos - 1] == 'E')))) {
+      take();
+      any = true;
+    }
+    if (!any) throw ParseError(line, std::string("expected number for ") + what);
+    const std::string tok(text.substr(start, pos - start));
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      throw ParseError(line, "malformed number '" + tok + "'");
+    }
+    return v;
+  }
+
+  long integer(const char* what) {
+    const double v = number(what);
+    const double r = std::round(v);
+    if (v != r) throw ParseError(line, std::string(what) + " must be integer");
+    return static_cast<long>(r);
+  }
+};
+
+void derive_mix_and_radius(StencilDef* d) {
+  int radius = 1;
+  for (const Tap& t : d->taps) {
+    for (int i = 0; i < 3; ++i) {
+      radius = std::max(radius, std::abs(t.ds[static_cast<std::size_t>(i)]));
+    }
+  }
+  d->radius = radius;
+
+  const int n = static_cast<int>(d->taps.size());
+  d->mix.shared_loads = n;
+  d->mix.fma_ops = n;
+  d->mix.add_ops = 0;
+  d->mix.special_ops = d->body == BodyKind::kGradientMagnitude ? 2 : 0;
+  // Addressing cost grows sharply in 3D (matches the catalogue).
+  d->mix.addr_ops = d->dim == 3 ? 40 + n : 4 + d->dim * 2;
+  if (d->flops_per_point <= 0.0) {
+    d->flops_per_point = static_cast<double>(2 * n - 1) +
+                         (d->mix.special_ops > 0 ? 3.0 : 0.0);
+  }
+}
+
+void check_symmetry(const StencilDef& d, int line) {
+  for (const Tap& t : d.taps) {
+    bool found = false;
+    for (const Tap& u : d.taps) {
+      if (u.ds[0] == -t.ds[0] && u.ds[1] == -t.ds[1] && u.ds[2] == -t.ds[2]) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw ParseError(line,
+                       "tap offsets must be symmetric (for every tap at a, a "
+                       "tap at -a is required by the tiled executor)");
+    }
+  }
+}
+
+}  // namespace
+
+StencilDef parse_stencil(std::string_view text) {
+  Cursor c{text};
+  StencilDef d;
+  d.kind = StencilKind::kCustom;
+  d.dim = 0;
+
+  if (c.word() != "stencil") {
+    throw ParseError(c.line, "expected 'stencil <name> { ... }'");
+  }
+  d.name = c.word();
+  if (d.name.empty()) throw ParseError(c.line, "stencil name missing");
+  c.expect('{', "after stencil name");
+
+  bool saw_dim = false;
+  while (true) {
+    c.skip_ws_and_comments();
+    if (c.peek() == '}') {
+      c.take();
+      break;
+    }
+    if (c.eof()) throw ParseError(c.line, "unterminated stencil block");
+    const std::string key = c.word();
+    if (key == "dim") {
+      const long dim = c.integer("dim");
+      if (dim < 1 || dim > 3) throw ParseError(c.line, "dim must be 1..3");
+      d.dim = static_cast<int>(dim);
+      saw_dim = true;
+    } else if (key == "tap") {
+      if (!saw_dim) throw ParseError(c.line, "dim must precede taps");
+      c.expect('(', "before tap offsets");
+      Tap tap;
+      tap.ds[0] = static_cast<int>(c.integer("tap offset"));
+      for (int i = 1; i < d.dim; ++i) {
+        c.expect(',', "between tap offsets");
+        tap.ds[static_cast<std::size_t>(i)] =
+            static_cast<int>(c.integer("tap offset"));
+      }
+      c.expect(')', "after tap offsets");
+      tap.weight = c.number("tap weight");
+      d.taps.push_back(tap);
+    } else if (key == "constant") {
+      d.constant = c.number("constant");
+    } else if (key == "flops") {
+      d.flops_per_point = c.number("flops");
+      if (d.flops_per_point <= 0.0) {
+        throw ParseError(c.line, "flops must be positive");
+      }
+    } else if (key == "body") {
+      const std::string body = c.word();
+      if (body == "weighted_sum") {
+        d.body = BodyKind::kWeightedSum;
+      } else if (body == "gradient_magnitude") {
+        d.body = BodyKind::kGradientMagnitude;
+      } else {
+        throw ParseError(c.line, "unknown body kind '" + body + "'");
+      }
+    } else if (key.empty()) {
+      throw ParseError(c.line, "unexpected character");
+    } else {
+      throw ParseError(c.line, "unknown key '" + key + "'");
+    }
+  }
+
+  c.skip_ws_and_comments();
+  if (!c.eof()) throw ParseError(c.line, "trailing input after stencil block");
+
+  if (!saw_dim) throw ParseError(c.line, "missing 'dim'");
+  if (d.taps.empty()) throw ParseError(c.line, "stencil needs at least one tap");
+  for (const Tap& t : d.taps) {
+    for (int i = d.dim; i < 3; ++i) {
+      if (t.ds[static_cast<std::size_t>(i)] != 0) {
+        throw ParseError(c.line, "tap uses a dimension beyond 'dim'");
+      }
+    }
+  }
+  check_symmetry(d, c.line);
+  if (d.body == BodyKind::kGradientMagnitude && d.taps.size() != 4) {
+    throw ParseError(c.line,
+                     "gradient_magnitude bodies need exactly four taps "
+                     "(two +/- difference pairs)");
+  }
+  derive_mix_and_radius(&d);
+  return d;
+}
+
+StencilDef parse_stencil_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open stencil file: " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return parse_stencil(os.str());
+}
+
+}  // namespace repro::stencil

@@ -1,0 +1,56 @@
+// A small textual stencil description language, so downstream users
+// can model and tune their own kernels without recompiling the
+// library (the DSL-compiler setting of the paper's Section 2).
+//
+// Grammar (line oriented; '#' starts a comment):
+//
+//   stencil <name> {
+//     dim <1|2|3>
+//     tap (<ds1>[,<ds2>[,<ds3>]]) <weight>
+//     ...
+//     constant <value>          # optional, default 0
+//     body <weighted_sum|gradient_magnitude>   # optional
+//     flops <per-point flops>   # optional, derived from taps if absent
+//   }
+//
+// Rules enforced at parse time (they are what the tiling machinery
+// relies on):
+//   * taps only use the declared dimensions,
+//   * the tap offset set is symmetric (for every tap at a, a tap
+//     exists at -a) — required by the executor's parity-buffer
+//     legality argument,
+//   * gradient_magnitude bodies have exactly four taps in +/- pairs.
+//
+// The dependence radius and the instruction mix are derived from the
+// taps, so parsed stencils flow through the executors, the model and
+// the simulator exactly like the built-in catalogue.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "stencil/stencil.hpp"
+
+namespace repro::stencil {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+
+  int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+// Parses exactly one stencil definition from `text`.
+// Throws ParseError on malformed input.
+StencilDef parse_stencil(std::string_view text);
+
+// Reads `path` and parses its contents.
+StencilDef parse_stencil_file(const std::string& path);
+
+}  // namespace repro::stencil

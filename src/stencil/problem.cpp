@@ -1,0 +1,61 @@
+#include "stencil/problem.hpp"
+
+#include <sstream>
+
+namespace repro::stencil {
+
+std::string ProblemSize::to_string() const {
+  std::ostringstream os;
+  for (int i = 0; i < dim; ++i) {
+    if (i) os << 'x';
+    os << S[static_cast<std::size_t>(i)];
+  }
+  os << ",T=" << T;
+  return os.str();
+}
+
+double total_flops(const StencilDef& def, const ProblemSize& p) {
+  return def.flops_per_point * static_cast<double>(p.total_points());
+}
+
+std::vector<ProblemSize> paper_2d_problem_sizes() {
+  std::vector<ProblemSize> out;
+  for (const std::int64_t s : {4096LL, 8192LL}) {
+    for (const std::int64_t t : {1024LL, 2048LL, 4096LL, 8192LL, 16384LL}) {
+      out.push_back({.dim = 2, .S = {s, s, 0}, .T = t});
+    }
+  }
+  return out;
+}
+
+std::vector<ProblemSize> paper_3d_problem_sizes() {
+  std::vector<ProblemSize> out;
+  for (const std::int64_t s : {384LL, 512LL, 640LL}) {
+    for (const std::int64_t t : {128LL, 256LL, 384LL, 512LL, 640LL}) {
+      if (t <= s) out.push_back({.dim = 3, .S = {s, s, s}, .T = t});
+    }
+  }
+  return out;
+}
+
+std::vector<ProblemSize> reduced_2d_problem_sizes() {
+  std::vector<ProblemSize> out;
+  for (const std::int64_t s : {1024LL, 2048LL}) {
+    for (const std::int64_t t : {256LL, 512LL, 1024LL}) {
+      out.push_back({.dim = 2, .S = {s, s, 0}, .T = t});
+    }
+  }
+  return out;
+}
+
+std::vector<ProblemSize> reduced_3d_problem_sizes() {
+  std::vector<ProblemSize> out;
+  for (const std::int64_t s : {128LL, 192LL}) {
+    for (const std::int64_t t : {64LL, 128LL}) {
+      if (t <= s) out.push_back({.dim = 3, .S = {s, s, s}, .T = t});
+    }
+  }
+  return out;
+}
+
+}  // namespace repro::stencil

@@ -1,0 +1,29 @@
+// Untiled, trivially correct stencil execution. This is the oracle the
+// HHC tiled executor is validated against, and the substrate for
+// small-scale functional experiments in the examples.
+#pragma once
+
+#include <cstdint>
+
+#include "stencil/grid.hpp"
+#include "stencil/problem.hpp"
+#include "stencil/stencil.hpp"
+
+namespace repro::stencil {
+
+// Deterministic, smooth-ish initial condition for a problem. The same
+// seed always yields the same grid.
+Grid<float> make_initial_grid(const ProblemSize& p, std::uint64_t seed);
+
+// Runs `p.T` time steps of `def` from `initial` with double buffering.
+// The grid extents must match p.S over p.dim dimensions.
+Grid<float> run_reference(const StencilDef& def, const ProblemSize& p,
+                          const Grid<float>& initial);
+
+// Checksum used by integration tests to compare large grids cheaply.
+double grid_checksum(const Grid<float>& g);
+
+// Max absolute difference between two equal-shaped grids.
+double max_abs_diff(const Grid<float>& a, const Grid<float>& b);
+
+}  // namespace repro::stencil

@@ -1,0 +1,243 @@
+#include "stencil/stencil.hpp"
+
+#include <stdexcept>
+
+namespace repro::stencil {
+
+namespace {
+
+StencilDef make_jacobi1d() {
+  StencilDef d;
+  d.kind = StencilKind::kJacobi1D;
+  d.name = "Jacobi1D";
+  d.dim = 1;
+  const double w = 1.0 / 3.0;
+  d.taps = {{{-1, 0, 0}, w}, {{0, 0, 0}, w}, {{1, 0, 0}, w}};
+  d.flops_per_point = 5.0;  // 3 mul + 2 add
+  d.mix = {.shared_loads = 3, .fma_ops = 3, .add_ops = 0, .special_ops = 0,
+           .addr_ops = 4};
+  return d;
+}
+
+StencilDef make_jacobi2d() {
+  StencilDef d;
+  d.kind = StencilKind::kJacobi2D;
+  d.name = "Jacobi2D";
+  d.dim = 2;
+  const double w = 1.0 / 5.0;
+  d.taps = {{{0, 0, 0}, w},
+            {{-1, 0, 0}, w},
+            {{1, 0, 0}, w},
+            {{0, -1, 0}, w},
+            {{0, 1, 0}, w}};
+  d.flops_per_point = 9.0;  // 5 mul + 4 add
+  d.mix = {.shared_loads = 5, .fma_ops = 5, .add_ops = 0, .special_ops = 0,
+           .addr_ops = 6};
+  return d;
+}
+
+StencilDef make_heat2d() {
+  StencilDef d;
+  d.kind = StencilKind::kHeat2D;
+  d.name = "Heat2D";
+  d.dim = 2;
+  const double alpha = 0.125;  // diffusion coefficient * dt / dx^2
+  d.taps = {{{0, 0, 0}, 1.0 - 4.0 * alpha},
+            {{-1, 0, 0}, alpha},
+            {{1, 0, 0}, alpha},
+            {{0, -1, 0}, alpha},
+            {{0, 1, 0}, alpha}};
+  d.flops_per_point = 10.0;
+  d.mix = {.shared_loads = 5, .fma_ops = 6, .add_ops = 0, .special_ops = 0,
+           .addr_ops = 6};
+  return d;
+}
+
+StencilDef make_laplacian2d() {
+  StencilDef d;
+  d.kind = StencilKind::kLaplacian2D;
+  d.name = "Laplacian2D";
+  d.dim = 2;
+  // Damped Laplacian relaxation step (kept contractive so long
+  // functional runs stay bounded).
+  const double h = 0.2;
+  d.taps = {{{0, 0, 0}, 1.0 - 4.0 * h},
+            {{-1, 0, 0}, h},
+            {{1, 0, 0}, h},
+            {{0, -1, 0}, h},
+            {{0, 1, 0}, h}};
+  d.flops_per_point = 8.0;
+  d.mix = {.shared_loads = 5, .fma_ops = 4, .add_ops = 1, .special_ops = 0,
+           .addr_ops = 6};
+  return d;
+}
+
+StencilDef make_gradient2d() {
+  StencilDef d;
+  d.kind = StencilKind::kGradient2D;
+  d.name = "Gradient2D";
+  d.dim = 2;
+  d.body = BodyKind::kGradientMagnitude;
+  // Taps are the four central-difference neighbours; the weights give
+  // the +/- 1/2 coefficients of the two difference quotients. Order
+  // matters to the executors: (E, W) then (N, S).
+  d.taps = {{{1, 0, 0}, 0.5},
+            {{-1, 0, 0}, -0.5},
+            {{0, 1, 0}, 0.5},
+            {{0, -1, 0}, -0.5}};
+  d.constant = 1e-6;  // epsilon under the sqrt, avoids d/dx of sqrt(0)
+  d.flops_per_point = 10.0;  // 2 sub, 2 mul, 2 mul, 2 add, sqrt(~2)
+  d.mix = {.shared_loads = 4, .fma_ops = 4, .add_ops = 2, .special_ops = 2,
+           .addr_ops = 6};
+  return d;
+}
+
+StencilDef make_jacobi3d() {
+  StencilDef d;
+  d.kind = StencilKind::kJacobi3D;
+  d.name = "Jacobi3D";
+  d.dim = 3;
+  const double w = 1.0 / 7.0;
+  d.taps = {{{0, 0, 0}, w},  {{-1, 0, 0}, w}, {{1, 0, 0}, w},
+            {{0, -1, 0}, w}, {{0, 1, 0}, w},  {{0, 0, -1}, w},
+            {{0, 0, 1}, w}};
+  d.flops_per_point = 13.0;
+  d.mix = {.shared_loads = 7, .fma_ops = 7, .add_ops = 0, .special_ops = 0,
+           .addr_ops = 40};
+  return d;
+}
+
+StencilDef make_heat3d() {
+  StencilDef d;
+  d.kind = StencilKind::kHeat3D;
+  d.name = "Heat3D";
+  d.dim = 3;
+  const double alpha = 0.09;
+  d.taps = {{{0, 0, 0}, 1.0 - 6.0 * alpha},
+            {{-1, 0, 0}, alpha},
+            {{1, 0, 0}, alpha},
+            {{0, -1, 0}, alpha},
+            {{0, 1, 0}, alpha},
+            {{0, 0, -1}, alpha},
+            {{0, 0, 1}, alpha}};
+  d.flops_per_point = 14.0;
+  d.mix = {.shared_loads = 7, .fma_ops = 8, .add_ops = 0, .special_ops = 0,
+           .addr_ops = 50};
+  return d;
+}
+
+StencilDef make_laplacian3d() {
+  StencilDef d;
+  d.kind = StencilKind::kLaplacian3D;
+  d.name = "Laplacian3D";
+  d.dim = 3;
+  const double h = 0.125;
+  d.taps = {{{0, 0, 0}, 1.0 - 6.0 * h},
+            {{-1, 0, 0}, h},
+            {{1, 0, 0}, h},
+            {{0, -1, 0}, h},
+            {{0, 1, 0}, h},
+            {{0, 0, -1}, h},
+            {{0, 0, 1}, h}};
+  d.flops_per_point = 12.0;
+  d.mix = {.shared_loads = 7, .fma_ops = 7, .add_ops = 0, .special_ops = 0,
+           .addr_ops = 45};
+  return d;
+}
+
+// --- Higher-order (radius-2) stencils: the Section 7 "Generality"
+// extension. Not part of the paper's benchmark set, but exercised by
+// the same tiling/model machinery with slopes scaled by the radius.
+
+StencilDef make_gauss1d() {
+  StencilDef d;
+  d.kind = StencilKind::kGauss1D;
+  d.name = "Gauss1D";
+  d.dim = 1;
+  d.radius = 2;
+  // Binomial smoothing kernel (1,4,6,4,1)/16: positive, sums to 1.
+  d.taps = {{{-2, 0, 0}, 1.0 / 16.0},
+            {{-1, 0, 0}, 4.0 / 16.0},
+            {{0, 0, 0}, 6.0 / 16.0},
+            {{1, 0, 0}, 4.0 / 16.0},
+            {{2, 0, 0}, 1.0 / 16.0}};
+  d.flops_per_point = 9.0;
+  d.mix = {.shared_loads = 5, .fma_ops = 5, .add_ops = 0, .special_ops = 0,
+           .addr_ops = 5};
+  return d;
+}
+
+StencilDef make_widestar2d() {
+  StencilDef d;
+  d.kind = StencilKind::kWideStar2D;
+  d.name = "WideStar2D";
+  d.dim = 2;
+  d.radius = 2;
+  // 9-point star with radius-2 arms; positive weights summing to 1.
+  const double a = 0.10;  // distance-1 neighbours
+  const double b = 0.04;  // distance-2 neighbours
+  d.taps = {{{0, 0, 0}, 1.0 - 4.0 * (a + b)},
+            {{-1, 0, 0}, a},  {{1, 0, 0}, a},
+            {{0, -1, 0}, a},  {{0, 1, 0}, a},
+            {{-2, 0, 0}, b},  {{2, 0, 0}, b},
+            {{0, -2, 0}, b},  {{0, 2, 0}, b}};
+  d.flops_per_point = 17.0;
+  d.mix = {.shared_loads = 9, .fma_ops = 9, .add_ops = 0, .special_ops = 0,
+           .addr_ops = 8};
+  return d;
+}
+
+const std::vector<StencilDef>& catalogue() {
+  static const std::vector<StencilDef> defs = [] {
+    std::vector<StencilDef> v;
+    v.push_back(make_jacobi1d());
+    v.push_back(make_jacobi2d());
+    v.push_back(make_heat2d());
+    v.push_back(make_laplacian2d());
+    v.push_back(make_gradient2d());
+    v.push_back(make_jacobi3d());
+    v.push_back(make_heat3d());
+    v.push_back(make_laplacian3d());
+    v.push_back(make_gauss1d());
+    v.push_back(make_widestar2d());
+    return v;
+  }();
+  return defs;
+}
+
+}  // namespace
+
+std::span<const StencilDef> all_stencils() { return catalogue(); }
+
+const StencilDef& get_stencil(StencilKind kind) {
+  for (const auto& d : catalogue()) {
+    if (d.kind == kind) return d;
+  }
+  throw std::invalid_argument("unknown stencil kind");
+}
+
+const StencilDef& get_stencil_by_name(std::string_view name) {
+  for (const auto& d : catalogue()) {
+    if (d.name == name) return d;
+  }
+  throw std::invalid_argument("unknown stencil name: " + std::string(name));
+}
+
+std::span<const StencilKind> paper_2d_benchmarks() {
+  static const StencilKind kinds[] = {
+      StencilKind::kJacobi2D, StencilKind::kHeat2D, StencilKind::kLaplacian2D,
+      StencilKind::kGradient2D};
+  return kinds;
+}
+
+std::span<const StencilKind> paper_3d_benchmarks() {
+  static const StencilKind kinds[] = {StencilKind::kHeat3D,
+                                      StencilKind::kLaplacian3D};
+  return kinds;
+}
+
+std::string_view to_string(StencilKind kind) {
+  return get_stencil(kind).name;
+}
+
+}  // namespace repro::stencil

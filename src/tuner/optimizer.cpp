@@ -1,0 +1,236 @@
+#include "tuner/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+#include "gpusim/timing.hpp"
+#include "hhc/footprint.hpp"
+
+namespace repro::tuner {
+
+namespace {
+
+double talg_of(const model::ModelInputs& in, const stencil::ProblemSize& p,
+               const hhc::TileSizes& ts) {
+  if (!model::tile_fits(p.dim, ts, in.hw, in.radius) ||
+      ts.tS1 < in.radius) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return model::talg_auto_k(in, p, ts).talg;
+}
+
+}  // namespace
+
+ModelSweep sweep_model(const model::ModelInputs& in,
+                       const stencil::ProblemSize& p,
+                       std::span<const hhc::TileSizes> space, double delta) {
+  ModelSweep sweep;
+  sweep.space_size = space.size();
+  sweep.talg_min = std::numeric_limits<double>::infinity();
+
+  std::vector<double> values(space.size());
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    values[i] = talg_of(in, p, space[i]);
+    if (values[i] < sweep.talg_min) {
+      sweep.talg_min = values[i];
+      sweep.argmin = space[i];
+    }
+  }
+  const double cutoff = sweep.talg_min * (1.0 + delta);
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    if (values[i] <= cutoff) sweep.candidates.push_back(space[i]);
+  }
+  return sweep;
+}
+
+EvaluatedPoint evaluate_point(const gpusim::DeviceParams& dev,
+                              const stencil::StencilDef& def,
+                              const stencil::ProblemSize& p,
+                              const model::ModelInputs& in,
+                              const DataPoint& dp) {
+  EvaluatedPoint ep;
+  ep.dp = dp;
+  ep.talg = talg_of(in, p, dp.ts);
+  const gpusim::SimResult res =
+      gpusim::measure_best_of(dev, def, p, dp.ts, dp.thr);
+  ep.feasible = res.feasible;
+  if (res.feasible) {
+    ep.texec = res.seconds;
+    ep.gflops = res.gflops;
+  }
+  return ep;
+}
+
+EvaluatedPoint best_over_threads(const gpusim::DeviceParams& dev,
+                                 const stencil::StencilDef& def,
+                                 const stencil::ProblemSize& p,
+                                 const model::ModelInputs& in,
+                                 const hhc::TileSizes& ts) {
+  EvaluatedPoint best;
+  for (const auto& thr : default_thread_configs(p.dim)) {
+    const EvaluatedPoint ep =
+        evaluate_point(dev, def, p, in, DataPoint{ts, thr});
+    if (!ep.feasible) continue;
+    if (!best.feasible || ep.texec < best.texec) best = ep;
+  }
+  return best;
+}
+
+StrategyComparison compare_strategies(const gpusim::DeviceParams& dev,
+                                      const stencil::StencilDef& def,
+                                      const stencil::ProblemSize& p,
+                                      const CompareOptions& opt) {
+  StrategyComparison cmp;
+  cmp.device = dev.name;
+  cmp.stencil = def.name;
+  cmp.problem = p;
+
+  const model::ModelInputs in = gpusim::calibrate_model(dev, def);
+  const std::vector<hhc::TileSizes> space =
+      enumerate_feasible(p.dim, in.hw, opt.enumeration, def.radius);
+
+  // 1. Untuned compiler defaults: default tile sizes AND the default
+  // 32x2 thread block — no tuning of any kind (the paper's "HHC" bar).
+  cmp.hhc_default = evaluate_point(
+      dev, def, p, in,
+      DataPoint{hhc_default_tiles(p.dim),
+                p.dim == 1 ? hhc::ThreadConfig{64, 1, 1}
+                           : hhc::ThreadConfig{32, 2, 1}});
+
+  // 2. The single model-minimal point.
+  const ModelSweep sweep = sweep_model(in, p, space, opt.delta);
+  cmp.space_size = sweep.space_size;
+  cmp.talg_min = best_over_threads(dev, def, p, in, sweep.argmin);
+
+  // 3. Best of the paper's baseline experiment set.
+  for (const auto& ts : baseline_tile_set(p.dim, in.hw, opt.baseline_count,
+                                          opt.enumeration, def.radius)) {
+    const EvaluatedPoint ep = best_over_threads(dev, def, p, in, ts);
+    if (!ep.feasible) continue;
+    if (!cmp.baseline_best.feasible || ep.texec < cmp.baseline_best.texec) {
+      cmp.baseline_best = ep;
+    }
+  }
+
+  // 4. Best of the within-10 %-of-Talg_min candidates.
+  cmp.candidates_tried = sweep.candidates.size();
+  for (const auto& ts : sweep.candidates) {
+    const EvaluatedPoint ep = best_over_threads(dev, def, p, in, ts);
+    if (!ep.feasible) continue;
+    if (!cmp.within10_best.feasible || ep.texec < cmp.within10_best.texec) {
+      cmp.within10_best = ep;
+    }
+  }
+
+  // 5. Exhaustive search over the feasible space (deterministically
+  // subsampled when capped): the reference the paper could not run at
+  // full scale ("these took many weeks of dedicated machine time").
+  std::size_t stride = 1;
+  if (opt.exhaustive_cap > 0 && space.size() > opt.exhaustive_cap) {
+    stride = (space.size() + opt.exhaustive_cap - 1) / opt.exhaustive_cap;
+  }
+  for (std::size_t i = 0; i < space.size(); i += stride) {
+    const EvaluatedPoint ep = best_over_threads(dev, def, p, in, space[i]);
+    if (!ep.feasible) continue;
+    if (!cmp.exhaustive.feasible || ep.texec < cmp.exhaustive.texec) {
+      cmp.exhaustive = ep;
+    }
+  }
+  // The exhaustive pass subsumes every specific strategy point it
+  // visited; make sure it is at least as good as the others.
+  for (const EvaluatedPoint* ep :
+       {&cmp.talg_min, &cmp.within10_best, &cmp.baseline_best}) {
+    if (ep->feasible &&
+        (!cmp.exhaustive.feasible || ep->texec < cmp.exhaustive.texec)) {
+      cmp.exhaustive = *ep;
+    }
+  }
+  return cmp;
+}
+
+SolverResult anneal_talg(const model::ModelInputs& in,
+                         const stencil::ProblemSize& p,
+                         const EnumOptions& bounds, std::uint64_t seed,
+                         int iterations) {
+  Rng rng(seed);
+  const int dim = p.dim;
+
+  auto clamp_even = [](std::int64_t v, std::int64_t lo, std::int64_t hi) {
+    v = std::clamp(v, lo, hi);
+    if (v % 2 != 0) ++v;
+    return std::clamp(v, lo, hi);
+  };
+  auto random_point = [&] {
+    hhc::TileSizes ts;
+    ts.tT = clamp_even(2 * rng.uniform_int(1, bounds.tT_max / 2), 2,
+                       bounds.tT_max);
+    ts.tS1 = rng.uniform_int(1, bounds.tS1_max);
+    if (dim >= 2) {
+      ts.tS2 = bounds.tS2_step *
+               rng.uniform_int(1, bounds.tS2_max / bounds.tS2_step);
+    }
+    if (dim >= 3) {
+      ts.tS3 = bounds.tS3_step *
+               rng.uniform_int(1, bounds.tS3_max / bounds.tS3_step);
+    }
+    return ts;
+  };
+
+  SolverResult best;
+  best.ts = random_point();
+  best.talg = talg_of(in, p, best.ts);
+  hhc::TileSizes cur = best.ts;
+  double cur_v = best.talg;
+
+  for (int it = 0; it < iterations; ++it) {
+    ++best.evaluations;
+    // Neighbor move: perturb one coordinate.
+    hhc::TileSizes nxt = cur;
+    switch (rng.next_below(static_cast<std::uint64_t>(dim) + 1)) {
+      case 0:
+        nxt.tT = clamp_even(cur.tT + 2 * rng.uniform_int(-2, 2), 2,
+                            bounds.tT_max);
+        break;
+      case 1:
+        nxt.tS1 = std::clamp<std::int64_t>(cur.tS1 + rng.uniform_int(-4, 4),
+                                           1, bounds.tS1_max);
+        break;
+      case 2:
+        nxt.tS2 = std::clamp<std::int64_t>(
+            cur.tS2 + bounds.tS2_step * rng.uniform_int(-1, 1),
+            bounds.tS2_step, bounds.tS2_max);
+        break;
+      default:
+        nxt.tS3 = std::clamp<std::int64_t>(
+            cur.tS3 + bounds.tS3_step * rng.uniform_int(-1, 1),
+            bounds.tS3_step, bounds.tS3_max);
+        break;
+    }
+    const double v = talg_of(in, p, nxt);
+    const double temp =
+        1.0 - static_cast<double>(it) / static_cast<double>(iterations);
+    const bool accept =
+        v < cur_v ||
+        (std::isfinite(v) &&
+         rng.next_double() < std::exp(-(v - cur_v) / (cur_v * 0.05 * temp +
+                                                      1e-30)));
+    if (accept) {
+      cur = nxt;
+      cur_v = v;
+      if (v < best.talg) {
+        best.talg = v;
+        best.ts = nxt;
+      }
+    }
+    // Occasional restart keeps the solver honest about local minima.
+    if (it % 97 == 96) {
+      cur = random_point();
+      cur_v = talg_of(in, p, cur);
+    }
+  }
+  return best;
+}
+
+}  // namespace repro::tuner

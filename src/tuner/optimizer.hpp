@@ -1,0 +1,118 @@
+// Model-guided tile-size selection (Section 6).
+//
+// The pipeline is the paper's: evaluate Talg over the whole feasible
+// space; keep every point within delta (10 %) of the predicted
+// minimum; run only those few points (plus the thread-count
+// exploration) on the machine; report the best. Also provided:
+// strategy comparison for Fig. 6 and the simulated-annealing solver
+// that stands in for the paper's disappointing Bonmin attempt.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "gpusim/microbench.hpp"
+#include "hhc/tile_sizes.hpp"
+#include "model/talg.hpp"
+#include "stencil/problem.hpp"
+#include "tuner/space.hpp"
+
+namespace repro::tuner {
+
+// One "generated program": tile sizes plus thread configuration.
+struct DataPoint {
+  hhc::TileSizes ts;
+  hhc::ThreadConfig thr;
+};
+
+// A data point with both the model's prediction and the machine
+// (simulator) measurement.
+struct EvaluatedPoint {
+  DataPoint dp;
+  double talg = 0.0;    // model, seconds
+  double texec = 0.0;   // measured (best of 5), seconds
+  double gflops = 0.0;  // from texec
+  bool feasible = false;
+};
+
+// --- Model sweep ----------------------------------------------------
+
+struct ModelSweep {
+  double talg_min = 0.0;
+  hhc::TileSizes argmin;
+  // Every feasible tile size with talg within `delta` of talg_min.
+  std::vector<hhc::TileSizes> candidates;
+  std::size_t space_size = 0;
+};
+
+ModelSweep sweep_model(const model::ModelInputs& in,
+                       const stencil::ProblemSize& p,
+                       std::span<const hhc::TileSizes> space, double delta);
+
+// --- Machine evaluation ---------------------------------------------
+
+EvaluatedPoint evaluate_point(const gpusim::DeviceParams& dev,
+                              const stencil::StencilDef& def,
+                              const stencil::ProblemSize& p,
+                              const model::ModelInputs& in,
+                              const DataPoint& dp);
+
+// Evaluate a tile size across all thread configs and keep the best
+// measured one (the paper's empirical thread-count step, Section 7).
+EvaluatedPoint best_over_threads(const gpusim::DeviceParams& dev,
+                                 const stencil::StencilDef& def,
+                                 const stencil::ProblemSize& p,
+                                 const model::ModelInputs& in,
+                                 const hhc::TileSizes& ts);
+
+// --- Strategy comparison (Figs 5 and 6) ------------------------------
+
+struct StrategyComparison {
+  std::string device;
+  std::string stencil;
+  stencil::ProblemSize problem;
+
+  EvaluatedPoint hhc_default;    // untuned compiler defaults
+  EvaluatedPoint talg_min;       // the single model-optimal point
+  EvaluatedPoint baseline_best;  // best of the Section 5.1 baseline set
+  EvaluatedPoint within10_best;  // best of the within-10 % candidates
+  EvaluatedPoint exhaustive;     // best over the entire feasible space
+
+  std::size_t candidates_tried = 0;  // size of the within-10 % set
+  std::size_t space_size = 0;
+};
+
+struct CompareOptions {
+  EnumOptions enumeration;
+  double delta = 0.10;
+  // The exhaustive-search pass is expensive; cap the number of points
+  // it measures (0 = no cap). Points are subsampled deterministically.
+  std::size_t exhaustive_cap = 400;
+  std::size_t baseline_count = 85;
+};
+
+StrategyComparison compare_strategies(const gpusim::DeviceParams& dev,
+                                      const stencil::StencilDef& def,
+                                      const stencil::ProblemSize& p,
+                                      const CompareOptions& opt = {});
+
+// --- Heuristic solver (the Bonmin stand-in, Section 6.1) -------------
+
+struct SolverResult {
+  hhc::TileSizes ts;
+  double talg = 0.0;
+  int evaluations = 0;
+};
+
+// Simulated annealing over the (continuousized) feasible space; like
+// the paper's off-the-shelf solvers it finds a decent but generally
+// sub-optimal point.
+SolverResult anneal_talg(const model::ModelInputs& in,
+                         const stencil::ProblemSize& p,
+                         const EnumOptions& bounds, std::uint64_t seed = 1,
+                         int iterations = 400);
+
+}  // namespace repro::tuner

@@ -1,0 +1,124 @@
+#include "tuner/space.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <tuple>
+
+#include "hhc/footprint.hpp"
+
+namespace repro::tuner {
+
+namespace {
+
+bool fits_block_limit(int dim, const hhc::TileSizes& ts,
+                      const model::HardwareParams& hw, std::int64_t radius) {
+  return hhc::shared_words_per_tile(dim, ts, radius) <=
+         hw.max_shared_words_per_block;
+}
+
+}  // namespace
+
+std::vector<hhc::TileSizes> enumerate_feasible(int dim,
+                                               const model::HardwareParams& hw,
+                                               const EnumOptions& opt,
+                                               std::int64_t radius) {
+  assert(dim >= 1 && dim <= 3);
+  std::vector<hhc::TileSizes> out;
+  for (std::int64_t tT = 2; tT <= opt.tT_max; tT += opt.tT_step) {
+    if (tT % 2 != 0) continue;
+    for (std::int64_t tS1 = radius; tS1 <= opt.tS1_max;
+         tS1 += opt.tS1_step) {
+      if (dim == 1) {
+        hhc::TileSizes ts{.tT = tT, .tS1 = tS1, .tS2 = 1, .tS3 = 1};
+        if (fits_block_limit(dim, ts, hw, radius)) out.push_back(ts);
+        continue;
+      }
+      for (std::int64_t tS2 = opt.tS2_step; tS2 <= opt.tS2_max;
+           tS2 += opt.tS2_step) {
+        if (dim == 2) {
+          hhc::TileSizes ts{.tT = tT, .tS1 = tS1, .tS2 = tS2, .tS3 = 1};
+          if (fits_block_limit(dim, ts, hw, radius)) out.push_back(ts);
+          continue;
+        }
+        for (std::int64_t tS3 = opt.tS3_step; tS3 <= opt.tS3_max;
+             tS3 += opt.tS3_step) {
+          hhc::TileSizes ts{.tT = tT, .tS1 = tS1, .tS2 = tS2, .tS3 = tS3};
+          if (fits_block_limit(dim, ts, hw, radius)) out.push_back(ts);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<hhc::TileSizes> baseline_tile_set(int dim,
+                                              const model::HardwareParams& hw,
+                                              std::size_t max_count,
+                                              const EnumOptions& opt,
+                                              std::int64_t radius) {
+  const std::vector<hhc::TileSizes> space =
+      enumerate_feasible(dim, hw, opt, radius);
+
+  // For each hyperthreading target k, keep the tile sizes whose
+  // footprint is as close as possible to M_SM / k from below
+  // ("maximize the memory footprint of the tile subject to capacity
+  // constraints", Section 5.1).
+  std::vector<hhc::TileSizes> out;
+  const std::int64_t m_sm = hw.shared_words_per_sm;
+  for (const std::int64_t k : {2LL, 4LL, 8LL, 16LL}) {
+    const std::int64_t target = m_sm / k;
+    std::vector<hhc::TileSizes> bucket;
+    for (const auto& ts : space) {
+      const std::int64_t m = hhc::shared_words_per_tile(dim, ts, radius);
+      if (m <= target && m >= (target * 7) / 10) bucket.push_back(ts);
+    }
+    std::sort(bucket.begin(), bucket.end(),
+              [&](const hhc::TileSizes& a, const hhc::TileSizes& b) {
+                return hhc::shared_words_per_tile(dim, a, radius) >
+                       hhc::shared_words_per_tile(dim, b, radius);
+              });
+    const std::size_t take = std::min<std::size_t>(
+        bucket.size(), std::max<std::size_t>(1, max_count / 4));
+    out.insert(out.end(), bucket.begin(),
+               bucket.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  // Deduplicate and cap.
+  std::sort(out.begin(), out.end(),
+            [](const hhc::TileSizes& a, const hhc::TileSizes& b) {
+              return std::tie(a.tT, a.tS1, a.tS2, a.tS3) <
+                     std::tie(b.tT, b.tS1, b.tS2, b.tS3);
+            });
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  if (out.size() > max_count) out.resize(max_count);
+  return out;
+}
+
+hhc::TileSizes hhc_default_tiles(int dim) {
+  // PPCG's untuned default is a 32-ish tile in every dimension with a
+  // shallow time tile.
+  switch (dim) {
+    case 1:
+      return {.tT = 4, .tS1 = 32, .tS2 = 1, .tS3 = 1};
+    case 2:
+      return {.tT = 4, .tS1 = 32, .tS2 = 32, .tS3 = 1};
+    default:
+      return {.tT = 4, .tS1 = 4, .tS2 = 8, .tS3 = 32};
+  }
+}
+
+std::vector<hhc::ThreadConfig> default_thread_configs(int dim) {
+  // HHC-generated kernels use at most 512 threads per block; larger
+  // blocks blow the register budget of the unrolled code.
+  if (dim == 1) {
+    return {{32, 1, 1},  {64, 1, 1},  {96, 1, 1},  {128, 1, 1}, {160, 1, 1},
+            {192, 1, 1}, {256, 1, 1}, {320, 1, 1}, {384, 1, 1}, {512, 1, 1}};
+  }
+  if (dim == 2) {
+    return {{32, 1, 1}, {32, 2, 1}, {32, 4, 1},  {32, 8, 1},  {64, 2, 1},
+            {64, 4, 1}, {64, 8, 1}, {128, 2, 1}, {128, 4, 1}, {256, 2, 1}};
+  }
+  return {{32, 1, 1}, {32, 2, 1}, {32, 2, 2}, {32, 4, 2}, {32, 4, 4},
+          {64, 2, 1}, {64, 2, 2}, {64, 4, 2}, {128, 2, 2}, {128, 4, 1}};
+}
+
+}  // namespace repro::tuner

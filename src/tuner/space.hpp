@@ -1,0 +1,54 @@
+// The feasible tile-size space of the optimization problem (Eqn 31)
+// and the tile-size sets used by the experiments of Sections 5 and 6:
+// the HHC compiler default, the paper's baseline set (max-footprint +
+// hyperthreading variants), and exhaustive enumeration.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hhc/tile_sizes.hpp"
+#include "model/params.hpp"
+
+namespace repro::tuner {
+
+// Bounds and granularity of the enumeration. Defaults mirror the
+// paper's constraints: tT even, tS2 a multiple of 32 (full warps);
+// for 3D the innermost tS3 carries the warp constraint instead.
+struct EnumOptions {
+  std::int64_t tT_max = 64;
+  std::int64_t tS1_max = 96;
+  std::int64_t tS2_max = 512;
+  std::int64_t tS2_step = 32;
+  std::int64_t tS3_max = 96;
+  std::int64_t tS3_step = 32;
+  // Coarser stepping for quick runs (keeps shape, shrinks count).
+  std::int64_t tT_step = 2;
+  std::int64_t tS1_step = 1;
+};
+
+// All tile sizes satisfying Eqn 31's resource constraints:
+//   M_tile <= M_SM / threadblock-limit (48 KB rule),
+//   tT even, tS1 integer, tS2 (2D) / tS3 (3D) multiples of 32.
+std::vector<hhc::TileSizes> enumerate_feasible(
+    int dim, const model::HardwareParams& hw, const EnumOptions& opt = {},
+    std::int64_t radius = 1);
+
+// Section 5.1's baseline experiment set: tile sizes that (nearly)
+// maximize the shared-memory footprint at each hyperthreading target
+// k in {2, 4, 8, 16} (the 48 KB per-block rule already forces k >= 2).
+// Returns at most `max_count` combinations (the paper used 85).
+std::vector<hhc::TileSizes> baseline_tile_set(
+    int dim, const model::HardwareParams& hw, std::size_t max_count = 85,
+    const EnumOptions& opt = {}, std::int64_t radius = 1);
+
+// Untuned defaults comparable to what PPCG/HHC picks without tuning.
+hhc::TileSizes hhc_default_tiles(int dim);
+
+// The ten thread-count configurations explored per tile size
+// (Section 5.1: "for each of them, we explore 10 different values of
+// n_thr,i").
+std::vector<hhc::ThreadConfig> default_thread_configs(int dim);
+
+}  // namespace repro::tuner

@@ -1,0 +1,49 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro {
+namespace {
+
+TEST(Cli, ParsesKeyValueForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "7", "--flag"};
+  const CliArgs args(5, argv);
+  EXPECT_EQ(args.get_int_or("alpha", 0), 3);
+  EXPECT_EQ(args.get_int_or("beta", 0), 7);
+  EXPECT_TRUE(args.has_flag("flag"));
+  EXPECT_FALSE(args.has_flag("missing"));
+}
+
+TEST(Cli, DefaultsWhenMissing) {
+  const char* argv[] = {"prog"};
+  const CliArgs args(1, argv);
+  EXPECT_EQ(args.get_int_or("n", 42), 42);
+  EXPECT_DOUBLE_EQ(args.get_double_or("x", 1.5), 1.5);
+  EXPECT_EQ(args.get_or("s", "dflt"), "dflt");
+}
+
+TEST(Cli, PositionalArguments) {
+  const char* argv[] = {"prog", "pos1", "--k=v", "pos2"};
+  const CliArgs args(4, argv);
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+  EXPECT_EQ(args.positional()[1], "pos2");
+  EXPECT_EQ(args.program_name(), "prog");
+}
+
+TEST(Cli, DoubleParsing) {
+  const char* argv[] = {"prog", "--delta=0.25"};
+  const CliArgs args(2, argv);
+  EXPECT_DOUBLE_EQ(args.get_double_or("delta", 0.0), 0.25);
+}
+
+TEST(Cli, FlagFollowedByFlagIsBare) {
+  const char* argv[] = {"prog", "--a", "--b=2"};
+  const CliArgs args(3, argv);
+  EXPECT_TRUE(args.has_flag("a"));
+  EXPECT_EQ(args.get_or("a", "x"), "");
+  EXPECT_EQ(args.get_int_or("b", 0), 2);
+}
+
+}  // namespace
+}  // namespace repro

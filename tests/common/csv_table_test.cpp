@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+
+namespace repro {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = temp_path("repro_csv_test.csv");
+  {
+    CsvWriter w(path, {"a", "b"});
+    w.row({"1", "2"});
+    w.row({CsvWriter::cell(3.5), CsvWriter::cell(7LL)});
+    EXPECT_EQ(w.rows_written(), 2u);
+  }
+  EXPECT_EQ(slurp(path), "a,b\n1,2\n3.5,7\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RowWidthMismatchThrows) {
+  const std::string path = temp_path("repro_csv_test2.csv");
+  CsvWriter w(path, {"a", "b"});
+  EXPECT_THROW(w.row({"only-one"}), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  const std::string path = temp_path("repro_csv_test3.csv");
+  {
+    CsvWriter w(path, {"a"});
+    w.row({"x,y"});
+  }
+  EXPECT_EQ(slurp(path), "a\n\"x,y\"\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, UnopenablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/foo.csv", {"a"}),
+               std::runtime_error);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  AsciiTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "12345"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 12345 |"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::runtime_error);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(AsciiTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(AsciiTable::fmt_pct(0.096, 1), "9.6%");
+  const std::string sci = AsciiTable::fmt_sci(7.36e-3, 2);
+  EXPECT_NE(sci.find("7.36e-03"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace repro

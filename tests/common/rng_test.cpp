@@ -1,0 +1,82 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace repro {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng r(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.uniform_int(3, 7));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 3);
+  EXPECT_EQ(*seen.rbegin(), 7);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng r(13);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(r.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, HashJitterDeterministicAndBounded) {
+  const double a = hash_jitter(123, 0.05);
+  EXPECT_EQ(a, hash_jitter(123, 0.05));
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    const double j = hash_jitter(k, 0.05);
+    EXPECT_GE(j, 1.0);
+    EXPECT_LT(j, 1.05);
+  }
+}
+
+TEST(Rng, HashJitterSpread) {
+  // Jitter must actually vary with the key.
+  std::set<double> values;
+  for (std::uint64_t k = 0; k < 64; ++k) values.insert(hash_jitter(k, 0.05));
+  EXPECT_GT(values.size(), 60u);
+}
+
+TEST(Rng, Mix64AvalanchesSingleBit) {
+  // Flipping one input bit should flip many output bits.
+  const std::uint64_t a = mix64(0x1234);
+  const std::uint64_t b = mix64(0x1235);
+  EXPECT_GE(__builtin_popcountll(a ^ b), 16);
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,95 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace repro {
+namespace {
+
+TEST(Stats, MeanMinMax) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(min_of(xs), 1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 4.0);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) { EXPECT_EQ(mean({}), 0.0); }
+
+TEST(Stats, StddevKnownValue) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(stddev(xs), 2.0, 1e-12);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs = {3.0, 1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 2.5);
+}
+
+TEST(Stats, RelativeRmsePerfectPrediction) {
+  const std::vector<double> obs = {1.0, 2.0, 5.0};
+  EXPECT_DOUBLE_EQ(relative_rmse(obs, obs), 0.0);
+}
+
+TEST(Stats, RelativeRmseUniformUnderprediction) {
+  // Predicting 10% low everywhere gives exactly 10% RMSE.
+  const std::vector<double> obs = {1.0, 2.0, 5.0};
+  const std::vector<double> pred = {0.9, 1.8, 4.5};
+  EXPECT_NEAR(relative_rmse(pred, obs), 0.10, 1e-12);
+}
+
+TEST(Stats, MeanAbsoluteRelativeError) {
+  const std::vector<double> obs = {2.0, 4.0};
+  const std::vector<double> pred = {1.0, 5.0};
+  EXPECT_NEAR(mean_absolute_relative_error(pred, obs), 0.375, 1e-12);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const std::vector<double> ys = {2.0, 4.0, 6.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Stats, PearsonAnticorrelation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const std::vector<double> ys = {6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSeriesIsZero) {
+  const std::vector<double> xs = {1.0, 1.0, 1.0};
+  const std::vector<double> ys = {2.0, 4.0, 6.0};
+  EXPECT_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, IndicesWithinOfMin) {
+  const std::vector<double> v = {10.0, 10.5, 11.5, 20.0};
+  const auto idx = indices_within_of_min(v, 0.10);
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0], 0u);
+  EXPECT_EQ(idx[1], 1u);
+}
+
+TEST(Stats, IndicesWithinOfMax) {
+  const std::vector<double> v = {80.0, 95.0, 100.0, 50.0};
+  const auto idx = indices_within_of_max(v, 0.20);
+  ASSERT_EQ(idx.size(), 3u);
+  EXPECT_EQ(idx[0], 0u);
+  EXPECT_EQ(idx[1], 1u);
+  EXPECT_EQ(idx[2], 2u);
+}
+
+TEST(Stats, SummarizeCounts) {
+  const std::vector<double> xs = {1.0, 3.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,51 @@
+#include "gpusim/device.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro::gpusim {
+namespace {
+
+TEST(Device, Table2ValuesGtx980) {
+  const DeviceParams& d = gtx980();
+  EXPECT_EQ(d.n_sm, 16);
+  EXPECT_EQ(d.n_v, 128);
+  EXPECT_EQ(d.shared_bytes_per_sm, 96 * 1024);
+  EXPECT_EQ(d.regs_per_sm, 65536);
+  EXPECT_EQ(d.shared_banks, 32);
+  EXPECT_EQ(d.max_tb_per_sm, 32);
+}
+
+TEST(Device, Table2ValuesTitanX) {
+  const DeviceParams& d = titan_x();
+  EXPECT_EQ(d.n_sm, 24);
+  EXPECT_EQ(d.n_v, 128);
+  EXPECT_EQ(d.shared_bytes_per_sm, 96 * 1024);
+  EXPECT_EQ(d.regs_per_sm, 65536);
+}
+
+TEST(Device, TitanXHasLowerClockAndMoreBandwidth) {
+  // The clock difference is what makes Table 4's C_iter larger on
+  // Titan X despite more SMs.
+  EXPECT_LT(titan_x().clock_hz, gtx980().clock_hz);
+  EXPECT_GT(titan_x().mem_bandwidth_bps, gtx980().mem_bandwidth_bps);
+}
+
+TEST(Device, ModelHardwareExportMatchesSpecSubset) {
+  const model::HardwareParams hw = gtx980().to_model_hardware();
+  EXPECT_EQ(hw.n_sm, 16);
+  EXPECT_EQ(hw.n_v, 128);
+  EXPECT_EQ(hw.shared_words_per_sm, 96 * 1024 / 4);
+  EXPECT_EQ(hw.max_shared_words_per_block, 48 * 1024 / 4);
+  EXPECT_EQ(hw.max_tb_per_sm, 32);
+  EXPECT_EQ(hw.regs_per_sm, 65536);
+}
+
+TEST(Device, LookupByName) {
+  EXPECT_EQ(&device_by_name("GTX 980"), &gtx980());
+  EXPECT_EQ(&device_by_name("Titan X"), &titan_x());
+  EXPECT_THROW(device_by_name("Volta"), std::invalid_argument);
+  EXPECT_EQ(paper_devices().size(), 2u);
+}
+
+}  // namespace
+}  // namespace repro::gpusim

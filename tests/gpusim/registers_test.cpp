@@ -1,0 +1,73 @@
+#include "gpusim/registers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stencil/stencil.hpp"
+
+namespace repro::gpusim {
+namespace {
+
+using stencil::get_stencil;
+using stencil::StencilKind;
+
+TEST(Registers, MoreThreadsFewerRegisters) {
+  const auto& def = get_stencil(StencilKind::kJacobi2D);
+  const hhc::TileSizes ts{.tT = 16, .tS1 = 32, .tS2 = 128, .tS3 = 1};
+  const int r64 = estimate_regs_per_thread(def, ts, 64);
+  const int r256 = estimate_regs_per_thread(def, ts, 256);
+  const int r1024 = estimate_regs_per_thread(def, ts, 1024);
+  EXPECT_GT(r64, r256);
+  EXPECT_GT(r256, r1024);
+}
+
+TEST(Registers, BiggerTilesMoreRegisters) {
+  const auto& def = get_stencil(StencilKind::kHeat2D);
+  const hhc::TileSizes small{.tT = 4, .tS1 = 8, .tS2 = 32, .tS3 = 1};
+  const hhc::TileSizes big{.tT = 16, .tS1 = 32, .tS2 = 256, .tS3 = 1};
+  EXPECT_LT(estimate_regs_per_thread(def, small, 256),
+            estimate_regs_per_thread(def, big, 256));
+}
+
+TEST(Registers, SmallConfigsFitPhysicalBudget) {
+  // Typical good configurations must not spill (the paper's top
+  // performers are spill-free).
+  const auto& def = get_stencil(StencilKind::kJacobi2D);
+  const hhc::TileSizes ts{.tT = 8, .tS1 = 16, .tS2 = 64, .tS3 = 1};
+  EXPECT_LE(estimate_regs_per_thread(def, ts, 256), 255);
+}
+
+TEST(Registers, HugeUnrollSpills) {
+  // A huge tile on few threads exceeds 255 registers -> spills.
+  const auto& def = get_stencil(StencilKind::kJacobi2D);
+  const hhc::TileSizes ts{.tT = 32, .tS1 = 64, .tS2 = 512, .tS3 = 1};
+  EXPECT_GT(estimate_regs_per_thread(def, ts, 32), 255);
+}
+
+TEST(Registers, BankConflictFactorDetectsBadStrides) {
+  // 2D stride = tS2 + tT + 1; choose values making it a multiple
+  // of 32 / 16 / neither.
+  EXPECT_DOUBLE_EQ(
+      bank_conflict_factor(2, {.tT = 6, .tS1 = 8, .tS2 = 25, .tS3 = 1}, 32),
+      1.30);  // 25+6+1 = 32
+  EXPECT_DOUBLE_EQ(
+      bank_conflict_factor(2, {.tT = 6, .tS1 = 8, .tS2 = 9, .tS3 = 1}, 32),
+      1.12);  // 16
+  EXPECT_DOUBLE_EQ(
+      bank_conflict_factor(2, {.tT = 6, .tS1 = 8, .tS2 = 32, .tS3 = 1}, 32),
+      1.0);  // 39: conflict-free
+}
+
+TEST(Registers, WarpAlignedTS2AvoidsConflicts) {
+  // tS2 multiple of 32 with even tT gives an odd stride: always
+  // conflict-free — the paper's alignment rule is consistent.
+  for (std::int64_t tS2 : {32, 64, 128, 256}) {
+    for (std::int64_t tT : {2, 4, 8, 16}) {
+      EXPECT_DOUBLE_EQ(bank_conflict_factor(
+                           2, {.tT = tT, .tS1 = 8, .tS2 = tS2, .tS3 = 1}, 32),
+                       1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace repro::gpusim

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "gpusim/timing.hpp"
+#include "hhc/footprint.hpp"
+#include "stencil/stencil.hpp"
+
+namespace repro::gpusim {
+namespace {
+
+using stencil::get_stencil;
+using stencil::StencilKind;
+
+const hhc::TileSizes kTs{.tT = 8, .tS1 = 16, .tS2 = 64, .tS3 = 1};
+
+TEST(ResolveConfig, FeasibleBaselineConfig) {
+  const auto rc =
+      resolve_config(gtx980(), get_stencil(StencilKind::kHeat2D), 2, kTs, 256);
+  ASSERT_TRUE(rc.feasible) << rc.infeasible_reason;
+  EXPECT_GE(rc.k, 1);
+  EXPECT_GT(rc.cyc_iter, 0.0);
+  EXPECT_GT(rc.regs_per_thread, 0);
+  EXPECT_FALSE(rc.spills);
+  EXPECT_EQ(rc.coalesce_eff, 1.0);  // tS2 = 64 >= coalesce_words
+}
+
+TEST(ResolveConfig, RejectsRadiusViolation) {
+  const auto rc = resolve_config(gtx980(),
+                                 get_stencil(StencilKind::kWideStar2D), 2,
+                                 {.tT = 4, .tS1 = 1, .tS2 = 32, .tS3 = 1},
+                                 256);
+  EXPECT_FALSE(rc.feasible);
+  EXPECT_NE(rc.infeasible_reason.find("radius"), std::string::npos);
+}
+
+TEST(ResolveConfig, RejectsSharedOverflowAndBadThreads) {
+  const auto& def = get_stencil(StencilKind::kHeat2D);
+  EXPECT_FALSE(resolve_config(gtx980(), def, 2,
+                              {.tT = 16, .tS1 = 64, .tS2 = 512, .tS3 = 1},
+                              256)
+                   .feasible);
+  EXPECT_FALSE(resolve_config(gtx980(), def, 2, kTs, 2048).feasible);
+  EXPECT_FALSE(resolve_config(gtx980(), def, 2, kTs, 0).feasible);
+}
+
+TEST(ResolveConfig, LowOccupancyInflatesIterationCost) {
+  const auto& def = get_stencil(StencilKind::kHeat2D);
+  // Large tile => k small; few threads => few warps => stall factor.
+  const hhc::TileSizes big{.tT = 6, .tS1 = 25, .tS2 = 185, .tS3 = 1};
+  const auto starved = resolve_config(gtx980(), def, 2, big, 64);
+  const auto full = resolve_config(gtx980(), def, 2, big, 512);
+  ASSERT_TRUE(starved.feasible);
+  ASSERT_TRUE(full.feasible);
+  EXPECT_GT(starved.cyc_iter, full.cyc_iter);
+}
+
+TEST(ResolveConfig, CoalescingDeratesShortRuns) {
+  const auto& def = get_stencil(StencilKind::kHeat3D);
+  const auto short_run = resolve_config(
+      gtx980(), def, 3, {.tT = 2, .tS1 = 4, .tS2 = 8, .tS3 = 8}, 256);
+  ASSERT_TRUE(short_run.feasible);
+  EXPECT_LT(short_run.coalesce_eff, 1.0);
+  const auto long_run = resolve_config(
+      gtx980(), def, 3, {.tT = 2, .tS1 = 4, .tS2 = 8, .tS3 = 32}, 256);
+  ASSERT_TRUE(long_run.feasible);
+  EXPECT_EQ(long_run.coalesce_eff, 1.0);
+}
+
+TEST(ResolveConfig, SpillsForHugeUnrollOnFewThreads) {
+  const auto& def = get_stencil(StencilKind::kJacobi2D);
+  const auto rc = resolve_config(gtx980(), def, 2,
+                                 {.tT = 8, .tS1 = 32, .tS2 = 128, .tS3 = 1},
+                                 32);
+  ASSERT_TRUE(rc.feasible);
+  EXPECT_TRUE(rc.spills);
+  // Spill penalty must be visible in the iteration cost.
+  const auto clean = resolve_config(gtx980(), def, 2,
+                                    {.tT = 8, .tS1 = 32, .tS2 = 128, .tS3 = 1},
+                                    256);
+  ASSERT_TRUE(clean.feasible);
+  EXPECT_FALSE(clean.spills);
+}
+
+TEST(ResolveConfig, ResidencyNeverExceedsDeviceLimits) {
+  const auto& dev = gtx980();
+  const auto& def = get_stencil(StencilKind::kHeat2D);
+  for (std::int64_t tT : {2, 8, 24}) {
+    for (std::int64_t tS2 : {32, 128, 384}) {
+      const hhc::TileSizes ts{.tT = tT, .tS1 = 8, .tS2 = tS2, .tS3 = 1};
+      for (int threads : {64, 256, 512}) {
+        const auto rc = resolve_config(dev, def, 2, ts, threads);
+        if (!rc.feasible) continue;
+        EXPECT_LE(rc.k, dev.max_tb_per_sm);
+        EXPECT_LE(rc.k * threads, dev.max_threads_per_sm);
+        EXPECT_LE(rc.k * hhc::shared_bytes_per_tile(2, ts),
+                  dev.shared_bytes_per_sm);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace repro::gpusim

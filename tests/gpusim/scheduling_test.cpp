@@ -1,0 +1,77 @@
+#include "gpusim/scheduling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gpusim/device.hpp"
+
+namespace repro::gpusim {
+namespace {
+
+const BlockWork kWork{.compute_s = 1e-4, .io_bytes = 1e6};
+
+TEST(Scheduling, SingleBlockSerializesAtKOne) {
+  const auto& dev = gtx980();
+  const WavefrontCost c = price_wavefront(dev, kWork, 1, 1);
+  const double mem = dev.mem_latency_s + kWork.io_bytes / dev.mem_bandwidth_bps;
+  EXPECT_NEAR(c.time, mem + kWork.compute_s + dev.block_sched_s, 1e-12);
+}
+
+TEST(Scheduling, OverlapHelpsAtKTwo) {
+  const auto& dev = gtx980();
+  // Same block population, once as k=1 and once as k=2: overlap must
+  // not be slower.
+  const WavefrontCost k1 = price_wavefront(dev, kWork, 64, 1);
+  const WavefrontCost k2 = price_wavefront(dev, kWork, 64, 2);
+  EXPECT_LE(k2.time, k1.time * (1.0 + 1e-9));
+}
+
+TEST(Scheduling, TimeMonotoneInBlockCount) {
+  const auto& dev = gtx980();
+  double prev = 0.0;
+  for (const std::int64_t blocks : {1, 8, 16, 17, 32, 64, 129, 512}) {
+    const WavefrontCost c = price_wavefront(dev, kWork, blocks, 2);
+    EXPECT_GE(c.time, prev) << blocks << " blocks";
+    prev = c.time;
+  }
+}
+
+TEST(Scheduling, RoundQuantizationStepsAtFullRounds) {
+  const auto& dev = gtx980();
+  const std::int64_t full = static_cast<std::int64_t>(dev.n_sm) * 2;
+  // One block past a full-round boundary costs visibly more when
+  // compute-bound.
+  const BlockWork compute_heavy{.compute_s = 1e-3, .io_bytes = 1e3};
+  const WavefrontCost at = price_wavefront(dev, compute_heavy, full, 2);
+  const WavefrontCost past = price_wavefront(dev, compute_heavy, full + 1, 2);
+  EXPECT_GT(past.time, at.time * 1.2);
+}
+
+TEST(Scheduling, AggregateBandwidthBoundsMemoryHeavyRounds) {
+  const auto& dev = gtx980();
+  const BlockWork mem_heavy{.compute_s = 1e-7, .io_bytes = 1e8};
+  const std::int64_t blocks = 64;
+  const WavefrontCost c = price_wavefront(dev, mem_heavy, blocks, 4);
+  const double min_mem =
+      static_cast<double>(blocks) * mem_heavy.io_bytes /
+      dev.mem_bandwidth_bps;
+  EXPECT_GE(c.time, min_mem);
+}
+
+TEST(Scheduling, ComputeScalesWithPerSmLoad) {
+  const auto& dev = gtx980();
+  const BlockWork compute_heavy{.compute_s = 1e-3, .io_bytes = 1e3};
+  // 16 blocks on 16 SMs vs 32 blocks: compute aggregate doubles.
+  const WavefrontCost a = price_wavefront(dev, compute_heavy, 16, 2);
+  const WavefrontCost b = price_wavefront(dev, compute_heavy, 32, 2);
+  EXPECT_NEAR(b.comp / a.comp, 2.0, 1e-9);
+}
+
+TEST(Scheduling, DispatchCostGrowsWithBlocks) {
+  const auto& dev = gtx980();
+  const WavefrontCost a = price_wavefront(dev, kWork, 16, 2);
+  const WavefrontCost b = price_wavefront(dev, kWork, 160, 2);
+  EXPECT_GT(b.sched, a.sched * 5.0);
+}
+
+}  // namespace
+}  // namespace repro::gpusim

@@ -1,0 +1,90 @@
+#include "hhc/bands.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/math_util.hpp"
+
+namespace repro::hhc {
+namespace {
+
+TEST(Bands, CountMatchesPaperEqn23Shape) {
+  // For a full prism spanning tT levels: ceil((S + tT)/tS) bands
+  // within +-1 (Eqn 23 counts the skew overhang the same way).
+  for (std::int64_t S : {31, 64, 100}) {
+    for (std::int64_t ts : {4, 8, 32}) {
+      for (std::int64_t tT : {2, 4, 8}) {
+        const SkewedBands b(S, ts, 0, tT);
+        const std::int64_t model = repro::ceil_div(S + tT, ts);
+        EXPECT_NEAR(static_cast<double>(b.num_bands()),
+                    static_cast<double>(model), 1.0)
+            << "S=" << S << " ts=" << ts << " tT=" << tT;
+      }
+    }
+  }
+}
+
+TEST(Bands, RangesPartitionEachLevel) {
+  const std::int64_t S = 40;
+  const SkewedBands b(S, 8, 3, 9);
+  for (std::int64_t t = 3; t < 9; ++t) {
+    std::vector<int> cover(static_cast<std::size_t>(S), 0);
+    for (std::int64_t band = 0; band < b.num_bands(); ++band) {
+      const Interval iv = b.range_at(band, t);
+      for (std::int64_t s = iv.lo; s < iv.hi; ++s) {
+        ++cover[static_cast<std::size_t>(s)];
+      }
+    }
+    for (std::int64_t s = 0; s < S; ++s) {
+      EXPECT_EQ(cover[static_cast<std::size_t>(s)], 1)
+          << "t=" << t << " s=" << s;
+    }
+  }
+}
+
+TEST(Bands, SkewShiftsWithTime) {
+  const SkewedBands b(100, 10, 0, 8);
+  // Band ranges move one cell down per time level (normal (1,0,1)).
+  const Interval at0 = b.range_at(3, 0);
+  const Interval at1 = b.range_at(3, 1);
+  EXPECT_EQ(at1.lo, at0.lo - 1);
+  EXPECT_EQ(at1.hi, at0.hi - 1);
+}
+
+TEST(Bands, AscendingBandOrderIsLegal) {
+  // For dependence (t-1, s+1): same band (t+s invariant). For
+  // (t-1, s-1): strictly earlier band index. Verify by construction.
+  const std::int64_t S = 64;
+  const std::int64_t ts = 8;
+  const SkewedBands b(S, ts, 0, 16);
+  auto band_of = [&](std::int64_t t, std::int64_t s) {
+    for (std::int64_t band = 0; band < b.num_bands(); ++band) {
+      if (b.range_at(band, t).contains(s)) return band;
+    }
+    return static_cast<std::int64_t>(-1);
+  };
+  for (std::int64_t t = 1; t < 16; ++t) {
+    for (std::int64_t s = 1; s + 1 < S; ++s) {
+      const std::int64_t me = band_of(t, s);
+      ASSERT_GE(me, 0);
+      EXPECT_EQ(band_of(t - 1, s + 1), me);
+      EXPECT_LE(band_of(t - 1, s - 1), me);
+      EXPECT_LE(band_of(t - 1, s), me);
+    }
+  }
+}
+
+TEST(Bands, ClippedAtDomainEdges) {
+  const SkewedBands b(16, 8, 0, 4);
+  for (std::int64_t band = 0; band < b.num_bands(); ++band) {
+    for (std::int64_t t = 0; t < 4; ++t) {
+      const Interval iv = b.range_at(band, t);
+      EXPECT_GE(iv.lo, 0);
+      EXPECT_LE(iv.hi, 16);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace repro::hhc

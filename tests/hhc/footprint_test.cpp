@@ -1,0 +1,76 @@
+#include "hhc/footprint.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro::hhc {
+namespace {
+
+TEST(Footprint, SharedWords1D) {
+  const TileSizes ts{.tT = 8, .tS1 = 16, .tS2 = 1, .tS3 = 1};
+  EXPECT_EQ(shared_words_per_tile(1, ts), 2 * (16 + 8));
+}
+
+TEST(Footprint, SharedWords2DMatchesEqn19) {
+  const TileSizes ts{.tT = 6, .tS1 = 10, .tS2 = 32, .tS3 = 1};
+  EXPECT_EQ(shared_words_per_tile(2, ts), 2 * (10 + 6 + 1) * (32 + 6 + 1));
+}
+
+TEST(Footprint, SharedWords3DExtendsPattern) {
+  const TileSizes ts{.tT = 4, .tS1 = 4, .tS2 = 8, .tS3 = 16};
+  EXPECT_EQ(shared_words_per_tile(3, ts),
+            2 * (4 + 4 + 1) * (8 + 4 + 1) * (16 + 4 + 1));
+}
+
+TEST(Footprint, SharedBytesIsFourPerWord) {
+  const TileSizes ts{.tT = 4, .tS1 = 4, .tS2 = 4, .tS3 = 1};
+  EXPECT_EQ(shared_bytes_per_tile(2, ts), 4 * shared_words_per_tile(2, ts));
+}
+
+TEST(Footprint, IoWordsMatchEqns7And13And24) {
+  const TileSizes ts{.tT = 6, .tS1 = 10, .tS2 = 32, .tS3 = 8};
+  EXPECT_EQ(io_words_per_subtile(1, ts), 10 + 2 * 6);            // Eqn 7
+  EXPECT_EQ(io_words_per_subtile(2, ts), 32 * (10 + 2 * 6));     // Eqn 13
+  EXPECT_EQ(io_words_per_subtile(3, ts), 32 * 8 * (10 + 2 * 6)); // Eqn 24
+}
+
+TEST(Footprint, SubtileVolumeMatchesEqn26) {
+  const TileSizes ts{.tT = 6, .tS1 = 10, .tS2 = 5, .tS3 = 3};
+  const std::int64_t w_tile = 10 + 6 - 2;
+  const std::int64_t hex = 6 * (w_tile + 10) / 2;
+  EXPECT_EQ(subtile_volume(1, ts), hex);
+  EXPECT_EQ(subtile_volume(2, ts), hex * 5);
+  EXPECT_EQ(subtile_volume(3, ts), hex * 5 * 3);
+}
+
+TEST(Footprint, VolumeMatchesExactHexagonArea) {
+  // Eqn 26's area formula equals the discrete hexagon point count:
+  // sum of tS1 + 2*min(y, tT-1-y) over y = tT*(tS1 + tT/2 - 1)
+  //   = tT*(w_tile + tS1)/2.
+  for (std::int64_t tT : {2, 4, 8, 12}) {
+    for (std::int64_t tS1 : {1, 4, 9}) {
+      std::int64_t exact = 0;
+      for (std::int64_t y = 0; y < tT; ++y) {
+        exact += tS1 + 2 * std::min(y, tT - 1 - y);
+      }
+      const TileSizes ts{.tT = tT, .tS1 = tS1, .tS2 = 1, .tS3 = 1};
+      EXPECT_EQ(subtile_volume(1, ts), exact) << "tT=" << tT;
+    }
+  }
+}
+
+TEST(Footprint, MonotoneInEachTileSize) {
+  const TileSizes base{.tT = 8, .tS1 = 8, .tS2 = 32, .tS3 = 8};
+  for (int dim = 1; dim <= 3; ++dim) {
+    TileSizes bigger = base;
+    bigger.tT += 2;
+    EXPECT_GT(shared_words_per_tile(dim, bigger),
+              shared_words_per_tile(dim, base));
+    bigger = base;
+    bigger.tS1 += 1;
+    EXPECT_GT(shared_words_per_tile(dim, bigger),
+              shared_words_per_tile(dim, base));
+  }
+}
+
+}  // namespace
+}  // namespace repro::hhc

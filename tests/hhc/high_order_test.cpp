@@ -1,0 +1,225 @@
+// Higher-order (radius-2) stencil support: the Section 7 "Generality"
+// extension. The hexagon slopes, skewed-band slopes, footprints and
+// model terms all scale with the dependence radius; these tests prove
+// the generalized geometry has the same exactness properties as the
+// radius-1 case and that the tiled executor stays bit-identical to the
+// reference for radius-2 stencils.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gpusim/microbench.hpp"
+#include "gpusim/timing.hpp"
+#include "hhc/bands.hpp"
+#include "hhc/footprint.hpp"
+#include "hhc/hex_schedule.hpp"
+#include "hhc/tiled_executor.hpp"
+#include "model/talg.hpp"
+#include "stencil/reference.hpp"
+
+namespace repro::hhc {
+namespace {
+
+struct R2Param {
+  std::int64_t T;
+  std::int64_t S;
+  std::int64_t tT;
+  std::int64_t tS1;
+};
+
+class Radius2Coverage : public ::testing::TestWithParam<R2Param> {};
+
+TEST_P(Radius2Coverage, ExactCoverAndLegality) {
+  const auto [T, S, tT, tS1] = GetParam();
+  const std::int64_t radius = 2;
+  const HexSchedule sched(T, S, tT, tS1, radius);
+
+  std::vector<std::int64_t> order(static_cast<std::size_t>(T * S), -1);
+  std::int64_t clock = 0;
+  for (std::int64_t r = 0; r < sched.num_rows(); ++r) {
+    for (std::int64_t q = sched.q_begin(r); q < sched.q_end(r); ++q) {
+      const TileShape sh = sched.shape(r, q);
+      for (std::size_t lev = 0; lev < sh.level_cols.size(); ++lev) {
+        const std::int64_t t =
+            sh.first_level + static_cast<std::int64_t>(lev);
+        for (std::int64_t s = sh.level_cols[lev].lo;
+             s < sh.level_cols[lev].hi; ++s) {
+          const auto idx = static_cast<std::size_t>(t * S + s);
+          ASSERT_EQ(order[idx], -1)
+              << "double cover at (t=" << t << ",s=" << s << ")";
+          order[idx] = clock++;
+        }
+      }
+    }
+  }
+  // Exact cover.
+  for (const std::int64_t o : order) ASSERT_NE(o, -1);
+  // Radius-2 dependence legality.
+  for (std::int64_t t = 1; t < T; ++t) {
+    for (std::int64_t s = 0; s < S; ++s) {
+      const std::int64_t me = order[static_cast<std::size_t>(t * S + s)];
+      for (std::int64_t ds = -radius; ds <= radius; ++ds) {
+        const std::int64_t sn = s + ds;
+        if (sn < 0 || sn >= S) continue;
+        ASSERT_LT(order[static_cast<std::size_t>((t - 1) * S + sn)], me);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometry, Radius2Coverage,
+    ::testing::Values(R2Param{8, 48, 4, 4}, R2Param{12, 64, 6, 3},
+                      R2Param{5, 30, 4, 2}, R2Param{16, 40, 2, 5},
+                      R2Param{7, 100, 8, 6}),
+    [](const ::testing::TestParamInfo<R2Param>& info) {
+      const auto& p = info.param;
+      return "T" + std::to_string(p.T) + "_S" + std::to_string(p.S) + "_tT" +
+             std::to_string(p.tT) + "_tS" + std::to_string(p.tS1);
+    });
+
+TEST(Radius2, PitchAndWidths) {
+  const HexSchedule sched(32, 256, 8, 6, 2);
+  EXPECT_EQ(sched.pitch(), 2 * 6 + 2 * 8);  // 2 tS1 + r tT
+  // Interior A tile: base tS1, widest tS1 + r(tT-2).
+  for (std::int64_t r = 0; r < sched.num_rows(); ++r) {
+    if (sched.row_family(r) != Family::kA) continue;
+    for (std::int64_t q = sched.q_begin(r); q < sched.q_end(r); ++q) {
+      if (!sched.is_interior(r, q)) continue;
+      const TileShape sh = sched.shape(r, q);
+      EXPECT_EQ(sh.level_cols.front().size(), 6);
+      std::int64_t widest = 0;
+      for (const auto& iv : sh.level_cols) {
+        widest = std::max(widest, iv.size());
+      }
+      EXPECT_EQ(widest, 6 + 2 * (8 - 2));
+      return;
+    }
+  }
+  FAIL() << "no interior A tile found";
+}
+
+TEST(Radius2, InteriorFootprintNearGeneralizedEqn7) {
+  // m_i generalizes to tS1 + 2 r tT (within the 2r family constant).
+  const std::int64_t tT = 6;
+  const std::int64_t tS1 = 5;
+  const HexSchedule sched(36, 512, tT, tS1, 2);
+  for (std::int64_t r = 0; r < sched.num_rows(); ++r) {
+    for (std::int64_t q = sched.q_begin(r); q < sched.q_end(r); ++q) {
+      if (!sched.is_interior(r, q)) continue;
+      const std::int64_t mi = sched.shape(r, q).input_footprint();
+      EXPECT_LE(std::llabs(mi - (tS1 + 2 * 2 * tT)), 2 * 2);
+      return;
+    }
+  }
+  FAIL() << "no interior tile found";
+}
+
+TEST(Radius2, BandsRespectRadius2Dependences) {
+  const std::int64_t S = 64;
+  const SkewedBands b(S, 8, 0, 8, 2);
+  auto band_of = [&](std::int64_t t, std::int64_t s) {
+    for (std::int64_t band = 0; band < b.num_bands(); ++band) {
+      if (b.range_at(band, t).contains(s)) return band;
+    }
+    return static_cast<std::int64_t>(-1);
+  };
+  for (std::int64_t t = 1; t < 8; ++t) {
+    for (std::int64_t s = 2; s + 2 < S; ++s) {
+      const std::int64_t me = band_of(t, s);
+      ASSERT_GE(me, 0);
+      for (std::int64_t a = -2; a <= 2; ++a) {
+        EXPECT_LE(band_of(t - 1, s + a), me)
+            << "t=" << t << " s=" << s << " a=" << a;
+      }
+    }
+  }
+}
+
+TEST(Radius2, BandsPartitionEachLevel) {
+  const std::int64_t S = 50;
+  const SkewedBands b(S, 8, 2, 10, 2);
+  for (std::int64_t t = 2; t < 10; ++t) {
+    std::vector<int> cover(static_cast<std::size_t>(S), 0);
+    for (std::int64_t band = 0; band < b.num_bands(); ++band) {
+      const Interval iv = b.range_at(band, t);
+      for (std::int64_t s = iv.lo; s < iv.hi; ++s) {
+        ++cover[static_cast<std::size_t>(s)];
+      }
+    }
+    for (const int c : cover) EXPECT_EQ(c, 1);
+  }
+}
+
+TEST(Radius2, FootprintFormulasScaleWithRadius) {
+  const TileSizes ts{.tT = 6, .tS1 = 10, .tS2 = 16, .tS3 = 1};
+  EXPECT_EQ(shared_words_per_tile(1, ts, 2), 2 * (10 + 12));
+  EXPECT_EQ(shared_words_per_tile(2, ts, 2), 2 * (10 + 13) * (16 + 13));
+  EXPECT_EQ(io_words_per_subtile(2, ts, 2), 16 * (10 + 2 * 2 * 6));
+  // Volume equals the exact radius-2 hexagon point count.
+  std::int64_t exact = 0;
+  for (std::int64_t y = 0; y < ts.tT; ++y) {
+    exact += ts.tS1 + 2 * 2 * std::min(y, ts.tT - 1 - y);
+  }
+  EXPECT_EQ(subtile_volume(1, ts, 2), exact);
+}
+
+TEST(Radius2, TiledExecutionMatchesReferenceGauss1D) {
+  const auto& def = stencil::get_stencil(stencil::StencilKind::kGauss1D);
+  const stencil::ProblemSize p{.dim = 1, .S = {61, 0, 0}, .T = 13};
+  const auto init = stencil::make_initial_grid(p, 17);
+  const auto expect = stencil::run_reference(def, p, init);
+  for (const auto& ts :
+       {TileSizes{.tT = 4, .tS1 = 5, .tS2 = 1, .tS3 = 1},
+        TileSizes{.tT = 2, .tS1 = 2, .tS2 = 1, .tS3 = 1},
+        TileSizes{.tT = 8, .tS1 = 3, .tS2 = 1, .tS3 = 1}}) {
+    hhc::ExecStats stats;
+    const auto got = run_tiled(def, p, ts, init, &stats);
+    EXPECT_EQ(stencil::max_abs_diff(expect, got), 0.0) << ts.to_string();
+    EXPECT_EQ(stats.points, p.total_points());
+  }
+}
+
+TEST(Radius2, TiledExecutionMatchesReferenceWideStar2D) {
+  const auto& def = stencil::get_stencil(stencil::StencilKind::kWideStar2D);
+  const stencil::ProblemSize p{.dim = 2, .S = {26, 22, 0}, .T = 9};
+  const auto init = stencil::make_initial_grid(p, 23);
+  const auto expect = stencil::run_reference(def, p, init);
+  const TileSizes ts{.tT = 4, .tS1 = 4, .tS2 = 8, .tS3 = 1};
+  const auto got = run_tiled(def, p, ts, init);
+  EXPECT_EQ(stencil::max_abs_diff(expect, got), 0.0);
+}
+
+TEST(Radius2, ModelAndSimulatorAgreeNearTop) {
+  // The generalized model stays optimistic-but-close for a good
+  // radius-2 configuration.
+  const auto& def = stencil::get_stencil(stencil::StencilKind::kWideStar2D);
+  const stencil::ProblemSize p{.dim = 2, .S = {2048, 2048, 0}, .T = 512};
+  const model::ModelInputs in = gpusim::calibrate_model(gpusim::gtx980(), def);
+  EXPECT_EQ(in.radius, 2);
+  const TileSizes ts{.tT = 8, .tS1 = 16, .tS2 = 64, .tS3 = 1};
+  ASSERT_TRUE(model::tile_fits(2, ts, in.hw, 2));
+  const double pred = model::talg_auto_k(in, p, ts).talg;
+  const auto sim = gpusim::measure_best_of(gpusim::gtx980(), def, p, ts,
+                                           {.n1 = 32, .n2 = 8, .n3 = 1});
+  ASSERT_TRUE(sim.feasible);
+  EXPECT_LT(pred, sim.seconds * 1.10);
+  EXPECT_GT(pred, sim.seconds * 0.5);
+}
+
+TEST(Radius2, TotalPointsStillExact) {
+  for (const R2Param& prm :
+       {R2Param{9, 37, 4, 2}, R2Param{11, 53, 6, 5}, R2Param{4, 19, 2, 3}}) {
+    const HexSchedule sched(prm.T, prm.S, prm.tT, prm.tS1, 2);
+    EXPECT_EQ(sched.total_points(), prm.T * prm.S);
+  }
+}
+
+TEST(Radius2, RejectsTooNarrowBaseWidth) {
+  // tS1 < radius would create within-wavefront dependences.
+  EXPECT_THROW(HexSchedule(8, 32, 4, 1, 2), std::invalid_argument);
+  EXPECT_NO_THROW(HexSchedule(8, 32, 4, 2, 2));
+}
+
+}  // namespace
+}  // namespace repro::hhc

@@ -1,0 +1,36 @@
+#include "hhc/interval.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro::hhc {
+namespace {
+
+TEST(Interval, SizeAndEmptiness) {
+  EXPECT_EQ((Interval{2, 5}).size(), 3);
+  EXPECT_TRUE((Interval{5, 5}).empty());
+  EXPECT_TRUE((Interval{7, 3}).empty());
+  EXPECT_EQ((Interval{7, 3}).size(), 0);
+}
+
+TEST(Interval, Contains) {
+  const Interval iv{2, 5};
+  EXPECT_FALSE(iv.contains(1));
+  EXPECT_TRUE(iv.contains(2));
+  EXPECT_TRUE(iv.contains(4));
+  EXPECT_FALSE(iv.contains(5));  // half-open
+}
+
+TEST(Interval, Clipping) {
+  const Interval iv{-3, 10};
+  EXPECT_EQ(iv.clipped(0, 8), (Interval{0, 8}));
+  EXPECT_EQ(iv.clipped(-5, 20), (Interval{-3, 10}));
+  EXPECT_TRUE(iv.clipped(12, 20).empty());
+}
+
+TEST(Interval, Equality) {
+  EXPECT_EQ((Interval{1, 2}), (Interval{1, 2}));
+  EXPECT_NE((Interval{1, 2}), (Interval{1, 3}));
+}
+
+}  // namespace
+}  // namespace repro::hhc

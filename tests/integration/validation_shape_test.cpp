@@ -1,0 +1,135 @@
+// Miniature version of the paper's Section 5.3 validation: over a
+// baseline-style sweep, the model's relative RMSE is much smaller on
+// the top-performing subset than on the whole set. This is the
+// paper's headline claim, so it gets its own integration test.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/stats.hpp"
+#include "gpusim/microbench.hpp"
+#include "gpusim/timing.hpp"
+#include "hhc/footprint.hpp"
+#include "model/talg.hpp"
+#include "tuner/optimizer.hpp"
+#include "tuner/space.hpp"
+
+namespace repro {
+namespace {
+
+using stencil::get_stencil;
+using stencil::ProblemSize;
+using stencil::StencilKind;
+
+struct SweepData {
+  std::vector<double> predicted;
+  std::vector<double> observed;
+  std::vector<double> gflops;
+};
+
+SweepData run_sweep(const gpusim::DeviceParams& dev,
+                    const stencil::StencilDef& def, const ProblemSize& p) {
+  const model::ModelInputs in = gpusim::calibrate_model(dev, def);
+  tuner::EnumOptions opt;
+  opt.tT_max = 24;
+  opt.tT_step = 2;
+  opt.tS1_max = 40;
+  opt.tS1_step = 4;
+  opt.tS2_max = 256;
+  opt.tS2_step = 32;
+  const auto tiles = tuner::enumerate_feasible(p.dim, in.hw, opt);
+
+  SweepData data;
+  const auto threads = tuner::default_thread_configs(p.dim);
+  for (std::size_t i = 0; i < tiles.size(); i += 3) {  // subsample
+    for (std::size_t j = 0; j < threads.size(); j += 4) {
+      const auto res =
+          gpusim::measure_best_of(dev, def, p, tiles[i], threads[j]);
+      if (!res.feasible) continue;
+      data.predicted.push_back(model::talg_auto_k(in, p, tiles[i]).talg);
+      data.observed.push_back(res.seconds);
+      data.gflops.push_back(res.gflops);
+    }
+  }
+  return data;
+}
+
+TEST(ValidationShape, RmseSmallOnTopPerformersLargeOverall) {
+  const auto& def = get_stencil(StencilKind::kHeat2D);
+  const ProblemSize p{.dim = 2, .S = {2048, 2048, 0}, .T = 512};
+  const SweepData data = run_sweep(gpusim::gtx980(), def, p);
+  ASSERT_GT(data.predicted.size(), 50u);
+
+  const double rmse_all = relative_rmse(data.predicted, data.observed);
+
+  const auto top = indices_within_of_max(data.gflops, 0.20);
+  ASSERT_GE(top.size(), 3u);
+  std::vector<double> pred_top;
+  std::vector<double> obs_top;
+  for (const std::size_t i : top) {
+    pred_top.push_back(data.predicted[i]);
+    obs_top.push_back(data.observed[i]);
+  }
+  const double rmse_top = relative_rmse(pred_top, obs_top);
+
+  // Paper: RMSE over everything 45-200%; over the top-20% subset
+  // below 10%. Require the qualitative gap and a small top-RMSE.
+  EXPECT_LT(rmse_top, 0.15) << "top-performer RMSE too large";
+  EXPECT_GT(rmse_all, 2.0 * rmse_top)
+      << "model should look bad globally, good near the top";
+}
+
+TEST(ValidationShape, TopPerformersCorrelateStrongly) {
+  // As in Fig. 3: pool several problem sizes, then look at the
+  // correlation over the top-performing points only.
+  const auto& def = get_stencil(StencilKind::kJacobi2D);
+  std::vector<double> pred_top;
+  std::vector<double> obs_top;
+  for (const std::int64_t T : {256, 512, 1024}) {
+    const ProblemSize p{.dim = 2, .S = {2048, 2048, 0}, .T = T};
+    const SweepData data = run_sweep(gpusim::gtx980(), def, p);
+    const auto top = indices_within_of_max(data.gflops, 0.20);
+    ASSERT_GE(top.size(), 3u);
+    for (const std::size_t i : top) {
+      pred_top.push_back(data.predicted[i]);
+      obs_top.push_back(data.observed[i]);
+    }
+  }
+  EXPECT_GT(pearson(pred_top, obs_top), 0.9);
+}
+
+TEST(ValidationShape, BestTileDoesNotMaximizeFootprint) {
+  // Section 7, "revisiting conventional wisdom": the best measured
+  // tile should not be the one with the largest shared-memory
+  // footprint.
+  const auto& def = get_stencil(StencilKind::kHeat2D);
+  const ProblemSize p{.dim = 2, .S = {2048, 2048, 0}, .T = 512};
+  const model::ModelInputs in = gpusim::calibrate_model(gpusim::gtx980(), def);
+  tuner::EnumOptions opt;
+  opt.tT_max = 24;
+  opt.tS1_max = 40;
+  opt.tS1_step = 4;
+  opt.tS2_max = 384;
+  const auto tiles = tuner::enumerate_feasible(2, in.hw, opt);
+
+  double best_time = 1e300;
+  std::int64_t best_words = 0;
+  std::int64_t max_words = 0;
+  const hhc::ThreadConfig thr{.n1 = 32, .n2 = 8, .n3 = 1};
+  for (std::size_t i = 0; i < tiles.size(); i += 2) {
+    const auto res =
+        gpusim::measure_best_of(gpusim::gtx980(), def, p, tiles[i], thr);
+    if (!res.feasible) continue;
+    const std::int64_t words = hhc::shared_words_per_tile(2, tiles[i]);
+    max_words = std::max(max_words, words);
+    if (res.seconds < best_time) {
+      best_time = res.seconds;
+      best_words = words;
+    }
+  }
+  ASSERT_GT(max_words, 0);
+  EXPECT_LT(best_words, max_words);
+}
+
+}  // namespace
+}  // namespace repro

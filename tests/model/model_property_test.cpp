@@ -1,0 +1,140 @@
+// Property tests tying the model's counting formulas to the exact
+// tiling geometry and establishing the qualitative behaviours the
+// paper relies on (monotonicity in problem size, optimism near the
+// geometry, sensitivity to tile sizes).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.hpp"
+#include "gpusim/device.hpp"
+#include "hhc/hex_schedule.hpp"
+#include "model/talg.hpp"
+
+namespace repro::model {
+namespace {
+
+ModelInputs test_inputs() {
+  ModelInputs in;
+  in.hw = gpusim::gtx980().to_model_hardware();
+  in.mb.L_s_per_word = l_per_word_from_s_per_gb(7.36e-3);
+  in.mb.tau_sync = 7.96e-10;
+  in.mb.T_sync = 9.24e-7;
+  in.c_iter = 3.39e-8;
+  return in;
+}
+
+struct SizeParam {
+  std::int64_t T;
+  std::int64_t S;
+  std::int64_t tT;
+  std::int64_t tS1;
+};
+
+class ModelVsGeometry : public ::testing::TestWithParam<SizeParam> {};
+
+TEST_P(ModelVsGeometry, WavefrontCountWithinEpsilon) {
+  const auto [T, S, tT, tS1] = GetParam();
+  const hhc::HexSchedule sched(T, S, tT, tS1);
+  const double model_nw = 2.0 * std::ceil(static_cast<double>(T) /
+                                          static_cast<double>(tT));
+  EXPECT_NEAR(static_cast<double>(sched.num_rows()), model_nw, 1.0);
+}
+
+TEST_P(ModelVsGeometry, WavefrontWidthWithinEpsilon) {
+  const auto [T, S, tT, tS1] = GetParam();
+  const hhc::HexSchedule sched(T, S, tT, tS1);
+  const double model_w = std::ceil(static_cast<double>(S) /
+                                   static_cast<double>(2 * tS1 + tT));
+  for (std::int64_t r = 0; r < sched.num_rows(); ++r) {
+    EXPECT_NEAR(static_cast<double>(sched.tiles_in_row(r)), model_w, 1.0);
+  }
+}
+
+TEST_P(ModelVsGeometry, InteriorFootprintWithinConstantOfEqn7) {
+  const auto [T, S, tT, tS1] = GetParam();
+  const hhc::HexSchedule sched(T, S, tT, tS1);
+  const std::int64_t model_mi = tS1 + 2 * tT;  // Eqn 7
+  for (std::int64_t r = 0; r < sched.num_rows(); ++r) {
+    for (std::int64_t q = sched.q_begin(r); q < sched.q_end(r); ++q) {
+      if (!sched.is_interior(r, q)) continue;
+      const std::int64_t exact = sched.shape(r, q).input_footprint();
+      EXPECT_LE(std::llabs(exact - model_mi), 2);
+      return;  // one interior tile suffices
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, ModelVsGeometry,
+    ::testing::Values(SizeParam{64, 512, 4, 8}, SizeParam{100, 300, 10, 3},
+                      SizeParam{17, 90, 2, 5}, SizeParam{33, 1000, 8, 16},
+                      SizeParam{128, 128, 16, 2}, SizeParam{9, 77, 6, 6}));
+
+TEST(ModelProperty, TalgScalesLinearlyWithT) {
+  // Doubling T roughly doubles predicted time (same tiles).
+  const ModelInputs in = test_inputs();
+  const hhc::TileSizes ts{.tT = 8, .tS1 = 16, .tS2 = 32, .tS3 = 1};
+  const stencil::ProblemSize p1{.dim = 2, .S = {2048, 2048, 0}, .T = 1024};
+  const stencil::ProblemSize p2{.dim = 2, .S = {2048, 2048, 0}, .T = 2048};
+  const double t1 = talg(in, p1, ts, 2).talg;
+  const double t2 = talg(in, p2, ts, 2).talg;
+  EXPECT_NEAR(t2 / t1, 2.0, 0.05);
+}
+
+TEST(ModelProperty, TalgDecreasesWithMoreSMs) {
+  ModelInputs in = test_inputs();
+  const hhc::TileSizes ts{.tT = 8, .tS1 = 16, .tS2 = 32, .tS3 = 1};
+  const stencil::ProblemSize p{.dim = 2, .S = {4096, 4096, 0}, .T = 1024};
+  const double t16 = talg(in, p, ts, 2).talg;
+  in.hw.n_sm = 24;
+  const double t24 = talg(in, p, ts, 2).talg;
+  EXPECT_LT(t24, t16);
+}
+
+TEST(ModelProperty, TalgVariesSubstantiallyWithTileSizes) {
+  // Fig. 4's premise: tile size choice matters (orders of variation).
+  const ModelInputs in = test_inputs();
+  const stencil::ProblemSize p{.dim = 2, .S = {4096, 4096, 0}, .T = 1024};
+  double best = 1e300;
+  double worst = 0.0;
+  for (std::int64_t tT : {2, 4, 8, 16, 32}) {
+    for (std::int64_t tS1 : {1, 4, 16, 64}) {
+      for (std::int64_t tS2 : {32, 128, 384}) {
+        const hhc::TileSizes ts{.tT = tT, .tS1 = tS1, .tS2 = tS2, .tS3 = 1};
+        if (!tile_fits(2, ts, in.hw)) continue;
+        const double t = talg_auto_k(in, p, ts).talg;
+        best = std::min(best, t);
+        worst = std::max(worst, t);
+      }
+    }
+  }
+  EXPECT_GT(worst / best, 1.5);
+}
+
+TEST(ModelProperty, ComputeTermDominatesForLargeTimeTiles) {
+  // Time tiling makes stencils compute bound: for generous tT the
+  // compute term c must exceed the transfer term m'.
+  const ModelInputs in = test_inputs();
+  const stencil::ProblemSize p{.dim = 2, .S = {4096, 4096, 0}, .T = 1024};
+  const hhc::TileSizes ts{.tT = 16, .tS1 = 24, .tS2 = 64, .tS3 = 1};
+  const TalgBreakdown b = talg(in, p, ts, 2);
+  EXPECT_GT(b.c, b.m_prime);
+}
+
+TEST(ModelProperty, BreakdownFieldsArePositive) {
+  const ModelInputs in = test_inputs();
+  const stencil::ProblemSize p{.dim = 3, .S = {384, 384, 384}, .T = 128};
+  const hhc::TileSizes ts{.tT = 4, .tS1 = 4, .tS2 = 8, .tS3 = 8};
+  const TalgBreakdown b = talg(in, p, ts, 2);
+  EXPECT_GT(b.nw, 0.0);
+  EXPECT_GT(b.w, 0.0);
+  EXPECT_GT(b.m_prime, 0.0);
+  EXPECT_GT(b.c, 0.0);
+  EXPECT_GT(b.t_tile, 0.0);
+  EXPECT_GT(b.talg, 0.0);
+  EXPECT_GT(b.n_subtiles, 1);
+}
+
+}  // namespace
+}  // namespace repro::model

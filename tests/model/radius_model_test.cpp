@@ -1,0 +1,80 @@
+// The radius-generalized model terms (Section 7 "Generality": "the
+// slopes of the hexagons change by constant factors, the memory
+// footprints change similarly").
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gpusim/device.hpp"
+#include "model/talg.hpp"
+
+namespace repro::model {
+namespace {
+
+ModelInputs inputs_r2() {
+  ModelInputs in;
+  in.hw = gpusim::gtx980().to_model_hardware();
+  in.mb.L_s_per_word = l_per_word_from_s_per_gb(7.36e-3);
+  in.mb.tau_sync = 8e-10;
+  in.mb.T_sync = 9.2e-7;
+  in.c_iter = 5e-8;
+  in.radius = 2;
+  in.geometry = TileGeometryMode::kPaperExact;
+  return in;
+}
+
+TEST(RadiusModel, WavefrontWidthUsesGeneralizedPitch) {
+  const ModelInputs in = inputs_r2();
+  const stencil::ProblemSize p{.dim = 2, .S = {4096, 4096, 0}, .T = 512};
+  const hhc::TileSizes ts{.tT = 8, .tS1 = 16, .tS2 = 64, .tS3 = 1};
+  const TalgBreakdown b = talg(in, p, ts, 1);
+  // w = ceil(S1 / (2 tS1 + r tT)) = ceil(4096 / 48).
+  EXPECT_DOUBLE_EQ(b.w, std::ceil(4096.0 / 48.0));
+  // w_tile = tS1 + r (tT - 2) = 16 + 12.
+  EXPECT_DOUBLE_EQ(b.w_tile, 28.0);
+}
+
+TEST(RadiusModel, SubtileCountUsesGeneralizedOverhang) {
+  const ModelInputs in = inputs_r2();
+  const stencil::ProblemSize p{.dim = 2, .S = {1024, 1024, 0}, .T = 128};
+  const hhc::TileSizes ts{.tT = 4, .tS1 = 8, .tS2 = 32, .tS3 = 1};
+  const TalgBreakdown b = talg(in, p, ts, 1);
+  // n_sub = ceil((S2 + r tT) / tS2) = ceil(1032 / 32) = 33.
+  EXPECT_EQ(b.n_subtiles, 33);
+}
+
+TEST(RadiusModel, TransferVolumeScalesWithRadius) {
+  ModelInputs r1 = inputs_r2();
+  r1.radius = 1;
+  const ModelInputs r2 = inputs_r2();
+  const stencil::ProblemSize p{.dim = 2, .S = {1024, 1024, 0}, .T = 128};
+  const hhc::TileSizes ts{.tT = 4, .tS1 = 8, .tS2 = 32, .tS3 = 1};
+  // m' = 2 inner (tS1 + 2 r tT) L + 2 tau: the radius-2 variant moves
+  // (8 + 16)/(8 + 8) more data per sub-prism.
+  const double m1 = talg(r1, p, ts, 1).m_prime - 2.0 * r1.mb.tau_sync;
+  const double m2 = talg(r2, p, ts, 1).m_prime - 2.0 * r2.mb.tau_sync;
+  EXPECT_NEAR(m2 / m1, (8.0 + 2.0 * 2 * 4) / (8.0 + 2.0 * 4), 1e-12);
+}
+
+TEST(RadiusModel, KMaxShrinksWithRadius) {
+  const HardwareParams hw = gpusim::gtx980().to_model_hardware();
+  const hhc::TileSizes ts{.tT = 8, .tS1 = 16, .tS2 = 64, .tS3 = 1};
+  EXPECT_GT(k_max(2, ts, hw, 1), k_max(2, ts, hw, 2));
+}
+
+TEST(RadiusModel, HigherRadiusPredictsSlowerSameTiles) {
+  // More halo traffic and fatter row sums: a radius-2 stencil with the
+  // same C_iter must never be predicted faster than radius-1.
+  ModelInputs r1 = inputs_r2();
+  r1.radius = 1;
+  const ModelInputs r2 = inputs_r2();
+  const stencil::ProblemSize p{.dim = 2, .S = {2048, 2048, 0}, .T = 256};
+  const hhc::TileSizes ts{.tT = 8, .tS1 = 16, .tS2 = 64, .tS3 = 1};
+  // Note: larger radius also means fewer, wider tiles; compare at
+  // equal k to isolate the geometry terms.
+  EXPECT_GE(talg(r2, p, ts, 2).c, talg(r1, p, ts, 2).c);
+  EXPECT_GE(talg(r2, p, ts, 2).m_prime, talg(r1, p, ts, 2).m_prime);
+}
+
+}  // namespace
+}  // namespace repro::model

@@ -1,0 +1,163 @@
+#include "model/talg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.hpp"
+#include "gpusim/device.hpp"
+#include "hhc/footprint.hpp"
+
+namespace repro::model {
+namespace {
+
+ModelInputs test_inputs() {
+  ModelInputs in;
+  in.hw = gpusim::gtx980().to_model_hardware();
+  in.mb.L_s_per_word = l_per_word_from_s_per_gb(7.36e-3);
+  in.mb.tau_sync = 7.96e-10;
+  in.mb.T_sync = 9.24e-7;
+  in.c_iter = 3.39e-8;  // Table 4, Jacobi2D on GTX 980
+  // This file pins the equations exactly as printed in the paper.
+  in.geometry = TileGeometryMode::kPaperExact;
+  return in;
+}
+
+TEST(Talg, UnitConversionRoundTrips) {
+  const double per_word = l_per_word_from_s_per_gb(7.36e-3);
+  EXPECT_NEAR(l_s_per_gb_from_per_word(per_word), 7.36e-3, 1e-15);
+  // 4 bytes per word out of 1e9 bytes.
+  EXPECT_NEAR(per_word, 7.36e-3 * 4.0 / 1e9, 1e-18);
+}
+
+TEST(Talg, KMaxHonorsSharedMemoryAndBlockLimit) {
+  const ModelInputs in = test_inputs();
+  // Tiny tile: k capped by MTB_SM.
+  const hhc::TileSizes tiny{.tT = 2, .tS1 = 2, .tS2 = 32, .tS3 = 1};
+  EXPECT_EQ(k_max(2, tiny, in.hw), in.hw.max_tb_per_sm);
+  // A tile sized near the 48 KB block limit: k = 2 (96/48).
+  // M_tile words = 2*(tS1+tT+1)(tS2+tT+1) near 12288 words = 48 KB.
+  const hhc::TileSizes big{.tT = 6, .tS1 = 25, .tS2 = 185, .tS3 = 1};
+  const std::int64_t words = hhc::shared_words_per_tile(2, big);
+  ASSERT_LE(words, in.hw.max_shared_words_per_block);
+  ASSERT_GT(words, in.hw.max_shared_words_per_block / 2);
+  EXPECT_EQ(k_max(2, big, in.hw), 2);
+  // Over the block limit: infeasible.
+  const hhc::TileSizes huge{.tT = 8, .tS1 = 64, .tS2 = 512, .tS3 = 1};
+  EXPECT_EQ(k_max(2, huge, in.hw), 0);
+  EXPECT_FALSE(tile_fits(2, huge, in.hw));
+}
+
+TEST(Talg, MatchesHandComputedJacobi1D) {
+  // Hand-evaluate Eqns 3-12 for a small instance and compare.
+  ModelInputs in = test_inputs();
+  in.c_iter = 1e-8;
+  const stencil::ProblemSize p{.dim = 1, .S = {1024, 0, 0}, .T = 64};
+  const hhc::TileSizes ts{.tT = 8, .tS1 = 16, .tS2 = 1, .tS3 = 1};
+  const std::int64_t k = 1;
+
+  const double nw = 2.0 * std::ceil(64.0 / 8.0);            // 16
+  const std::int64_t w = repro::ceil_div<std::int64_t>(1024, 2 * 16 + 8);
+  const double m_prime =
+      2.0 * (16 + 2 * 8) * in.mb.L_s_per_word + 2.0 * in.mb.tau_sync;
+  double row_sum = 0.0;
+  for (std::int64_t x = 16; x <= 16 + 8 - 2; x += 2) {
+    row_sum += std::ceil(static_cast<double>(x) / 128.0);
+  }
+  const double c = 2.0 * in.c_iter * row_sum + 8.0 * in.mb.tau_sync;
+  const double t_tile = m_prime + c;
+  const double waves =
+      std::ceil(std::ceil(static_cast<double>(w) / 1.0) / 16.0);
+  const double expect = nw * in.mb.T_sync + nw * t_tile * waves;
+
+  const TalgBreakdown got = talg(in, p, ts, k);
+  EXPECT_NEAR(got.talg, expect, expect * 1e-12);
+  EXPECT_DOUBLE_EQ(got.nw, nw);
+  EXPECT_DOUBLE_EQ(got.w, static_cast<double>(w));
+  EXPECT_NEAR(got.m_prime, m_prime, 1e-18);
+  EXPECT_NEAR(got.c, c, 1e-18);
+}
+
+TEST(Talg, HyperthreadingOverlapsTransfersEqn12) {
+  const ModelInputs in = test_inputs();
+  const stencil::ProblemSize p{.dim = 1, .S = {4096, 0, 0}, .T = 128};
+  const hhc::TileSizes ts{.tT = 8, .tS1 = 32, .tS2 = 1, .tS3 = 1};
+  const TalgBreakdown k1 = talg(in, p, ts, 1);
+  const TalgBreakdown k2 = talg(in, p, ts, 2);
+  // Eqn 12: Ttile(2) = m' + c + max(m', c).
+  EXPECT_NEAR(k2.t_tile, k1.m_prime + k1.c + std::max(k1.m_prime, k1.c),
+              1e-15);
+}
+
+TEST(Talg, TwoDStructureMatchesEqn16) {
+  const ModelInputs in = test_inputs();
+  const stencil::ProblemSize p{.dim = 2, .S = {4096, 4096, 0}, .T = 1024};
+  const hhc::TileSizes ts{.tT = 8, .tS1 = 16, .tS2 = 64, .tS3 = 1};
+  const std::int64_t n_sub = repro::ceil_div<std::int64_t>(4096 + 8, 64);
+
+  const TalgBreakdown k1 = talg(in, p, ts, 1);
+  EXPECT_EQ(k1.n_subtiles, n_sub);
+  EXPECT_NEAR(k1.t_tile, (k1.m_prime + k1.c) * static_cast<double>(n_sub),
+              k1.t_tile * 1e-12);
+
+  const TalgBreakdown k3 = talg(in, p, ts, 3);
+  EXPECT_NEAR(k3.t_tile,
+              k3.m_prime + 3.0 * std::max(k3.m_prime, k3.c) *
+                               static_cast<double>(n_sub),
+              k3.t_tile * 1e-12);
+}
+
+TEST(Talg, ThreeDSubSlabCountMatchesEqn23) {
+  const ModelInputs in = test_inputs();
+  const stencil::ProblemSize p{.dim = 3, .S = {384, 384, 384}, .T = 128};
+  const hhc::TileSizes ts{.tT = 4, .tS1 = 4, .tS2 = 16, .tS3 = 8};
+  const TalgBreakdown b = talg(in, p, ts, 1);
+  const double expect = std::ceil((384.0 + 4.0) / 16.0 * (384.0 + 4.0) / 8.0);
+  EXPECT_EQ(static_cast<double>(b.n_subtiles), expect);
+}
+
+TEST(Talg, AutoKMinimizesOverFeasibleRange) {
+  const ModelInputs in = test_inputs();
+  const stencil::ProblemSize p{.dim = 2, .S = {4096, 4096, 0}, .T = 1024};
+  const hhc::TileSizes ts{.tT = 4, .tS1 = 8, .tS2 = 32, .tS3 = 1};
+  const TalgBreakdown b = talg_auto_k(in, p, ts);
+  const std::int64_t k_hi = k_max(2, ts, in.hw);
+  EXPECT_GE(b.k, 1);
+  EXPECT_LE(b.k, k_hi);
+  for (std::int64_t k = 1; k <= k_hi; ++k) {
+    EXPECT_LE(b.talg, talg(in, p, ts, k).talg);
+  }
+}
+
+TEST(Talg, AutoKThrowsWhenInfeasible) {
+  const ModelInputs in = test_inputs();
+  const stencil::ProblemSize p{.dim = 2, .S = {4096, 4096, 0}, .T = 1024};
+  const hhc::TileSizes huge{.tT = 32, .tS1 = 64, .tS2 = 512, .tS3 = 1};
+  EXPECT_THROW(talg_auto_k(in, p, huge), std::invalid_argument);
+}
+
+TEST(Talg, ClosedFormNeverExceedsExact) {
+  ModelInputs exact = test_inputs();
+  ModelInputs closed = test_inputs();
+  closed.row_sum = RowSumMode::kClosedForm;
+  const stencil::ProblemSize p{.dim = 2, .S = {2048, 2048, 0}, .T = 512};
+  for (std::int64_t tT : {2, 8, 16}) {
+    for (std::int64_t tS1 : {4, 16, 40}) {
+      const hhc::TileSizes ts{.tT = tT, .tS1 = tS1, .tS2 = 32, .tS3 = 1};
+      if (!tile_fits(2, ts, exact.hw)) continue;
+      EXPECT_LE(talg(closed, p, ts, 2).talg, talg(exact, p, ts, 2).talg);
+    }
+  }
+}
+
+TEST(Talg, RejectsInvalidTileSizes) {
+  const ModelInputs in = test_inputs();
+  const stencil::ProblemSize p{.dim = 2, .S = {128, 128, 0}, .T = 16};
+  EXPECT_THROW(talg(in, p, {.tT = 3, .tS1 = 4, .tS2 = 32, .tS3 = 1}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(talg(in, p, {.tT = 4, .tS1 = 0, .tS2 = 32, .tS3 = 1}, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace repro::model

@@ -1,0 +1,79 @@
+// Model-side tests for the ghost-zone baseline: the analytic ghost
+// prediction uses the same elementary parameters as the HHC model and
+// must expose the scheme's redundancy trade-off.
+#include <gtest/gtest.h>
+
+#include "gpusim/microbench.hpp"
+#include "overtile/ghost.hpp"
+
+namespace repro::overtile {
+namespace {
+
+using stencil::get_stencil;
+using stencil::ProblemSize;
+using stencil::StencilKind;
+
+model::ModelInputs inputs() {
+  return gpusim::calibrate_model(gpusim::gtx980(),
+                                 get_stencil(StencilKind::kHeat2D));
+}
+
+TEST(GhostModel, AutoKPicksTheBestFeasibleK) {
+  const model::ModelInputs in = inputs();
+  const ProblemSize p{.dim = 2, .S = {4096, 4096, 0}, .T = 1024};
+  const GhostTileSizes ts{.tT = 2, .b = {16, 32, 1}};
+  const model::TalgBreakdown best = ghost_talg(in, p, ts);
+  EXPECT_GE(best.k, 1);
+  // The chosen k must not be beatable by any smaller feasible k; a
+  // brute-force check over the shared-memory bound.
+  const std::int64_t m_words = ghost_shared_words(2, ts, in.radius);
+  const std::int64_t k_hi = std::min<std::int64_t>(
+      in.hw.max_tb_per_sm, in.hw.shared_words_per_sm / m_words);
+  EXPECT_LE(best.k, k_hi);
+}
+
+TEST(GhostModel, InfeasibleTileThrows) {
+  const model::ModelInputs in = inputs();
+  const ProblemSize p{.dim = 2, .S = {1024, 1024, 0}, .T = 64};
+  EXPECT_THROW(ghost_talg(in, p, {.tT = 32, .b = {64, 64, 1}}),
+               std::invalid_argument);
+}
+
+TEST(GhostModel, PredictionScalesWithProblemTime) {
+  const model::ModelInputs in = inputs();
+  const GhostTileSizes ts{.tT = 4, .b = {16, 32, 1}};
+  const ProblemSize p1{.dim = 2, .S = {2048, 2048, 0}, .T = 512};
+  const ProblemSize p2{.dim = 2, .S = {2048, 2048, 0}, .T = 1024};
+  const double t1 = ghost_talg(in, p1, ts).talg;
+  const double t2 = ghost_talg(in, p2, ts).talg;
+  EXPECT_NEAR(t2 / t1, 2.0, 0.05);
+}
+
+TEST(GhostModel, RedundancyShowsInComputeTerm) {
+  // At equal core volume, deeper ghost tiles must carry a larger
+  // compute term per superstep (the shrinking-plane sum grows).
+  const model::ModelInputs in = inputs();
+  const ProblemSize p{.dim = 2, .S = {2048, 2048, 0}, .T = 512};
+  const double c2 =
+      ghost_talg(in, p, {.tT = 2, .b = {16, 32, 1}}).c / 2.0;
+  const double c8 =
+      ghost_talg(in, p, {.tT = 8, .b = {16, 32, 1}}).c / 8.0;
+  EXPECT_GT(c8, c2);  // per-time-step compute grows with depth
+}
+
+TEST(GhostModel, ModelIsOptimisticAgainstGhostSimulator) {
+  const model::ModelInputs in = inputs();
+  const auto& def = get_stencil(StencilKind::kHeat2D);
+  const ProblemSize p{.dim = 2, .S = {4096, 4096, 0}, .T = 1024};
+  for (const std::int64_t tT : {2LL, 4LL, 8LL}) {
+    const GhostTileSizes ts{.tT = tT, .b = {16, 64, 1}};
+    const double pred = ghost_talg(in, p, ts).talg;
+    const auto sim = measure_ghost_best_of(gpusim::gtx980(), def, p, ts,
+                                           {.n1 = 32, .n2 = 8, .n3 = 1});
+    ASSERT_TRUE(sim.feasible);
+    EXPECT_LT(pred, sim.seconds * 1.15) << "tT=" << tT;
+  }
+}
+
+}  // namespace
+}  // namespace repro::overtile

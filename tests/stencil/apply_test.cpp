@@ -1,0 +1,72 @@
+// Unit tests for the single stencil-update definition both executors
+// share. Any bug here would corrupt every numeric result, so the
+// formulas are pinned down against hand computation.
+#include "stencil/apply.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace repro::stencil {
+namespace {
+
+TEST(Apply, WeightedSumMatchesHandComputation) {
+  const StencilDef& def = get_stencil(StencilKind::kJacobi2D);
+  Grid<float> g(2, {3, 3, 0});
+  float v = 1.0F;
+  for (Coord i = 0; i < 3; ++i) {
+    for (Coord j = 0; j < 3; ++j) g.at(i, j) = v++;
+  }
+  // Center (1,1)=5; N(0,1)=2; S(2,1)=8; W(1,0)=4; E(1,2)=6.
+  const double expect = (5.0 + 2.0 + 8.0 + 4.0 + 6.0) / 5.0;
+  EXPECT_NEAR(apply_point(def, g, 1, 1), expect, 1e-6);
+}
+
+TEST(Apply, BoundaryReadsAreZero) {
+  const StencilDef& def = get_stencil(StencilKind::kJacobi2D);
+  Grid<float> g(2, {2, 2, 0}, 5.0F);
+  // Corner (0,0): center 5, E 5, S 5, N and W out of domain -> 0.
+  EXPECT_NEAR(apply_point(def, g, 0, 0), 15.0 / 5.0, 1e-6);
+}
+
+TEST(Apply, ConstantTermIsAdded) {
+  StencilDef def = get_stencil(StencilKind::kJacobi1D);
+  def.constant = 2.5;
+  Grid<float> g(1, {3, 0, 0}, 0.0F);
+  EXPECT_NEAR(apply_point(def, g, 1), 2.5, 1e-6);
+}
+
+TEST(Apply, GradientMagnitudeFormula) {
+  const StencilDef& def = get_stencil(StencilKind::kGradient2D);
+  Grid<float> g(2, {3, 3, 0}, 0.0F);
+  g.at(2, 1) = 4.0F;  // E along s1
+  g.at(0, 1) = 2.0F;  // W
+  g.at(1, 2) = 6.0F;  // N along s2
+  g.at(1, 0) = 0.0F;  // S
+  // dx = 0.5*(4-2) = 1; dy = 0.5*(6-0) = 3.
+  const double expect = std::sqrt(1.0 + 9.0 + def.constant);
+  EXPECT_NEAR(apply_point(def, g, 1, 1), expect, 1e-6);
+}
+
+TEST(Apply, GradientOfConstantFieldIsSqrtEps) {
+  const StencilDef& def = get_stencil(StencilKind::kGradient2D);
+  Grid<float> g(2, {5, 5, 0}, 3.0F);
+  EXPECT_NEAR(apply_point(def, g, 2, 2), std::sqrt(def.constant), 1e-7);
+}
+
+TEST(Apply, Radius2TapsReachTwoCells) {
+  const StencilDef& def = get_stencil(StencilKind::kGauss1D);
+  Grid<float> g(1, {5, 0, 0}, 0.0F);
+  g.at(0) = 16.0F;  // only the distance-2 neighbour is nonzero
+  EXPECT_NEAR(apply_point(def, g, 2), 16.0 / 16.0, 1e-6);
+}
+
+TEST(Apply, ThreeDimensionalTaps) {
+  const StencilDef& def = get_stencil(StencilKind::kHeat3D);
+  Grid<float> g(3, {3, 3, 3}, 1.0F);
+  // Uniform field away from boundary: weights sum to 1 -> unchanged.
+  EXPECT_NEAR(apply_point(def, g, 1, 1, 1), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace repro::stencil

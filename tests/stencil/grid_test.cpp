@@ -1,0 +1,56 @@
+#include "stencil/grid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro::stencil {
+namespace {
+
+TEST(Grid, ExtentsAndSize1D) {
+  Grid<float> g(1, {10, 0, 0});
+  EXPECT_EQ(g.extent(0), 10);
+  EXPECT_EQ(g.extent(1), 1);
+  EXPECT_EQ(g.extent(2), 1);
+  EXPECT_EQ(g.size(), 10u);
+}
+
+TEST(Grid, ExtentsAndSize3D) {
+  Grid<float> g(3, {4, 5, 6});
+  EXPECT_EQ(g.size(), 120u);
+}
+
+TEST(Grid, RowMajorLastDimFastest) {
+  Grid<float> g(3, {2, 2, 2});
+  g.at(0, 0, 0) = 1.0F;
+  g.at(0, 0, 1) = 2.0F;
+  g.at(0, 1, 0) = 3.0F;
+  g.at(1, 0, 0) = 4.0F;
+  EXPECT_EQ(g.raw()[0], 1.0F);
+  EXPECT_EQ(g.raw()[1], 2.0F);
+  EXPECT_EQ(g.raw()[2], 3.0F);
+  EXPECT_EQ(g.raw()[4], 4.0F);
+}
+
+TEST(Grid, FillValue) {
+  Grid<float> g(2, {3, 3, 0}, 7.5F);
+  for (float v : g.raw()) EXPECT_EQ(v, 7.5F);
+}
+
+TEST(Grid, BoundaryReadsReturnBoundaryValue) {
+  Grid<float> g(2, {3, 3, 0}, 1.0F);
+  EXPECT_EQ(g.read_or_boundary(-1, 0), 0.0F);
+  EXPECT_EQ(g.read_or_boundary(0, 3), 0.0F);
+  EXPECT_EQ(g.read_or_boundary(2, 2), 1.0F);
+  EXPECT_EQ(g.read_or_boundary(-1, 0, 0, 9.0F), 9.0F);
+}
+
+TEST(Grid, InBounds) {
+  Grid<float> g(2, {3, 4, 0});
+  EXPECT_TRUE(g.in_bounds(0, 0));
+  EXPECT_TRUE(g.in_bounds(2, 3));
+  EXPECT_FALSE(g.in_bounds(3, 0));
+  EXPECT_FALSE(g.in_bounds(0, 4));
+  EXPECT_FALSE(g.in_bounds(0, -1));
+}
+
+}  // namespace
+}  // namespace repro::stencil

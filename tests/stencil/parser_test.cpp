@@ -1,0 +1,181 @@
+#include "stencil/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "hhc/tiled_executor.hpp"
+#include "stencil/reference.hpp"
+
+namespace repro::stencil {
+namespace {
+
+constexpr const char* kJacobiSpec = R"(
+# five-point average
+stencil MyJacobi {
+  dim 2
+  tap (0,0)   0.2
+  tap (-1,0)  0.2
+  tap (1,0)   0.2
+  tap (0,-1)  0.2
+  tap (0,1)   0.2
+}
+)";
+
+TEST(Parser, ParsesWellFormedStencil) {
+  const StencilDef d = parse_stencil(kJacobiSpec);
+  EXPECT_EQ(d.name, "MyJacobi");
+  EXPECT_EQ(d.kind, StencilKind::kCustom);
+  EXPECT_EQ(d.dim, 2);
+  EXPECT_EQ(d.radius, 1);
+  EXPECT_EQ(d.taps.size(), 5u);
+  EXPECT_EQ(d.body, BodyKind::kWeightedSum);
+  EXPECT_EQ(d.mix.shared_loads, 5);
+  EXPECT_GT(d.flops_per_point, 0.0);
+}
+
+TEST(Parser, ParsedStencilMatchesBuiltinNumerically) {
+  // The spec above is exactly the built-in Jacobi2D; results must be
+  // bit-identical through both the reference and the tiled executor.
+  const StencilDef custom = parse_stencil(kJacobiSpec);
+  const StencilDef& builtin = get_stencil(StencilKind::kJacobi2D);
+  const ProblemSize p{.dim = 2, .S = {20, 18, 0}, .T = 6};
+  const auto init = make_initial_grid(p, 5);
+  EXPECT_EQ(max_abs_diff(run_reference(custom, p, init),
+                         run_reference(builtin, p, init)),
+            0.0);
+  const hhc::TileSizes ts{.tT = 2, .tS1 = 4, .tS2 = 8, .tS3 = 1};
+  EXPECT_EQ(max_abs_diff(hhc::run_tiled(custom, p, ts, init),
+                         run_reference(builtin, p, init)),
+            0.0);
+}
+
+TEST(Parser, DerivesRadiusFromTaps) {
+  const StencilDef d = parse_stencil(R"(
+stencil Wide {
+  dim 1
+  tap (-2) 0.25
+  tap (0)  0.5
+  tap (2)  0.25
+})");
+  EXPECT_EQ(d.radius, 2);
+}
+
+TEST(Parser, GradientBody) {
+  const StencilDef d = parse_stencil(R"(
+stencil Edge {
+  dim 2
+  body gradient_magnitude
+  tap (1,0)  0.5
+  tap (-1,0) -0.5
+  tap (0,1)  0.5
+  tap (0,-1) -0.5
+  constant 1e-6
+})");
+  EXPECT_EQ(d.body, BodyKind::kGradientMagnitude);
+  EXPECT_EQ(d.mix.special_ops, 2);
+  EXPECT_DOUBLE_EQ(d.constant, 1e-6);
+}
+
+TEST(Parser, ThreeDTapsAndScientificWeights) {
+  const StencilDef d = parse_stencil(R"(
+stencil S3 {
+  dim 3
+  tap (0,0,0)  9.4e-1
+  tap (1,0,0)  1e-2
+  tap (-1,0,0) 1e-2
+  tap (0,1,0)  1e-2
+  tap (0,-1,0) 1e-2
+  tap (0,0,1)  1e-2
+  tap (0,0,-1) 1e-2
+  flops 13
+})");
+  EXPECT_EQ(d.dim, 3);
+  EXPECT_DOUBLE_EQ(d.flops_per_point, 13.0);
+  EXPECT_GT(d.mix.addr_ops, 40);  // 3D addressing heuristic
+}
+
+TEST(Parser, ErrorMissingDim) {
+  EXPECT_THROW(parse_stencil("stencil X { tap (0) 1.0 }"), ParseError);
+}
+
+TEST(Parser, ErrorDimRange) {
+  EXPECT_THROW(parse_stencil("stencil X { dim 4 }"), ParseError);
+}
+
+TEST(Parser, ErrorNoTaps) {
+  EXPECT_THROW(parse_stencil("stencil X { dim 2 }"), ParseError);
+}
+
+TEST(Parser, ErrorUnknownKey) {
+  try {
+    parse_stencil("stencil X {\n dim 2\n frobnicate 3\n}");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_NE(std::string(e.what()).find("frobnicate"), std::string::npos);
+  }
+}
+
+TEST(Parser, ErrorAsymmetricTaps) {
+  EXPECT_THROW(parse_stencil(R"(
+stencil X {
+  dim 1
+  tap (0) 0.5
+  tap (1) 0.5
+})"),
+               ParseError);
+}
+
+TEST(Parser, ErrorTapBeyondDim) {
+  EXPECT_THROW(parse_stencil(R"(
+stencil X {
+  dim 2
+  tap (0,0) 1.0
+  tap (0,0,1) 0.0
+})"),
+               ParseError);
+}
+
+TEST(Parser, ErrorGradientNeedsFourTaps) {
+  EXPECT_THROW(parse_stencil(R"(
+stencil X {
+  dim 2
+  body gradient_magnitude
+  tap (1,0) 0.5
+  tap (-1,0) -0.5
+})"),
+               ParseError);
+}
+
+TEST(Parser, ErrorUnterminatedBlock) {
+  EXPECT_THROW(parse_stencil("stencil X { dim 2\n tap (0,0) 1.0"), ParseError);
+}
+
+TEST(Parser, ErrorTrailingInput) {
+  EXPECT_THROW(
+      parse_stencil("stencil X { dim 1\n tap (0) 1.0 } stencil Y {}"),
+      ParseError);
+}
+
+TEST(Parser, ErrorNonIntegerOffset) {
+  EXPECT_THROW(parse_stencil("stencil X { dim 1\n tap (0.5) 1.0 }"),
+               ParseError);
+}
+
+TEST(Parser, FileRoundTrip) {
+  const std::string path = "/tmp/repro_parser_test.stencil";
+  {
+    std::ofstream out(path);
+    out << kJacobiSpec;
+  }
+  const StencilDef d = parse_stencil_file(path);
+  EXPECT_EQ(d.name, "MyJacobi");
+  std::remove(path.c_str());
+  EXPECT_THROW(parse_stencil_file("/nonexistent/path.stencil"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace repro::stencil

@@ -1,0 +1,107 @@
+#include "stencil/reference.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stencil/apply.hpp"
+
+namespace repro::stencil {
+namespace {
+
+TEST(Reference, InitialGridIsDeterministic) {
+  const ProblemSize p{.dim = 2, .S = {16, 16, 0}, .T = 1};
+  const Grid<float> a = make_initial_grid(p, 7);
+  const Grid<float> b = make_initial_grid(p, 7);
+  EXPECT_EQ(max_abs_diff(a, b), 0.0);
+  const Grid<float> c = make_initial_grid(p, 8);
+  EXPECT_GT(max_abs_diff(a, c), 0.0);
+}
+
+TEST(Reference, JacobiAveragePreservesConstantInterior) {
+  // A constant field stays constant away from the (zero) boundary.
+  const StencilDef& def = get_stencil(StencilKind::kJacobi2D);
+  const ProblemSize p{.dim = 2, .S = {32, 32, 0}, .T = 3};
+  Grid<float> init(2, p.S, 2.0F);
+  const Grid<float> out = run_reference(def, p, init);
+  // Interior point far from the boundary (3 steps propagate radius 3).
+  EXPECT_NEAR(out.at(16, 16), 2.0F, 1e-5);
+  // Boundary-adjacent points decay toward the zero boundary.
+  EXPECT_LT(out.at(0, 0), 2.0F);
+}
+
+TEST(Reference, HeatConservesBoundedness) {
+  const StencilDef& def = get_stencil(StencilKind::kHeat2D);
+  const ProblemSize p{.dim = 2, .S = {24, 24, 0}, .T = 20};
+  const Grid<float> init = make_initial_grid(p, 3);
+  const double max0 = max_abs_diff(init, Grid<float>(2, p.S));  // max |init|
+  const Grid<float> out = run_reference(def, p, init);
+  for (float v : out.raw()) {
+    EXPECT_LE(std::abs(static_cast<double>(v)), max0 + 1e-6);
+  }
+}
+
+TEST(Reference, GradientIsNonNegative) {
+  const StencilDef& def = get_stencil(StencilKind::kGradient2D);
+  const ProblemSize p{.dim = 2, .S = {16, 16, 0}, .T = 2};
+  const Grid<float> out = run_reference(def, p, make_initial_grid(p, 5));
+  for (float v : out.raw()) EXPECT_GE(v, 0.0F);
+}
+
+TEST(Reference, OneStepMatchesManualApply) {
+  const StencilDef& def = get_stencil(StencilKind::kHeat3D);
+  const ProblemSize p{.dim = 3, .S = {6, 6, 6}, .T = 1};
+  const Grid<float> init = make_initial_grid(p, 11);
+  const Grid<float> out = run_reference(def, p, init);
+  for (Coord i = 0; i < 6; ++i) {
+    for (Coord j = 0; j < 6; ++j) {
+      for (Coord k = 0; k < 6; ++k) {
+        EXPECT_EQ(out.at(i, j, k), apply_point(def, init, i, j, k));
+      }
+    }
+  }
+}
+
+TEST(Reference, DimMismatchThrows) {
+  const StencilDef& def = get_stencil(StencilKind::kJacobi2D);
+  const ProblemSize p{.dim = 3, .S = {8, 8, 8}, .T = 1};
+  EXPECT_THROW(run_reference(def, p, Grid<float>(3, p.S)),
+               std::invalid_argument);
+}
+
+TEST(Reference, ExtentMismatchThrows) {
+  const StencilDef& def = get_stencil(StencilKind::kJacobi2D);
+  const ProblemSize p{.dim = 2, .S = {8, 8, 0}, .T = 1};
+  EXPECT_THROW(run_reference(def, p, Grid<float>(2, {4, 8, 0})),
+               std::invalid_argument);
+}
+
+TEST(Reference, ChecksumDistinguishesGrids) {
+  const ProblemSize p{.dim = 2, .S = {8, 8, 0}, .T = 1};
+  const Grid<float> a = make_initial_grid(p, 1);
+  const Grid<float> b = make_initial_grid(p, 2);
+  EXPECT_NE(grid_checksum(a), grid_checksum(b));
+  EXPECT_EQ(grid_checksum(a), grid_checksum(a));
+}
+
+TEST(ProblemSizes, PaperCatalogues) {
+  EXPECT_EQ(paper_2d_problem_sizes().size(), 10u);
+  EXPECT_EQ(paper_3d_problem_sizes().size(), 12u);  // T <= S filter
+  for (const auto& p : paper_3d_problem_sizes()) EXPECT_LE(p.T, p.S[0]);
+}
+
+TEST(ProblemSizes, TotalPointsAndFlops) {
+  const ProblemSize p{.dim = 2, .S = {100, 50, 0}, .T = 7};
+  EXPECT_EQ(p.space_points(), 5000);
+  EXPECT_EQ(p.total_points(), 35000);
+  const StencilDef& def = get_stencil(StencilKind::kJacobi2D);
+  EXPECT_DOUBLE_EQ(total_flops(def, p), 9.0 * 35000.0);
+}
+
+TEST(ProblemSizes, ToStringFormat) {
+  const ProblemSize p{.dim = 2, .S = {4096, 4096, 0}, .T = 1024};
+  EXPECT_EQ(p.to_string(), "4096x4096,T=1024");
+}
+
+}  // namespace
+}  // namespace repro::stencil

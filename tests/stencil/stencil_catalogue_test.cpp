@@ -1,0 +1,108 @@
+#include "stencil/stencil.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace repro::stencil {
+namespace {
+
+TEST(Catalogue, HasAllPaperBenchmarksPlusExtensions) {
+  EXPECT_EQ(all_stencils().size(), 10u);
+  EXPECT_EQ(paper_2d_benchmarks().size(), 4u);
+  EXPECT_EQ(paper_3d_benchmarks().size(), 2u);
+}
+
+TEST(Catalogue, LookupByKindAndName) {
+  const StencilDef& j = get_stencil(StencilKind::kJacobi2D);
+  EXPECT_EQ(j.name, "Jacobi2D");
+  EXPECT_EQ(&get_stencil_by_name("Jacobi2D"), &j);
+  EXPECT_THROW(get_stencil_by_name("NoSuch"), std::invalid_argument);
+}
+
+TEST(Catalogue, DimensionsAreConsistent) {
+  for (const StencilDef& d : all_stencils()) {
+    EXPECT_GE(d.dim, 1) << d.name;
+    EXPECT_LE(d.dim, 3) << d.name;
+    for (const Tap& tap : d.taps) {
+      for (int i = d.dim; i < 3; ++i) {
+        EXPECT_EQ(tap.ds[static_cast<std::size_t>(i)], 0)
+            << d.name << ": tap uses dimension beyond stencil dim";
+      }
+      for (int i = 0; i < 3; ++i) {
+        EXPECT_LE(std::abs(tap.ds[static_cast<std::size_t>(i)]), d.radius)
+            << d.name;
+      }
+    }
+  }
+}
+
+TEST(Catalogue, PaperBenchmarksAreFirstOrder) {
+  // The paper's benchmark set is radius-1; the catalogue additionally
+  // carries two radius-2 stencils for the Section 7 extension.
+  for (const auto kind : paper_2d_benchmarks()) {
+    EXPECT_EQ(get_stencil(kind).radius, 1);
+  }
+  for (const auto kind : paper_3d_benchmarks()) {
+    EXPECT_EQ(get_stencil(kind).radius, 1);
+  }
+  EXPECT_EQ(get_stencil(StencilKind::kGauss1D).radius, 2);
+  EXPECT_EQ(get_stencil(StencilKind::kWideStar2D).radius, 2);
+}
+
+TEST(Catalogue, WeightedSumStencilsAreStable) {
+  // For the linear stencils, sum of |weights| <= 1 keeps long
+  // functional runs bounded (diffusive/contractive updates).
+  for (const StencilDef& d : all_stencils()) {
+    if (d.body != BodyKind::kWeightedSum) continue;
+    double abs_sum = 0.0;
+    for (const Tap& t : d.taps) abs_sum += std::abs(t.weight);
+    EXPECT_LE(abs_sum, 1.0 + 1e-12) << d.name;
+  }
+}
+
+TEST(Catalogue, TapsAreSymmetric) {
+  // The parity-buffer legality argument requires symmetric tap sets:
+  // for every tap offset a, -a is also a tap offset.
+  for (const StencilDef& d : all_stencils()) {
+    for (const Tap& t : d.taps) {
+      bool found = false;
+      for (const Tap& u : d.taps) {
+        if (u.ds[0] == -t.ds[0] && u.ds[1] == -t.ds[1] &&
+            u.ds[2] == -t.ds[2]) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << d.name << " has unmatched tap";
+    }
+  }
+}
+
+TEST(Catalogue, InstructionMixesArePlausible) {
+  for (const StencilDef& d : all_stencils()) {
+    EXPECT_EQ(d.mix.shared_loads, static_cast<int>(d.taps.size())) << d.name;
+    EXPECT_GT(d.flops_per_point, 0.0) << d.name;
+    EXPECT_EQ(d.words_per_point, 2) << d.name;
+  }
+}
+
+TEST(Catalogue, GradientIsTheOnlyNonlinearBody) {
+  for (const StencilDef& d : all_stencils()) {
+    if (d.kind == StencilKind::kGradient2D) {
+      EXPECT_EQ(d.body, BodyKind::kGradientMagnitude);
+      EXPECT_EQ(d.mix.special_ops, 2);
+    } else {
+      EXPECT_EQ(d.body, BodyKind::kWeightedSum) << d.name;
+    }
+  }
+}
+
+TEST(Catalogue, ToStringRoundTrips) {
+  for (const StencilDef& d : all_stencils()) {
+    EXPECT_EQ(to_string(d.kind), d.name);
+  }
+}
+
+}  // namespace
+}  // namespace repro::stencil

@@ -1,0 +1,112 @@
+#include "tuner/space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "gpusim/device.hpp"
+#include "hhc/footprint.hpp"
+
+namespace repro::tuner {
+namespace {
+
+model::HardwareParams hw() { return gpusim::gtx980().to_model_hardware(); }
+
+TEST(Space, AllEnumeratedPointsSatisfyConstraints) {
+  EnumOptions opt;
+  opt.tT_max = 16;
+  opt.tS1_max = 32;
+  opt.tS2_max = 256;
+  const auto pts = enumerate_feasible(2, hw(), opt);
+  ASSERT_FALSE(pts.empty());
+  for (const auto& ts : pts) {
+    EXPECT_EQ(ts.tT % 2, 0);
+    EXPECT_GE(ts.tT, 2);
+    EXPECT_GE(ts.tS1, 1);
+    EXPECT_EQ(ts.tS2 % 32, 0);
+    EXPECT_LE(hhc::shared_words_per_tile(2, ts),
+              hw().max_shared_words_per_block);
+  }
+}
+
+TEST(Space, EnumerationIsDuplicateFree) {
+  EnumOptions opt;
+  opt.tT_max = 8;
+  opt.tS1_max = 16;
+  opt.tS2_max = 128;
+  const auto pts = enumerate_feasible(2, hw(), opt);
+  std::set<std::tuple<std::int64_t, std::int64_t, std::int64_t, std::int64_t>>
+      seen;
+  for (const auto& ts : pts) {
+    EXPECT_TRUE(seen.insert({ts.tT, ts.tS1, ts.tS2, ts.tS3}).second);
+  }
+}
+
+TEST(Space, OneDimensionalSpaceIgnoresInnerSizes) {
+  EnumOptions opt;
+  opt.tT_max = 8;
+  opt.tS1_max = 16;
+  const auto pts = enumerate_feasible(1, hw(), opt);
+  for (const auto& ts : pts) {
+    EXPECT_EQ(ts.tS2, 1);
+    EXPECT_EQ(ts.tS3, 1);
+  }
+}
+
+TEST(Space, ThreeDimensionalSpaceHasWarpAlignedInner) {
+  EnumOptions opt;
+  opt.tT_max = 8;
+  opt.tS1_max = 8;
+  opt.tS2_max = 64;
+  opt.tS3_max = 64;
+  const auto pts = enumerate_feasible(3, hw(), opt);
+  ASSERT_FALSE(pts.empty());
+  for (const auto& ts : pts) {
+    EXPECT_EQ(ts.tS3 % 32, 0);
+    EXPECT_LE(hhc::shared_words_per_tile(3, ts),
+              hw().max_shared_words_per_block);
+  }
+}
+
+TEST(Space, BaselineSetMaximizesFootprintPerK) {
+  const auto base = baseline_tile_set(2, hw(), 85);
+  ASSERT_FALSE(base.empty());
+  EXPECT_LE(base.size(), 85u);
+  // Every baseline point fits the block limit but uses a large
+  // fraction of some M_SM/k budget.
+  const std::int64_t m_sm = hw().shared_words_per_sm;
+  for (const auto& ts : base) {
+    const std::int64_t m = hhc::shared_words_per_tile(2, ts);
+    EXPECT_LE(m, hw().max_shared_words_per_block);
+    bool near_some_target = false;
+    for (std::int64_t k : {2, 4, 8, 16}) {
+      if (m <= m_sm / k && m >= (m_sm / k) * 7 / 10) near_some_target = true;
+    }
+    EXPECT_TRUE(near_some_target) << ts.to_string();
+  }
+}
+
+TEST(Space, HhcDefaultsAreValid) {
+  for (int dim = 1; dim <= 3; ++dim) {
+    const hhc::TileSizes ts = hhc_default_tiles(dim);
+    EXPECT_NO_THROW(hhc::validate(ts, dim));
+    EXPECT_LE(hhc::shared_words_per_tile(dim, ts),
+              hw().max_shared_words_per_block);
+  }
+}
+
+TEST(Space, TenThreadConfigsPerDim) {
+  for (int dim = 1; dim <= 3; ++dim) {
+    const auto cfgs = default_thread_configs(dim);
+    EXPECT_EQ(cfgs.size(), 10u) << "dim=" << dim;
+    for (const auto& c : cfgs) {
+      EXPECT_GE(c.total(), 32);
+      EXPECT_LE(c.total(), 1024);
+      EXPECT_EQ(c.n1 % 32, 0);  // full warps along s1
+    }
+  }
+}
+
+}  // namespace
+}  // namespace repro::tuner

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Render the bench CSVs into the paper's figures.
+
+Usage (after running the bench binaries, from the directory holding
+their CSV output):
+
+    python3 tools/plot_results.py fig3   # predicted-vs-measured scatter
+    python3 tools/plot_results.py fig4   # Talg surface heat map
+    python3 tools/plot_results.py ghost  # ghost-zone time-depth U-curve
+
+Requires matplotlib. Each command writes <name>.png next to the CSV.
+"""
+
+import csv
+import sys
+from collections import defaultdict
+
+
+def read_csv(path):
+    with open(path, newline="") as f:
+        return list(csv.DictReader(f))
+
+
+def plot_fig3(plt):
+    rows = read_csv("fig3_validation.csv")
+    by_dev = defaultdict(lambda: ([], []))
+    for r in rows:
+        xs, ys = by_dev[r["device"]]
+        xs.append(float(r["talg_model_s"]))
+        ys.append(float(r["texec_sim_s"]))
+    fig, axes = plt.subplots(1, len(by_dev), figsize=(6 * len(by_dev), 5))
+    if len(by_dev) == 1:
+        axes = [axes]
+    for ax, (dev, (xs, ys)) in zip(axes, sorted(by_dev.items())):
+        ax.loglog(xs, ys, ".", markersize=3, alpha=0.5)
+        lim = [min(min(xs), min(ys)), max(max(xs), max(ys))]
+        ax.loglog(lim, lim, "k--", linewidth=1, label="y = x")
+        ax.set_xlabel("Talg (model) [s]")
+        ax.set_ylabel("Texec (simulated) [s]")
+        ax.set_title(f"Fig. 3 — {dev}")
+        ax.legend()
+    fig.tight_layout()
+    fig.savefig("fig3.png", dpi=150)
+    print("wrote fig3.png")
+
+
+def plot_fig4(plt):
+    rows = [r for r in read_csv("fig4_talg_surface.csv") if r["feasible"] == "1"]
+    tts = sorted({int(r["tT"]) for r in rows})
+    ts2s = sorted({int(r["tS2"]) for r in rows})
+    grid = [[float("nan")] * len(ts2s) for _ in tts]
+    for r in rows:
+        grid[tts.index(int(r["tT"]))][ts2s.index(int(r["tS2"]))] = float(
+            r["talg_s"])
+    fig, ax = plt.subplots(figsize=(8, 6))
+    im = ax.imshow(grid, aspect="auto", origin="lower", cmap="viridis")
+    ax.set_xticks(range(len(ts2s)), ts2s, rotation=45)
+    ax.set_yticks(range(len(tts)), tts)
+    ax.set_xlabel("tS2")
+    ax.set_ylabel("tT")
+    ax.set_title("Fig. 4 — Talg(tT, tS2), tS1 fixed")
+    fig.colorbar(im, label="Talg [s]")
+    fig.tight_layout()
+    fig.savefig("fig4.png", dpi=150)
+    print("wrote fig4.png")
+
+
+def plot_ghost(plt):
+    rows = read_csv("ghost_tT_series.csv")
+    by_stencil = defaultdict(lambda: ([], []))
+    for r in rows:
+        xs, ys = by_stencil[r["stencil"]]
+        xs.append(int(r["tT"]))
+        ys.append(float(r["texec_s"]))
+    fig, ax = plt.subplots(figsize=(7, 5))
+    for name, (xs, ys) in sorted(by_stencil.items()):
+        order = sorted(range(len(xs)), key=lambda i: xs[i])
+        ax.plot([xs[i] for i in order], [ys[i] for i in order], "o-",
+                label=name)
+    ax.set_xlabel("ghost-zone time depth tT")
+    ax.set_ylabel("simulated time [s]")
+    ax.set_title("Ghost-zone tiling: the time-depth U-curve")
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig("ghost_series.png", dpi=150)
+    print("wrote ghost_series.png")
+
+
+def main():
+    if len(sys.argv) != 2 or sys.argv[1] not in {"fig3", "fig4", "ghost"}:
+        print(__doc__)
+        return 1
+    import matplotlib
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+    {"fig3": plot_fig3, "fig4": plot_fig4, "ghost": plot_ghost}[sys.argv[1]](plt)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
