@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_gradient2d.dir/fig5_gradient2d.cpp.o"
+  "CMakeFiles/fig5_gradient2d.dir/fig5_gradient2d.cpp.o.d"
+  "fig5_gradient2d"
+  "fig5_gradient2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_gradient2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

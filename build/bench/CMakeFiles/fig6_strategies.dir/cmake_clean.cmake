@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_strategies.dir/fig6_strategies.cpp.o"
+  "CMakeFiles/fig6_strategies.dir/fig6_strategies.cpp.o.d"
+  "fig6_strategies"
+  "fig6_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

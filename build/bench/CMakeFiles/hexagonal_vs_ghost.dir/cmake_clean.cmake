@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hexagonal_vs_ghost.dir/hexagonal_vs_ghost.cpp.o"
+  "CMakeFiles/hexagonal_vs_ghost.dir/hexagonal_vs_ghost.cpp.o.d"
+  "hexagonal_vs_ghost"
+  "hexagonal_vs_ghost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hexagonal_vs_ghost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

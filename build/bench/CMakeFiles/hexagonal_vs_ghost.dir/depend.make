@@ -1,0 +1,2 @@
+# Empty dependencies file for hexagonal_vs_ghost.
+# This may be replaced when dependencies are built.

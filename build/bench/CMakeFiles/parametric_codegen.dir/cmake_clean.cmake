@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parametric_codegen.dir/parametric_codegen.cpp.o"
+  "CMakeFiles/parametric_codegen.dir/parametric_codegen.cpp.o.d"
+  "parametric_codegen"
+  "parametric_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parametric_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_library.dir/perf_library.cpp.o"
+  "CMakeFiles/perf_library.dir/perf_library.cpp.o.d"
+  "perf_library"
+  "perf_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

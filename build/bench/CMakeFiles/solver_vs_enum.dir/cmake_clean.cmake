@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_vs_enum.dir/solver_vs_enum.cpp.o"
+  "CMakeFiles/solver_vs_enum.dir/solver_vs_enum.cpp.o.d"
+  "solver_vs_enum"
+  "solver_vs_enum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_vs_enum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supp_1d_validation.dir/supp_1d_validation.cpp.o"
+  "CMakeFiles/supp_1d_validation.dir/supp_1d_validation.cpp.o.d"
+  "supp_1d_validation"
+  "supp_1d_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supp_1d_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

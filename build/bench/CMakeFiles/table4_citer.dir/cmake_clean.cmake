@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_citer.dir/table4_citer.cpp.o"
+  "CMakeFiles/table4_citer.dir/table4_citer.cpp.o.d"
+  "table4_citer"
+  "table4_citer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_citer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/calibration_io.cpp" "src/gpusim/CMakeFiles/repro_gpusim.dir/calibration_io.cpp.o" "gcc" "src/gpusim/CMakeFiles/repro_gpusim.dir/calibration_io.cpp.o.d"
+  "/root/repo/src/gpusim/device.cpp" "src/gpusim/CMakeFiles/repro_gpusim.dir/device.cpp.o" "gcc" "src/gpusim/CMakeFiles/repro_gpusim.dir/device.cpp.o.d"
+  "/root/repo/src/gpusim/event_sim.cpp" "src/gpusim/CMakeFiles/repro_gpusim.dir/event_sim.cpp.o" "gcc" "src/gpusim/CMakeFiles/repro_gpusim.dir/event_sim.cpp.o.d"
+  "/root/repo/src/gpusim/microbench.cpp" "src/gpusim/CMakeFiles/repro_gpusim.dir/microbench.cpp.o" "gcc" "src/gpusim/CMakeFiles/repro_gpusim.dir/microbench.cpp.o.d"
+  "/root/repo/src/gpusim/registers.cpp" "src/gpusim/CMakeFiles/repro_gpusim.dir/registers.cpp.o" "gcc" "src/gpusim/CMakeFiles/repro_gpusim.dir/registers.cpp.o.d"
+  "/root/repo/src/gpusim/scheduling.cpp" "src/gpusim/CMakeFiles/repro_gpusim.dir/scheduling.cpp.o" "gcc" "src/gpusim/CMakeFiles/repro_gpusim.dir/scheduling.cpp.o.d"
+  "/root/repo/src/gpusim/timing.cpp" "src/gpusim/CMakeFiles/repro_gpusim.dir/timing.cpp.o" "gcc" "src/gpusim/CMakeFiles/repro_gpusim.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hhc/CMakeFiles/repro_hhc.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/repro_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/stencil/CMakeFiles/repro_stencil.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

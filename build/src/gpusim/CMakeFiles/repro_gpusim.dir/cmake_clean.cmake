@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_gpusim.dir/calibration_io.cpp.o"
+  "CMakeFiles/repro_gpusim.dir/calibration_io.cpp.o.d"
+  "CMakeFiles/repro_gpusim.dir/device.cpp.o"
+  "CMakeFiles/repro_gpusim.dir/device.cpp.o.d"
+  "CMakeFiles/repro_gpusim.dir/event_sim.cpp.o"
+  "CMakeFiles/repro_gpusim.dir/event_sim.cpp.o.d"
+  "CMakeFiles/repro_gpusim.dir/microbench.cpp.o"
+  "CMakeFiles/repro_gpusim.dir/microbench.cpp.o.d"
+  "CMakeFiles/repro_gpusim.dir/registers.cpp.o"
+  "CMakeFiles/repro_gpusim.dir/registers.cpp.o.d"
+  "CMakeFiles/repro_gpusim.dir/scheduling.cpp.o"
+  "CMakeFiles/repro_gpusim.dir/scheduling.cpp.o.d"
+  "CMakeFiles/repro_gpusim.dir/timing.cpp.o"
+  "CMakeFiles/repro_gpusim.dir/timing.cpp.o.d"
+  "librepro_gpusim.a"
+  "librepro_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hhc/footprint.cpp" "src/hhc/CMakeFiles/repro_hhc.dir/footprint.cpp.o" "gcc" "src/hhc/CMakeFiles/repro_hhc.dir/footprint.cpp.o.d"
+  "/root/repo/src/hhc/hex_schedule.cpp" "src/hhc/CMakeFiles/repro_hhc.dir/hex_schedule.cpp.o" "gcc" "src/hhc/CMakeFiles/repro_hhc.dir/hex_schedule.cpp.o.d"
+  "/root/repo/src/hhc/tiled_executor.cpp" "src/hhc/CMakeFiles/repro_hhc.dir/tiled_executor.cpp.o" "gcc" "src/hhc/CMakeFiles/repro_hhc.dir/tiled_executor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stencil/CMakeFiles/repro_stencil.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_hhc.dir/footprint.cpp.o"
+  "CMakeFiles/repro_hhc.dir/footprint.cpp.o.d"
+  "CMakeFiles/repro_hhc.dir/hex_schedule.cpp.o"
+  "CMakeFiles/repro_hhc.dir/hex_schedule.cpp.o.d"
+  "CMakeFiles/repro_hhc.dir/tiled_executor.cpp.o"
+  "CMakeFiles/repro_hhc.dir/tiled_executor.cpp.o.d"
+  "librepro_hhc.a"
+  "librepro_hhc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_hhc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_model.dir/talg.cpp.o"
+  "CMakeFiles/repro_model.dir/talg.cpp.o.d"
+  "librepro_model.a"
+  "librepro_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

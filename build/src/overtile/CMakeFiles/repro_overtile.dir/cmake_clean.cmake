@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_overtile.dir/ghost.cpp.o"
+  "CMakeFiles/repro_overtile.dir/ghost.cpp.o.d"
+  "librepro_overtile.a"
+  "librepro_overtile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_overtile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stencil/parser.cpp" "src/stencil/CMakeFiles/repro_stencil.dir/parser.cpp.o" "gcc" "src/stencil/CMakeFiles/repro_stencil.dir/parser.cpp.o.d"
+  "/root/repo/src/stencil/problem.cpp" "src/stencil/CMakeFiles/repro_stencil.dir/problem.cpp.o" "gcc" "src/stencil/CMakeFiles/repro_stencil.dir/problem.cpp.o.d"
+  "/root/repo/src/stencil/reference.cpp" "src/stencil/CMakeFiles/repro_stencil.dir/reference.cpp.o" "gcc" "src/stencil/CMakeFiles/repro_stencil.dir/reference.cpp.o.d"
+  "/root/repo/src/stencil/stencil.cpp" "src/stencil/CMakeFiles/repro_stencil.dir/stencil.cpp.o" "gcc" "src/stencil/CMakeFiles/repro_stencil.dir/stencil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

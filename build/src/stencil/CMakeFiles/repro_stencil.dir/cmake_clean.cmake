@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_stencil.dir/parser.cpp.o"
+  "CMakeFiles/repro_stencil.dir/parser.cpp.o.d"
+  "CMakeFiles/repro_stencil.dir/problem.cpp.o"
+  "CMakeFiles/repro_stencil.dir/problem.cpp.o.d"
+  "CMakeFiles/repro_stencil.dir/reference.cpp.o"
+  "CMakeFiles/repro_stencil.dir/reference.cpp.o.d"
+  "CMakeFiles/repro_stencil.dir/stencil.cpp.o"
+  "CMakeFiles/repro_stencil.dir/stencil.cpp.o.d"
+  "librepro_stencil.a"
+  "librepro_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

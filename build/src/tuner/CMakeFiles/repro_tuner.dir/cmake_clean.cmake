@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_tuner.dir/optimizer.cpp.o"
+  "CMakeFiles/repro_tuner.dir/optimizer.cpp.o.d"
+  "CMakeFiles/repro_tuner.dir/space.cpp.o"
+  "CMakeFiles/repro_tuner.dir/space.cpp.o.d"
+  "librepro_tuner.a"
+  "librepro_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

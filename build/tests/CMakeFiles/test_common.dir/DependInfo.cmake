@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/cli_test.cpp" "tests/CMakeFiles/test_common.dir/common/cli_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/cli_test.cpp.o.d"
+  "/root/repo/tests/common/csv_table_test.cpp" "tests/CMakeFiles/test_common.dir/common/csv_table_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/csv_table_test.cpp.o.d"
+  "/root/repo/tests/common/math_util_test.cpp" "tests/CMakeFiles/test_common.dir/common/math_util_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/math_util_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/stats_test.cpp" "tests/CMakeFiles/test_common.dir/common/stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/stats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tuner/CMakeFiles/repro_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/overtile/CMakeFiles/repro_overtile.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/repro_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/repro_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/hhc/CMakeFiles/repro_hhc.dir/DependInfo.cmake"
+  "/root/repo/build/src/stencil/CMakeFiles/repro_stencil.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpusim.dir/gpusim/calibration_io_test.cpp.o"
+  "CMakeFiles/test_gpusim.dir/gpusim/calibration_io_test.cpp.o.d"
+  "CMakeFiles/test_gpusim.dir/gpusim/device_test.cpp.o"
+  "CMakeFiles/test_gpusim.dir/gpusim/device_test.cpp.o.d"
+  "CMakeFiles/test_gpusim.dir/gpusim/event_sim_test.cpp.o"
+  "CMakeFiles/test_gpusim.dir/gpusim/event_sim_test.cpp.o.d"
+  "CMakeFiles/test_gpusim.dir/gpusim/microbench_test.cpp.o"
+  "CMakeFiles/test_gpusim.dir/gpusim/microbench_test.cpp.o.d"
+  "CMakeFiles/test_gpusim.dir/gpusim/registers_test.cpp.o"
+  "CMakeFiles/test_gpusim.dir/gpusim/registers_test.cpp.o.d"
+  "CMakeFiles/test_gpusim.dir/gpusim/resolve_config_test.cpp.o"
+  "CMakeFiles/test_gpusim.dir/gpusim/resolve_config_test.cpp.o.d"
+  "CMakeFiles/test_gpusim.dir/gpusim/scheduling_test.cpp.o"
+  "CMakeFiles/test_gpusim.dir/gpusim/scheduling_test.cpp.o.d"
+  "CMakeFiles/test_gpusim.dir/gpusim/timing_test.cpp.o"
+  "CMakeFiles/test_gpusim.dir/gpusim/timing_test.cpp.o.d"
+  "test_gpusim"
+  "test_gpusim.pdb"
+  "test_gpusim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

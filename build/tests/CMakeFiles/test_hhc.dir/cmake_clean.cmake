@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hhc.dir/hhc/bands_test.cpp.o"
+  "CMakeFiles/test_hhc.dir/hhc/bands_test.cpp.o.d"
+  "CMakeFiles/test_hhc.dir/hhc/coverage_property_test.cpp.o"
+  "CMakeFiles/test_hhc.dir/hhc/coverage_property_test.cpp.o.d"
+  "CMakeFiles/test_hhc.dir/hhc/footprint_test.cpp.o"
+  "CMakeFiles/test_hhc.dir/hhc/footprint_test.cpp.o.d"
+  "CMakeFiles/test_hhc.dir/hhc/hex_schedule_test.cpp.o"
+  "CMakeFiles/test_hhc.dir/hhc/hex_schedule_test.cpp.o.d"
+  "CMakeFiles/test_hhc.dir/hhc/high_order_test.cpp.o"
+  "CMakeFiles/test_hhc.dir/hhc/high_order_test.cpp.o.d"
+  "CMakeFiles/test_hhc.dir/hhc/interval_test.cpp.o"
+  "CMakeFiles/test_hhc.dir/hhc/interval_test.cpp.o.d"
+  "CMakeFiles/test_hhc.dir/hhc/tiled_executor_test.cpp.o"
+  "CMakeFiles/test_hhc.dir/hhc/tiled_executor_test.cpp.o.d"
+  "test_hhc"
+  "test_hhc.pdb"
+  "test_hhc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hhc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

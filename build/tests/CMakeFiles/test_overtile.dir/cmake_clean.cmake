@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_overtile.dir/overtile/ghost_model_test.cpp.o"
+  "CMakeFiles/test_overtile.dir/overtile/ghost_model_test.cpp.o.d"
+  "CMakeFiles/test_overtile.dir/overtile/ghost_test.cpp.o"
+  "CMakeFiles/test_overtile.dir/overtile/ghost_test.cpp.o.d"
+  "test_overtile"
+  "test_overtile.pdb"
+  "test_overtile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_overtile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

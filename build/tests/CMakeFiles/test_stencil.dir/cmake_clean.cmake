@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stencil.dir/stencil/apply_test.cpp.o"
+  "CMakeFiles/test_stencil.dir/stencil/apply_test.cpp.o.d"
+  "CMakeFiles/test_stencil.dir/stencil/grid_test.cpp.o"
+  "CMakeFiles/test_stencil.dir/stencil/grid_test.cpp.o.d"
+  "CMakeFiles/test_stencil.dir/stencil/parser_test.cpp.o"
+  "CMakeFiles/test_stencil.dir/stencil/parser_test.cpp.o.d"
+  "CMakeFiles/test_stencil.dir/stencil/reference_test.cpp.o"
+  "CMakeFiles/test_stencil.dir/stencil/reference_test.cpp.o.d"
+  "CMakeFiles/test_stencil.dir/stencil/stencil_catalogue_test.cpp.o"
+  "CMakeFiles/test_stencil.dir/stencil/stencil_catalogue_test.cpp.o.d"
+  "test_stencil"
+  "test_stencil.pdb"
+  "test_stencil[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
