@@ -1,0 +1,100 @@
+#include "analysis/dependence.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace repro::analysis {
+
+namespace {
+
+std::string tap_to_string(const stencil::Tap& t, int dim) {
+  std::string out = "(";
+  for (int i = 0; i < std::max(dim, 1); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(t.ds[static_cast<std::size_t>(i)]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace
+
+DependenceCone analyze_dependences(const stencil::StencilDef& def,
+                                   DiagnosticEngine& diags) {
+  DependenceCone cone;
+  cone.dim = def.dim;
+  cone.tap_count = def.taps.size();
+
+  if (def.taps.empty()) {
+    diags.error(Code::kDepNoTaps,
+                "stencil '" + def.name + "' has no taps; nothing to tile");
+    return cone;
+  }
+
+  for (const stencil::Tap& t : def.taps) {
+    for (int i = 0; i < 3; ++i) {
+      const int d = std::abs(t.ds[static_cast<std::size_t>(i)]);
+      if (i >= def.dim && d != 0) {
+        diags.error(Code::kDepBeyondDim,
+                    "tap " + tap_to_string(t, 3) + " uses dimension " +
+                        std::to_string(i + 1) + " but dim is " +
+                        std::to_string(def.dim));
+        continue;
+      }
+      cone.radius[static_cast<std::size_t>(i)] =
+          std::max(cone.radius[static_cast<std::size_t>(i)], d);
+    }
+    if (t.ds == std::array<int, 3>{0, 0, 0}) cone.has_center = true;
+  }
+  cone.max_radius = std::max({cone.radius[0], cone.radius[1], cone.radius[2],
+                              1});
+
+  // Symmetry: the tiled executor's parity double-buffering argument
+  // needs the tap set closed under negation. Report each tap missing
+  // its mirror exactly once (the mirror pair would double-report).
+  for (const stencil::Tap& t : def.taps) {
+    const std::array<int, 3> neg{-t.ds[0], -t.ds[1], -t.ds[2]};
+    const bool found =
+        std::any_of(def.taps.begin(), def.taps.end(),
+                    [&neg](const stencil::Tap& u) { return u.ds == neg; });
+    if (!found) {
+      cone.symmetric = false;
+      diags.error(Code::kDepAsymmetric,
+                  "tap " + tap_to_string(t, def.dim) +
+                      " has no mirror tap at " +
+                      tap_to_string(stencil::Tap{neg, 0.0}, def.dim) +
+                      "; the hexagonal schedule requires a symmetric "
+                      "dependence cone");
+    }
+  }
+
+  bool anisotropic = false;
+  for (int i = 1; i < def.dim; ++i) {
+    if (cone.radius[static_cast<std::size_t>(i)] != cone.radius[0]) {
+      anisotropic = true;
+    }
+  }
+  if (anisotropic) {
+    diags.note(Code::kDepAnisotropic,
+               "per-dimension radii (" + std::to_string(cone.radius[0]) +
+                   "," + std::to_string(cone.radius[1]) + "," +
+                   std::to_string(cone.radius[2]) +
+                   ") differ; the model tiles with the maximum r=" +
+                   std::to_string(cone.max_radius) +
+                   ", over-provisioning halos in the narrow dimensions");
+  }
+  if (!cone.has_center) {
+    diags.note(Code::kDepNoCenter,
+               "stencil '" + def.name +
+                   "' has no center tap; the point's own previous value "
+                   "is not read");
+  }
+  return cone;
+}
+
+std::int64_t required_slope(const DependenceCone& cone) noexcept {
+  return std::max(1, cone.max_radius);
+}
+
+}  // namespace repro::analysis

@@ -1,0 +1,50 @@
+// Dependence analysis for stencil programs.
+//
+// The HHC tiling legality argument (Section 3 of the paper) rests on
+// the stencil's *dependence cone*: every tap a means iteration (t, s)
+// reads (t-1, s+a), so the cone of a legal hexagonal tiling must
+// contain every tap, and the hexagon slopes scale with the maximal
+// per-dimension offset (the radius, Section 7 "Generality"). This
+// analyzer extracts that cone from a StencilDef's tap set and reports
+// — as structured diagnostics, not exceptions — every property the
+// tiling machinery depends on: symmetry under negation (the parity
+// double-buffering argument), taps confined to the declared
+// dimensions, and anisotropy (the model prices a single radius, the
+// maximum over dimensions, so anisotropic stencils are over-tiled in
+// their narrow dimensions).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "analysis/diagnostics.hpp"
+#include "stencil/stencil.hpp"
+
+namespace repro::analysis {
+
+// The extracted dependence geometry of a stencil.
+struct DependenceCone {
+  int dim = 0;                       // declared spatial dimensionality
+  std::array<int, 3> radius{0, 0, 0};  // per-dimension max |offset|
+  int max_radius = 0;                // the model's r
+  bool symmetric = true;             // closed under a -> -a
+  bool has_center = false;           // a (0,0,0) tap exists
+  std::size_t tap_count = 0;
+};
+
+// Extracts the dependence cone and emits diagnostics:
+//   SL201 (error)   empty tap set,
+//   SL202 (error)   tap beyond the declared dim,
+//   SL203 (error)   asymmetric tap set (names the offending tap),
+//   SL204 (note)    anisotropic per-dimension radii,
+//   SL205 (note)    no center tap.
+// The returned cone is always populated (best effort on errors).
+DependenceCone analyze_dependences(const stencil::StencilDef& def,
+                                   DiagnosticEngine& diags);
+
+// The slope the hexagonal tiling must honour in dimension 0: the
+// dependence cone half-opening per time step. Equal to max_radius for
+// the paper's isotropic stencils.
+std::int64_t required_slope(const DependenceCone& cone) noexcept;
+
+}  // namespace repro::analysis

@@ -1,0 +1,153 @@
+#include "analysis/diagnostics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+
+namespace repro::analysis {
+
+namespace {
+
+struct CodeInfo {
+  Code code;
+  std::string_view name;
+  std::string_view summary;
+};
+
+// Numeric order; all_codes() exposes this table for docs and tests.
+constexpr std::array<CodeInfo, 24> kCodeTable{{
+    {Code::kParseSyntax, "SL101", "malformed stencil DSL syntax"},
+    {Code::kParseDim, "SL102", "missing or out-of-range 'dim'"},
+    {Code::kParseTapBeyondDim, "SL103",
+     "tap offset uses a dimension beyond 'dim'"},
+    {Code::kParseAsymmetricTaps, "SL104",
+     "tap set is not symmetric (a tap lacks its mirror at -a)"},
+    {Code::kParseBodyArity, "SL105",
+     "body kind disagrees with the tap count"},
+    {Code::kParseFlopsNonPositive, "SL106", "'flops' must be positive"},
+    {Code::kParseDuplicateTap, "SL107",
+     "the same tap offset is listed more than once"},
+    {Code::kParseZeroWeightTap, "SL108", "tap has weight zero"},
+    {Code::kDepNoTaps, "SL201", "stencil has no taps"},
+    {Code::kDepBeyondDim, "SL202",
+     "dependence uses a dimension beyond the declared 'dim'"},
+    {Code::kDepAsymmetric, "SL203",
+     "dependence cone is not symmetric under negation"},
+    {Code::kDepAnisotropic, "SL204",
+     "per-dimension dependence radii differ (model uses the maximum)"},
+    {Code::kDepNoCenter, "SL205", "stencil has no center (0,0,0) tap"},
+    {Code::kTileTimeOdd, "SL301", "time tile tT must be even and >= 2"},
+    {Code::kTileSlope, "SL302",
+     "tile slope violates the dependence cone (tS1 < radius)"},
+    {Code::kTileBlockLimit, "SL303",
+     "shared-memory footprint exceeds the per-block limit (48 KB rule)"},
+    {Code::kTileSmCapacity, "SL304",
+     "shared-memory footprint exceeds the SM capacity M_SM"},
+    {Code::kTileWarpAlign, "SL305",
+     "inner spatial tile extent is not a warp multiple"},
+    {Code::kTileLowOccupancy, "SL306",
+     "hyper-threading bound k < 2: at most one tile resident per SM"},
+    {Code::kTileRegisterPressure, "SL307",
+     "estimated register demand exceeds the register file (spills likely)"},
+    {Code::kTilePartial, "SL308",
+     "problem size does not divide the tiling (partial tiles / divergence)"},
+    {Code::kThreadConfig, "SL309", "thread-block configuration illegal"},
+    {Code::kEnumStep, "SL310",
+     "tile-space enumeration step must be positive"},
+    {Code::kTileExtent, "SL311", "spatial tile extents must be >= 1"},
+}};
+
+const CodeInfo& info(Code c) noexcept {
+  for (const CodeInfo& ci : kCodeTable) {
+    if (ci.code == c) return ci;
+  }
+  return kCodeTable[0];  // unreachable for valid codes
+}
+
+void json_escape(std::ostream& os, std::string_view s) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(ch >> 4) & 0xf] << hex[ch & 0xf];
+        } else {
+          os << ch;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(Severity s) noexcept {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "error";
+}
+
+std::string_view code_name(Code c) noexcept { return info(c).name; }
+
+std::string_view code_summary(Code c) noexcept { return info(c).summary; }
+
+std::span<const Code> all_codes() noexcept {
+  static const std::array<Code, kCodeTable.size()> codes = [] {
+    std::array<Code, kCodeTable.size()> out{};
+    for (std::size_t i = 0; i < kCodeTable.size(); ++i) {
+      out[i] = kCodeTable[i].code;
+    }
+    return out;
+  }();
+  return codes;
+}
+
+std::size_t DiagnosticEngine::count(Severity s) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(diags_.begin(), diags_.end(),
+                    [s](const Diagnostic& d) { return d.severity == s; }));
+}
+
+bool DiagnosticEngine::has_code(Code c) const noexcept {
+  return std::any_of(diags_.begin(), diags_.end(),
+                     [c](const Diagnostic& d) { return d.code == c; });
+}
+
+std::string render_human(std::span<const Diagnostic> diags,
+                         std::string_view source_name) {
+  std::ostringstream os;
+  for (const Diagnostic& d : diags) {
+    if (d.line > 0) {
+      os << source_name << ":" << d.line << ": ";
+    }
+    os << to_string(d.severity) << ": [" << code_name(d.code) << "] "
+       << d.message << "\n";
+  }
+  return os.str();
+}
+
+std::string render_json(std::span<const Diagnostic> diags) {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const Diagnostic& d : diags) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "  {\"severity\": \"" << to_string(d.severity) << "\", \"code\": \""
+       << code_name(d.code) << "\", \"line\": " << d.line
+       << ", \"message\": \"";
+    json_escape(os, d.message);
+    os << "\"}";
+  }
+  os << (first ? "]" : "\n]");
+  return os.str();
+}
+
+}  // namespace repro::analysis

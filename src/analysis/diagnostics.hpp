@@ -1,0 +1,119 @@
+// Structured diagnostics for the static-analysis subsystem.
+//
+// Everything the analyzers (and the refactored DSL parser) have to say
+// about a stencil program or a tile configuration is a Diagnostic: a
+// severity, a stable machine-readable code ("SL104"), a human message,
+// and — when the complaint is tied to the DSL source text — a 1-based
+// line number. Diagnostics are *collected*, not thrown, so a single
+// lint pass can report every problem at once; callers decide whether
+// errors are fatal. Two renderers are provided: a compiler-style
+// human format and a JSON array for tooling.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace repro::analysis {
+
+enum class Severity : std::uint8_t { kNote, kWarning, kError };
+
+std::string_view to_string(Severity s) noexcept;
+
+// Stable diagnostic codes. Groups follow the pipeline stages:
+//   SL1xx — DSL parsing,
+//   SL2xx — dependence analysis,
+//   SL3xx — tiling / configuration legality (Eqn 31 and friends).
+// Codes are append-only: never renumber, the CLI and docs expose them.
+enum class Code : std::uint16_t {
+  // --- parse ---------------------------------------------------------
+  kParseSyntax = 101,        // malformed token / structure
+  kParseDim = 102,           // missing or out-of-range 'dim'
+  kParseTapBeyondDim = 103,  // tap offset uses an undeclared dimension
+  kParseAsymmetricTaps = 104,  // tap set not closed under negation
+  kParseBodyArity = 105,     // body kind disagrees with the tap count
+  kParseFlopsNonPositive = 106,
+  kParseDuplicateTap = 107,  // warning: same offset listed twice
+  kParseZeroWeightTap = 108,  // warning: tap contributes nothing
+  // --- dependence analysis ------------------------------------------
+  kDepNoTaps = 201,        // stencil has an empty tap set
+  kDepBeyondDim = 202,     // tap uses a dimension beyond 'dim'
+  kDepAsymmetric = 203,    // dependence cone not symmetric
+  kDepAnisotropic = 204,   // note: per-dimension radii differ
+  kDepNoCenter = 205,      // note: no (0,0,0) tap
+  // --- tiling legality ----------------------------------------------
+  kTileTimeOdd = 301,       // tT odd or < 2 (HHC hard requirement)
+  kTileSlope = 302,         // tS1 < radius: slope violates the cone
+  kTileBlockLimit = 303,    // footprint over the 48 KB per-block rule
+  kTileSmCapacity = 304,    // footprint over M_SM entirely
+  kTileWarpAlign = 305,     // tS2 (2D) / tS3 (3D) not a warp multiple
+  kTileLowOccupancy = 306,  // warning: hyper-threading bound k < 2
+  kTileRegisterPressure = 307,  // warning: register-file overflow likely
+  kTilePartial = 308,       // warning: problem size leaves partial tiles
+  kThreadConfig = 309,      // thread block shape illegal / divergent
+  kEnumStep = 310,          // enumeration step not positive
+  kTileExtent = 311,        // non-positive spatial tile extent
+};
+
+// "SL104" etc. — the stable identifier used in output and tests.
+std::string_view code_name(Code c) noexcept;
+
+// One-line description of what the code means (the docs table).
+std::string_view code_summary(Code c) noexcept;
+
+// Every known code, in numeric order (for --list-codes and tests).
+std::span<const Code> all_codes() noexcept;
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  Code code = Code::kParseSyntax;
+  std::string message;
+  int line = 0;  // 1-based DSL source line; 0 = not tied to source
+
+  friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
+};
+
+// Collects diagnostics. Never throws on add; `has_errors()` is the
+// pass/fail verdict a driver consults at the end of a pass.
+class DiagnosticEngine {
+ public:
+  void add(Diagnostic d) { diags_.push_back(std::move(d)); }
+  void note(Code c, std::string message, int line = 0) {
+    add({Severity::kNote, c, std::move(message), line});
+  }
+  void warn(Code c, std::string message, int line = 0) {
+    add({Severity::kWarning, c, std::move(message), line});
+  }
+  void error(Code c, std::string message, int line = 0) {
+    add({Severity::kError, c, std::move(message), line});
+  }
+
+  const std::vector<Diagnostic>& diagnostics() const noexcept {
+    return diags_;
+  }
+  bool empty() const noexcept { return diags_.empty(); }
+  std::size_t size() const noexcept { return diags_.size(); }
+  std::size_t count(Severity s) const noexcept;
+  bool has_errors() const noexcept { return count(Severity::kError) > 0; }
+  bool has_code(Code c) const noexcept;
+  void clear() { diags_.clear(); }
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+// Compiler-style rendering, one diagnostic per line:
+//   <source>:<line>: error: [SL104] tap (1,0) has no mirror tap (-1,0)
+// `source_name` prefixes line-anchored diagnostics ("<config>" is used
+// for line-less ones' positions being omitted entirely).
+std::string render_human(std::span<const Diagnostic> diags,
+                         std::string_view source_name = "<input>");
+
+// JSON array of {severity, code, message, line} objects, stable key
+// order, suitable for tooling. Always valid JSON, even when empty.
+std::string render_json(std::span<const Diagnostic> diags);
+
+}  // namespace repro::analysis

@@ -1,0 +1,51 @@
+#include "analysis/lint.hpp"
+
+#include "stencil/parser.hpp"
+
+namespace repro::analysis {
+
+namespace {
+
+// Dependence + legality stages, shared by both entry points. The
+// parse stage (when any) has already run.
+void lint_parsed(const stencil::StencilDef& def, const LintOptions& opt,
+                 DiagnosticEngine& diags, LintResult* res) {
+  res->cone = analyze_dependences(def, diags);
+  if (opt.ts && opt.hw) {
+    TilingCheckInput in;
+    in.dim = def.dim;
+    in.radius = required_slope(*res->cone);
+    in.ts = *opt.ts;
+    in.hw = *opt.hw;
+    in.def = &def;
+    in.thr = opt.thr;
+    in.problem = opt.problem;
+    in.warp = opt.warp;
+    check_tiling(in, diags);
+  }
+  res->ok = !diags.has_errors();
+}
+
+}  // namespace
+
+LintResult lint_stencil_text(std::string_view text, const LintOptions& opt,
+                             DiagnosticEngine& diags) {
+  LintResult res;
+  res.def = stencil::parse_stencil(text, diags);
+  if (!res.def) {
+    res.ok = false;
+    return res;
+  }
+  lint_parsed(*res.def, opt, diags, &res);
+  return res;
+}
+
+LintResult lint_stencil_def(const stencil::StencilDef& def,
+                            const LintOptions& opt, DiagnosticEngine& diags) {
+  LintResult res;
+  res.def = def;
+  lint_parsed(def, opt, diags, &res);
+  return res;
+}
+
+}  // namespace repro::analysis

@@ -1,0 +1,50 @@
+// The stencil-lint driver: one call that runs the whole static
+// pipeline — parse the DSL text (collecting parse diagnostics instead
+// of throwing), extract the dependence cone, and, when a tile/thread
+// configuration is supplied, check its legality against the hardware.
+// This is what the `stencil-lint` CLI wraps; it is also the
+// recommended front door for services that accept user-submitted
+// stencil programs, because it never throws on bad input.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "analysis/dependence.hpp"
+#include "analysis/diagnostics.hpp"
+#include "analysis/legality.hpp"
+#include "hhc/tile_sizes.hpp"
+#include "model/params.hpp"
+#include "stencil/problem.hpp"
+#include "stencil/stencil.hpp"
+
+namespace repro::analysis {
+
+struct LintOptions {
+  // When set, the tile configuration is legality-checked against
+  // `hw` (which must then also be set).
+  std::optional<hhc::TileSizes> ts;
+  std::optional<hhc::ThreadConfig> thr;
+  std::optional<stencil::ProblemSize> problem;
+  std::optional<model::HardwareParams> hw;
+  std::int64_t warp = 32;
+};
+
+struct LintResult {
+  // Populated when parsing succeeded (even with warnings).
+  std::optional<stencil::StencilDef> def;
+  std::optional<DependenceCone> cone;
+  bool ok = false;  // no error-severity diagnostics anywhere
+};
+
+// Lints a DSL program (and optionally a configuration) from source
+// text. All findings land in `diags`; nothing throws.
+LintResult lint_stencil_text(std::string_view text, const LintOptions& opt,
+                             DiagnosticEngine& diags);
+
+// Same, for an already-parsed or built-in stencil definition.
+LintResult lint_stencil_def(const stencil::StencilDef& def,
+                            const LintOptions& opt, DiagnosticEngine& diags);
+
+}  // namespace repro::analysis

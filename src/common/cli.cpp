@@ -4,8 +4,14 @@
 
 namespace repro {
 
-CliArgs::CliArgs(int argc, const char* const* argv) {
+CliArgs::CliArgs(int argc, const char* const* argv,
+                 std::vector<std::string> bool_flags) {
   if (argc > 0) program_ = argv[0];
+  const auto is_bool = [&bool_flags](const std::string& name) {
+    for (const auto& f : bool_flags)
+      if (f == name) return true;
+    return false;
+  };
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -16,12 +22,20 @@ CliArgs::CliArgs(int argc, const char* const* argv) {
     const auto eq = arg.find('=');
     if (eq != std::string::npos) {
       kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
-    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+    } else if (!is_bool(arg) && i + 1 < argc &&
+               std::string(argv[i + 1]).rfind("--", 0) != 0) {
       kv_[arg] = argv[++i];
     } else {
       kv_[arg] = "";  // bare flag
     }
   }
+}
+
+std::vector<std::string> CliArgs::keys() const {
+  std::vector<std::string> out;
+  out.reserve(kv_.size());
+  for (const auto& [k, v] : kv_) out.push_back(k);
+  return out;
 }
 
 bool CliArgs::has_flag(const std::string& name) const {

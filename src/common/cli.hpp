@@ -11,13 +11,20 @@ namespace repro {
 
 class CliArgs {
  public:
-  CliArgs(int argc, const char* const* argv);
+  // `bool_flags` names options that never take a value: "--flag x"
+  // then leaves x positional instead of consuming it as the value.
+  CliArgs(int argc, const char* const* argv,
+          std::vector<std::string> bool_flags = {});
 
   bool has_flag(const std::string& name) const;
   std::optional<std::string> get(const std::string& name) const;
   std::string get_or(const std::string& name, const std::string& def) const;
   long long get_int_or(const std::string& name, long long def) const;
   double get_double_or(const std::string& name, double def) const;
+
+  // Names of every --flag / --key=value seen, for strict binaries
+  // that want to reject unknown options instead of ignoring them.
+  std::vector<std::string> keys() const;
 
   // Non-flag positional arguments, in order.
   const std::vector<std::string>& positional() const noexcept {

@@ -19,6 +19,11 @@ std::int64_t shared_words_per_tile(int dim, const TileSizes& ts,
   }
 }
 
+std::int64_t tile_pitch(const TileSizes& ts, std::int64_t radius) noexcept {
+  assert(radius >= 1);
+  return 2 * ts.tS1 + radius * ts.tT;
+}
+
 std::int64_t io_words_per_subtile(int dim, const TileSizes& ts,
                                   std::int64_t radius) noexcept {
   assert(dim >= 1 && dim <= 3);

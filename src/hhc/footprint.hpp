@@ -32,6 +32,13 @@ inline std::int64_t shared_bytes_per_tile(int dim, const TileSizes& ts,
   return shared_words_per_tile(dim, ts, radius) * kWordBytes;
 }
 
+// Horizontal period of the two interlocked hexagon families along s1
+// (the denominator of Eqn 5): one family-A and one family-B tile
+// repeat every 2*tS1 + r*tT columns. Shared by the model (wavefront
+// width w), the legality checker (partial-tile divisibility) and the
+// exact schedule, so the three can never disagree.
+std::int64_t tile_pitch(const TileSizes& ts, std::int64_t radius = 1) noexcept;
+
 // Input/output footprint (words) of one tile (1D) or one sub-prism /
 // sub-slab (2D/3D): Eqns 7, 13/18, 24. m_i == m_o for the stencils of
 // the paper, so a single accessor is provided.

@@ -68,7 +68,7 @@ TalgBreakdown talg(const ModelInputs& in, const stencil::ProblemSize& p,
   const std::int64_t w_tile = ts.tS1 + r * (ts.tT - 2);
   out.w_tile = static_cast<double>(w_tile);
   // Eqn 5 / 22: w ~ ceil(S1 / (2 tS1 + r tT)).
-  const std::int64_t w = ceil_div(S1, 2 * ts.tS1 + r * ts.tT);
+  const std::int64_t w = ceil_div(S1, hhc::tile_pitch(ts, r));
   out.w = static_cast<double>(w);
 
   // Inner-dimension factor of the transfer/compute volumes.

@@ -11,8 +11,21 @@ namespace repro::stencil {
 
 namespace {
 
+using analysis::Code;
+
+// Records the diagnostic (when an engine is attached) and throws.
+// Both public APIs funnel every error through here, so the thrown
+// ParseError and the collected Diagnostic always agree on line, code
+// and message.
+[[noreturn]] void fail(analysis::DiagnosticEngine* diags, int line,
+                       Code code, const std::string& msg) {
+  if (diags != nullptr) diags->error(code, msg, line);
+  throw ParseError(line, msg, code);
+}
+
 struct Cursor {
   std::string_view text;
+  analysis::DiagnosticEngine* diags = nullptr;
   std::size_t pos = 0;
   int line = 1;
 
@@ -56,7 +69,8 @@ struct Cursor {
   void expect(char c, const char* what) {
     skip_ws_and_comments();
     if (peek() != c) {
-      throw ParseError(line, std::string("expected '") + c + "' " + what);
+      fail(diags, line, Code::kParseSyntax,
+           std::string("expected '") + c + "' " + what);
     }
     take();
   }
@@ -73,12 +87,15 @@ struct Cursor {
       take();
       any = true;
     }
-    if (!any) throw ParseError(line, std::string("expected number for ") + what);
+    if (!any) {
+      fail(diags, line, Code::kParseSyntax,
+           std::string("expected number for ") + what);
+    }
     const std::string tok(text.substr(start, pos - start));
     char* end = nullptr;
     const double v = std::strtod(tok.c_str(), &end);
     if (end == nullptr || *end != '\0') {
-      throw ParseError(line, "malformed number '" + tok + "'");
+      fail(diags, line, Code::kParseSyntax, "malformed number '" + tok + "'");
     }
     return v;
   }
@@ -86,7 +103,10 @@ struct Cursor {
   long integer(const char* what) {
     const double v = number(what);
     const double r = std::round(v);
-    if (v != r) throw ParseError(line, std::string(what) + " must be integer");
+    if (v != r) {
+      fail(diags, line, Code::kParseSyntax,
+           std::string(what) + " must be integer");
+    }
     return static_cast<long>(r);
   }
 };
@@ -113,8 +133,21 @@ void derive_mix_and_radius(StencilDef* d) {
   }
 }
 
-void check_symmetry(const StencilDef& d, int line) {
-  for (const Tap& t : d.taps) {
+std::string offsets_to_string(const std::array<int, 3>& ds, int dim) {
+  std::string out = "(";
+  for (int i = 0; i < dim; ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(ds[static_cast<std::size_t>(i)]);
+  }
+  return out + ")";
+}
+
+// Symmetry of the tap set under negation, reported at the source line
+// of the first tap whose mirror is missing.
+void check_symmetry(const StencilDef& d, const std::vector<int>& tap_lines,
+                    analysis::DiagnosticEngine* diags) {
+  for (std::size_t i = 0; i < d.taps.size(); ++i) {
+    const Tap& t = d.taps[i];
     bool found = false;
     for (const Tap& u : d.taps) {
       if (u.ds[0] == -t.ds[0] && u.ds[1] == -t.ds[1] && u.ds[2] == -t.ds[2]) {
@@ -123,44 +156,56 @@ void check_symmetry(const StencilDef& d, int line) {
       }
     }
     if (!found) {
-      throw ParseError(line,
-                       "tap offsets must be symmetric (for every tap at a, a "
-                       "tap at -a is required by the tiled executor)");
+      fail(diags, tap_lines[i], Code::kParseAsymmetricTaps,
+           "tap " + offsets_to_string(t.ds, d.dim) + " has no mirror tap " +
+               offsets_to_string({-t.ds[0], -t.ds[1], -t.ds[2]}, d.dim) +
+               " (tap offsets must be symmetric: for every tap at a, a "
+               "tap at -a is required by the tiled executor)");
     }
   }
 }
 
-}  // namespace
-
-StencilDef parse_stencil(std::string_view text) {
-  Cursor c{text};
+StencilDef parse_impl(std::string_view text,
+                      analysis::DiagnosticEngine* diags) {
+  Cursor c{text, diags};
   StencilDef d;
   d.kind = StencilKind::kCustom;
   d.dim = 0;
 
   if (c.word() != "stencil") {
-    throw ParseError(c.line, "expected 'stencil <name> { ... }'");
+    fail(diags, c.line, Code::kParseSyntax,
+         "expected 'stencil <name> { ... }'");
   }
   d.name = c.word();
-  if (d.name.empty()) throw ParseError(c.line, "stencil name missing");
+  if (d.name.empty()) {
+    fail(diags, c.line, Code::kParseSyntax, "stencil name missing");
+  }
   c.expect('{', "after stencil name");
 
   bool saw_dim = false;
+  std::vector<int> tap_lines;
   while (true) {
     c.skip_ws_and_comments();
     if (c.peek() == '}') {
       c.take();
       break;
     }
-    if (c.eof()) throw ParseError(c.line, "unterminated stencil block");
+    if (c.eof()) {
+      fail(diags, c.line, Code::kParseSyntax, "unterminated stencil block");
+    }
     const std::string key = c.word();
     if (key == "dim") {
       const long dim = c.integer("dim");
-      if (dim < 1 || dim > 3) throw ParseError(c.line, "dim must be 1..3");
+      if (dim < 1 || dim > 3) {
+        fail(diags, c.line, Code::kParseDim, "dim must be 1..3");
+      }
       d.dim = static_cast<int>(dim);
       saw_dim = true;
     } else if (key == "tap") {
-      if (!saw_dim) throw ParseError(c.line, "dim must precede taps");
+      if (!saw_dim) {
+        fail(diags, c.line, Code::kParseDim, "dim must precede taps");
+      }
+      const int tap_line = c.line;
       c.expect('(', "before tap offsets");
       Tap tap;
       tap.ds[0] = static_cast<int>(c.integer("tap offset"));
@@ -171,13 +216,33 @@ StencilDef parse_stencil(std::string_view text) {
       }
       c.expect(')', "after tap offsets");
       tap.weight = c.number("tap weight");
+      if (diags != nullptr) {
+        for (const Tap& prev : d.taps) {
+          if (prev.ds == tap.ds) {
+            diags->warn(Code::kParseDuplicateTap,
+                        "tap " + offsets_to_string(tap.ds, d.dim) +
+                            " is listed more than once; weights are summed "
+                            "by the executor but this is usually a typo",
+                        tap_line);
+            break;
+          }
+        }
+        if (tap.weight == 0.0 && d.body != BodyKind::kGradientMagnitude) {
+          diags->warn(Code::kParseZeroWeightTap,
+                      "tap " + offsets_to_string(tap.ds, d.dim) +
+                          " has weight 0 and contributes nothing",
+                      tap_line);
+        }
+      }
       d.taps.push_back(tap);
+      tap_lines.push_back(tap_line);
     } else if (key == "constant") {
       d.constant = c.number("constant");
     } else if (key == "flops") {
       d.flops_per_point = c.number("flops");
       if (d.flops_per_point <= 0.0) {
-        throw ParseError(c.line, "flops must be positive");
+        fail(diags, c.line, Code::kParseFlopsNonPositive,
+             "flops must be positive");
       }
     } else if (key == "body") {
       const std::string body = c.word();
@@ -186,35 +251,60 @@ StencilDef parse_stencil(std::string_view text) {
       } else if (body == "gradient_magnitude") {
         d.body = BodyKind::kGradientMagnitude;
       } else {
-        throw ParseError(c.line, "unknown body kind '" + body + "'");
+        fail(diags, c.line, Code::kParseSyntax,
+             "unknown body kind '" + body + "'");
       }
     } else if (key.empty()) {
-      throw ParseError(c.line, "unexpected character");
+      fail(diags, c.line, Code::kParseSyntax, "unexpected character");
     } else {
-      throw ParseError(c.line, "unknown key '" + key + "'");
+      fail(diags, c.line, Code::kParseSyntax, "unknown key '" + key + "'");
     }
   }
 
   c.skip_ws_and_comments();
-  if (!c.eof()) throw ParseError(c.line, "trailing input after stencil block");
+  if (!c.eof()) {
+    fail(diags, c.line, Code::kParseSyntax,
+         "trailing input after stencil block");
+  }
 
-  if (!saw_dim) throw ParseError(c.line, "missing 'dim'");
-  if (d.taps.empty()) throw ParseError(c.line, "stencil needs at least one tap");
-  for (const Tap& t : d.taps) {
-    for (int i = d.dim; i < 3; ++i) {
-      if (t.ds[static_cast<std::size_t>(i)] != 0) {
-        throw ParseError(c.line, "tap uses a dimension beyond 'dim'");
+  if (!saw_dim) fail(diags, c.line, Code::kParseDim, "missing 'dim'");
+  if (d.taps.empty()) {
+    fail(diags, c.line, Code::kDepNoTaps,
+         "stencil needs at least one tap");
+  }
+  for (std::size_t i = 0; i < d.taps.size(); ++i) {
+    const Tap& t = d.taps[i];
+    for (int j = d.dim; j < 3; ++j) {
+      if (t.ds[static_cast<std::size_t>(j)] != 0) {
+        fail(diags, tap_lines[i], Code::kParseTapBeyondDim,
+             "tap " + offsets_to_string(t.ds, 3) +
+                 " uses a dimension beyond 'dim'");
       }
     }
   }
-  check_symmetry(d, c.line);
+  check_symmetry(d, tap_lines, diags);
   if (d.body == BodyKind::kGradientMagnitude && d.taps.size() != 4) {
-    throw ParseError(c.line,
-                     "gradient_magnitude bodies need exactly four taps "
-                     "(two +/- difference pairs)");
+    fail(diags, c.line, Code::kParseBodyArity,
+         "gradient_magnitude bodies need exactly four taps "
+         "(two +/- difference pairs)");
   }
   derive_mix_and_radius(&d);
   return d;
+}
+
+}  // namespace
+
+StencilDef parse_stencil(std::string_view text) {
+  return parse_impl(text, nullptr);
+}
+
+std::optional<StencilDef> parse_stencil(std::string_view text,
+                                        analysis::DiagnosticEngine& diags) {
+  try {
+    return parse_impl(text, &diags);
+  } catch (const ParseError&) {
+    return std::nullopt;  // already recorded by fail()
+  }
 }
 
 StencilDef parse_stencil_file(const std::string& path) {
@@ -223,6 +313,19 @@ StencilDef parse_stencil_file(const std::string& path) {
   std::ostringstream os;
   os << in.rdbuf();
   return parse_stencil(os.str());
+}
+
+std::optional<StencilDef> parse_stencil_file(
+    const std::string& path, analysis::DiagnosticEngine& diags) {
+  std::ifstream in(path);
+  if (!in) {
+    diags.error(analysis::Code::kParseSyntax,
+                "cannot open stencil file: " + path);
+    return std::nullopt;
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  return parse_stencil(os.str(), diags);
 }
 
 }  // namespace repro::stencil

@@ -24,26 +24,39 @@
 // The dependence radius and the instruction mix are derived from the
 // taps, so parsed stencils flow through the executors, the model and
 // the simulator exactly like the built-in catalogue.
+//
+// Two error-reporting styles are offered:
+//   * the legacy API throws ParseError (now carrying a stable
+//     analysis::Code) at the first problem;
+//   * the diagnostic API records structured diagnostics — including
+//     non-fatal warnings the throwing API cannot surface — into an
+//     analysis::DiagnosticEngine and returns nullopt on failure.
 #pragma once
 
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
 
+#include "analysis/diagnostics.hpp"
 #include "stencil/stencil.hpp"
 
 namespace repro::stencil {
 
 class ParseError : public std::runtime_error {
  public:
-  ParseError(int line, const std::string& message)
+  ParseError(int line, const std::string& message,
+             analysis::Code code = analysis::Code::kParseSyntax)
       : std::runtime_error("line " + std::to_string(line) + ": " + message),
-        line_(line) {}
+        line_(line),
+        code_(code) {}
 
   int line() const noexcept { return line_; }
+  analysis::Code code() const noexcept { return code_; }
 
  private:
   int line_;
+  analysis::Code code_;
 };
 
 // Parses exactly one stencil definition from `text`.
@@ -52,5 +65,13 @@ StencilDef parse_stencil(std::string_view text);
 
 // Reads `path` and parses its contents.
 StencilDef parse_stencil_file(const std::string& path);
+
+// Diagnostic-collecting variants: parse problems (and lint-grade
+// warnings such as duplicate or zero-weight taps) are appended to
+// `diags`; returns nullopt when an error made the text unusable.
+std::optional<StencilDef> parse_stencil(std::string_view text,
+                                        analysis::DiagnosticEngine& diags);
+std::optional<StencilDef> parse_stencil_file(
+    const std::string& path, analysis::DiagnosticEngine& diags);
 
 }  // namespace repro::stencil

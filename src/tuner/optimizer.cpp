@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "analysis/legality.hpp"
 #include "common/rng.hpp"
 #include "gpusim/timing.hpp"
 #include "hhc/footprint.hpp"
@@ -14,8 +15,9 @@ namespace {
 
 double talg_of(const model::ModelInputs& in, const stencil::ProblemSize& p,
                const hhc::TileSizes& ts) {
-  if (!model::tile_fits(p.dim, ts, in.hw, in.radius) ||
-      ts.tS1 < in.radius) {
+  // Same Eqn 31 feasibility the enumerator and stencil-lint use —
+  // infeasible points price as +inf instead of being modeled.
+  if (!analysis::eqn31_feasible(p.dim, ts, in.hw, in.radius)) {
     return std::numeric_limits<double>::infinity();
   }
   return model::talg_auto_k(in, p, ts).talg;
@@ -154,6 +156,7 @@ SolverResult anneal_talg(const model::ModelInputs& in,
                          const stencil::ProblemSize& p,
                          const EnumOptions& bounds, std::uint64_t seed,
                          int iterations) {
+  validate_enum_options(bounds);  // the neighbor moves divide by steps
   Rng rng(seed);
   const int dim = p.dim;
 

@@ -2,27 +2,45 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 #include <tuple>
 
+#include "analysis/legality.hpp"
 #include "hhc/footprint.hpp"
 
 namespace repro::tuner {
 
-namespace {
-
-bool fits_block_limit(int dim, const hhc::TileSizes& ts,
-                      const model::HardwareParams& hw, std::int64_t radius) {
-  return hhc::shared_words_per_tile(dim, ts, radius) <=
-         hw.max_shared_words_per_block;
+void validate_enum_options(const EnumOptions& opt) {
+  const auto check = [](const char* name, std::int64_t v) {
+    if (v <= 0) {
+      throw std::invalid_argument(
+          std::string("[") +
+          std::string(analysis::code_name(analysis::Code::kEnumStep)) +
+          "] EnumOptions." + name + " must be positive, got " +
+          std::to_string(v) + " (a non-positive step never advances the "
+          "enumeration and would loop forever)");
+    }
+  };
+  check("tT_step", opt.tT_step);
+  check("tS1_step", opt.tS1_step);
+  check("tS2_step", opt.tS2_step);
+  check("tS3_step", opt.tS3_step);
 }
-
-}  // namespace
 
 std::vector<hhc::TileSizes> enumerate_feasible(int dim,
                                                const model::HardwareParams& hw,
                                                const EnumOptions& opt,
                                                std::int64_t radius) {
   assert(dim >= 1 && dim <= 3);
+  validate_enum_options(opt);
+  // Feasibility is delegated to the analysis subsystem so the
+  // enumerator, the optimizer and stencil-lint share one definition
+  // of Eqn 31 (the lattice below already guarantees the shape
+  // constraints; the predicate re-checks them and adds the
+  // shared-memory capacity bounds).
+  const auto feasible = [&](const hhc::TileSizes& ts) {
+    return analysis::eqn31_feasible(dim, ts, hw, radius);
+  };
   std::vector<hhc::TileSizes> out;
   for (std::int64_t tT = 2; tT <= opt.tT_max; tT += opt.tT_step) {
     if (tT % 2 != 0) continue;
@@ -30,20 +48,20 @@ std::vector<hhc::TileSizes> enumerate_feasible(int dim,
          tS1 += opt.tS1_step) {
       if (dim == 1) {
         hhc::TileSizes ts{.tT = tT, .tS1 = tS1, .tS2 = 1, .tS3 = 1};
-        if (fits_block_limit(dim, ts, hw, radius)) out.push_back(ts);
+        if (feasible(ts)) out.push_back(ts);
         continue;
       }
       for (std::int64_t tS2 = opt.tS2_step; tS2 <= opt.tS2_max;
            tS2 += opt.tS2_step) {
         if (dim == 2) {
           hhc::TileSizes ts{.tT = tT, .tS1 = tS1, .tS2 = tS2, .tS3 = 1};
-          if (fits_block_limit(dim, ts, hw, radius)) out.push_back(ts);
+          if (feasible(ts)) out.push_back(ts);
           continue;
         }
         for (std::int64_t tS3 = opt.tS3_step; tS3 <= opt.tS3_max;
              tS3 += opt.tS3_step) {
           hhc::TileSizes ts{.tT = tT, .tS1 = tS1, .tS2 = tS2, .tS3 = tS3};
-          if (fits_block_limit(dim, ts, hw, radius)) out.push_back(ts);
+          if (feasible(ts)) out.push_back(ts);
         }
       }
     }

@@ -28,6 +28,12 @@ struct EnumOptions {
   std::int64_t tS1_step = 1;
 };
 
+// Rejects step values that can never advance the enumeration (zero or
+// negative — previously an infinite-loop hazard). Throws
+// std::invalid_argument tagged with diagnostic code SL310. Called by
+// every entry point that walks the lattice.
+void validate_enum_options(const EnumOptions& opt);
+
 // All tile sizes satisfying Eqn 31's resource constraints:
 //   M_tile <= M_SM / threadblock-limit (48 KB rule),
 //   tT even, tS1 integer, tS2 (2D) / tS3 (3D) multiples of 32.

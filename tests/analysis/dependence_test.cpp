@@ -1,0 +1,101 @@
+#include "analysis/dependence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stencil/stencil.hpp"
+
+namespace repro::analysis {
+namespace {
+
+using stencil::StencilDef;
+using stencil::Tap;
+
+StencilDef make_def(int dim, std::vector<Tap> taps) {
+  StencilDef d;
+  d.kind = stencil::StencilKind::kCustom;
+  d.name = "test";
+  d.dim = dim;
+  d.taps = std::move(taps);
+  return d;
+}
+
+TEST(Dependence, ExtractsPerDimensionRadii) {
+  const StencilDef d = make_def(
+      2, {Tap{{0, 0, 0}, 0.2}, Tap{{2, 0, 0}, 0.2}, Tap{{-2, 0, 0}, 0.2},
+          Tap{{0, 1, 0}, 0.2}, Tap{{0, -1, 0}, 0.2}});
+  DiagnosticEngine e;
+  const DependenceCone cone = analyze_dependences(d, e);
+  EXPECT_EQ(cone.dim, 2);
+  EXPECT_EQ(cone.radius[0], 2);
+  EXPECT_EQ(cone.radius[1], 1);
+  EXPECT_EQ(cone.radius[2], 0);
+  EXPECT_EQ(cone.max_radius, 2);
+  EXPECT_TRUE(cone.symmetric);
+  EXPECT_TRUE(cone.has_center);
+  EXPECT_EQ(required_slope(cone), 2);
+  EXPECT_FALSE(e.has_errors());
+  // Anisotropic radii are worth a note, not an error.
+  EXPECT_TRUE(e.has_code(Code::kDepAnisotropic));
+}
+
+TEST(Dependence, CatalogueStencilsAreClean) {
+  for (const StencilDef& d : stencil::all_stencils()) {
+    DiagnosticEngine e;
+    const DependenceCone cone = analyze_dependences(d, e);
+    EXPECT_FALSE(e.has_errors()) << d.name;
+    EXPECT_TRUE(cone.symmetric) << d.name;
+    EXPECT_EQ(cone.max_radius, d.radius) << d.name;
+  }
+}
+
+TEST(Dependence, DiagnosesAsymmetricTapSet) {
+  const StencilDef d =
+      make_def(1, {Tap{{0, 0, 0}, 0.5}, Tap{{1, 0, 0}, 0.5}});
+  DiagnosticEngine e;
+  const DependenceCone cone = analyze_dependences(d, e);
+  EXPECT_FALSE(cone.symmetric);
+  EXPECT_TRUE(e.has_errors());
+  EXPECT_TRUE(e.has_code(Code::kDepAsymmetric));
+  // The message names the offending tap and its missing mirror.
+  bool found = false;
+  for (const Diagnostic& diag : e.diagnostics()) {
+    if (diag.code == Code::kDepAsymmetric &&
+        diag.message.find("(1)") != std::string::npos &&
+        diag.message.find("(-1)") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Dependence, DiagnosesTapBeyondDim) {
+  const StencilDef d =
+      make_def(1, {Tap{{0, 1, 0}, 0.5}, Tap{{0, -1, 0}, 0.5}});
+  DiagnosticEngine e;
+  analyze_dependences(d, e);
+  EXPECT_TRUE(e.has_code(Code::kDepBeyondDim));
+  EXPECT_TRUE(e.has_errors());
+}
+
+TEST(Dependence, DiagnosesEmptyTapSet) {
+  const StencilDef d = make_def(2, {});
+  DiagnosticEngine e;
+  const DependenceCone cone = analyze_dependences(d, e);
+  EXPECT_TRUE(e.has_code(Code::kDepNoTaps));
+  EXPECT_EQ(cone.tap_count, 0u);
+  // Radius still defaults to the model's minimum of 1.
+  EXPECT_EQ(required_slope(cone), 1);
+}
+
+TEST(Dependence, NotesMissingCenterTap) {
+  const StencilDef d =
+      make_def(1, {Tap{{1, 0, 0}, 0.5}, Tap{{-1, 0, 0}, 0.5}});
+  DiagnosticEngine e;
+  const DependenceCone cone = analyze_dependences(d, e);
+  EXPECT_FALSE(cone.has_center);
+  EXPECT_TRUE(e.has_code(Code::kDepNoCenter));
+  EXPECT_FALSE(e.has_errors());
+}
+
+}  // namespace
+}  // namespace repro::analysis

@@ -1,0 +1,84 @@
+#include "analysis/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace repro::analysis {
+namespace {
+
+TEST(Diagnostics, EngineCollectsAndCounts) {
+  DiagnosticEngine e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_FALSE(e.has_errors());
+
+  e.note(Code::kDepNoCenter, "fyi");
+  e.warn(Code::kTileLowOccupancy, "careful", 0);
+  e.error(Code::kParseSyntax, "boom", 3);
+
+  EXPECT_EQ(e.size(), 3u);
+  EXPECT_EQ(e.count(Severity::kNote), 1u);
+  EXPECT_EQ(e.count(Severity::kWarning), 1u);
+  EXPECT_EQ(e.count(Severity::kError), 1u);
+  EXPECT_TRUE(e.has_errors());
+  EXPECT_TRUE(e.has_code(Code::kParseSyntax));
+  EXPECT_FALSE(e.has_code(Code::kTileSlope));
+  EXPECT_EQ(e.diagnostics()[2].line, 3);
+
+  e.clear();
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Diagnostics, CodeNamesAreStableAndUnique) {
+  std::set<std::string> names;
+  for (const Code c : all_codes()) {
+    const std::string name(code_name(c));
+    EXPECT_EQ(name.substr(0, 2), "SL");
+    EXPECT_EQ(name.size(), 5u);
+    EXPECT_TRUE(names.insert(name).second) << name << " duplicated";
+    EXPECT_FALSE(code_summary(c).empty());
+  }
+  // The acceptance-critical codes exist under their documented names.
+  EXPECT_EQ(code_name(Code::kParseAsymmetricTaps), "SL104");
+  EXPECT_EQ(code_name(Code::kTileSlope), "SL302");
+  EXPECT_EQ(code_name(Code::kTileBlockLimit), "SL303");
+  EXPECT_EQ(code_name(Code::kTileWarpAlign), "SL305");
+  EXPECT_EQ(code_name(Code::kEnumStep), "SL310");
+}
+
+TEST(Diagnostics, HumanRenderingIsCompilerStyle) {
+  DiagnosticEngine e;
+  e.error(Code::kParseSyntax, "unknown key 'frobnicate'", 3);
+  e.warn(Code::kTileLowOccupancy, "k=1");
+  const std::string out = render_human(e.diagnostics(), "foo.stencil");
+  EXPECT_NE(out.find("foo.stencil:3: error: [SL101] unknown key"),
+            std::string::npos);
+  // Line-less diagnostics omit the source position.
+  EXPECT_NE(out.find("warning: [SL306] k=1"), std::string::npos);
+  EXPECT_EQ(out.find("foo.stencil:0"), std::string::npos);
+}
+
+TEST(Diagnostics, JsonRenderingIsWellFormed) {
+  DiagnosticEngine e;
+  EXPECT_EQ(render_json(e.diagnostics()), "[]");
+
+  e.error(Code::kTileBlockLimit, "a \"quoted\"\nmessage", 7);
+  const std::string out = render_json(e.diagnostics());
+  EXPECT_NE(out.find("\"code\": \"SL303\""), std::string::npos);
+  EXPECT_NE(out.find("\"severity\": \"error\""), std::string::npos);
+  EXPECT_NE(out.find("\"line\": 7"), std::string::npos);
+  EXPECT_NE(out.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(out.find("\\n"), std::string::npos);
+  // No raw newline inside the escaped message.
+  EXPECT_EQ(out.find("a \"quoted\""), std::string::npos);
+}
+
+TEST(Diagnostics, SeverityNames) {
+  EXPECT_EQ(to_string(Severity::kNote), "note");
+  EXPECT_EQ(to_string(Severity::kWarning), "warning");
+  EXPECT_EQ(to_string(Severity::kError), "error");
+}
+
+}  // namespace
+}  // namespace repro::analysis

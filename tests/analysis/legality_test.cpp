@@ -1,0 +1,167 @@
+#include "analysis/legality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gpusim/device.hpp"
+#include "hhc/footprint.hpp"
+#include "model/talg.hpp"
+#include "stencil/stencil.hpp"
+
+namespace repro::analysis {
+namespace {
+
+model::HardwareParams hw() { return gpusim::gtx980().to_model_hardware(); }
+
+TilingCheckInput base_input() {
+  TilingCheckInput in;
+  in.dim = 2;
+  in.radius = 1;
+  in.ts = {.tT = 4, .tS1 = 8, .tS2 = 32, .tS3 = 1};
+  in.hw = hw();
+  return in;
+}
+
+TEST(Legality, CleanConfigurationPasses) {
+  DiagnosticEngine e;
+  EXPECT_TRUE(check_tiling(base_input(), e));
+  EXPECT_FALSE(e.has_errors());
+}
+
+TEST(Legality, OddTimeTileIsSL301) {
+  auto in = base_input();
+  in.ts.tT = 3;
+  DiagnosticEngine e;
+  EXPECT_FALSE(check_tiling(in, e));
+  EXPECT_TRUE(e.has_code(Code::kTileTimeOdd));
+  EXPECT_FALSE(eqn31_feasible(in.dim, in.ts, in.hw, in.radius));
+}
+
+TEST(Legality, SlopeViolationIsSL302) {
+  auto in = base_input();
+  in.radius = 2;
+  in.ts.tS1 = 1;
+  DiagnosticEngine e;
+  EXPECT_FALSE(check_tiling(in, e));
+  EXPECT_TRUE(e.has_code(Code::kTileSlope));
+  EXPECT_FALSE(eqn31_feasible(in.dim, in.ts, in.hw, in.radius));
+}
+
+TEST(Legality, FootprintOverBlockLimitIsSL303) {
+  auto in = base_input();
+  in.ts = {.tT = 2, .tS1 = 96, .tS2 = 512, .tS3 = 1};
+  ASSERT_GT(hhc::shared_words_per_tile(2, in.ts, 1),
+            in.hw.max_shared_words_per_block);
+  DiagnosticEngine e;
+  EXPECT_FALSE(check_tiling(in, e));
+  EXPECT_TRUE(e.has_code(Code::kTileBlockLimit));
+  // This one also exceeds M_SM entirely.
+  EXPECT_TRUE(e.has_code(Code::kTileSmCapacity));
+  EXPECT_FALSE(eqn31_feasible(in.dim, in.ts, in.hw, in.radius));
+}
+
+TEST(Legality, NonWarpAlignedInnerExtentIsSL305) {
+  auto in = base_input();
+  in.ts.tS2 = 48;
+  DiagnosticEngine e;
+  EXPECT_FALSE(check_tiling(in, e));
+  EXPECT_TRUE(e.has_code(Code::kTileWarpAlign));
+  // ... but warp alignment is a lattice property, not an Eqn 31
+  // resource bound: the enumerator guarantees it by stepping.
+  EXPECT_TRUE(eqn31_feasible(in.dim, in.ts, in.hw, in.radius));
+
+  auto in3 = base_input();
+  in3.dim = 3;
+  in3.ts = {.tT = 2, .tS1 = 4, .tS2 = 8, .tS3 = 48};
+  DiagnosticEngine e3;
+  EXPECT_FALSE(check_tiling(in3, e3));
+  EXPECT_TRUE(e3.has_code(Code::kTileWarpAlign));
+}
+
+TEST(Legality, NonPositiveExtentIsSL311) {
+  auto in = base_input();
+  in.ts.tS2 = 0;
+  DiagnosticEngine e;
+  EXPECT_FALSE(check_tiling(in, e));
+  EXPECT_TRUE(e.has_code(Code::kTileExtent));
+  EXPECT_FALSE(eqn31_feasible(in.dim, in.ts, in.hw, in.radius));
+}
+
+TEST(Legality, LowOccupancyIsAWarningNotAnError) {
+  // On the paper's devices the 48 KB rule forces k >= 2; craft a
+  // device whose per-block limit equals M_SM so k = 1 is reachable.
+  auto in = base_input();
+  in.hw.max_shared_words_per_block = in.hw.shared_words_per_sm;
+  in.ts = {.tT = 2, .tS1 = 96, .tS2 = 96, .tS3 = 1};
+  const std::int64_t m = hhc::shared_words_per_tile(2, in.ts, 1);
+  ASSERT_GT(m, in.hw.shared_words_per_sm / 2);
+  ASSERT_LE(m, in.hw.shared_words_per_sm);
+  DiagnosticEngine e;
+  EXPECT_TRUE(check_tiling(in, e));  // warnings do not fail the check
+  EXPECT_TRUE(e.has_code(Code::kTileLowOccupancy));
+  EXPECT_EQ(hyperthreading_bound(in.dim, in.ts, in.hw, in.radius), 1);
+}
+
+TEST(Legality, RegisterPressureIsSL307) {
+  auto in = base_input();
+  in.hw.regs_per_sm = 1024;  // tiny register file provokes the estimate
+  in.def = &stencil::get_stencil(stencil::StencilKind::kJacobi2D);
+  in.thr = hhc::ThreadConfig{64, 1, 1};
+  in.ts = {.tT = 4, .tS1 = 32, .tS2 = 32, .tS3 = 1};
+  DiagnosticEngine e;
+  EXPECT_TRUE(check_tiling(in, e));
+  EXPECT_TRUE(e.has_code(Code::kTileRegisterPressure));
+}
+
+TEST(Legality, PartialTilesAreSL308Warnings) {
+  auto in = base_input();
+  in.problem = stencil::ProblemSize{.dim = 2, .S = {1000, 1000, 0}, .T = 100};
+  // pitch = 2*8 + 4 = 20 divides 1000; tS2 = 32 does not divide 1000.
+  DiagnosticEngine e;
+  EXPECT_TRUE(check_tiling(in, e));
+  EXPECT_TRUE(e.has_code(Code::kTilePartial));
+
+  // A perfectly dividing problem stays quiet.
+  auto in2 = base_input();
+  in2.problem = stencil::ProblemSize{.dim = 2, .S = {1000, 960, 0}, .T = 100};
+  DiagnosticEngine e2;
+  EXPECT_TRUE(check_tiling(in2, e2));
+  EXPECT_FALSE(e2.has_code(Code::kTilePartial));
+}
+
+TEST(Legality, ThreadConfigChecksAreSL309) {
+  auto in = base_input();
+  in.thr = hhc::ThreadConfig{64, 8, 4};  // 2048 threads
+  DiagnosticEngine e;
+  EXPECT_FALSE(check_tiling(in, e));
+  EXPECT_TRUE(e.has_code(Code::kThreadConfig));
+
+  auto in2 = base_input();
+  in2.thr = hhc::ThreadConfig{48, 1, 1};  // partial warp: warning only
+  DiagnosticEngine e2;
+  EXPECT_TRUE(check_tiling(in2, e2));
+  EXPECT_TRUE(e2.has_code(Code::kThreadConfig));
+}
+
+TEST(Legality, Eqn31AgreesWithTheModelsTileFits) {
+  // For every lattice-legal shape the analysis predicate and the
+  // model's shared-memory notion of fitting must agree — one source
+  // of truth (plus the tS1 >= r slope bound the model checks at its
+  // call sites).
+  const auto hardware = hw();
+  for (std::int64_t r : {1, 2}) {
+    for (std::int64_t tT = 2; tT <= 32; tT += 2) {
+      for (std::int64_t tS1 = r; tS1 <= 64; tS1 += 7) {
+        for (std::int64_t tS2 = 32; tS2 <= 512; tS2 += 96) {
+          const hhc::TileSizes ts{.tT = tT, .tS1 = tS1, .tS2 = tS2,
+                                  .tS3 = 1};
+          EXPECT_EQ(eqn31_feasible(2, ts, hardware, r),
+                    model::tile_fits(2, ts, hardware, r) && ts.tS1 >= r)
+              << ts.to_string() << " r=" << r;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace repro::analysis

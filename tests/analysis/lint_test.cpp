@@ -1,0 +1,153 @@
+#include "analysis/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/diagnostics.hpp"
+#include "gpusim/device.hpp"
+
+namespace repro::analysis {
+namespace {
+
+model::HardwareParams hw() { return gpusim::gtx980().to_model_hardware(); }
+
+constexpr const char* kGoodSpec = R"(
+stencil Lint2D {
+  dim 2
+  tap (0,0)   0.2
+  tap (-1,0)  0.2
+  tap (1,0)   0.2
+  tap (0,-1)  0.2
+  tap (0,1)   0.2
+}
+)";
+
+constexpr const char* kWideSpec = R"(
+stencil Wide1D {
+  dim 1
+  tap (-2) 0.25
+  tap (0)  0.5
+  tap (2)  0.25
+}
+)";
+
+TEST(Lint, CleanProgramAndConfigurationPass) {
+  LintOptions opt;
+  opt.ts = hhc::TileSizes{.tT = 4, .tS1 = 8, .tS2 = 32, .tS3 = 1};
+  opt.hw = hw();
+  DiagnosticEngine e;
+  const LintResult res = lint_stencil_text(kGoodSpec, opt, e);
+  EXPECT_TRUE(res.ok);
+  ASSERT_TRUE(res.def.has_value());
+  ASSERT_TRUE(res.cone.has_value());
+  EXPECT_EQ(res.cone->max_radius, 1);
+  EXPECT_FALSE(e.has_errors());
+}
+
+// The four acceptance scenarios of the lint subsystem: each must
+// produce an error diagnostic with a stable code (and, where the
+// problem lives in the source text, its line).
+
+TEST(Lint, AsymmetricTapsAreSL104WithLine) {
+  DiagnosticEngine e;
+  const LintResult res = lint_stencil_text(R"(stencil Bad {
+  dim 1
+  tap (0) 0.5
+  tap (1) 0.5
+})",
+                                           {}, e);
+  EXPECT_FALSE(res.ok);
+  EXPECT_FALSE(res.def.has_value());
+  ASSERT_TRUE(e.has_code(Code::kParseAsymmetricTaps));
+  for (const Diagnostic& d : e.diagnostics()) {
+    if (d.code == Code::kParseAsymmetricTaps) {
+      EXPECT_EQ(d.severity, Severity::kError);
+      EXPECT_EQ(d.line, 4);  // the tap without a mirror
+    }
+  }
+}
+
+TEST(Lint, SlopeIllegalTileIsSL302) {
+  LintOptions opt;
+  opt.ts = hhc::TileSizes{.tT = 4, .tS1 = 1, .tS2 = 1, .tS3 = 1};
+  opt.hw = hw();
+  DiagnosticEngine e;
+  const LintResult res = lint_stencil_text(kWideSpec, opt, e);
+  EXPECT_FALSE(res.ok);
+  EXPECT_TRUE(e.has_code(Code::kTileSlope));
+}
+
+TEST(Lint, FootprintOver48KBIsSL303) {
+  LintOptions opt;
+  opt.ts = hhc::TileSizes{.tT = 2, .tS1 = 96, .tS2 = 512, .tS3 = 1};
+  opt.hw = hw();
+  DiagnosticEngine e;
+  const LintResult res = lint_stencil_text(kGoodSpec, opt, e);
+  EXPECT_FALSE(res.ok);
+  EXPECT_TRUE(e.has_code(Code::kTileBlockLimit));
+}
+
+TEST(Lint, NonWarpAlignedExtentIsSL305) {
+  LintOptions opt;
+  opt.ts = hhc::TileSizes{.tT = 4, .tS1 = 8, .tS2 = 40, .tS3 = 1};
+  opt.hw = hw();
+  DiagnosticEngine e;
+  const LintResult res = lint_stencil_text(kGoodSpec, opt, e);
+  EXPECT_FALSE(res.ok);
+  EXPECT_TRUE(e.has_code(Code::kTileWarpAlign));
+}
+
+TEST(Lint, RadiusFlowsFromTapsToLegality) {
+  // The radius-2 stencil makes tS1 = 1 illegal but tS1 = 2 legal.
+  LintOptions opt;
+  opt.ts = hhc::TileSizes{.tT = 4, .tS1 = 2, .tS2 = 1, .tS3 = 1};
+  opt.hw = hw();
+  DiagnosticEngine e;
+  const LintResult res = lint_stencil_text(kWideSpec, opt, e);
+  EXPECT_TRUE(res.ok);
+  ASSERT_TRUE(res.cone.has_value());
+  EXPECT_EQ(res.cone->max_radius, 2);
+}
+
+TEST(Lint, DefEntryPointWorksOnCatalogue) {
+  LintOptions opt;
+  opt.ts = hhc::TileSizes{.tT = 4, .tS1 = 8, .tS2 = 32, .tS3 = 1};
+  opt.thr = hhc::ThreadConfig{64, 2, 1};
+  opt.problem =
+      stencil::ProblemSize{.dim = 2, .S = {4096, 4096, 0}, .T = 1024};
+  opt.hw = hw();
+  for (const stencil::StencilDef& d : stencil::all_stencils()) {
+    if (d.dim != 2) continue;
+    DiagnosticEngine e;
+    const LintResult res = lint_stencil_def(d, opt, e);
+    EXPECT_FALSE(e.has_errors()) << d.name << "\n"
+                                 << render_human(e.diagnostics());
+    EXPECT_TRUE(res.ok) << d.name;
+  }
+}
+
+TEST(Lint, ParserWarningsSurfaceThroughLint) {
+  DiagnosticEngine e;
+  const LintResult res = lint_stencil_text(R"(stencil Dup {
+  dim 1
+  tap (0) 0.5
+  tap (0) 0.25
+  tap (1) 0.0
+  tap (-1) 0.25
+})",
+                                           {}, e);
+  EXPECT_TRUE(res.ok);  // warnings only
+  EXPECT_TRUE(e.has_code(Code::kParseDuplicateTap));
+  EXPECT_TRUE(e.has_code(Code::kParseZeroWeightTap));
+  EXPECT_EQ(e.count(Severity::kError), 0u);
+}
+
+TEST(Lint, JsonOutputCarriesCodesAndLines) {
+  DiagnosticEngine e;
+  lint_stencil_text("stencil X {\n dim 2\n frobnicate 3\n}", {}, e);
+  const std::string json = render_json(e.diagnostics());
+  EXPECT_NE(json.find("\"code\": \"SL101\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace repro::analysis

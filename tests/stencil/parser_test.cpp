@@ -4,7 +4,9 @@
 
 #include <cstdio>
 #include <fstream>
+#include <string>
 
+#include "analysis/diagnostics.hpp"
 #include "hhc/tiled_executor.hpp"
 #include "stencil/reference.hpp"
 
@@ -162,6 +164,126 @@ TEST(Parser, ErrorTrailingInput) {
 TEST(Parser, ErrorNonIntegerOffset) {
   EXPECT_THROW(parse_stencil("stencil X { dim 1\n tap (0.5) 1.0 }"),
                ParseError);
+}
+
+// --- error-path details: line numbers and stable diagnostic codes ----
+
+TEST(Parser, ErrorLineNumbersPointAtTheProblem) {
+  // Line 1: header. Line 3: the bad dim.
+  try {
+    parse_stencil("stencil X {\n\n dim 7\n}");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_EQ(e.code(), analysis::Code::kParseDim);
+  }
+  // The asymmetric-tap error points at the tap lacking a mirror, not
+  // at the end of the block.
+  try {
+    parse_stencil("stencil X {\n dim 1\n tap (0) 0.5\n tap (1) 0.5\n}");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 4);
+    EXPECT_EQ(e.code(), analysis::Code::kParseAsymmetricTaps);
+  }
+  // A tap with more offsets than 'dim' never reaches the semantic
+  // checks: the parser reads exactly dim offsets and trips on the
+  // extra comma, still at the offending line. (Out-of-dim offsets on
+  // hand-built defs are the dependence analyzer's SL202.)
+  try {
+    parse_stencil("stencil X {\n dim 2\n tap (0,0) 1.0\n tap (0,0,1) 0.0\n}");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 4);
+    EXPECT_EQ(e.code(), analysis::Code::kParseSyntax);
+  }
+}
+
+TEST(Parser, ErrorMalformedBodyKind) {
+  try {
+    parse_stencil("stencil X {\n dim 2\n body frob\n}");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_EQ(e.code(), analysis::Code::kParseSyntax);
+    EXPECT_NE(std::string(e.what()).find("frob"), std::string::npos);
+  }
+}
+
+TEST(Parser, ErrorNonPositiveFlops) {
+  try {
+    parse_stencil("stencil X {\n dim 1\n tap (0) 1.0\n flops -3\n}");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.code(), analysis::Code::kParseFlopsNonPositive);
+  }
+}
+
+TEST(Parser, ErrorGradientArityCode) {
+  try {
+    parse_stencil(
+        "stencil X {\n dim 2\n body gradient_magnitude\n"
+        " tap (1,0) 0.5\n tap (-1,0) -0.5\n}");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.code(), analysis::Code::kParseBodyArity);
+  }
+}
+
+// --- the diagnostic-collecting API -----------------------------------
+
+TEST(Parser, DiagnosticApiCollectsInsteadOfThrowing) {
+  analysis::DiagnosticEngine diags;
+  const auto d = parse_stencil("stencil X {\n dim 2\n frobnicate 3\n}", diags);
+  EXPECT_FALSE(d.has_value());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags.diagnostics()[0].severity, analysis::Severity::kError);
+  EXPECT_EQ(diags.diagnostics()[0].code, analysis::Code::kParseSyntax);
+  EXPECT_EQ(diags.diagnostics()[0].line, 3);
+}
+
+TEST(Parser, DiagnosticApiAgreesWithThrowingApi) {
+  const char* bad_inputs[] = {
+      "stencil X { tap (0) 1.0 }",
+      "stencil X { dim 4 }",
+      "stencil X { dim 2 }",
+      "stencil X {\n dim 1\n tap (0) 0.5\n tap (1) 0.5\n}",
+      "stencil X { dim 2\n tap (0,0) 1.0",
+      "stencil X { dim 1\n tap (0.5) 1.0 }",
+  };
+  for (const char* text : bad_inputs) {
+    analysis::DiagnosticEngine diags;
+    EXPECT_FALSE(parse_stencil(text, diags).has_value()) << text;
+    try {
+      parse_stencil(text);
+      FAIL() << "expected ParseError for: " << text;
+    } catch (const ParseError& e) {
+      ASSERT_TRUE(diags.has_errors()) << text;
+      const analysis::Diagnostic& d = diags.diagnostics().back();
+      EXPECT_EQ(d.line, e.line()) << text;
+      EXPECT_EQ(d.code, e.code()) << text;
+      EXPECT_NE(std::string(e.what()).find(d.message), std::string::npos)
+          << text;
+    }
+  }
+}
+
+TEST(Parser, DiagnosticApiEmitsWarningsOnSuccess) {
+  analysis::DiagnosticEngine diags;
+  const auto d = parse_stencil(
+      "stencil X {\n dim 1\n tap (0) 0.5\n tap (0) 0.5\n}", diags);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_TRUE(diags.has_code(analysis::Code::kParseDuplicateTap));
+  // The throwing API stays silent about warnings (legacy behavior).
+  EXPECT_NO_THROW(parse_stencil("stencil X {\n dim 1\n tap (0) 0.5\n}"));
+}
+
+TEST(Parser, DiagnosticApiFileNotFound) {
+  analysis::DiagnosticEngine diags;
+  EXPECT_FALSE(
+      parse_stencil_file("/nonexistent/path.stencil", diags).has_value());
+  EXPECT_TRUE(diags.has_errors());
 }
 
 TEST(Parser, FileRoundTrip) {

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 #include "gpusim/microbench.hpp"
 
@@ -87,6 +88,14 @@ TEST(Optimizer, AnnealRespectsConstraintsAndFindsFinitePoint) {
   EXPECT_EQ(sol.ts.tT % 2, 0);
   EXPECT_TRUE(model::tile_fits(2, sol.ts, in.hw));
   EXPECT_GT(sol.evaluations, 0);
+}
+
+TEST(Optimizer, AnnealRejectsNonPositiveSteps) {
+  const auto& def = get_stencil(StencilKind::kHeat2D);
+  const model::ModelInputs in = gpusim::calibrate_model(gpusim::gtx980(), def);
+  EnumOptions bad = small_space();
+  bad.tS2_step = 0;  // would divide by zero in the neighbor moves
+  EXPECT_THROW(anneal_talg(in, kSmall2D, bad, 7, 10), std::invalid_argument);
 }
 
 TEST(Optimizer, AnnealIsNoBetterThanExhaustiveSweep) {

@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
+#include <string>
 #include <tuple>
+#include <vector>
 
+#include "analysis/legality.hpp"
 #include "gpusim/device.hpp"
 #include "hhc/footprint.hpp"
 
@@ -84,6 +88,57 @@ TEST(Space, BaselineSetMaximizesFootprintPerK) {
       if (m <= m_sm / k && m >= (m_sm / k) * 7 / 10) near_some_target = true;
     }
     EXPECT_TRUE(near_some_target) << ts.to_string();
+  }
+}
+
+TEST(Space, RejectsNonPositiveSteps) {
+  // Zero/negative steps would never advance the loops — previously an
+  // infinite-loop hazard, now a structured invalid_argument (SL310).
+  for (auto mutate : {+[](EnumOptions* o) { o->tT_step = 0; },
+                      +[](EnumOptions* o) { o->tS1_step = -1; },
+                      +[](EnumOptions* o) { o->tS2_step = 0; },
+                      +[](EnumOptions* o) { o->tS3_step = -8; }}) {
+    EnumOptions opt;
+    mutate(&opt);
+    EXPECT_THROW(validate_enum_options(opt), std::invalid_argument);
+    EXPECT_THROW(enumerate_feasible(2, hw(), opt), std::invalid_argument);
+    EXPECT_THROW(baseline_tile_set(2, hw(), 85, opt), std::invalid_argument);
+  }
+  try {
+    EnumOptions opt;
+    opt.tS2_step = 0;
+    validate_enum_options(opt);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("SL310"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("tS2_step"), std::string::npos);
+  }
+}
+
+TEST(Space, EnumerationMatchesLegalityCheckerOnTheLattice) {
+  // The refactor onto analysis::eqn31_feasible must not change the
+  // feasible set: brute-force the same lattice and filter with the
+  // checker, then compare element-wise (order included).
+  EnumOptions opt;
+  opt.tT_max = 16;
+  opt.tS1_max = 24;
+  opt.tS2_max = 256;
+  for (std::int64_t radius : {1, 2}) {
+    const auto pts = enumerate_feasible(2, hw(), opt, radius);
+    std::vector<hhc::TileSizes> expect;
+    for (std::int64_t tT = 2; tT <= opt.tT_max; tT += opt.tT_step) {
+      for (std::int64_t tS1 = radius; tS1 <= opt.tS1_max;
+           tS1 += opt.tS1_step) {
+        for (std::int64_t tS2 = opt.tS2_step; tS2 <= opt.tS2_max;
+             tS2 += opt.tS2_step) {
+          const hhc::TileSizes ts{.tT = tT, .tS1 = tS1, .tS2 = tS2,
+                                  .tS3 = 1};
+          if (analysis::eqn31_feasible(2, ts, hw(), radius))
+            expect.push_back(ts);
+        }
+      }
+    }
+    EXPECT_EQ(pts, expect) << "radius=" << radius;
   }
 }
 

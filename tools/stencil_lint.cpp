@@ -1,0 +1,229 @@
+// stencil-lint: static analysis and diagnostics for stencil DSL
+// programs and tile/thread configurations, ahead of modeling or
+// simulation. Wraps analysis::lint_stencil_text: parses the program
+// (collecting every problem instead of stopping at the first
+// exception), extracts the dependence cone, and — when --tile is
+// given — checks the configuration against the Eqn 31 feasibility
+// constraints, the 48 KB rule, warp alignment, register pressure and
+// partial-tile hazards for the selected device.
+//
+// Exit status: 0 = clean (warnings allowed), 1 = error diagnostics
+// were emitted, 2 = bad command line.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/lint.hpp"
+#include "common/cli.hpp"
+#include "gpusim/device.hpp"
+#include "stencil/stencil.hpp"
+
+namespace {
+
+using namespace repro;
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "stencil-lint: static analysis for stencil programs and tile "
+               "configurations\n"
+               "\n"
+               "usage:\n"
+               "  %s [options] <file.stencil | ->\n"
+               "  %s --stencil=<catalogue-name> [options]\n"
+               "  %s --list-codes\n"
+               "\n"
+               "options:\n"
+               "  --json                    emit diagnostics as a JSON array\n"
+               "  --device=<gtx980|titanx>  hardware for configuration checks "
+               "(default gtx980)\n"
+               "  --tile=tT,tS1[,tS2[,tS3]] tile sizes to legality-check\n"
+               "  --threads=n1[,n2[,n3]]    thread-block shape\n"
+               "  --size=S1[,S2[,S3]]       problem spatial extents\n"
+               "  --steps=T                 time steps\n"
+               "  --warp=N                  warp width (default 32)\n",
+               prog, prog, prog);
+  return 2;
+}
+
+std::optional<std::vector<std::int64_t>> parse_int_list(
+    const std::string& s, std::size_t min_n, std::size_t max_n) {
+  std::vector<std::int64_t> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    try {
+      std::size_t used = 0;
+      out.push_back(std::stoll(item, &used));
+      if (used != item.size()) return std::nullopt;
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  }
+  if (out.size() < min_n || out.size() > max_n) return std::nullopt;
+  return out;
+}
+
+int list_codes() {
+  std::printf("%-7s %s\n", "code", "meaning");
+  for (const analysis::Code c : analysis::all_codes()) {
+    std::printf("%-7s %s\n", std::string(analysis::code_name(c)).c_str(),
+                std::string(analysis::code_summary(c)).c_str());
+  }
+  return 0;
+}
+
+std::string read_stream(std::istream& in) {
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv, {"json", "list-codes", "help"});
+
+  if (args.has_flag("list-codes")) return list_codes();
+  if (args.has_flag("help")) return usage(argv[0]) == 2 ? 0 : 0;
+
+  // A misspelled option must not silently pass as "checked": every
+  // flag this binary understands is listed here.
+  for (const std::string& key : args.keys()) {
+    static constexpr const char* kKnown[] = {
+        "json", "device", "tile", "threads", "size",
+        "steps", "warp",   "stencil"};
+    bool known = false;
+    for (const char* k : kKnown) known = known || key == k;
+    if (!known) {
+      std::fprintf(stderr, "unknown option --%s (see --help)\n", key.c_str());
+      return 2;
+    }
+  }
+
+  const auto catalogue_name = args.get("stencil");
+  if (args.positional().size() + (catalogue_name ? 1 : 0) != 1) {
+    return usage(argv[0]);
+  }
+
+  analysis::LintOptions opt;
+  const std::string device = args.get_or("device", "gtx980");
+  try {
+    opt.hw = gpusim::device_by_name(device == "gtx980"   ? "GTX 980"
+                                    : device == "titanx" ? "Titan X"
+                                                         : device)
+                 .to_model_hardware();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  opt.warp = args.get_int_or("warp", 32);
+  if (opt.warp <= 0) {
+    std::fprintf(stderr, "--warp must be positive\n");
+    return 2;
+  }
+
+  if (const auto tile = args.get("tile")) {
+    const auto v = parse_int_list(*tile, 2, 4);
+    if (!v) {
+      std::fprintf(stderr, "--tile expects tT,tS1[,tS2[,tS3]]\n");
+      return 2;
+    }
+    hhc::TileSizes ts;
+    ts.tT = (*v)[0];
+    ts.tS1 = (*v)[1];
+    if (v->size() > 2) ts.tS2 = (*v)[2];
+    if (v->size() > 3) ts.tS3 = (*v)[3];
+    opt.ts = ts;
+  }
+  if (const auto threads = args.get("threads")) {
+    const auto v = parse_int_list(*threads, 1, 3);
+    if (!v) {
+      std::fprintf(stderr, "--threads expects n1[,n2[,n3]]\n");
+      return 2;
+    }
+    hhc::ThreadConfig thr;
+    thr.n1 = static_cast<int>((*v)[0]);
+    if (v->size() > 1) thr.n2 = static_cast<int>((*v)[1]);
+    if (v->size() > 2) thr.n3 = static_cast<int>((*v)[2]);
+    opt.thr = thr;
+  }
+  if (const auto size = args.get("size")) {
+    const auto v = parse_int_list(*size, 1, 3);
+    if (!v) {
+      std::fprintf(stderr, "--size expects S1[,S2[,S3]]\n");
+      return 2;
+    }
+    stencil::ProblemSize p;
+    p.dim = static_cast<int>(v->size());
+    for (std::size_t i = 0; i < v->size(); ++i) p.S[i] = (*v)[i];
+    p.T = args.get_int_or("steps", 1);
+    opt.problem = p;
+  }
+
+  analysis::DiagnosticEngine diags;
+  analysis::LintResult result;
+  std::string source_name;
+  if (catalogue_name) {
+    source_name = "<catalogue:" + *catalogue_name + ">";
+    try {
+      result = analysis::lint_stencil_def(
+          stencil::get_stencil_by_name(*catalogue_name), opt, diags);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  } else {
+    const std::string& path = args.positional()[0];
+    source_name = path == "-" ? "<stdin>" : path;
+    std::string text;
+    if (path == "-") {
+      text = read_stream(std::cin);
+    } else {
+      std::ifstream in(path);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 2;
+      }
+      text = read_stream(in);
+    }
+    result = analysis::lint_stencil_text(text, opt, diags);
+  }
+
+  // When the problem's dimensionality disagrees with the stencil's,
+  // the size flag was probably mistyped — surface it rather than
+  // silently checking a different problem.
+  if (result.def && opt.problem && opt.problem->dim != result.def->dim) {
+    diags.warn(analysis::Code::kTilePartial,
+               "--size has " + std::to_string(opt.problem->dim) +
+                   " extents but the stencil is " +
+                   std::to_string(result.def->dim) +
+                   "-dimensional; divisibility checks used the given "
+                   "extents as-is");
+  }
+
+  if (args.has_flag("json")) {
+    std::printf("%s\n", analysis::render_json(diags.diagnostics()).c_str());
+  } else {
+    std::printf("%s",
+                analysis::render_human(diags.diagnostics(), source_name)
+                    .c_str());
+    if (result.def && result.cone) {
+      std::printf("%s: %s — dim=%d taps=%zu radius=(%d,%d,%d) r=%d%s\n",
+                  source_name.c_str(),
+                  diags.has_errors() ? "invalid" : "ok",
+                  result.def->dim, result.cone->tap_count,
+                  result.cone->radius[0], result.cone->radius[1],
+                  result.cone->radius[2], result.cone->max_radius,
+                  result.cone->symmetric ? "" : " (asymmetric)");
+    } else {
+      std::printf("%s: invalid — %zu error(s)\n", source_name.c_str(),
+                  diags.count(analysis::Severity::kError));
+    }
+  }
+  return diags.has_errors() ? 1 : 0;
+}
