@@ -1,28 +1,38 @@
 // Shared helpers for the per-table/per-figure report binaries.
 #pragma once
 
+#include <ostream>
 #include <string>
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/parallel.hpp"
 #include "gpusim/device.hpp"
 #include "stencil/problem.hpp"
 #include "stencil/stencil.hpp"
+#include "tuner/session.hpp"
 
 namespace repro::bench {
 
 // Scale knobs common to all reports: default runs are reduced but
-// shape-preserving; --full runs the paper-scale grids.
+// shape-preserving; --full runs the paper-scale grids. --jobs=N picks
+// the worker count for the parallel sweeps (0 = REPRO_JOBS env var,
+// else all hardware threads); results are identical for any value.
 struct Scale {
   bool full = false;
+  int jobs = 0;         // 0 = auto (REPRO_JOBS / hardware)
   std::string csv_dir;  // where to drop raw CSVs ("." by default)
 
   static Scale from_args(const CliArgs& args) {
     Scale s;
     s.full = args.has_flag("full");
+    s.jobs = static_cast<int>(args.get_int_or("jobs", 0));
     s.csv_dir = args.get_or("csv-dir", ".");
     return s;
   }
+
+  // The resolved worker count, for report headers.
+  int resolved_jobs() const { return jobs > 0 ? jobs : default_jobs(); }
 };
 
 inline std::vector<stencil::ProblemSize> sizes_2d(const Scale& s) {
@@ -42,6 +52,26 @@ inline std::vector<stencil::ProblemSize> sizes_3d(const Scale& s) {
 
 inline std::vector<const gpusim::DeviceParams*> devices(const Scale&) {
   return {&gpusim::gtx980(), &gpusim::titan_x()};
+}
+
+// Fold one session's counters into a report-wide total.
+inline void accumulate(tuner::SweepStats& into, const tuner::SweepStats& s) {
+  into.model_points += s.model_points;
+  into.machine_points += s.machine_points;
+  into.cache_hits += s.cache_hits;
+  into.model_seconds += s.model_seconds;
+  into.machine_seconds += s.machine_seconds;
+}
+
+// One-line engine summary the figure benches print after their table.
+// Wall times are real (they vary run to run); every other number — and
+// the CSV/table output itself — is identical for any worker count.
+inline void print_sweep_stats(std::ostream& os, const tuner::SweepStats& st,
+                              int jobs) {
+  os << "[engine] jobs=" << jobs << "; model sweep: " << st.model_points
+     << " pts in " << st.model_seconds << " s; machine eval: "
+     << st.machine_points << " pts (" << st.cache_hits
+     << " cache hits) in " << st.machine_seconds << " s\n";
 }
 
 }  // namespace repro::bench

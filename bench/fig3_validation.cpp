@@ -12,7 +12,7 @@
 // scatter (the Fig. 3 points) to CSV.
 //
 // Flags: --full (paper-scale grids), --samples-step=N (subsample),
-//        --csv-dir=DIR.
+//        --csv-dir=DIR, --jobs=N (CSV is byte-identical for any N).
 #include <iostream>
 #include <string>
 #include <vector>
@@ -22,9 +22,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "gpusim/microbench.hpp"
-#include "gpusim/timing.hpp"
-#include "model/talg.hpp"
-#include "tuner/optimizer.hpp"
+#include "tuner/session.hpp"
 
 using namespace repro;
 
@@ -43,14 +41,13 @@ struct ExperimentResult {
 ExperimentResult run_experiment(const gpusim::DeviceParams& dev,
                                 const stencil::StencilDef& def,
                                 const std::vector<stencil::ProblemSize>& sizes,
-                                std::size_t tile_step,
-                                std::size_t thread_step, CsvWriter* csv) {
+                                std::size_t tile_step, std::size_t thread_step,
+                                int jobs, CsvWriter* csv,
+                                tuner::SweepStats& totals) {
   const model::ModelInputs in = gpusim::calibrate_model(dev, def);
   tuner::EnumOptions opt;
   if (def.dim == 3) {
-    opt.tS2_step = 8;
-    opt.tS2_max = 64;
-    opt.tS1_max = 16;
+    opt.with_tS2_step(8).with_tS2_max(64).with_tS1_max(16);
   }
   const auto tiles = tuner::baseline_tile_set(def.dim, in.hw, 85, opt);
   const auto threads = tuner::default_thread_configs(def.dim);
@@ -59,21 +56,29 @@ ExperimentResult run_experiment(const gpusim::DeviceParams& dev,
   std::vector<double> meas;
   std::vector<double> gflops;
   for (const auto& p : sizes) {
+    // The loop order (tiles outer, threads inner) fixes the CSV row
+    // order; the session only parallelizes the evaluation itself, so
+    // rows come back in exactly this order at any --jobs value.
+    std::vector<tuner::DataPoint> dps;
     for (std::size_t i = 0; i < tiles.size(); i += tile_step) {
       for (std::size_t j = 0; j < threads.size(); j += thread_step) {
-        const auto r = gpusim::measure_best_of(dev, def, p, tiles[i],
-                                               threads[j]);
-        if (!r.feasible) continue;
-        const double t_model = model::talg_auto_k(in, p, tiles[i]).talg;
-        pred.push_back(t_model);
-        meas.push_back(r.seconds);
-        gflops.push_back(r.gflops);
-        if (csv != nullptr) {
-          csv->row({dev.name, def.name, p.to_string(),
-                    tiles[i].to_string(), std::to_string(threads[j].total()),
-                    CsvWriter::cell(t_model), CsvWriter::cell(r.seconds),
-                    CsvWriter::cell(r.gflops)});
-        }
+        dps.push_back({tiles[i], threads[j]});
+      }
+    }
+    tuner::Session session(tuner::TuningContext::with_inputs(dev, def, p, in),
+                           tuner::SessionOptions{}.with_jobs(jobs));
+    const std::vector<tuner::EvaluatedPoint> eps = session.evaluate_points(dps);
+    bench::accumulate(totals, session.stats());
+    for (const auto& ep : eps) {
+      if (!ep.feasible) continue;
+      pred.push_back(ep.talg);
+      meas.push_back(ep.texec);
+      gflops.push_back(ep.gflops);
+      if (csv != nullptr) {
+        csv->row({dev.name, def.name, p.to_string(), ep.dp.ts.to_string(),
+                  std::to_string(ep.dp.thr.total()),
+                  CsvWriter::cell(ep.talg), CsvWriter::cell(ep.texec),
+                  CsvWriter::cell(ep.gflops)});
       }
     }
   }
@@ -119,11 +124,13 @@ int main(int argc, char** argv) {
 
   double worst_top_rmse = 0.0;
   double best_all_rmse = 1e300;
+  tuner::SweepStats totals;
   for (const auto* dev : bench::devices(scale)) {
     for (const auto kind : stencil::paper_2d_benchmarks()) {
       const auto& def = stencil::get_stencil(kind);
-      const auto res = run_experiment(*dev, def, bench::sizes_2d(scale),
-                                      tile_step, thread_step, &csv);
+      const auto res =
+          run_experiment(*dev, def, bench::sizes_2d(scale), tile_step,
+                         thread_step, scale.jobs, &csv, totals);
       t.add_row({res.device, res.stencil, std::to_string(res.points),
                  AsciiTable::fmt_pct(res.rmse_all),
                  AsciiTable::fmt_pct(res.rmse_top),
@@ -134,8 +141,9 @@ int main(int argc, char** argv) {
     }
     for (const auto kind : stencil::paper_3d_benchmarks()) {
       const auto& def = stencil::get_stencil(kind);
-      const auto res = run_experiment(*dev, def, bench::sizes_3d(scale),
-                                      tile_step, thread_step, &csv);
+      const auto res =
+          run_experiment(*dev, def, bench::sizes_3d(scale), tile_step,
+                         thread_step, scale.jobs, &csv, totals);
       t.add_row({res.device, res.stencil, std::to_string(res.points),
                  AsciiTable::fmt_pct(res.rmse_all),
                  AsciiTable::fmt_pct(res.rmse_top),
@@ -153,5 +161,6 @@ int main(int argc, char** argv) {
             << " across experiments.\n"
             << "Raw scatter written to fig3_validation.csv ("
             << csv.rows_written() << " rows).\n";
+  bench::print_sweep_stats(std::cout, totals, scale.resolved_jobs());
   return 0;
 }

@@ -4,6 +4,8 @@
 // surface to CSV.
 //
 // Flags: --tS1=8 --stencil=Heat2D --device="GTX 980" --S=8192 --T=8192
+//        --jobs=N (the surface is computed in parallel; output is
+//        byte-identical for any N)
 #include <iostream>
 #include <limits>
 #include <vector>
@@ -38,6 +40,31 @@ int main(int argc, char** argv) {
   std::vector<std::int64_t> tS2_axis = {4, 8, 16};
   for (std::int64_t tS2 = 32; tS2 <= 512; tS2 += 32) tS2_axis.push_back(tS2);
 
+  // Model every (tT, tS2) cell on the pool; the CSV rows and the
+  // argmin scan stay serial and in index order, so the output is
+  // identical for any worker count.
+  struct Cell {
+    double talg = -1.0;
+    std::int64_t k = 0;
+    bool feasible = false;
+  };
+  const std::size_t ncols = tS2_axis.size();
+  ThreadPool pool(scale.jobs);
+  const std::vector<Cell> cells = parallel_map<Cell>(
+      pool, tT_axis.size() * ncols, 8, [&](std::size_t idx) {
+        const std::size_t i = idx / ncols;
+        const std::size_t j = idx % ncols;
+        const hhc::TileSizes ts{.tT = tT_axis[i], .tS1 = tS1,
+                                .tS2 = tS2_axis[j], .tS3 = 1};
+        Cell c;
+        if (!model::tile_fits(2, ts, in.hw)) return c;
+        const model::TalgBreakdown b = model::talg_auto_k(in, p, ts);
+        c.talg = b.talg;
+        c.k = b.k;
+        c.feasible = true;
+        return c;
+      });
+
   double t_min = std::numeric_limits<double>::infinity();
   std::int64_t best_tT = 0;
   std::int64_t best_tS2 = 0;
@@ -45,23 +72,21 @@ int main(int argc, char** argv) {
       tT_axis.size(), std::vector<double>(tS2_axis.size(), -1.0));
 
   for (std::size_t i = 0; i < tT_axis.size(); ++i) {
-    for (std::size_t j = 0; j < tS2_axis.size(); ++j) {
-      const hhc::TileSizes ts{.tT = tT_axis[i], .tS1 = tS1,
-                              .tS2 = tS2_axis[j], .tS3 = 1};
-      if (!model::tile_fits(2, ts, in.hw)) {
+    for (std::size_t j = 0; j < ncols; ++j) {
+      const Cell& c = cells[i * ncols + j];
+      if (!c.feasible) {
         csv.row({CsvWriter::cell(static_cast<long long>(tT_axis[i])),
                  CsvWriter::cell(static_cast<long long>(tS2_axis[j])), "",
                  "", "0"});
         continue;
       }
-      const model::TalgBreakdown b = model::talg_auto_k(in, p, ts);
-      surface[i][j] = b.talg;
+      surface[i][j] = c.talg;
       csv.row({CsvWriter::cell(static_cast<long long>(tT_axis[i])),
                CsvWriter::cell(static_cast<long long>(tS2_axis[j])),
-               CsvWriter::cell(b.talg),
-               CsvWriter::cell(static_cast<long long>(b.k)), "1"});
-      if (b.talg < t_min) {
-        t_min = b.talg;
+               CsvWriter::cell(c.talg),
+               CsvWriter::cell(static_cast<long long>(c.k)), "1"});
+      if (c.talg < t_min) {
+        t_min = c.talg;
         best_tT = tT_axis[i];
         best_tS2 = tS2_axis[j];
       }

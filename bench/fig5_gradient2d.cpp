@@ -15,7 +15,7 @@
 #include "common/csv.hpp"
 #include "common/table.hpp"
 #include "gpusim/microbench.hpp"
-#include "tuner/optimizer.hpp"
+#include "tuner/session.hpp"
 
 using namespace repro;
 
@@ -31,14 +31,16 @@ int main(int argc, char** argv) {
 
   const model::ModelInputs in = gpusim::calibrate_model(dev, def);
 
-  tuner::EnumOptions opt;
-  opt.tT_max = scale.full ? 64 : 32;
-  opt.tS1_max = scale.full ? 96 : 48;
-  opt.tS1_step = scale.full ? 1 : 2;
-  opt.tS2_max = scale.full ? 512 : 256;
+  const tuner::EnumOptions opt = tuner::EnumOptions{}
+                                     .with_tT_max(scale.full ? 64 : 32)
+                                     .with_tS1_max(scale.full ? 96 : 48)
+                                     .with_tS1_step(scale.full ? 1 : 2)
+                                     .with_tS2_max(scale.full ? 512 : 256);
 
+  tuner::Session session(tuner::TuningContext::with_inputs(dev, def, p, in),
+                         tuner::SessionOptions{}.with_jobs(scale.jobs));
   const auto space = tuner::enumerate_feasible(2, in.hw, opt);
-  const tuner::ModelSweep sweep = tuner::sweep_model(in, p, space, 0.10);
+  const tuner::ModelSweep sweep = session.sweep_model(space, 0.10);
 
   std::cout << "=== Fig. 5: " << def.name << " " << p.to_string() << " on "
             << dev.name << " ===\n";
@@ -47,22 +49,23 @@ int main(int argc, char** argv) {
             << sweep.candidates.size() << " candidates\n";
 
   // Baseline best (the paper's 19.8 s reference point).
+  const auto baseline_tiles = tuner::baseline_tile_set(2, in.hw, 85, opt);
   tuner::EvaluatedPoint baseline_best;
-  for (const auto& ts : tuner::baseline_tile_set(2, in.hw, 85, opt)) {
-    const auto ep = tuner::best_over_threads(dev, def, p, in, ts);
+  for (const auto& ep : session.best_over_threads_many(baseline_tiles)) {
     if (!ep.feasible) continue;
     if (!baseline_best.feasible || ep.texec < baseline_best.texec) {
       baseline_best = ep;
     }
   }
 
-  // Measure every candidate; write the Fig. 5 scatter.
+  // Measure every candidate; write the Fig. 5 scatter. The session
+  // evaluates in parallel but returns points in candidate order, so
+  // the CSV rows are stable across --jobs values.
   CsvWriter csv(scale.csv_dir + "/fig5_gradient2d.csv",
                 {"tiles", "threads", "talg_s", "texec_s", "gflops"});
   tuner::EvaluatedPoint best;
   std::vector<double> cand_times;
-  for (const auto& ts : sweep.candidates) {
-    const auto ep = tuner::best_over_threads(dev, def, p, in, ts);
+  for (const auto& ep : session.best_over_threads_many(sweep.candidates)) {
     if (!ep.feasible) continue;
     csv.row({ep.dp.ts.to_string(), std::to_string(ep.dp.thr.total()),
              CsvWriter::cell(ep.talg), CsvWriter::cell(ep.texec),
@@ -92,12 +95,13 @@ int main(int argc, char** argv) {
                "(the paper's 'multiple near-optimal points').\n"
             << "Was the winning tile size in the baseline set? "
             << ([&] {
-                 for (const auto& ts : tuner::baseline_tile_set(2, in.hw, 85, opt)) {
+                 for (const auto& ts : baseline_tiles) {
                    if (ts == best.dp.ts) return "yes";
                  }
                  return "no (as in the paper: 'not explored in our set of "
                         "baseline tile sizes')";
                }())
             << "\n";
+  bench::print_sweep_stats(std::cout, session.stats(), session.jobs());
   return 0;
 }

@@ -11,7 +11,8 @@
 // The paper's headline: Within-10% beats Baseline by ~9% on average
 // and HHC by ~60%; Talg_min alone performs poorly.
 //
-// Flags: --full, --device=..., --csv-dir=...
+// Flags: --full, --device=..., --csv-dir=..., --jobs=N (results and
+// CSV are byte-identical for any job count).
 #include <iostream>
 #include <map>
 #include <vector>
@@ -20,7 +21,8 @@
 #include "common/csv.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "tuner/optimizer.hpp"
+#include "gpusim/microbench.hpp"
+#include "tuner/session.hpp"
 
 using namespace repro;
 
@@ -58,13 +60,21 @@ int main(int argc, char** argv) {
   double sum_gain_base = 0.0;
   double sum_gain_hhc = 0.0;
   int combos = 0;
+  tuner::SweepStats totals;
   for (const auto* dev : devs) {
     for (const auto kind : stencil::paper_2d_benchmarks()) {
       const auto& def = stencil::get_stencil(kind);
+      // Calibration depends only on (device, stencil); share it across
+      // the per-problem sessions.
+      const model::ModelInputs in = gpusim::calibrate_model(*dev, def);
       std::map<std::string, std::vector<double>> gf;
       for (const auto& p : sizes) {
+        tuner::Session session(
+            tuner::TuningContext::with_inputs(*dev, def, p, in),
+            tuner::SessionOptions{}.with_jobs(scale.jobs));
         const tuner::StrategyComparison cmp =
-            tuner::compare_strategies(*dev, def, p, copt);
+            session.compare_strategies(copt);
+        bench::accumulate(totals, session.stats());
         const std::vector<std::pair<std::string, const tuner::EvaluatedPoint*>>
             rows = {{"HHC", &cmp.hhc_default},
                     {"Talg min", &cmp.talg_min},
@@ -103,5 +113,6 @@ int main(int argc, char** argv) {
             << AsciiTable::fmt_pct(sum_gain_hhc / combos - 1.0)
             << " over untuned HHC (paper: ~60%).\n"
             << "Raw rows in fig6_strategies.csv.\n";
+  bench::print_sweep_stats(std::cout, totals, scale.resolved_jobs());
   return 0;
 }

@@ -14,7 +14,7 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "gpusim/microbench.hpp"
-#include "tuner/optimizer.hpp"
+#include "tuner/session.hpp"
 
 using namespace repro;
 
@@ -42,15 +42,14 @@ int main(int argc, char** argv) {
             << " s/GB, tau_sync = " << in.mb.tau_sync
             << " s, T_sync = " << in.mb.T_sync << " s\n";
 
-  // Feasible space and model sweep.
+  // Feasible space and model sweep (runs on the session's pool).
+  tuner::Session session(tuner::TuningContext::with_inputs(dev, def, p, in));
   tuner::EnumOptions opt;
   if (def.dim == 3) {
-    opt.tS2_step = 8;
-    opt.tS2_max = 64;
-    opt.tS1_max = 16;
+    opt.with_tS2_step(8).with_tS2_max(64).with_tS1_max(16);
   }
   const auto space = tuner::enumerate_feasible(p.dim, in.hw, opt);
-  const tuner::ModelSweep sweep = tuner::sweep_model(in, p, space, delta);
+  const tuner::ModelSweep sweep = session.sweep_model(space, delta);
   std::cout << "feasible space: " << space.size()
             << " tile-size combinations\n"
             << "model minimum: Talg = " << sweep.talg_min << " s at "
@@ -60,8 +59,7 @@ int main(int argc, char** argv) {
 
   // Measure all candidates.
   std::vector<tuner::EvaluatedPoint> measured;
-  for (const auto& ts : sweep.candidates) {
-    const auto ep = tuner::best_over_threads(dev, def, p, in, ts);
+  for (const auto& ep : session.best_over_threads_many(sweep.candidates)) {
     if (ep.feasible) measured.push_back(ep);
   }
   std::sort(measured.begin(), measured.end(),

@@ -11,7 +11,7 @@
 #include "hhc/tiled_executor.hpp"
 #include "stencil/parser.hpp"
 #include "stencil/reference.hpp"
-#include "tuner/optimizer.hpp"
+#include "tuner/session.hpp"
 
 using namespace repro;
 
@@ -51,13 +51,13 @@ int main(int argc, char** argv) {
   // Tune it like any catalogue stencil.
   const auto& dev = gpusim::gtx980();
   const model::ModelInputs in = gpusim::calibrate_model(dev, def);
+  tuner::Session session(tuner::TuningContext::with_inputs(dev, def, p, in));
   const auto space =
       tuner::enumerate_feasible(p.dim, in.hw, {}, def.radius);
-  const tuner::ModelSweep sweep = tuner::sweep_model(in, p, space, 0.10);
+  const tuner::ModelSweep sweep = session.sweep_model(space, 0.10);
 
   tuner::EvaluatedPoint best;
-  for (const auto& ts : sweep.candidates) {
-    const auto ep = tuner::best_over_threads(dev, def, p, in, ts);
+  for (const auto& ep : session.best_over_threads_many(sweep.candidates)) {
     if (ep.feasible && (!best.feasible || ep.texec < best.texec)) best = ep;
   }
   std::cout << "C_iter (measured) = " << in.c_iter << " s\n"

@@ -12,7 +12,7 @@
 #include "gpusim/microbench.hpp"
 #include "hhc/tiled_executor.hpp"
 #include "stencil/reference.hpp"
-#include "tuner/optimizer.hpp"
+#include "tuner/session.hpp"
 
 using namespace repro;
 
@@ -24,17 +24,19 @@ int main() {
                                      .T = 512};
   const gpusim::DeviceParams& device = gpusim::gtx980();
 
-  // 2. Calibrate: measures L, tau_sync, T_sync and C_iter on the
-  //    device (here: the bundled GPU simulator).
+  // 2. Open a tuning session. The constructor calibrates the model
+  //    for the device (measures L, tau_sync, T_sync and C_iter on the
+  //    bundled GPU simulator); the session also owns the worker pool
+  //    and the measurement memo cache.
   std::cout << "Calibrating " << def.name << " on " << device.name << "...\n";
-  const model::ModelInputs model_in = gpusim::calibrate_model(device, def);
-  std::cout << "  C_iter = " << model_in.c_iter << " s/iteration\n";
+  tuner::Session session(device, def, problem);
+  std::cout << "  C_iter = " << session.inputs().c_iter << " s/iteration\n";
 
   // 3. Model-guided search: evaluate Talg over the feasible tile
   //    space, keep everything within 10% of the predicted minimum.
-  const auto space = tuner::enumerate_feasible(problem.dim, model_in.hw);
-  const tuner::ModelSweep sweep =
-      tuner::sweep_model(model_in, problem, space, 0.10);
+  const auto space =
+      tuner::enumerate_feasible(problem.dim, session.inputs().hw);
+  const tuner::ModelSweep sweep = session.sweep_model(space, 0.10);
   std::cout << "Feasible tile sizes: " << space.size() << "; candidates: "
             << sweep.candidates.size() << " (predicted Talg_min = "
             << sweep.talg_min << " s)\n";
@@ -42,8 +44,7 @@ int main() {
   // 4. Measure only the candidates (plus the thread-count sweep) and
   //    keep the best.
   tuner::EvaluatedPoint best;
-  for (const auto& ts : sweep.candidates) {
-    const auto ep = tuner::best_over_threads(device, def, problem, model_in, ts);
+  for (const auto& ep : session.best_over_threads_many(sweep.candidates)) {
     if (ep.feasible && (!best.feasible || ep.texec < best.texec)) best = ep;
   }
   std::cout << "Winner: " << best.dp.ts.to_string() << " with "

@@ -15,7 +15,7 @@ struct CodeInfo {
 };
 
 // Numeric order; all_codes() exposes this table for docs and tests.
-constexpr std::array<CodeInfo, 24> kCodeTable{{
+constexpr std::array<CodeInfo, 25> kCodeTable{{
     {Code::kParseSyntax, "SL101", "malformed stencil DSL syntax"},
     {Code::kParseDim, "SL102", "missing or out-of-range 'dim'"},
     {Code::kParseTapBeyondDim, "SL103",
@@ -55,6 +55,8 @@ constexpr std::array<CodeInfo, 24> kCodeTable{{
     {Code::kEnumStep, "SL310",
      "tile-space enumeration step must be positive"},
     {Code::kTileExtent, "SL311", "spatial tile extents must be >= 1"},
+    {Code::kOptionRange, "SL312",
+     "tuning option out of range (EnumOptions / CompareOptions)"},
 }};
 
 const CodeInfo& info(Code c) noexcept {

@@ -56,6 +56,7 @@ enum class Code : std::uint16_t {
   kThreadConfig = 309,      // thread block shape illegal / divergent
   kEnumStep = 310,          // enumeration step not positive
   kTileExtent = 311,        // non-positive spatial tile extent
+  kOptionRange = 312,       // tuning option out of range (Enum/CompareOptions)
 };
 
 // "SL104" etc. — the stable identifier used in output and tests.

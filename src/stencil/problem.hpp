@@ -25,6 +25,8 @@ struct ProblemSize {
   std::int64_t total_points() const noexcept { return space_points() * T; }
 
   std::string to_string() const;
+
+  friend bool operator==(const ProblemSize&, const ProblemSize&) = default;
 };
 
 // Total floating-point work of a full run, for GFLOPS reporting.

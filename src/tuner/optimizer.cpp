@@ -3,18 +3,19 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 #include "analysis/legality.hpp"
 #include "common/rng.hpp"
 #include "gpusim/timing.hpp"
 #include "hhc/footprint.hpp"
+#include "tuner/session.hpp"
 
 namespace repro::tuner {
 
-namespace {
-
-double talg_of(const model::ModelInputs& in, const stencil::ProblemSize& p,
-               const hhc::TileSizes& ts) {
+double model_talg_or_inf(const model::ModelInputs& in,
+                         const stencil::ProblemSize& p,
+                         const hhc::TileSizes& ts) {
   // Same Eqn 31 feasibility the enumerator and stencil-lint use —
   // infeasible points price as +inf instead of being modeled.
   if (!analysis::eqn31_feasible(p.dim, ts, in.hw, in.radius)) {
@@ -23,7 +24,40 @@ double talg_of(const model::ModelInputs& in, const stencil::ProblemSize& p,
   return model::talg_auto_k(in, p, ts).talg;
 }
 
+namespace {
+
+double talg_of(const model::ModelInputs& in, const stencil::ProblemSize& p,
+               const hhc::TileSizes& ts) {
+  return model_talg_or_inf(in, p, ts);
+}
+
 }  // namespace
+
+void CompareOptions::validate(analysis::DiagnosticEngine& eng) const {
+  if (!std::isfinite(delta) || delta < 0.0) {
+    eng.error(analysis::Code::kOptionRange,
+              "CompareOptions.delta must be a finite fraction >= 0, got " +
+                  std::to_string(delta));
+  }
+  if (baseline_count == 0) {
+    eng.error(analysis::Code::kOptionRange,
+              "CompareOptions.baseline_count must be >= 1 (the baseline "
+              "strategy needs at least one tile size)");
+  }
+  enumeration.validate(eng);
+}
+
+void CompareOptions::validate() const {
+  analysis::DiagnosticEngine eng;
+  validate(eng);
+  for (const analysis::Diagnostic& d : eng.diagnostics()) {
+    if (d.severity == analysis::Severity::kError) {
+      throw std::invalid_argument(
+          std::string("[") + std::string(analysis::code_name(d.code)) + "] " +
+          d.message);
+    }
+  }
+}
 
 ModelSweep sweep_model(const model::ModelInputs& in,
                        const stencil::ProblemSize& p,
@@ -84,72 +118,12 @@ StrategyComparison compare_strategies(const gpusim::DeviceParams& dev,
                                       const stencil::StencilDef& def,
                                       const stencil::ProblemSize& p,
                                       const CompareOptions& opt) {
-  StrategyComparison cmp;
-  cmp.device = dev.name;
-  cmp.stencil = def.name;
-  cmp.problem = p;
-
-  const model::ModelInputs in = gpusim::calibrate_model(dev, def);
-  const std::vector<hhc::TileSizes> space =
-      enumerate_feasible(p.dim, in.hw, opt.enumeration, def.radius);
-
-  // 1. Untuned compiler defaults: default tile sizes AND the default
-  // 32x2 thread block — no tuning of any kind (the paper's "HHC" bar).
-  cmp.hhc_default = evaluate_point(
-      dev, def, p, in,
-      DataPoint{hhc_default_tiles(p.dim),
-                p.dim == 1 ? hhc::ThreadConfig{64, 1, 1}
-                           : hhc::ThreadConfig{32, 2, 1}});
-
-  // 2. The single model-minimal point.
-  const ModelSweep sweep = sweep_model(in, p, space, opt.delta);
-  cmp.space_size = sweep.space_size;
-  cmp.talg_min = best_over_threads(dev, def, p, in, sweep.argmin);
-
-  // 3. Best of the paper's baseline experiment set.
-  for (const auto& ts : baseline_tile_set(p.dim, in.hw, opt.baseline_count,
-                                          opt.enumeration, def.radius)) {
-    const EvaluatedPoint ep = best_over_threads(dev, def, p, in, ts);
-    if (!ep.feasible) continue;
-    if (!cmp.baseline_best.feasible || ep.texec < cmp.baseline_best.texec) {
-      cmp.baseline_best = ep;
-    }
-  }
-
-  // 4. Best of the within-10 %-of-Talg_min candidates.
-  cmp.candidates_tried = sweep.candidates.size();
-  for (const auto& ts : sweep.candidates) {
-    const EvaluatedPoint ep = best_over_threads(dev, def, p, in, ts);
-    if (!ep.feasible) continue;
-    if (!cmp.within10_best.feasible || ep.texec < cmp.within10_best.texec) {
-      cmp.within10_best = ep;
-    }
-  }
-
-  // 5. Exhaustive search over the feasible space (deterministically
-  // subsampled when capped): the reference the paper could not run at
-  // full scale ("these took many weeks of dedicated machine time").
-  std::size_t stride = 1;
-  if (opt.exhaustive_cap > 0 && space.size() > opt.exhaustive_cap) {
-    stride = (space.size() + opt.exhaustive_cap - 1) / opt.exhaustive_cap;
-  }
-  for (std::size_t i = 0; i < space.size(); i += stride) {
-    const EvaluatedPoint ep = best_over_threads(dev, def, p, in, space[i]);
-    if (!ep.feasible) continue;
-    if (!cmp.exhaustive.feasible || ep.texec < cmp.exhaustive.texec) {
-      cmp.exhaustive = ep;
-    }
-  }
-  // The exhaustive pass subsumes every specific strategy point it
-  // visited; make sure it is at least as good as the others.
-  for (const EvaluatedPoint* ep :
-       {&cmp.talg_min, &cmp.within10_best, &cmp.baseline_best}) {
-    if (ep->feasible &&
-        (!cmp.exhaustive.feasible || ep->texec < cmp.exhaustive.texec)) {
-      cmp.exhaustive = *ep;
-    }
-  }
-  return cmp;
+  // Serial compatibility wrapper: one-shot session, one worker. The
+  // memo cache still dedups the baseline/within-10% points the
+  // exhaustive pass revisits.
+  Session session(TuningContext::calibrate(dev, def, p),
+                  SessionOptions{}.with_jobs(1));
+  return session.compare_strategies(opt);
 }
 
 SolverResult anneal_talg(const model::ModelInputs& in,

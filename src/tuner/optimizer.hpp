@@ -6,6 +6,12 @@
 // exploration) on the machine; report the best. Also provided:
 // strategy comparison for Fig. 6 and the simulated-annealing solver
 // that stands in for the paper's disappointing Bonmin attempt.
+//
+// The free functions below are kept as thin *serial* compatibility
+// wrappers. New code should use tuner::Session (tuner/session.hpp),
+// which owns the calibrated context, runs the sweeps on a thread pool
+// (--jobs / REPRO_JOBS) with bitwise-deterministic reductions, and
+// memoizes repeated machine measurements.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +32,8 @@ namespace repro::tuner {
 struct DataPoint {
   hhc::TileSizes ts;
   hhc::ThreadConfig thr;
+
+  friend bool operator==(const DataPoint&, const DataPoint&) = default;
 };
 
 // A data point with both the model's prediction and the machine
@@ -36,7 +44,18 @@ struct EvaluatedPoint {
   double texec = 0.0;   // measured (best of 5), seconds
   double gflops = 0.0;  // from texec
   bool feasible = false;
+
+  friend bool operator==(const EvaluatedPoint&,
+                         const EvaluatedPoint&) = default;
 };
+
+// Eqn 31-checked model price: Talg for a feasible tile, +inf for an
+// infeasible one. The shared primitive of the model sweep, the
+// annealer and the Session; same feasibility definition as the
+// enumerator and stencil-lint.
+double model_talg_or_inf(const model::ModelInputs& in,
+                         const stencil::ProblemSize& p,
+                         const hhc::TileSizes& ts);
 
 // --- Model sweep ----------------------------------------------------
 
@@ -83,6 +102,9 @@ struct StrategyComparison {
 
   std::size_t candidates_tried = 0;  // size of the within-10 % set
   std::size_t space_size = 0;
+
+  friend bool operator==(const StrategyComparison&,
+                         const StrategyComparison&) = default;
 };
 
 struct CompareOptions {
@@ -92,6 +114,29 @@ struct CompareOptions {
   // it measures (0 = no cap). Points are subsampled deterministically.
   std::size_t exhaustive_cap = 400;
   std::size_t baseline_count = 85;
+
+  // Builder-style setters.
+  CompareOptions& with_enumeration(const EnumOptions& e) {
+    enumeration = e;
+    return *this;
+  }
+  CompareOptions& with_delta(double d) noexcept { delta = d; return *this; }
+  CompareOptions& with_exhaustive_cap(std::size_t c) noexcept {
+    exhaustive_cap = c;
+    return *this;
+  }
+  CompareOptions& with_baseline_count(std::size_t c) noexcept {
+    baseline_count = c;
+    return *this;
+  }
+
+  // Funnel every complaint through the SL-code diagnostics engine:
+  // SL312 for a delta that is not a finite non-negative fraction or a
+  // baseline_count of zero, plus everything EnumOptions::validate
+  // reports (SL310/SL312). The throwing form raises
+  // std::invalid_argument with the first error's "[SLxxx] ..." text.
+  void validate(analysis::DiagnosticEngine& eng) const;
+  void validate() const;
 };
 
 StrategyComparison compare_strategies(const gpusim::DeviceParams& dev,

@@ -1,0 +1,163 @@
+// The unified tuning-session API.
+//
+// A `Session` binds together everything one tuning run needs — the
+// device, the stencil, the problem size, the calibrated model inputs
+// (a `TuningContext`), a fixed thread pool, and a memoization cache
+// of simulator measurements — and re-exports the optimizer entry
+// points as methods. The free functions in optimizer.hpp remain as
+// thin serial wrappers; new code should prefer the Session:
+//
+//   tuner::Session s(gpusim::gtx980(), def, p);       // calibrates
+//   const auto space = tuner::enumerate_feasible(p.dim, s.inputs().hw);
+//   const auto sweep = s.sweep_model(space, 0.10);
+//   const auto best  = s.best_over_threads(sweep.argmin);
+//
+// Parallelism: every sweep-shaped method distributes its points over
+// the session's pool (--jobs / REPRO_JOBS; default: all cores) with
+// deterministic chunked reduction, so results are bitwise-identical
+// for any worker count.
+//
+// Memoization: the cache is keyed by (tile sizes, thread config); the
+// problem, stencil and device are fixed by the session's context, so
+// the full key of a measurement is (tiles, threads, problem, device).
+// compare_strategies profits directly: every point the exhaustive
+// pass shares with the baseline or within-10% sets is served from the
+// cache instead of being re-simulated.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "tuner/optimizer.hpp"
+
+namespace repro::tuner {
+
+// The parameter pack every optimizer entry point used to take,
+// collapsed into one value type.
+struct TuningContext {
+  gpusim::DeviceParams dev;
+  stencil::StencilDef def;
+  stencil::ProblemSize problem;
+  model::ModelInputs inputs;
+
+  // Run the micro-benchmarks (Section 5.2) to fill `inputs`.
+  static TuningContext calibrate(const gpusim::DeviceParams& dev,
+                                 const stencil::StencilDef& def,
+                                 const stencil::ProblemSize& p);
+
+  // Reuse an existing calibration (it depends only on device and
+  // stencil, so it can be shared across problem sizes).
+  static TuningContext with_inputs(const gpusim::DeviceParams& dev,
+                                   const stencil::StencilDef& def,
+                                   const stencil::ProblemSize& p,
+                                   const model::ModelInputs& in);
+};
+
+// Simple counters a bench can print after a sweep. Snapshot type —
+// Session::stats() returns a consistent copy.
+struct SweepStats {
+  std::size_t model_points = 0;    // Talg evaluations (model sweeps)
+  std::size_t machine_points = 0;  // simulator measurements requested
+  std::size_t cache_hits = 0;      // ... of which served from the cache
+  double model_seconds = 0.0;      // wall time inside model sweeps
+  double machine_seconds = 0.0;    // wall time inside machine evaluation
+};
+
+struct SessionOptions {
+  // <= 0: default_jobs() (REPRO_JOBS env var, else all hardware
+  // threads). The bench binaries wire --jobs into this.
+  int jobs = 0;
+  // Disable to re-simulate every requested point (for A/B timing).
+  bool memoize = true;
+
+  SessionOptions& with_jobs(int j) noexcept { jobs = j; return *this; }
+  SessionOptions& with_memoize(bool m) noexcept { memoize = m; return *this; }
+};
+
+class Session {
+ public:
+  explicit Session(TuningContext ctx, SessionOptions opt = {});
+  // Convenience: calibrate on construction.
+  Session(const gpusim::DeviceParams& dev, const stencil::StencilDef& def,
+          const stencil::ProblemSize& p, SessionOptions opt = {});
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  const TuningContext& context() const noexcept { return ctx_; }
+  const model::ModelInputs& inputs() const noexcept { return ctx_.inputs; }
+  int jobs() const noexcept { return pool_.jobs(); }
+
+  // --- The optimizer entry points, as methods -----------------------
+
+  // Model sweep over `space` (Section 6): parallel over the pool,
+  // argmin and candidate selection in index order.
+  ModelSweep sweep_model(std::span<const hhc::TileSizes> space, double delta);
+
+  // One machine measurement (memoized).
+  EvaluatedPoint evaluate_point(const DataPoint& dp);
+
+  // Batch form: out[i] corresponds to dps[i]; evaluated in parallel.
+  std::vector<EvaluatedPoint> evaluate_points(std::span<const DataPoint> dps);
+
+  // Best measured thread config for one tile size (Section 7's
+  // empirical thread-count step; serial — it is the unit of work the
+  // batch APIs parallelize over).
+  EvaluatedPoint best_over_threads(const hhc::TileSizes& ts);
+
+  // Batch form: out[i] corresponds to tiles[i]; evaluated in parallel.
+  std::vector<EvaluatedPoint> best_over_threads_many(
+      std::span<const hhc::TileSizes> tiles);
+
+  // The Fig 5/6 strategy comparison. All four machine-evaluation
+  // passes run on the pool; the baseline/within-10% points revisited
+  // by the exhaustive pass are cache hits.
+  StrategyComparison compare_strategies(const CompareOptions& opt = {});
+
+  // The simulated-annealing stand-in (inherently sequential).
+  SolverResult anneal_talg(const EnumOptions& bounds, std::uint64_t seed = 1,
+                           int iterations = 400);
+
+  // --- Introspection ------------------------------------------------
+
+  SweepStats stats() const;
+  void reset_stats();
+  std::size_t cache_size() const;
+  void clear_cache();
+
+ private:
+  struct PointKey {
+    std::int64_t tT, tS1, tS2, tS3;
+    int n1, n2, n3;
+    friend bool operator==(const PointKey&, const PointKey&) = default;
+  };
+  struct PointKeyHash {
+    std::size_t operator()(const PointKey& k) const noexcept;
+  };
+
+  // Cache-aware single measurement; also bumps the point counters.
+  EvaluatedPoint measure(const DataPoint& dp);
+  // Fold `candidate` into `best` with the serial loops' tie-breaking
+  // (first strictly-better point wins).
+  static void fold_best(EvaluatedPoint& best, const EvaluatedPoint& candidate);
+  // Best-over-threads reduction across a tile list, parallel with
+  // deterministic chunk order. Not timed — callers own the phase.
+  EvaluatedPoint best_of_tiles(std::span<const hhc::TileSizes> tiles);
+  void add_model_time(double seconds, std::size_t points);
+  void add_machine_time(double seconds);
+
+  TuningContext ctx_;
+  SessionOptions opt_;
+  ThreadPool pool_;
+
+  mutable std::mutex mu_;  // guards cache_ and stats_
+  std::unordered_map<PointKey, EvaluatedPoint, PointKeyHash> cache_;
+  SweepStats stats_;
+};
+
+}  // namespace repro::tuner

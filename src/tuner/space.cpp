@@ -10,22 +10,47 @@
 
 namespace repro::tuner {
 
-void validate_enum_options(const EnumOptions& opt) {
-  const auto check = [](const char* name, std::int64_t v) {
+void EnumOptions::validate(analysis::DiagnosticEngine& eng) const {
+  const auto check_step = [&eng](const char* name, std::int64_t v) {
     if (v <= 0) {
-      throw std::invalid_argument(
-          std::string("[") +
-          std::string(analysis::code_name(analysis::Code::kEnumStep)) +
-          "] EnumOptions." + name + " must be positive, got " +
-          std::to_string(v) + " (a non-positive step never advances the "
-          "enumeration and would loop forever)");
+      eng.error(analysis::Code::kEnumStep,
+                std::string("EnumOptions.") + name +
+                    " must be positive, got " + std::to_string(v) +
+                    " (a non-positive step never advances the enumeration "
+                    "and would loop forever)");
     }
   };
-  check("tT_step", opt.tT_step);
-  check("tS1_step", opt.tS1_step);
-  check("tS2_step", opt.tS2_step);
-  check("tS3_step", opt.tS3_step);
+  check_step("tT_step", tT_step);
+  check_step("tS1_step", tS1_step);
+  check_step("tS2_step", tS2_step);
+  check_step("tS3_step", tS3_step);
+  const auto check_max = [&eng](const char* name, std::int64_t v) {
+    if (v <= 0) {
+      eng.error(analysis::Code::kOptionRange,
+                std::string("EnumOptions.") + name +
+                    " must be positive, got " + std::to_string(v) +
+                    " (the bound admits no lattice point)");
+    }
+  };
+  check_max("tT_max", tT_max);
+  check_max("tS1_max", tS1_max);
+  check_max("tS2_max", tS2_max);
+  check_max("tS3_max", tS3_max);
 }
+
+void EnumOptions::validate() const {
+  analysis::DiagnosticEngine eng;
+  validate(eng);
+  for (const analysis::Diagnostic& d : eng.diagnostics()) {
+    if (d.severity == analysis::Severity::kError) {
+      throw std::invalid_argument(
+          std::string("[") + std::string(analysis::code_name(d.code)) + "] " +
+          d.message);
+    }
+  }
+}
+
+void validate_enum_options(const EnumOptions& opt) { opt.validate(); }
 
 std::vector<hhc::TileSizes> enumerate_feasible(int dim,
                                                const model::HardwareParams& hw,

@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "analysis/diagnostics.hpp"
 #include "hhc/tile_sizes.hpp"
 #include "model/params.hpp"
 
@@ -26,12 +27,31 @@ struct EnumOptions {
   // Coarser stepping for quick runs (keeps shape, shrinks count).
   std::int64_t tT_step = 2;
   std::int64_t tS1_step = 1;
+
+  // Builder-style setters, so callers can configure inline:
+  //   enumerate_feasible(2, hw, EnumOptions{}.with_tT_max(24).with_tS1_step(4))
+  EnumOptions& with_tT_max(std::int64_t v) noexcept { tT_max = v; return *this; }
+  EnumOptions& with_tT_step(std::int64_t v) noexcept { tT_step = v; return *this; }
+  EnumOptions& with_tS1_max(std::int64_t v) noexcept { tS1_max = v; return *this; }
+  EnumOptions& with_tS1_step(std::int64_t v) noexcept { tS1_step = v; return *this; }
+  EnumOptions& with_tS2_max(std::int64_t v) noexcept { tS2_max = v; return *this; }
+  EnumOptions& with_tS2_step(std::int64_t v) noexcept { tS2_step = v; return *this; }
+  EnumOptions& with_tS3_max(std::int64_t v) noexcept { tS3_max = v; return *this; }
+  EnumOptions& with_tS3_step(std::int64_t v) noexcept { tS3_step = v; return *this; }
+
+  // Collect every problem with these options into `eng` as SLxxx
+  // diagnostics: SL310 for steps that can never advance the
+  // enumeration (previously an infinite-loop hazard), SL312 for
+  // bounds that can never admit a single lattice point.
+  void validate(analysis::DiagnosticEngine& eng) const;
+
+  // Throwing form: std::invalid_argument carrying the first error's
+  // "[SLxxx] ..." message. Called by every entry point that walks the
+  // lattice.
+  void validate() const;
 };
 
-// Rejects step values that can never advance the enumeration (zero or
-// negative — previously an infinite-loop hazard). Throws
-// std::invalid_argument tagged with diagnostic code SL310. Called by
-// every entry point that walks the lattice.
+// Back-compat alias for EnumOptions::validate().
 void validate_enum_options(const EnumOptions& opt);
 
 // All tile sizes satisfying Eqn 31's resource constraints:

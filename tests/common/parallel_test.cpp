@@ -1,0 +1,144 @@
+#include "common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace repro {
+namespace {
+
+TEST(ThreadPool, JobsResolvesToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.jobs(), 1);
+  ThreadPool pool_neg(-5);
+  EXPECT_GE(pool_neg.jobs(), 1);
+  ThreadPool pool4(4);
+  EXPECT_EQ(pool4.jobs(), 4);
+}
+
+TEST(ThreadPool, DefaultJobsHonorsEnvVar) {
+  ::setenv("REPRO_JOBS", "3", 1);
+  EXPECT_EQ(default_jobs(), 3);
+  ::setenv("REPRO_JOBS", "not-a-number", 1);
+  EXPECT_GE(default_jobs(), 1);  // falls back to hardware
+  ::setenv("REPRO_JOBS", "0", 1);
+  EXPECT_GE(default_jobs(), 1);  // non-positive rejected
+  ::unsetenv("REPRO_JOBS");
+  EXPECT_GE(default_jobs(), 1);
+}
+
+TEST(ThreadPool, ForEachIndexVisitsEveryIndexExactlyOnce) {
+  for (const int jobs : {1, 2, 4, 8}) {
+    for (const std::size_t grain : {std::size_t{1}, std::size_t{3},
+                                    std::size_t{64}, std::size_t{1000}}) {
+      ThreadPool pool(jobs);
+      constexpr std::size_t kN = 237;
+      std::vector<std::atomic<int>> visits(kN);
+      pool.for_each_index(kN, grain,
+                          [&](std::size_t i) { visits[i].fetch_add(1); });
+      for (std::size_t i = 0; i < kN; ++i) {
+        EXPECT_EQ(visits[i].load(), 1)
+            << "index " << i << " jobs=" << jobs << " grain=" << grain;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, ForEachIndexEmptyRangeIsANoop) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.for_each_index(0, 16, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.for_each_index(100, 7, [&](std::size_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 100u * 99u / 2u);
+  }
+}
+
+TEST(ThreadPool, TaskExceptionIsRethrownToCaller) {
+  for (const int jobs : {1, 4}) {
+    ThreadPool pool(jobs);
+    EXPECT_THROW(
+        pool.for_each_index(64, 1,
+                            [&](std::size_t i) {
+                              if (i == 13) throw std::runtime_error("boom");
+                            }),
+        std::runtime_error);
+    // The pool must still work after a failed batch.
+    std::atomic<int> count{0};
+    pool.for_each_index(10, 2, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 10);
+  }
+}
+
+TEST(ParallelMap, MatchesSerialComputation) {
+  std::vector<double> expected(501);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    expected[i] = static_cast<double>(i) * 1.5 + 1.0;
+  }
+  for (const int jobs : {1, 2, 7}) {
+    ThreadPool pool(jobs);
+    const auto got = parallel_map<double>(
+        pool, expected.size(), 16,
+        [](std::size_t i) { return static_cast<double>(i) * 1.5 + 1.0; });
+    EXPECT_EQ(got, expected) << "jobs=" << jobs;
+  }
+}
+
+// String concatenation is associative but NOT commutative: if chunks
+// were merged in completion order instead of index order, the result
+// would vary run to run. This pins the determinism contract.
+TEST(ParallelReduce, MergesChunksInIndexOrder) {
+  constexpr std::size_t kN = 199;
+  std::string expected;
+  for (std::size_t i = 0; i < kN; ++i) expected += std::to_string(i) + ",";
+  for (const int jobs : {1, 2, 5, 16}) {
+    for (const std::size_t grain : {std::size_t{1}, std::size_t{8},
+                                    std::size_t{300}}) {
+      ThreadPool pool(jobs);
+      const std::string got = parallel_reduce<std::string>(
+          pool, kN, grain, std::string{},
+          [](std::string& acc, std::size_t i) {
+            acc += std::to_string(i) + ",";
+          },
+          [](std::string a, std::string b) { return a + b; });
+      EXPECT_EQ(got, expected) << "jobs=" << jobs << " grain=" << grain;
+    }
+  }
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsInit) {
+  ThreadPool pool(4);
+  const int got = parallel_reduce<int>(
+      pool, 0, 8, 42, [](int& acc, std::size_t) { ++acc; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(got, 42);
+}
+
+TEST(ParallelReduce, SumMatchesSerialAtAnyJobCount) {
+  constexpr std::size_t kN = 1000;
+  const long long expected = static_cast<long long>(kN) * (kN - 1) / 2;
+  for (const int jobs : {1, 3, 8}) {
+    ThreadPool pool(jobs);
+    const long long got = parallel_reduce<long long>(
+        pool, kN, 13, 0LL,
+        [](long long& acc, std::size_t i) {
+          acc += static_cast<long long>(i);
+        },
+        [](long long a, long long b) { return a + b; });
+    EXPECT_EQ(got, expected) << "jobs=" << jobs;
+  }
+}
+
+}  // namespace
+}  // namespace repro

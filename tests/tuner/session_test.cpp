@@ -1,0 +1,228 @@
+#include "tuner/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gpusim/microbench.hpp"
+
+namespace repro::tuner {
+namespace {
+
+using stencil::get_stencil;
+using stencil::ProblemSize;
+using stencil::StencilKind;
+
+const ProblemSize kSmall2D{.dim = 2, .S = {2048, 2048, 0}, .T = 256};
+
+EnumOptions small_space() {
+  return EnumOptions{}
+      .with_tT_max(16)
+      .with_tT_step(2)
+      .with_tS1_max(24)
+      .with_tS1_step(4)
+      .with_tS2_max(128)
+      .with_tS2_step(32);
+}
+
+TEST(TuningContext, CalibrateFillsModelInputs) {
+  const auto& def = get_stencil(StencilKind::kHeat2D);
+  const TuningContext ctx =
+      TuningContext::calibrate(gpusim::gtx980(), def, kSmall2D);
+  EXPECT_GT(ctx.inputs.c_iter, 0.0);
+  EXPECT_GT(ctx.inputs.hw.max_shared_words_per_block, 0);
+  EXPECT_EQ(ctx.problem, kSmall2D);
+  EXPECT_EQ(ctx.def.name, def.name);
+  // with_inputs must carry the given calibration through unchanged.
+  const TuningContext ctx2 =
+      TuningContext::with_inputs(gpusim::gtx980(), def, kSmall2D, ctx.inputs);
+  EXPECT_EQ(ctx2.inputs.c_iter, ctx.inputs.c_iter);
+}
+
+TEST(Session, MatchesFreeFunctions) {
+  const auto& def = get_stencil(StencilKind::kHeat2D);
+  const model::ModelInputs in = gpusim::calibrate_model(gpusim::gtx980(), def);
+  Session session(TuningContext::with_inputs(gpusim::gtx980(), def, kSmall2D,
+                                             in),
+                  SessionOptions{}.with_jobs(2));
+
+  const auto space = enumerate_feasible(2, in.hw, small_space());
+  const ModelSweep free_sweep = sweep_model(in, kSmall2D, space, 0.10);
+  const ModelSweep s_sweep = session.sweep_model(space, 0.10);
+  EXPECT_EQ(s_sweep.talg_min, free_sweep.talg_min);
+  EXPECT_EQ(s_sweep.argmin, free_sweep.argmin);
+  EXPECT_EQ(s_sweep.candidates, free_sweep.candidates);
+  EXPECT_EQ(s_sweep.space_size, free_sweep.space_size);
+
+  const DataPoint dp{{.tT = 8, .tS1 = 8, .tS2 = 64, .tS3 = 1},
+                     {.n1 = 32, .n2 = 8, .n3 = 1}};
+  EXPECT_EQ(session.evaluate_point(dp),
+            evaluate_point(gpusim::gtx980(), def, kSmall2D, in, dp));
+
+  const hhc::TileSizes ts{.tT = 8, .tS1 = 8, .tS2 = 64, .tS3 = 1};
+  EXPECT_EQ(session.best_over_threads(ts),
+            best_over_threads(gpusim::gtx980(), def, kSmall2D, in, ts));
+}
+
+TEST(Session, CompareStrategiesIsDeterministicAcrossJobCounts) {
+  const auto& def = get_stencil(StencilKind::kHeat2D);
+  const model::ModelInputs in = gpusim::calibrate_model(gpusim::gtx980(), def);
+  const CompareOptions opt = CompareOptions{}
+                                 .with_enumeration(small_space())
+                                 .with_exhaustive_cap(60)
+                                 .with_baseline_count(24);
+
+  const StrategyComparison serial =
+      compare_strategies(gpusim::gtx980(), def, kSmall2D, opt);
+  for (const int jobs : {1, 2, 4}) {
+    Session session(
+        TuningContext::with_inputs(gpusim::gtx980(), def, kSmall2D, in),
+        SessionOptions{}.with_jobs(jobs));
+    const StrategyComparison cmp = session.compare_strategies(opt);
+    EXPECT_EQ(cmp, serial) << "jobs=" << jobs;
+  }
+}
+
+TEST(Session, EvaluatePointsPreservesInputOrder) {
+  const auto& def = get_stencil(StencilKind::kHeat2D);
+  Session session(gpusim::gtx980(), def, kSmall2D,
+                  SessionOptions{}.with_jobs(3));
+  std::vector<DataPoint> dps;
+  for (const auto& thr : default_thread_configs(2)) {
+    dps.push_back({{.tT = 8, .tS1 = 8, .tS2 = 64, .tS3 = 1}, thr});
+  }
+  const auto eps = session.evaluate_points(dps);
+  ASSERT_EQ(eps.size(), dps.size());
+  for (std::size_t i = 0; i < dps.size(); ++i) {
+    EXPECT_EQ(eps[i].dp, dps[i]) << "slot " << i;
+    EXPECT_EQ(eps[i], session.evaluate_point(dps[i]));
+  }
+}
+
+TEST(Session, MemoCacheServesRepeatedMeasurements) {
+  const auto& def = get_stencil(StencilKind::kHeat2D);
+  Session session(gpusim::gtx980(), def, kSmall2D,
+                  SessionOptions{}.with_jobs(2));
+  const hhc::TileSizes ts{.tT = 8, .tS1 = 8, .tS2 = 64, .tS3 = 1};
+
+  const EvaluatedPoint first = session.best_over_threads(ts);
+  const SweepStats after_first = session.stats();
+  EXPECT_EQ(after_first.cache_hits, 0u);
+  const std::size_t nconfigs = default_thread_configs(2).size();
+  EXPECT_EQ(after_first.machine_points, nconfigs);
+  EXPECT_EQ(session.cache_size(), nconfigs);
+
+  // The second sweep over the same tile size is pure cache hits — and
+  // byte-identical.
+  const EvaluatedPoint second = session.best_over_threads(ts);
+  EXPECT_EQ(second, first);
+  const SweepStats after_second = session.stats();
+  EXPECT_EQ(after_second.machine_points, 2 * nconfigs);
+  EXPECT_EQ(after_second.cache_hits, nconfigs);
+  EXPECT_EQ(session.cache_size(), nconfigs);
+
+  session.clear_cache();
+  EXPECT_EQ(session.cache_size(), 0u);
+  session.reset_stats();
+  EXPECT_EQ(session.stats().machine_points, 0u);
+}
+
+TEST(Session, MemoizeOffDisablesTheCache) {
+  const auto& def = get_stencil(StencilKind::kHeat2D);
+  Session session(gpusim::gtx980(), def, kSmall2D,
+                  SessionOptions{}.with_jobs(1).with_memoize(false));
+  const hhc::TileSizes ts{.tT = 8, .tS1 = 8, .tS2 = 64, .tS3 = 1};
+  const EvaluatedPoint a = session.best_over_threads(ts);
+  const EvaluatedPoint b = session.best_over_threads(ts);
+  EXPECT_EQ(a, b);  // the simulator is deterministic either way
+  EXPECT_EQ(session.stats().cache_hits, 0u);
+  EXPECT_EQ(session.cache_size(), 0u);
+}
+
+TEST(Session, CompareStrategiesReusesSharedPoints) {
+  // The exhaustive pass revisits the baseline and within-10% points;
+  // with the memo cache those must be hits, not re-simulations.
+  const auto& def = get_stencil(StencilKind::kHeat2D);
+  Session session(gpusim::gtx980(), def, kSmall2D,
+                  SessionOptions{}.with_jobs(2));
+  const CompareOptions opt = CompareOptions{}
+                                 .with_enumeration(small_space())
+                                 .with_exhaustive_cap(0)  // visit everything
+                                 .with_baseline_count(24);
+  const StrategyComparison cmp = session.compare_strategies(opt);
+  ASSERT_TRUE(cmp.within10_best.feasible);
+  const SweepStats st = session.stats();
+  // Every within-10% candidate is re-requested by the uncapped
+  // exhaustive pass across all thread configs.
+  const std::size_t nconfigs = default_thread_configs(2).size();
+  EXPECT_GE(st.cache_hits, cmp.candidates_tried * nconfigs);
+  EXPECT_GT(st.machine_points, st.cache_hits);
+  EXPECT_GT(st.model_points, 0u);
+}
+
+TEST(Session, ExhaustiveCapZeroMeansNoCap) {
+  // Regression: exhaustive_cap = 0 must mean "no cap" (stride 1), not
+  // a division by zero in the stride computation.
+  const auto& def = get_stencil(StencilKind::kHeat2D);
+  Session session(gpusim::gtx980(), def, kSmall2D,
+                  SessionOptions{}.with_jobs(2));
+  const CompareOptions opt = CompareOptions{}
+                                 .with_enumeration(small_space())
+                                 .with_exhaustive_cap(0)
+                                 .with_baseline_count(8);
+  const StrategyComparison cmp = session.compare_strategies(opt);
+  ASSERT_TRUE(cmp.exhaustive.feasible);
+  EXPECT_GT(cmp.space_size, 0u);
+  // With the whole space visited, nothing can beat the exhaustive best.
+  EXPECT_GE(cmp.exhaustive.gflops, cmp.within10_best.gflops * (1 - 1e-12));
+  EXPECT_GE(cmp.exhaustive.gflops, cmp.baseline_best.gflops * (1 - 1e-12));
+}
+
+TEST(CompareOptionsValidate, ReportsStructuredErrors) {
+  CompareOptions bad = CompareOptions{}
+                           .with_delta(-0.5)
+                           .with_baseline_count(0);
+  bad.enumeration.tS2_step = 0;
+  analysis::DiagnosticEngine eng;
+  bad.validate(eng);
+  EXPECT_TRUE(eng.has_errors());
+  EXPECT_TRUE(eng.has_code(analysis::Code::kOptionRange));  // delta, count
+  EXPECT_TRUE(eng.has_code(analysis::Code::kEnumStep));     // tS2_step
+  EXPECT_GE(eng.size(), 3u);
+
+  try {
+    bad.validate();
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("SL312"), std::string::npos);
+  }
+
+  // The defaults validate clean.
+  analysis::DiagnosticEngine ok;
+  CompareOptions{}.validate(ok);
+  EXPECT_TRUE(ok.empty());
+  EXPECT_NO_THROW(CompareOptions{}.validate());
+}
+
+TEST(SessionOptions, BuildersCompose) {
+  const SessionOptions opt = SessionOptions{}.with_jobs(7).with_memoize(false);
+  EXPECT_EQ(opt.jobs, 7);
+  EXPECT_FALSE(opt.memoize);
+}
+
+TEST(Session, AnnealMatchesFreeFunction) {
+  const auto& def = get_stencil(StencilKind::kHeat2D);
+  const model::ModelInputs in = gpusim::calibrate_model(gpusim::gtx980(), def);
+  Session session(
+      TuningContext::with_inputs(gpusim::gtx980(), def, kSmall2D, in));
+  const SolverResult a = session.anneal_talg(small_space(), 7, 120);
+  const SolverResult b = anneal_talg(in, kSmall2D, small_space(), 7, 120);
+  EXPECT_EQ(a.ts, b.ts);
+  EXPECT_EQ(a.talg, b.talg);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+}  // namespace
+}  // namespace repro::tuner

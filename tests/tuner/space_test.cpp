@@ -115,6 +115,42 @@ TEST(Space, RejectsNonPositiveSteps) {
   }
 }
 
+TEST(Space, BuilderSettersCompose) {
+  const EnumOptions opt = EnumOptions{}
+                              .with_tT_max(12)
+                              .with_tT_step(4)
+                              .with_tS1_max(20)
+                              .with_tS1_step(5)
+                              .with_tS2_max(96)
+                              .with_tS2_step(16)
+                              .with_tS3_max(64)
+                              .with_tS3_step(32);
+  EXPECT_EQ(opt.tT_max, 12);
+  EXPECT_EQ(opt.tT_step, 4);
+  EXPECT_EQ(opt.tS1_max, 20);
+  EXPECT_EQ(opt.tS1_step, 5);
+  EXPECT_EQ(opt.tS2_max, 96);
+  EXPECT_EQ(opt.tS2_step, 16);
+  EXPECT_EQ(opt.tS3_max, 64);
+  EXPECT_EQ(opt.tS3_step, 32);
+}
+
+TEST(Space, ValidateCollectsAllProblemsThroughTheEngine) {
+  // The engine-collecting form reports every problem at once instead
+  // of throwing at the first: bad steps are SL310, bad maxes SL312.
+  EnumOptions bad = EnumOptions{}.with_tT_step(0).with_tS1_max(-4);
+  analysis::DiagnosticEngine eng;
+  bad.validate(eng);
+  EXPECT_TRUE(eng.has_errors());
+  EXPECT_TRUE(eng.has_code(analysis::Code::kEnumStep));
+  EXPECT_TRUE(eng.has_code(analysis::Code::kOptionRange));
+  EXPECT_GE(eng.size(), 2u);
+
+  analysis::DiagnosticEngine clean;
+  EnumOptions{}.validate(clean);
+  EXPECT_TRUE(clean.empty());
+}
+
 TEST(Space, EnumerationMatchesLegalityCheckerOnTheLattice) {
   // The refactor onto analysis::eqn31_feasible must not change the
   // feasible set: brute-force the same lattice and filter with the
