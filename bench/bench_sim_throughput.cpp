@@ -1,0 +1,214 @@
+// Simulator-throughput benchmark for the two-stage tile-cost
+// pipeline. Three sweep shapes are timed in points per second:
+//
+//   * model sweep      — Talg over the feasible space (pure model),
+//   * machine sweep    — measure_best_of over (tile, thread) points,
+//   * best_over_threads — the Section 7 empirical thread-count step,
+//
+// each with a "legacy" arm (the serial free functions: one full
+// geometry walk per simulator call) and a "profiled" arm (a
+// tuner::Session: the walk runs once per tile size, every thread
+// config after the first is closed-form pricing). Results of the two
+// arms are bitwise-identical — only the throughput differs; the
+// speedup column is the point of the exercise.
+//
+// Emits BENCH_gpusim.json into --csv-dir. Default scale is a smoke
+// run sized for CI; --full runs paper-scale problems. --jobs=N sets
+// the profiled arms' worker count (legacy arms are serial by
+// definition); jobs=1 keeps the comparison apples-to-apples.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "gpusim/microbench.hpp"
+#include "gpusim/timing.hpp"
+#include "tuner/session.hpp"
+
+using namespace repro;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct ArmResult {
+  std::string name;
+  std::size_t points = 0;
+  double seconds = 0.0;
+
+  double pts_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(points) / seconds : 0.0;
+  }
+};
+
+void emit_json(const std::string& path, const std::vector<ArmResult>& arms,
+               const std::vector<std::pair<std::string, double>>& speedups,
+               int jobs, bool full) {
+  std::ofstream os(path);
+  os << "{\n  \"bench\": \"bench_sim_throughput\",\n"
+     << "  \"mode\": \"" << (full ? "full" : "smoke") << "\",\n"
+     << "  \"jobs\": " << jobs << ",\n  \"arms\": [\n";
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    os << "    {\"name\": \"" << arms[i].name
+       << "\", \"points\": " << arms[i].points
+       << ", \"seconds\": " << arms[i].seconds
+       << ", \"points_per_sec\": " << arms[i].pts_per_sec() << "}"
+       << (i + 1 < arms.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"speedups\": {\n";
+  for (std::size_t i = 0; i < speedups.size(); ++i) {
+    os << "    \"" << speedups[i].first << "\": " << speedups[i].second
+       << (i + 1 < speedups.size() ? "," : "") << "\n";
+  }
+  os << "  }\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const bench::Scale scale = bench::Scale::from_args(args);
+  const auto& dev = gpusim::device_by_name(args.get_or("device", "GTX 980"));
+  const auto& def =
+      stencil::get_stencil_by_name(args.get_or("stencil", "Heat2D"));
+  // The time dimension drives the schedule-walk cost (rows ~ T/tT)
+  // while closed-form pricing is O(classes) and nearly T-independent,
+  // so longer time horizons are exactly where the two-stage split
+  // pays; T = 8192 matches the paper's Fig. 5 horizon and keeps the
+  // smoke run in single-digit milliseconds per arm.
+  const stencil::ProblemSize p =
+      scale.full ? stencil::ProblemSize{.dim = 2, .S = {8192, 8192, 0},
+                                        .T = 16384}
+                 : stencil::ProblemSize{.dim = 2, .S = {4096, 4096, 0},
+                                        .T = 8192};
+
+  const model::ModelInputs in = gpusim::calibrate_model(dev, def);
+  const tuner::EnumOptions opt = tuner::EnumOptions{}
+                                     .with_tT_max(scale.full ? 64 : 32)
+                                     .with_tS1_max(scale.full ? 96 : 48)
+                                     .with_tS2_max(scale.full ? 512 : 256);
+  const std::vector<hhc::TileSizes> space =
+      tuner::enumerate_feasible(2, in.hw, opt, def.radius);
+
+  // Deterministic subsample for the machine-evaluation arms.
+  const std::size_t n_tiles = scale.full ? 64 : 16;
+  const std::size_t stride = space.size() > n_tiles
+                                 ? space.size() / n_tiles
+                                 : 1;
+  std::vector<hhc::TileSizes> tiles;
+  for (std::size_t i = 0; i < space.size() && tiles.size() < n_tiles;
+       i += stride) {
+    tiles.push_back(space[i]);
+  }
+  const auto threads = tuner::default_thread_configs(2);
+
+  std::cout << "=== simulator throughput: " << def.name << " "
+            << p.to_string() << " on " << dev.name << " ===\n"
+            << "feasible space: " << space.size() << " tile sizes; "
+            << tiles.size() << " sampled for machine arms, "
+            << threads.size() << " thread configs each\n";
+
+  std::vector<ArmResult> arms;
+
+  // --- Model sweep (one arm: the model has no two-stage split) ------
+  {
+    tuner::Session s(tuner::TuningContext::with_inputs(dev, def, p, in),
+                     tuner::SessionOptions{}.with_jobs(scale.jobs));
+    const auto t0 = Clock::now();
+    (void)s.sweep_model(space, 0.10);
+    arms.push_back({"model_sweep", space.size(), seconds_since(t0)});
+  }
+
+  // --- Machine sweep: every (tile, thread) point once ---------------
+  {
+    const auto t0 = Clock::now();
+    for (const auto& ts : tiles) {
+      for (const auto& thr : threads) {
+        (void)tuner::evaluate_point(dev, def, p, in,
+                                    tuner::DataPoint{ts, thr});
+      }
+    }
+    arms.push_back({"machine_sweep_legacy", tiles.size() * threads.size(),
+                    seconds_since(t0)});
+  }
+  {
+    // Memoization off: every point is genuinely priced; the profile
+    // cache still collapses the geometry walks (that is the pipeline,
+    // not the memo).
+    tuner::Session s(
+        tuner::TuningContext::with_inputs(dev, def, p, in),
+        tuner::SessionOptions{}.with_jobs(scale.jobs).with_memoize(false));
+    std::vector<tuner::DataPoint> dps;
+    for (const auto& ts : tiles) {
+      for (const auto& thr : threads) dps.push_back({ts, thr});
+    }
+    const auto t0 = Clock::now();
+    (void)s.evaluate_points(dps);
+    arms.push_back(
+        {"machine_sweep_profiled", dps.size(), seconds_since(t0)});
+  }
+
+  // --- best_over_threads: the acceptance metric ---------------------
+  // Serial vs serial (jobs=1): the speedup isolates the two-stage
+  // pipeline from thread-pool parallelism.
+  {
+    const auto t0 = Clock::now();
+    for (const auto& ts : tiles) {
+      (void)tuner::best_over_threads(dev, def, p, in, ts);
+    }
+    arms.push_back({"best_over_threads_legacy",
+                    tiles.size() * threads.size(), seconds_since(t0)});
+  }
+  {
+    tuner::Session s(
+        tuner::TuningContext::with_inputs(dev, def, p, in),
+        tuner::SessionOptions{}.with_jobs(1).with_memoize(false));
+    const auto t0 = Clock::now();
+    for (const auto& ts : tiles) (void)s.best_over_threads(ts);
+    arms.push_back({"best_over_threads_profiled",
+                    tiles.size() * threads.size(), seconds_since(t0)});
+    bench::print_sweep_stats(std::cout, s.stats(), s.jobs());
+  }
+
+  const auto arm = [&](const std::string& name) -> const ArmResult& {
+    for (const auto& a : arms) {
+      if (a.name == name) return a;
+    }
+    static const ArmResult none;
+    return none;
+  };
+  const auto ratio = [&](const std::string& prof, const std::string& legacy) {
+    const double l = arm(legacy).pts_per_sec();
+    const double f = arm(prof).pts_per_sec();
+    return l > 0.0 ? f / l : 0.0;
+  };
+  const std::vector<std::pair<std::string, double>> speedups = {
+      {"machine_sweep",
+       ratio("machine_sweep_profiled", "machine_sweep_legacy")},
+      {"best_over_threads",
+       ratio("best_over_threads_profiled", "best_over_threads_legacy")},
+  };
+
+  AsciiTable t({"arm", "points", "seconds", "points/s"});
+  for (const auto& a : arms) {
+    t.add_row({a.name, std::to_string(a.points), AsciiTable::fmt(a.seconds, 4),
+               AsciiTable::fmt(a.pts_per_sec(), 1)});
+  }
+  std::cout << t.render();
+  for (const auto& [name, x] : speedups) {
+    std::cout << name << " profiled-vs-legacy speedup: "
+              << AsciiTable::fmt(x, 2) << "x\n";
+  }
+
+  emit_json(scale.csv_dir + "/BENCH_gpusim.json", arms, speedups,
+            scale.resolved_jobs(), scale.full);
+  std::cout << "wrote " << scale.csv_dir << "/BENCH_gpusim.json\n";
+  return 0;
+}

@@ -61,6 +61,10 @@ inline void accumulate(tuner::SweepStats& into, const tuner::SweepStats& s) {
   into.cache_hits += s.cache_hits;
   into.model_seconds += s.model_seconds;
   into.machine_seconds += s.machine_seconds;
+  into.profile_builds += s.profile_builds;
+  into.profile_hits += s.profile_hits;
+  into.geometry_seconds += s.geometry_seconds;
+  into.pricing_seconds += s.pricing_seconds;
 }
 
 // One-line engine summary the figure benches print after their table.
@@ -71,7 +75,10 @@ inline void print_sweep_stats(std::ostream& os, const tuner::SweepStats& st,
   os << "[engine] jobs=" << jobs << "; model sweep: " << st.model_points
      << " pts in " << st.model_seconds << " s; machine eval: "
      << st.machine_points << " pts (" << st.cache_hits
-     << " cache hits) in " << st.machine_seconds << " s\n";
+     << " cache hits) in " << st.machine_seconds << " s; profiles: "
+     << st.profile_builds << " built (" << st.profile_hits << " hits), "
+     << st.geometry_seconds << " s geometry + " << st.pricing_seconds
+     << " s pricing\n";
 }
 
 }  // namespace repro::bench

@@ -1,0 +1,257 @@
+#include "gpusim/cost_profile.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "common/math_util.hpp"
+#include "hhc/bands.hpp"
+
+namespace repro::gpusim {
+
+namespace {
+
+using hhc::BandClass;
+using hhc::HexSchedule;
+using hhc::SkewedBands;
+using hhc::TileShape;
+using repro::ceil_div;
+
+// Sort by point count and merge equal buckets so geometrically
+// different walks (collapsed vs enumerated bands) canonicalize to the
+// same histogram.
+void canonicalize(std::vector<PointBin>& bins) {
+  std::sort(bins.begin(), bins.end(),
+            [](const PointBin& a, const PointBin& b) {
+              return a.points < b.points;
+            });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    if (out > 0 && bins[out - 1].points == bins[i].points) {
+      bins[out - 1].weight += bins[i].weight;
+    } else {
+      bins[out++] = bins[i];
+    }
+  }
+  bins.resize(out);
+}
+
+std::vector<BandClass> enumerate_bands(const SkewedBands& bands,
+                                       bool collapse) {
+  if (collapse) return bands.congruence_classes();
+  std::vector<BandClass> singletons;
+  const std::int64_t n = bands.num_bands();
+  singletons.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t b = 0; b < n; ++b) singletons.push_back({b, 1});
+  return singletons;
+}
+
+// One (tile, band2-class, band3-class) piece: `mult` congruent
+// sub-prisms, each a stack of barrier-separated rows of
+// width * i2 * i3 iterations.
+void add_piece(BlockGeometry& g, const TileShape& shape,
+               const SkewedBands* b2, const SkewedBands* b3,
+               std::int64_t rep2, std::int64_t rep3, std::int64_t mult) {
+  bool any = false;
+  for (std::size_t lev = 0; lev < shape.level_cols.size(); ++lev) {
+    const std::int64_t width = shape.level_cols[lev].size();
+    if (width == 0) continue;
+    const std::int64_t t =
+        shape.first_level + static_cast<std::int64_t>(lev);
+    const std::int64_t i2 = b2 ? b2->range_at(rep2, t).size() : 1;
+    if (i2 == 0) continue;
+    const std::int64_t i3 = b3 ? b3->range_at(rep3, t).size() : 1;
+    if (i3 == 0) continue;
+    any = true;
+    g.bins.push_back({width * i2 * i3, mult});
+    g.level_syncs += mult;  // barrier between dependent rows
+  }
+  if (any) g.busy_pieces += mult;  // barriers around the copies
+}
+
+}  // namespace
+
+BlockGeometry block_geometry(const stencil::ProblemSize& p,
+                             const hhc::TileSizes& ts,
+                             const hhc::TileShape& shape,
+                             bool collapse_bands) {
+  BlockGeometry g;
+  // Global traffic: the per-(t,s1)-line footprint times the inner
+  // area the block sweeps (Eqns 13/24 are this same product for the
+  // unclipped case), in and out.
+  double inner_area = 1.0;
+  if (p.dim >= 2) inner_area *= static_cast<double>(p.S[1]);
+  if (p.dim >= 3) inner_area *= static_cast<double>(p.S[2]);
+  g.io_words = static_cast<double>(shape.input_footprint() +
+                                   shape.output_footprint(p.T)) *
+               inner_area;
+  if (shape.level_cols.empty()) return g;
+
+  const std::int64_t radius = shape.radius;
+  const std::int64_t t_lo = shape.first_level;
+  const std::int64_t t_hi =
+      t_lo + static_cast<std::int64_t>(shape.level_cols.size());
+
+  if (p.dim == 1) {
+    add_piece(g, shape, nullptr, nullptr, 0, 0, 1);
+  } else if (p.dim == 2) {
+    const SkewedBands bands2(p.S[1], ts.tS2, t_lo, t_hi, radius);
+    for (const BandClass& c2 : enumerate_bands(bands2, collapse_bands)) {
+      add_piece(g, shape, &bands2, nullptr, c2.rep_b, 0, c2.mult);
+    }
+  } else {
+    const SkewedBands bands2(p.S[1], ts.tS2, t_lo, t_hi, radius);
+    const SkewedBands bands3(p.S[2], ts.tS3, t_lo, t_hi, radius);
+    const auto classes2 = enumerate_bands(bands2, collapse_bands);
+    const auto classes3 = enumerate_bands(bands3, collapse_bands);
+    for (const BandClass& c2 : classes2) {
+      for (const BandClass& c3 : classes3) {
+        add_piece(g, shape, &bands2, &bands3, c2.rep_b, c3.rep_b,
+                  c2.mult * c3.mult);
+      }
+    }
+  }
+  canonicalize(g.bins);
+  return g;
+}
+
+std::int64_t geometry_iter_units(const BlockGeometry& g, int threads,
+                                 int n_v) {
+  // HHC assigns the iterations of each (barrier-separated) tile row
+  // statically to the block's threads, so a row of `points` costs
+  // ceil(points / threads) serial iterations per thread, issued in
+  // ceil(active / n_v) lane waves with warp-rounded active threads.
+  // This is the thread-count effect the analytical model deliberately
+  // ignores (Section 7) and the empirical thread-count step tunes.
+  const std::int64_t threads_r =
+      repro::round_up<std::int64_t>(std::max(threads, 1), 32);
+  std::int64_t units = 0;
+  for (const PointBin& b : g.bins) {
+    const std::int64_t per_thread = ceil_div(b.points, threads_r);
+    const std::int64_t active =
+        repro::round_up<std::int64_t>(std::min(b.points, threads_r), 32);
+    const std::int64_t waves =
+        ceil_div(active, static_cast<std::int64_t>(n_v));
+    units += b.weight * (per_thread * waves);
+  }
+  return units;
+}
+
+BlockWork price_block(const DeviceParams& dev, const BlockGeometry& g,
+                      int threads, double cyc_iter) {
+  const std::int64_t units = geometry_iter_units(g, threads, dev.n_v);
+  const std::int64_t syncs = g.level_syncs + 2 * g.busy_pieces;
+  BlockWork bw;
+  bw.compute_s = (static_cast<double>(units) * cyc_iter +
+                  static_cast<double>(syncs) * dev.sync_cycles) /
+                 dev.clock_hz;
+  bw.io_bytes = g.io_words * 4.0;
+  return bw;
+}
+
+TileCostProfile TileCostProfile::build_impl(const stencil::ProblemSize& p,
+                                            const hhc::TileSizes& ts,
+                                            std::int64_t radius,
+                                            bool collapse) {
+  TileCostProfile prof;
+  try {
+    hhc::validate(ts, p.dim);
+    const HexSchedule sched(p.T, p.S[0], ts.tT, ts.tS1, radius);
+
+    // Congruence key: rows with the same family, the same clipped
+    // level range relative to their base, and the same tile count
+    // price identically (their column-interior tiles are congruent).
+    using RowKey = std::tuple<int, std::int64_t, std::int64_t, std::int64_t>;
+    std::map<RowKey, std::size_t> index;
+
+    const std::int64_t n_rows = sched.num_rows();
+    for (std::int64_t r = 0; r < n_rows; ++r) {
+      const std::int64_t blocks = sched.tiles_in_row(r);
+      if (blocks <= 0) {
+        ++prof.empty_rows_;
+        continue;
+      }
+      const hhc::Interval levels = sched.row_levels(r);
+      const std::int64_t base = sched.row_base(r);
+      const RowKey key{static_cast<int>(sched.row_family(r)),
+                       levels.lo - base, levels.hi - base, blocks};
+      const auto it = index.find(key);
+      if (it != index.end() && collapse) {
+        ++prof.classes_[it->second].mult;
+        continue;
+      }
+      // Representative tile: column-interior, so only time-clipping
+      // affects its shape (boundary tiles in s1 are a vanishing
+      // fraction of a row and are priced like interior ones).
+      const std::int64_t q_mid =
+          sched.q_begin(r) + (sched.q_end(r) - sched.q_begin(r)) / 2;
+      BlockGeometry geom =
+          block_geometry(p, ts, sched.shape(r, q_mid), collapse);
+      if (it != index.end()) {
+        // Reference walk: verify the congruence assumption row by row
+        // instead of trusting the first representative.
+        RowClass& c = prof.classes_[it->second];
+        if (geom == c.geom) {
+          ++c.mult;
+        } else {
+          ++prof.mismatches_;
+          prof.classes_.push_back({1, blocks, std::move(geom)});
+        }
+        continue;
+      }
+      index.emplace(key, prof.classes_.size());
+      prof.classes_.push_back({1, blocks, std::move(geom)});
+    }
+    prof.valid_ = true;
+  } catch (const std::invalid_argument& e) {
+    prof.valid_ = false;
+    prof.error_ = e.what();
+    prof.classes_.clear();
+    prof.empty_rows_ = 0;
+  }
+  return prof;
+}
+
+TileCostProfile TileCostProfile::build(const stencil::ProblemSize& p,
+                                       const hhc::TileSizes& ts,
+                                       std::int64_t radius) {
+  return build_impl(p, ts, radius, /*collapse=*/true);
+}
+
+TileCostProfile TileCostProfile::build_reference(
+    const stencil::ProblemSize& p, const hhc::TileSizes& ts,
+    std::int64_t radius) {
+  return build_impl(p, ts, radius, /*collapse=*/false);
+}
+
+TileCostProfile TileCostProfile::build_auto(const stencil::ProblemSize& p,
+                                            const hhc::TileSizes& ts,
+                                            std::int64_t radius) {
+  return use_reference_sim_path() ? build_reference(p, ts, radius)
+                                  : build(p, ts, radius);
+}
+
+std::int64_t TileCostProfile::total_rows() const noexcept {
+  std::int64_t n = empty_rows_;
+  for (const RowClass& c : classes_) n += c.mult;
+  return n;
+}
+
+std::int64_t TileCostProfile::total_blocks() const noexcept {
+  std::int64_t n = 0;
+  for (const RowClass& c : classes_) n += c.mult * c.blocks;
+  return n;
+}
+
+bool use_reference_sim_path() {
+  static const bool reference = [] {
+    const char* v = std::getenv("REPRO_SIM_PATH");
+    return v != nullptr && std::string(v) == "reference";
+  }();
+  return reference;
+}
+
+}  // namespace repro::gpusim

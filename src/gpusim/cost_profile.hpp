@@ -1,0 +1,150 @@
+// Two-stage tile-cost pipeline, stage one: thread-invariant geometry.
+//
+// Every optimizer entry point ends in simulate_time / measure_best_of,
+// and best_over_threads re-prices the same (problem, tile-sizes)
+// geometry for each thread count even though the HexSchedule, the
+// SkewedBands and the per-level point histograms depend only on the
+// problem and the tile sizes — the thread count enters the final
+// pricing only through ceil(points / threads) and the warp-wave
+// count. TileCostProfile performs the schedule walk once, collapses
+// congruent wavefront rows and skewed bands into classes, and stores
+// per class an integer histogram of per-barrier-row point counts plus
+// the block's global-traffic words. Pricing any ThreadConfig is then
+// an O(classes x bins) fold with no schedule walk, no SkewedBands
+// reconstruction and no ordered-map lookups (stage two, in
+// gpusim/timing.cpp).
+//
+// Exactness: iteration units and barrier counts are aggregated in
+// std::int64_t and converted to double once per class, so collapsing
+// bands into classes (or not) cannot perturb the result — integer
+// addition is associative. build_reference() exploits this: it
+// re-walks every row and enumerates every band individually, and the
+// parity tests assert the SimResult of the two builds is identical in
+// every bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "gpusim/scheduling.hpp"
+#include "hhc/hex_schedule.hpp"
+#include "hhc/tile_sizes.hpp"
+#include "stencil/problem.hpp"
+
+namespace repro::gpusim {
+
+// One bucket of the per-block point histogram: `weight` barrier-
+// separated tile rows (across pieces and levels) of `points`
+// iterations each.
+struct PointBin {
+  std::int64_t points = 0;
+  std::int64_t weight = 0;
+
+  friend bool operator==(const PointBin&, const PointBin&) = default;
+};
+
+// Thread-invariant cost geometry of one thread block (tile): the
+// canonical (sorted, merged) point histogram, the barrier counts, and
+// the block's global<->shared traffic in words (before coalescing
+// derating).
+struct BlockGeometry {
+  std::vector<PointBin> bins;
+  std::int64_t level_syncs = 0;  // barrier-separated rows with work
+  std::int64_t busy_pieces = 0;  // pieces with any work (2 barriers each)
+  double io_words = 0.0;
+
+  friend bool operator==(const BlockGeometry&, const BlockGeometry&) = default;
+};
+
+// One congruence class of wavefront rows: `mult` kernel rows of
+// `blocks` tiles each, every tile priced like the class
+// representative (a column-interior tile — boundary tiles in s1 are a
+// vanishing fraction of a row, the same approximation the original
+// row cache made).
+struct RowClass {
+  std::int64_t mult = 0;
+  std::int64_t blocks = 0;
+  BlockGeometry geom;
+};
+
+class TileCostProfile {
+ public:
+  // Walk the schedule once and collapse rows/bands into classes.
+  // Invalid tile geometry (odd tT, tS1 < radius, non-positive
+  // extents) yields valid() == false with the reason in error();
+  // nothing throws.
+  static TileCostProfile build(const stencil::ProblemSize& p,
+                               const hhc::TileSizes& ts, std::int64_t radius);
+
+  // The uncollapsed reference: every row re-derived individually,
+  // every skewed band enumerated (no congruence classes). Rows whose
+  // geometry contradicts their congruence key become their own class
+  // and are counted in congruence_mismatches() — the parity tests pin
+  // both to build().
+  static TileCostProfile build_reference(const stencil::ProblemSize& p,
+                                         const hhc::TileSizes& ts,
+                                         std::int64_t radius);
+
+  // build(), or build_reference() when REPRO_SIM_PATH=reference is
+  // set in the environment (read once per process) — the A/B switch
+  // the parity benches flip.
+  static TileCostProfile build_auto(const stencil::ProblemSize& p,
+                                    const hhc::TileSizes& ts,
+                                    std::int64_t radius);
+
+  bool valid() const noexcept { return valid_; }
+  const std::string& error() const noexcept { return error_; }
+
+  const std::vector<RowClass>& classes() const noexcept { return classes_; }
+  // Rows with no tiles intersecting the domain (launch cost only).
+  std::int64_t empty_rows() const noexcept { return empty_rows_; }
+  // Diagnostics: total rows/tiles the profile stands for.
+  std::int64_t total_rows() const noexcept;
+  std::int64_t total_blocks() const noexcept;
+  // build_reference() only: rows whose recomputed geometry differed
+  // from the first row with the same congruence key (always 0 unless
+  // the row-congruence assumption is broken).
+  std::int64_t congruence_mismatches() const noexcept { return mismatches_; }
+
+ private:
+  static TileCostProfile build_impl(const stencil::ProblemSize& p,
+                                    const hhc::TileSizes& ts,
+                                    std::int64_t radius, bool collapse);
+
+  bool valid_ = false;
+  std::string error_;
+  std::vector<RowClass> classes_;
+  std::int64_t empty_rows_ = 0;
+  std::int64_t mismatches_ = 0;
+};
+
+// True when REPRO_SIM_PATH=reference: simulate_time and the Session
+// route geometry through build_reference(), and the event simulator
+// disables congruent-tile reuse. Results are bit-identical either
+// way; the switch exists so benches and tests can prove it.
+bool use_reference_sim_path();
+
+// Stage-one primitive shared with the event simulator: the
+// thread-invariant geometry of one exact (possibly boundary-clipped)
+// tile shape. `collapse_bands` selects class-collapsed or
+// fully-enumerated skewed bands — identical results by integer
+// exactness.
+BlockGeometry block_geometry(const stencil::ProblemSize& p,
+                             const hhc::TileSizes& ts,
+                             const hhc::TileShape& shape,
+                             bool collapse_bands = true);
+
+// Stage two, per block: fold the histogram for one thread count.
+// Returns sum over bins of weight * ceil(points/threads_r) * waves,
+// the exact integer the legacy per-level walk accumulated in doubles.
+std::int64_t geometry_iter_units(const BlockGeometry& g, int threads,
+                                 int n_v);
+
+// Stage two, per block: compute seconds (incl. barriers) and raw
+// global traffic of one block at `threads`, from profiled geometry.
+BlockWork price_block(const DeviceParams& dev, const BlockGeometry& g,
+                      int threads, double cyc_iter);
+
+}  // namespace repro::gpusim

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <queue>
+#include <utility>
 #include <vector>
 
+#include "gpusim/cost_profile.hpp"
 #include "gpusim/scheduling.hpp"
 #include "gpusim/timing.hpp"
 #include "hhc/hex_schedule.hpp"
@@ -48,6 +50,15 @@ double simulate_row(const DeviceParams& dev, std::vector<BlockState>& blocks,
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> heap;
 
+  // Least-loaded SM selection as a lazy min-heap of (count, sm):
+  // every count change pushes a fresh entry, stale entries (count no
+  // longer current) are skipped on pop. Pair ordering reproduces the
+  // old linear scan's tie-break exactly — minimum count, then minimum
+  // SM index — at O(log n_sm) per admission instead of O(n_sm).
+  using Slot = std::pair<int, int>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> slots;
+  for (int sm = 0; sm < n_sm; ++sm) slots.push({0, sm});
+
   std::size_t next = 0;
   double end_time = 0.0;
 
@@ -64,19 +75,20 @@ double simulate_row(const DeviceParams& dev, std::vector<BlockState>& blocks,
 
   auto admit = [&](double now) {
     while (next < blocks.size()) {
-      // Least-loaded SM with a free residency slot.
-      int best = -1;
-      for (int sm = 0; sm < n_sm; ++sm) {
-        if (resident[static_cast<std::size_t>(sm)] >= k) continue;
-        if (best < 0 || resident[static_cast<std::size_t>(sm)] <
-                            resident[static_cast<std::size_t>(best)]) {
-          best = sm;
-        }
+      while (!slots.empty() &&
+             resident[static_cast<std::size_t>(slots.top().second)] !=
+                 slots.top().first) {
+        slots.pop();  // stale
       }
-      if (best < 0) return;  // all slots busy
+      // The freshest entry of each SM is always valid, so an empty or
+      // >= k top means every SM is at capacity.
+      if (slots.empty() || slots.top().first >= k) return;
+      const int best = slots.top().second;
+      slots.pop();
       BlockState& b = blocks[next];
       b.sm = best;
       ++resident[static_cast<std::size_t>(best)];
+      slots.push({resident[static_cast<std::size_t>(best)], best});
       // Phase 1: load through the shared memory channel.
       const double done = reserve_channel(now, b.work.io_bytes / 2.0);
       heap.push({done, seq++, Phase::kLoadDone,
@@ -109,6 +121,7 @@ double simulate_row(const DeviceParams& dev, std::vector<BlockState>& blocks,
       }
       case Phase::kStoreDone: {
         --resident[sm];
+        slots.push({resident[sm], static_cast<int>(sm)});
         end_time = std::max(end_time, ev.time);
         admit(ev.time);
         break;
@@ -125,6 +138,17 @@ EventSimResult simulate_time_event(const DeviceParams& dev,
                                    const stencil::ProblemSize& p,
                                    const hhc::TileSizes& ts,
                                    const hhc::ThreadConfig& thr) {
+  EventSimOptions opt;
+  opt.reuse_congruent_tiles = !use_reference_sim_path();
+  return simulate_time_event(dev, def, p, ts, thr, opt);
+}
+
+EventSimResult simulate_time_event(const DeviceParams& dev,
+                                   const stencil::StencilDef& def,
+                                   const stencil::ProblemSize& p,
+                                   const hhc::TileSizes& ts,
+                                   const hhc::ThreadConfig& thr,
+                                   const EventSimOptions& opt) {
   EventSimResult res;
   const int threads = thr.total();
   const ResolvedConfig rc = resolve_config(dev, def, p.dim, ts, threads);
@@ -153,12 +177,40 @@ EventSimResult simulate_time_event(const DeviceParams& dev,
     ++res.kernel_calls;
     std::vector<BlockState> blocks;
     blocks.reserve(static_cast<std::size_t>(sched.tiles_in_row(r)));
+    // Interior tiles whose read halo also clears the domain edges are
+    // congruent within a row (pure translations, identical widths and
+    // footprints) — price the first one and reuse its BlockWork for
+    // the rest. is_interior alone is not enough: a tile flush against
+    // the boundary keeps its full width but loses the halo cells the
+    // footprint would otherwise read outside the domain.
+    const auto halo_clear = [&](const hhc::TileShape& shape) {
+      for (const auto& iv : shape.level_cols) {
+        if (iv.empty()) continue;
+        if (iv.lo - def.radius < 0 || iv.hi + def.radius > p.S[0]) {
+          return false;
+        }
+      }
+      return true;
+    };
+    bool have_interior = false;
+    BlockWork interior_work;
     for (std::int64_t q = sched.q_begin(r); q < sched.q_end(r); ++q) {
       const hhc::TileShape shape = sched.shape(r, q);
       if (shape.empty()) continue;
       BlockState b;
-      b.work = tile_block_work(dev, p, ts, threads, shape, rc.cyc_iter);
-      b.work.io_bytes /= rc.coalesce_eff;
+      if (opt.reuse_congruent_tiles && sched.is_interior(r, q) &&
+          halo_clear(shape)) {
+        if (!have_interior) {
+          interior_work =
+              tile_block_work(dev, p, ts, threads, shape, rc.cyc_iter);
+          interior_work.io_bytes /= rc.coalesce_eff;
+          have_interior = true;
+        }
+        b.work = interior_work;
+      } else {
+        b.work = tile_block_work(dev, p, ts, threads, shape, rc.cyc_iter);
+        b.work.io_bytes /= rc.coalesce_eff;
+      }
       blocks.push_back(b);
     }
     res.blocks += static_cast<std::int64_t>(blocks.size());

@@ -37,8 +37,26 @@ struct EventSimResult {
   double sm_compute_busy = 0.0;   // average over SMs
 };
 
+struct EventSimOptions {
+  // Price one representative interior tile per kernel row and reuse
+  // its BlockWork for every other interior tile of that row (interior
+  // tiles are congruent — see HexSchedule::is_interior). Boundary
+  // tiles are still priced individually, so results are identical
+  // with the option off; it only removes redundant geometry walks.
+  bool reuse_congruent_tiles = true;
+};
+
 // Same machine parameters and resource resolution as simulate_time;
 // no jitter (the event order is already deterministic).
+EventSimResult simulate_time_event(const DeviceParams& dev,
+                                   const stencil::StencilDef& def,
+                                   const stencil::ProblemSize& p,
+                                   const hhc::TileSizes& ts,
+                                   const hhc::ThreadConfig& thr,
+                                   const EventSimOptions& opt);
+
+// Default options: congruent-tile reuse on, unless
+// REPRO_SIM_PATH=reference selects the fully-enumerated path.
 EventSimResult simulate_time_event(const DeviceParams& dev,
                                    const stencil::StencilDef& def,
                                    const stencil::ProblemSize& p,

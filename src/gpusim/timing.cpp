@@ -1,171 +1,39 @@
 #include "gpusim/timing.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
-#include <map>
-#include <tuple>
-#include <vector>
+#include <stdexcept>
 
 #include "common/math_util.hpp"
 #include "common/rng.hpp"
+#include "gpusim/cost_profile.hpp"
 #include "gpusim/registers.hpp"
 #include "gpusim/scheduling.hpp"
-#include "hhc/bands.hpp"
 #include "hhc/footprint.hpp"
-#include "hhc/hex_schedule.hpp"
 
 namespace repro::gpusim {
 
 namespace {
 
-using hhc::HexSchedule;
-using hhc::SkewedBands;
-using hhc::TileShape;
-using repro::ceil_div;
-
-// A group of congruent skewed bands: all interior bands of a prism
-// have identical per-level extents, so we price one representative
-// and multiply.
-struct BandClass {
-  std::int64_t rep_b = 0;
-  std::int64_t mult = 1;
-};
-
-std::vector<BandClass> make_band_classes(std::int64_t S, std::int64_t ts,
-                                         std::int64_t t_lo, std::int64_t t_hi,
-                                         std::int64_t radius) {
-  SkewedBands bands(S, ts, t_lo, t_hi, radius);
-  const std::int64_t n = bands.num_bands();
-  const std::int64_t span = radius * ((t_hi - 1) - t_lo);
-  // Band b is interior iff its range is the full [.., ..+ts) at every
-  // level: b*ts >= r*span (never clipped below 0) and (b+1)*ts <= S.
-  const std::int64_t int_lo = ceil_div(span, ts);
-  const std::int64_t int_hi = S / ts - 1;  // inclusive
-
-  std::vector<BandClass> classes;
-  if (int_lo > int_hi) {
-    classes.reserve(static_cast<std::size_t>(n));
-    for (std::int64_t b = 0; b < n; ++b) classes.push_back({b, 1});
-    return classes;
-  }
-  for (std::int64_t b = 0; b < int_lo; ++b) classes.push_back({b, 1});
-  classes.push_back({int_lo, int_hi - int_lo + 1});
-  for (std::int64_t b = int_hi + 1; b < n; ++b) classes.push_back({b, 1});
-  return classes;
-}
-
-// Price the compute of one (tile, band2-class, band3-class) piece.
-//
-// HHC assigns the iterations of each (barrier-separated) tile row
-// statically to the block's threads, so the row costs
-// ceil(points / threads) serial iterations per thread, issued in
-// ceil(threads / n_v) lane waves. This is the thread-count effect the
-// analytical model deliberately ignores (Section 7: "The
-// threads-per-block parameter(s) ... hard to model"); it is what
-// creates measurable spread among configurations the model ranks as
-// equal, and what the paper's empirical thread-count step tunes away.
-double piece_compute_cycles(const DeviceParams& dev, const TileShape& shape,
-                            const SkewedBands* b2, const SkewedBands* b3,
-                            std::int64_t rep2, std::int64_t rep3,
-                            double cyc_iter, int threads) {
-  const std::int64_t threads_r =
-      repro::round_up<std::int64_t>(std::max(threads, 1), 32);
-  double cycles = 0.0;
-  bool any = false;
-  for (std::size_t lev = 0; lev < shape.level_cols.size(); ++lev) {
-    const std::int64_t width = shape.level_cols[lev].size();
-    if (width == 0) continue;
-    const std::int64_t t =
-        shape.first_level + static_cast<std::int64_t>(lev);
-    const std::int64_t i2 = b2 ? b2->range_at(rep2, t).size() : 1;
-    if (i2 == 0) continue;
-    const std::int64_t i3 = b3 ? b3->range_at(rep3, t).size() : 1;
-    if (i3 == 0) continue;
-    any = true;
-    const std::int64_t points = width * i2 * i3;
-    // Iterations per thread (static split), then warp-rounded active
-    // threads issued over the SM's vector lanes.
-    const std::int64_t per_thread = ceil_div(points, threads_r);
-    const std::int64_t active =
-        repro::round_up<std::int64_t>(std::min(points, threads_r), 32);
-    const std::int64_t waves =
-        ceil_div(active, static_cast<std::int64_t>(dev.n_v));
-    cycles += static_cast<double>(per_thread * waves) * cyc_iter;
-    cycles += dev.sync_cycles;  // barrier between dependent rows
-  }
-  if (any) cycles += 2.0 * dev.sync_cycles;  // barriers around copies
-  return cycles;
-}
-
-BlockWork block_cost(const DeviceParams& dev, const stencil::ProblemSize& p,
-                     const hhc::TileSizes& ts, int threads,
-                     const TileShape& shape, double cyc_iter) {
-  BlockWork bc;
-  const std::int64_t radius = shape.radius;
-  const std::int64_t t_lo = shape.first_level;
-  const std::int64_t t_hi =
-      t_lo + static_cast<std::int64_t>(shape.level_cols.size());
-
-  double cycles = 0.0;
-  if (p.dim == 1) {
-    cycles = piece_compute_cycles(dev, shape, nullptr, nullptr, 0, 0,
-                                  cyc_iter, threads);
-  } else if (p.dim == 2) {
-    const SkewedBands bands2(p.S[1], ts.tS2, t_lo, t_hi, radius);
-    for (const BandClass& c2 :
-         make_band_classes(p.S[1], ts.tS2, t_lo, t_hi, radius)) {
-      cycles += static_cast<double>(c2.mult) *
-                piece_compute_cycles(dev, shape, &bands2, nullptr, c2.rep_b, 0,
-                                     cyc_iter, threads);
-    }
-  } else {
-    const SkewedBands bands2(p.S[1], ts.tS2, t_lo, t_hi, radius);
-    const SkewedBands bands3(p.S[2], ts.tS3, t_lo, t_hi, radius);
-    const auto classes2 =
-        make_band_classes(p.S[1], ts.tS2, t_lo, t_hi, radius);
-    const auto classes3 =
-        make_band_classes(p.S[2], ts.tS3, t_lo, t_hi, radius);
-    for (const BandClass& c2 : classes2) {
-      for (const BandClass& c3 : classes3) {
-        cycles += static_cast<double>(c2.mult * c3.mult) *
-                  piece_compute_cycles(dev, shape, &bands2, &bands3, c2.rep_b,
-                                       c3.rep_b, cyc_iter, threads);
-      }
-    }
-  }
-  bc.compute_s = cycles / dev.clock_hz;
-
-  // Global traffic: the per-(t,s1)-line footprint times the inner
-  // area the block sweeps (Eqns 13/24 are this same product for the
-  // unclipped case), in and out.
-  double inner_area = 1.0;
-  if (p.dim >= 2) inner_area *= static_cast<double>(p.S[1]);
-  if (p.dim >= 3) inner_area *= static_cast<double>(p.S[2]);
-  const double io_words =
-      static_cast<double>(shape.input_footprint() +
-                          shape.output_footprint(p.T)) *
-      inner_area;
-  bc.io_bytes = io_words * 4.0;
-  return bc;
-}
-
 // Deterministic key for jitter: mixes every input that identifies a
-// "compiled program + run".
+// "compiled program + run", one mix64 round per field so no two
+// fields can cancel (p.S[1]*3 + p.S[2]-style linear mixes collide).
 std::uint64_t config_key(const DeviceParams& dev,
                          const stencil::StencilDef& def,
                          const stencil::ProblemSize& p,
                          const hhc::TileSizes& ts,
                          const hhc::ThreadConfig& thr, std::uint64_t run_id) {
-  std::uint64_t h = repro::mix64(static_cast<std::uint64_t>(dev.n_sm) * 31 +
-                                 static_cast<std::uint64_t>(dev.clock_hz));
+  std::uint64_t h = repro::mix64(static_cast<std::uint64_t>(dev.n_sm));
+  h = repro::mix64(h ^ static_cast<std::uint64_t>(dev.clock_hz));
   h = repro::mix64(h ^ static_cast<std::uint64_t>(def.kind));
   h = repro::mix64(h ^ static_cast<std::uint64_t>(p.S[0]));
-  h = repro::mix64(h ^ static_cast<std::uint64_t>(p.S[1] * 3 + p.S[2]));
+  h = repro::mix64(h ^ static_cast<std::uint64_t>(p.S[1]));
+  h = repro::mix64(h ^ static_cast<std::uint64_t>(p.S[2]));
   h = repro::mix64(h ^ static_cast<std::uint64_t>(p.T));
-  h = repro::mix64(h ^ static_cast<std::uint64_t>(ts.tT * 1315423911LL));
-  h = repro::mix64(h ^ static_cast<std::uint64_t>(ts.tS1 * 2654435761LL));
-  h = repro::mix64(h ^ static_cast<std::uint64_t>(ts.tS2 * 40503LL + ts.tS3));
+  h = repro::mix64(h ^ static_cast<std::uint64_t>(ts.tT));
+  h = repro::mix64(h ^ static_cast<std::uint64_t>(ts.tS1));
+  h = repro::mix64(h ^ static_cast<std::uint64_t>(ts.tS2));
+  h = repro::mix64(h ^ static_cast<std::uint64_t>(ts.tS3));
   h = repro::mix64(h ^ static_cast<std::uint64_t>(thr.total()));
   h = repro::mix64(h ^ run_id);
   return h;
@@ -177,7 +45,7 @@ BlockWork tile_block_work(const DeviceParams& dev,
                           const stencil::ProblemSize& p,
                           const hhc::TileSizes& ts, int threads,
                           const hhc::TileShape& shape, double cyc_iter) {
-  return block_cost(dev, p, ts, threads, shape, cyc_iter);
+  return price_block(dev, block_geometry(p, ts, shape), threads, cyc_iter);
 }
 
 double iteration_cycles(const DeviceParams& dev,
@@ -268,7 +136,9 @@ SimResult simulate_time(const DeviceParams& dev,
                         const stencil::StencilDef& def,
                         const stencil::ProblemSize& p,
                         const hhc::TileSizes& ts,
-                        const hhc::ThreadConfig& thr, std::uint64_t run_id) {
+                        const hhc::ThreadConfig& thr,
+                        const TileCostProfile& profile,
+                        std::uint64_t run_id) {
   SimResult res;
   res.feasible = false;
 
@@ -278,52 +148,33 @@ SimResult simulate_time(const DeviceParams& dev,
     res.infeasible_reason = rc.infeasible_reason;
     return res;
   }
+  if (!profile.valid()) {
+    // Unreachable when the profile was built for the same (p, ts,
+    // radius) — a feasible ResolvedConfig implies valid geometry.
+    res.infeasible_reason = profile.error();
+    return res;
+  }
   res.regs_per_thread = rc.regs_per_thread;
   res.spills = rc.spills;
   res.k = rc.k;
-  const std::int64_t k = rc.k;
-  const double cyc_iter = rc.cyc_iter;
-  const double coalesce_eff = rc.coalesce_eff;
 
-  const HexSchedule sched(p.T, p.S[0], ts.tT, ts.tS1, def.radius);
-
-  // Cache row prices by congruence signature.
-  using RowKey = std::tuple<int, std::int64_t, std::int64_t, std::int64_t>;
-  std::map<RowKey, WavefrontCost> cache;
-
-  double total = 0.0;
-  const std::int64_t n_rows = sched.num_rows();
-  for (std::int64_t r = 0; r < n_rows; ++r) {
-    const std::int64_t blocks = sched.tiles_in_row(r);
-    if (blocks <= 0) {
-      total += dev.kernel_launch_s;
-      res.launch_seconds += dev.kernel_launch_s;
-      ++res.kernel_calls;
-      continue;
-    }
-    const hhc::Interval levels = sched.row_levels(r);
-    const std::int64_t base = sched.row_base(r);
-    const RowKey key{static_cast<int>(sched.row_family(r)), levels.lo - base,
-                     levels.hi - base, blocks};
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-      // Representative tile: column-interior, so only time-clipping
-      // affects its shape (boundary tiles in s1 are a vanishing
-      // fraction of a row and are priced like interior ones).
-      const std::int64_t q_mid =
-          sched.q_begin(r) + (sched.q_end(r) - sched.q_begin(r)) / 2;
-      const TileShape shape = sched.shape(r, q_mid);
-      BlockWork bc = block_cost(dev, p, ts, threads, shape, cyc_iter);
-      bc.io_bytes /= coalesce_eff;
-      it = cache.emplace(key, price_wavefront(dev, bc, blocks, k)).first;
-    }
-    const WavefrontCost& acc = it->second;
-    total += dev.kernel_launch_s + acc.time;
-    res.launch_seconds += dev.kernel_launch_s;
-    res.mem_seconds += acc.mem;
-    res.compute_seconds += acc.comp;
-    res.sched_seconds += acc.sched;
-    ++res.kernel_calls;
+  // Stage two: price the thread-invariant classes at this thread
+  // count — O(classes x bins), no schedule walk.
+  const double launch = dev.kernel_launch_s;
+  double total = static_cast<double>(profile.empty_rows()) * launch;
+  res.launch_seconds = total;
+  res.kernel_calls = profile.empty_rows();
+  for (const RowClass& c : profile.classes()) {
+    BlockWork bc = price_block(dev, c.geom, threads, rc.cyc_iter);
+    bc.io_bytes /= rc.coalesce_eff;
+    const WavefrontCost acc = price_wavefront(dev, bc, c.blocks, rc.k);
+    const double m = static_cast<double>(c.mult);
+    total += m * (launch + acc.time);
+    res.launch_seconds += m * launch;
+    res.mem_seconds += m * acc.mem;
+    res.compute_seconds += m * acc.comp;
+    res.sched_seconds += m * acc.sched;
+    res.kernel_calls += c.mult;
   }
 
   total *= hash_jitter(config_key(dev, def, p, ts, thr, run_id),
@@ -335,15 +186,34 @@ SimResult simulate_time(const DeviceParams& dev,
   return res;
 }
 
+SimResult simulate_time(const DeviceParams& dev,
+                        const stencil::StencilDef& def,
+                        const stencil::ProblemSize& p,
+                        const hhc::TileSizes& ts,
+                        const hhc::ThreadConfig& thr, std::uint64_t run_id) {
+  // Cheap machine-feasibility first, so infeasible points (common in
+  // thread sweeps) never pay the geometry walk.
+  const ResolvedConfig rc = resolve_config(dev, def, p.dim, ts, thr.total());
+  if (!rc.feasible) {
+    SimResult res;
+    res.infeasible_reason = rc.infeasible_reason;
+    return res;
+  }
+  const TileCostProfile profile =
+      TileCostProfile::build_auto(p, ts, def.radius);
+  return simulate_time(dev, def, p, ts, thr, profile, run_id);
+}
+
 SimResult measure_best_of(const DeviceParams& dev,
                           const stencil::StencilDef& def,
                           const stencil::ProblemSize& p,
                           const hhc::TileSizes& ts,
-                          const hhc::ThreadConfig& thr, int runs) {
+                          const hhc::ThreadConfig& thr,
+                          const TileCostProfile& profile, int runs) {
   // The per-run jitter is a final multiplicative factor, so one base
   // simulation plus `runs` jitter draws is exactly equivalent to
   // simulating each run — and 5x cheaper for the big sweeps.
-  SimResult best = simulate_time(dev, def, p, ts, thr, 0);
+  SimResult best = simulate_time(dev, def, p, ts, thr, profile, 0);
   if (!best.feasible) return best;
   const double base =
       best.seconds / hash_jitter(config_key(dev, def, p, ts, thr, 0),
@@ -360,39 +230,50 @@ SimResult measure_best_of(const DeviceParams& dev,
   return best;
 }
 
+SimResult measure_best_of(const DeviceParams& dev,
+                          const stencil::StencilDef& def,
+                          const stencil::ProblemSize& p,
+                          const hhc::TileSizes& ts,
+                          const hhc::ThreadConfig& thr, int runs) {
+  const ResolvedConfig rc = resolve_config(dev, def, p.dim, ts, thr.total());
+  if (!rc.feasible) {
+    SimResult res;
+    res.infeasible_reason = rc.infeasible_reason;
+    return res;
+  }
+  const TileCostProfile profile =
+      TileCostProfile::build_auto(p, ts, def.radius);
+  return measure_best_of(dev, def, p, ts, thr, profile, runs);
+}
+
+double simulate_compute_only(const DeviceParams& dev,
+                             const stencil::StencilDef& def,
+                             const stencil::ProblemSize& p,
+                             const hhc::TileSizes& ts,
+                             const hhc::ThreadConfig& thr,
+                             const TileCostProfile& profile) {
+  if (!profile.valid()) throw std::invalid_argument(profile.error());
+  const double cyc_iter = iteration_cycles(dev, def, ts);
+  const int threads = thr.total();
+
+  double total = 0.0;  // all blocks serialized (per "vector unit")
+  for (const RowClass& c : profile.classes()) {
+    const BlockWork bc = price_block(dev, c.geom, threads, cyc_iter);
+    total += static_cast<double>(c.mult) *
+             (bc.compute_s * static_cast<double>(c.blocks));
+  }
+  return total;
+}
+
 double simulate_compute_only(const DeviceParams& dev,
                              const stencil::StencilDef& def,
                              const stencil::ProblemSize& p,
                              const hhc::TileSizes& ts,
                              const hhc::ThreadConfig& thr) {
   hhc::validate(ts, p.dim);
-  const double cyc_iter = iteration_cycles(dev, def, ts);
-  const int threads = thr.total();
-  const HexSchedule sched(p.T, p.S[0], ts.tT, ts.tS1, def.radius);
-
-  using RowKey = std::tuple<int, std::int64_t, std::int64_t>;
-  std::map<RowKey, double> cache;
-
-  double total = 0.0;  // all blocks serialized (per "vector unit")
-  for (std::int64_t r = 0; r < sched.num_rows(); ++r) {
-    const std::int64_t blocks = sched.tiles_in_row(r);
-    if (blocks <= 0) continue;
-    const hhc::Interval levels = sched.row_levels(r);
-    const std::int64_t base = sched.row_base(r);
-    const RowKey key{static_cast<int>(sched.row_family(r)), levels.lo - base,
-                     levels.hi - base};
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-      const std::int64_t q_mid =
-          sched.q_begin(r) + (sched.q_end(r) - sched.q_begin(r)) / 2;
-      const TileShape shape = sched.shape(r, q_mid);
-      const BlockWork bc =
-          block_cost(dev, p, ts, threads, shape, cyc_iter);
-      it = cache.emplace(key, bc.compute_s).first;
-    }
-    total += it->second * static_cast<double>(blocks);
-  }
-  return total;
+  const TileCostProfile profile =
+      TileCostProfile::build_auto(p, ts, def.radius);
+  return simulate_compute_only(dev, def, p, ts, thr, profile);
 }
 
 }  // namespace repro::gpusim

@@ -36,6 +36,8 @@
 
 namespace repro::gpusim {
 
+class TileCostProfile;  // gpusim/cost_profile.hpp
+
 struct SimResult {
   bool feasible = false;
   std::string infeasible_reason;
@@ -66,6 +68,18 @@ SimResult simulate_time(const DeviceParams& dev,
                         const hhc::TileSizes& ts,
                         const hhc::ThreadConfig& thr, std::uint64_t run_id = 0);
 
+// Stage-two entry point: price one thread configuration against a
+// prebuilt geometry profile (see gpusim/cost_profile.hpp). `profile`
+// must have been built for the same (p, ts, def.radius); sweeping
+// thread counts against one profile skips the schedule walk entirely.
+SimResult simulate_time(const DeviceParams& dev,
+                        const stencil::StencilDef& def,
+                        const stencil::ProblemSize& p,
+                        const hhc::TileSizes& ts,
+                        const hhc::ThreadConfig& thr,
+                        const TileCostProfile& profile,
+                        std::uint64_t run_id = 0);
+
 // The paper's measurement protocol (Section 5.1): run five times and
 // keep the smallest execution time.
 SimResult measure_best_of(const DeviceParams& dev,
@@ -74,6 +88,13 @@ SimResult measure_best_of(const DeviceParams& dev,
                           const hhc::TileSizes& ts,
                           const hhc::ThreadConfig& thr, int runs = 5);
 
+SimResult measure_best_of(const DeviceParams& dev,
+                          const stencil::StencilDef& def,
+                          const stencil::ProblemSize& p,
+                          const hhc::TileSizes& ts,
+                          const hhc::ThreadConfig& thr,
+                          const TileCostProfile& profile, int runs = 5);
+
 // Compute-only variant used by the C_iter micro-benchmark: transfers,
 // launches and scheduling costs removed, jitter off.
 double simulate_compute_only(const DeviceParams& dev,
@@ -81,6 +102,13 @@ double simulate_compute_only(const DeviceParams& dev,
                              const stencil::ProblemSize& p,
                              const hhc::TileSizes& ts,
                              const hhc::ThreadConfig& thr);
+
+double simulate_compute_only(const DeviceParams& dev,
+                             const stencil::StencilDef& def,
+                             const stencil::ProblemSize& p,
+                             const hhc::TileSizes& ts,
+                             const hhc::ThreadConfig& thr,
+                             const TileCostProfile& profile);
 
 // Iteration issue cost in cycles for one stencil body on one device,
 // including bank-conflict serialization for this tile layout.

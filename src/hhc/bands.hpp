@@ -10,10 +10,21 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "common/math_util.hpp"
 #include "hhc/interval.hpp"
 
 namespace repro::hhc {
+
+// A group of congruent skewed bands: all interior bands of a prism
+// have identical per-level extents, so consumers price one
+// representative and multiply. Produced by
+// SkewedBands::congruence_classes().
+struct BandClass {
+  std::int64_t rep_b = 0;  // representative band index
+  std::int64_t mult = 1;   // number of congruent bands it stands for
+};
 
 class SkewedBands {
  public:
@@ -42,7 +53,31 @@ class SkewedBands {
 
   std::int64_t S() const noexcept { return S_; }
   std::int64_t ts() const noexcept { return ts_; }
+  std::int64_t t_lo() const noexcept { return t_lo_; }
+  std::int64_t t_hi() const noexcept { return t_hi_; }
   std::int64_t radius() const noexcept { return r_; }
+
+  // Collapse the bands into congruence classes. Band b is interior iff
+  // its range is the full [.., ..+ts) at every level: b*ts >= r*span
+  // (never clipped below 0) and (b+1)*ts <= S; all interior bands are
+  // congruent and become one class.
+  std::vector<BandClass> congruence_classes() const {
+    const std::int64_t n = num_bands();
+    const std::int64_t span = r_ * ((t_hi_ - 1) - t_lo_);
+    const std::int64_t int_lo = span > 0 ? repro::ceil_div(span, ts_) : 0;
+    const std::int64_t int_hi = S_ / ts_ - 1;  // inclusive
+
+    std::vector<BandClass> classes;
+    if (int_lo > int_hi) {
+      classes.reserve(static_cast<std::size_t>(n));
+      for (std::int64_t b = 0; b < n; ++b) classes.push_back({b, 1});
+      return classes;
+    }
+    for (std::int64_t b = 0; b < int_lo; ++b) classes.push_back({b, 1});
+    classes.push_back({int_lo, int_hi - int_lo + 1});
+    for (std::int64_t b = int_hi + 1; b < n; ++b) classes.push_back({b, 1});
+    return classes;
+  }
 
  private:
   std::int64_t S_;

@@ -7,6 +7,7 @@
 
 #include "analysis/legality.hpp"
 #include "common/rng.hpp"
+#include "gpusim/cost_profile.hpp"
 #include "gpusim/timing.hpp"
 #include "hhc/footprint.hpp"
 #include "tuner/session.hpp"
@@ -91,6 +92,25 @@ EvaluatedPoint evaluate_point(const gpusim::DeviceParams& dev,
   ep.talg = talg_of(in, p, dp.ts);
   const gpusim::SimResult res =
       gpusim::measure_best_of(dev, def, p, dp.ts, dp.thr);
+  ep.feasible = res.feasible;
+  if (res.feasible) {
+    ep.texec = res.seconds;
+    ep.gflops = res.gflops;
+  }
+  return ep;
+}
+
+EvaluatedPoint evaluate_point(const gpusim::DeviceParams& dev,
+                              const stencil::StencilDef& def,
+                              const stencil::ProblemSize& p,
+                              const model::ModelInputs& in,
+                              const DataPoint& dp,
+                              const gpusim::TileCostProfile& profile) {
+  EvaluatedPoint ep;
+  ep.dp = dp;
+  ep.talg = talg_of(in, p, dp.ts);
+  const gpusim::SimResult res =
+      gpusim::measure_best_of(dev, def, p, dp.ts, dp.thr, profile);
   ep.feasible = res.feasible;
   if (res.feasible) {
     ep.texec = res.seconds;

@@ -26,6 +26,10 @@
 #include "stencil/problem.hpp"
 #include "tuner/space.hpp"
 
+namespace repro::gpusim {
+class TileCostProfile;  // gpusim/cost_profile.hpp
+}
+
 namespace repro::tuner {
 
 // One "generated program": tile sizes plus thread configuration.
@@ -78,6 +82,16 @@ EvaluatedPoint evaluate_point(const gpusim::DeviceParams& dev,
                               const stencil::ProblemSize& p,
                               const model::ModelInputs& in,
                               const DataPoint& dp);
+
+// Stage-two form: price against a prebuilt geometry profile for
+// dp.ts (see gpusim/cost_profile.hpp). The Session uses this so a
+// thread sweep walks the schedule once, not once per thread config.
+EvaluatedPoint evaluate_point(const gpusim::DeviceParams& dev,
+                              const stencil::StencilDef& def,
+                              const stencil::ProblemSize& p,
+                              const model::ModelInputs& in,
+                              const DataPoint& dp,
+                              const gpusim::TileCostProfile& profile);
 
 // Evaluate a tile size across all thread configs and keep the best
 // measured one (the paper's empirical thread-count step, Section 7).

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/rng.hpp"
+#include "gpusim/cost_profile.hpp"
 #include "gpusim/microbench.hpp"
 #include "gpusim/timing.hpp"
 
@@ -55,6 +56,14 @@ std::size_t Session::PointKeyHash::operator()(
   return static_cast<std::size_t>(h);
 }
 
+std::size_t Session::TileKeyHash::operator()(const TileKey& k) const noexcept {
+  std::uint64_t h = mix64(static_cast<std::uint64_t>(k.tT));
+  h = mix64(h ^ static_cast<std::uint64_t>(k.tS1));
+  h = mix64(h ^ static_cast<std::uint64_t>(k.tS2));
+  h = mix64(h ^ static_cast<std::uint64_t>(k.tS3));
+  return static_cast<std::size_t>(h);
+}
+
 Session::Session(TuningContext ctx, SessionOptions opt)
     : ctx_(std::move(ctx)), opt_(opt), pool_(opt.jobs) {}
 
@@ -92,6 +101,31 @@ std::size_t Session::cache_size() const {
 void Session::clear_cache() {
   std::lock_guard<std::mutex> lk(mu_);
   cache_.clear();
+  profiles_.clear();
+}
+
+std::shared_ptr<const gpusim::TileCostProfile> Session::profile_for(
+    const hhc::TileSizes& ts) {
+  const TileKey key{ts.tT, ts.tS1, ts.tS2, ts.tS3};
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = profiles_.find(key);
+    if (it != profiles_.end()) {
+      ++stats_.profile_hits;
+      return it->second;
+    }
+  }
+  // Build outside the lock (the schedule walk is the expensive part);
+  // racing builders produce identical profiles, first insert wins.
+  const auto t0 = Clock::now();
+  auto prof = std::make_shared<const gpusim::TileCostProfile>(
+      gpusim::TileCostProfile::build_auto(ctx_.problem, ts,
+                                          ctx_.def.radius));
+  const double elapsed = seconds_since(t0);
+  std::lock_guard<std::mutex> lk(mu_);
+  ++stats_.profile_builds;
+  stats_.geometry_seconds += elapsed;
+  return profiles_.emplace(key, std::move(prof)).first->second;
 }
 
 EvaluatedPoint Session::measure(const DataPoint& dp) {
@@ -109,15 +143,19 @@ EvaluatedPoint Session::measure(const DataPoint& dp) {
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.machine_points;
   }
-  // The simulation itself is deterministic and runs outside the lock;
-  // two threads may race to fill the same key, but they insert the
-  // same value, so first-wins is harmless.
-  const EvaluatedPoint ep =
-      tuner::evaluate_point(ctx_.dev, ctx_.def, ctx_.problem, ctx_.inputs, dp);
-  if (opt_.memoize) {
-    std::lock_guard<std::mutex> lk(mu_);
-    cache_.emplace(key, ep);
-  }
+  // Stage one (memoized schedule walk), then stage two (closed-form
+  // pricing). Both run outside the lock; two threads may race to fill
+  // the same key, but they insert the same value, so first-wins is
+  // harmless.
+  const std::shared_ptr<const gpusim::TileCostProfile> prof =
+      profile_for(dp.ts);
+  const auto t0 = Clock::now();
+  const EvaluatedPoint ep = tuner::evaluate_point(
+      ctx_.dev, ctx_.def, ctx_.problem, ctx_.inputs, dp, *prof);
+  const double priced = seconds_since(t0);
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.pricing_seconds += priced;
+  if (opt_.memoize) cache_.emplace(key, ep);
   return ep;
 }
 

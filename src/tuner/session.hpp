@@ -27,6 +27,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <unordered_map>
@@ -66,6 +67,14 @@ struct SweepStats {
   std::size_t cache_hits = 0;      // ... of which served from the cache
   double model_seconds = 0.0;      // wall time inside model sweeps
   double machine_seconds = 0.0;    // wall time inside machine evaluation
+
+  // Two-stage pipeline split: a tile size's geometry profile is built
+  // once (stage one, the schedule walk) and every thread config after
+  // the first reuses it (stage two, closed-form pricing).
+  std::size_t profile_builds = 0;   // geometry profiles built
+  std::size_t profile_hits = 0;     // served from the profile cache
+  double geometry_seconds = 0.0;    // wall time building profiles
+  double pricing_seconds = 0.0;     // wall time pricing via profiles
 };
 
 struct SessionOptions {
@@ -139,6 +148,20 @@ class Session {
   struct PointKeyHash {
     std::size_t operator()(const PointKey& k) const noexcept;
   };
+  struct TileKey {
+    std::int64_t tT, tS1, tS2, tS3;
+    friend bool operator==(const TileKey&, const TileKey&) = default;
+  };
+  struct TileKeyHash {
+    std::size_t operator()(const TileKey& k) const noexcept;
+  };
+
+  // Stage one, memoized: the thread-invariant geometry profile of one
+  // tile size. Orthogonal to the (tiles, threads) measurement memo —
+  // a thread sweep over one tile is 10 profile hits even when every
+  // measurement is new.
+  std::shared_ptr<const gpusim::TileCostProfile> profile_for(
+      const hhc::TileSizes& ts);
 
   // Cache-aware single measurement; also bumps the point counters.
   EvaluatedPoint measure(const DataPoint& dp);
@@ -155,8 +178,11 @@ class Session {
   SessionOptions opt_;
   ThreadPool pool_;
 
-  mutable std::mutex mu_;  // guards cache_ and stats_
+  mutable std::mutex mu_;  // guards cache_, profiles_ and stats_
   std::unordered_map<PointKey, EvaluatedPoint, PointKeyHash> cache_;
+  std::unordered_map<TileKey, std::shared_ptr<const gpusim::TileCostProfile>,
+                     TileKeyHash>
+      profiles_;
   SweepStats stats_;
 };
 

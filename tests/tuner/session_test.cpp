@@ -129,6 +129,29 @@ TEST(Session, MemoCacheServesRepeatedMeasurements) {
   EXPECT_EQ(session.stats().machine_points, 0u);
 }
 
+TEST(Session, ProfileCacheSharesGeometryAcrossThreadConfigs) {
+  const auto& def = get_stencil(StencilKind::kHeat2D);
+  Session session(gpusim::gtx980(), def, kSmall2D,
+                  SessionOptions{}.with_jobs(1));
+  const hhc::TileSizes ts{.tT = 8, .tS1 = 8, .tS2 = 64, .tS3 = 1};
+
+  // One thread sweep: the schedule is walked once, every other thread
+  // config reuses the cached profile (the two-stage pipeline's point).
+  session.best_over_threads(ts);
+  const std::size_t nconfigs = default_thread_configs(2).size();
+  const SweepStats st = session.stats();
+  EXPECT_EQ(st.profile_builds, 1u);
+  EXPECT_EQ(st.profile_hits, nconfigs - 1);
+
+  // A different tile size is a new profile; repeating it is not.
+  const hhc::TileSizes other{.tT = 4, .tS1 = 8, .tS2 = 32, .tS3 = 1};
+  session.best_over_threads(other);
+  EXPECT_EQ(session.stats().profile_builds, 2u);
+  session.clear_cache();  // drops profiles too
+  session.best_over_threads(ts);
+  EXPECT_EQ(session.stats().profile_builds, 3u);
+}
+
 TEST(Session, MemoizeOffDisablesTheCache) {
   const auto& def = get_stencil(StencilKind::kHeat2D);
   Session session(gpusim::gtx980(), def, kSmall2D,
