@@ -48,9 +48,27 @@ struct ArmResult {
   }
 };
 
+// The bound-and-prune A/B: one fig6-shaped strategy comparison run
+// with pruning off, then on. Results must match exactly; the point
+// counts are the acceptance metric (>= 2x fewer simulator pricings).
+struct PruningReport {
+  std::size_t machine_points_unpruned = 0;
+  std::size_t machine_points_pruned = 0;
+  std::size_t points_pruned = 0;
+  double bound_seconds = 0.0;
+  bool results_identical = false;
+
+  double reduction() const {
+    return machine_points_pruned > 0
+               ? static_cast<double>(machine_points_unpruned) /
+                     static_cast<double>(machine_points_pruned)
+               : 0.0;
+  }
+};
+
 void emit_json(const std::string& path, const std::vector<ArmResult>& arms,
                const std::vector<std::pair<std::string, double>>& speedups,
-               int jobs, bool full) {
+               const PruningReport& pr, int jobs, bool full) {
   std::ofstream os(path);
   os << "{\n  \"bench\": \"bench_sim_throughput\",\n"
      << "  \"mode\": \"" << (full ? "full" : "smoke") << "\",\n"
@@ -67,7 +85,14 @@ void emit_json(const std::string& path, const std::vector<ArmResult>& arms,
     os << "    \"" << speedups[i].first << "\": " << speedups[i].second
        << (i + 1 < speedups.size() ? "," : "") << "\n";
   }
-  os << "  }\n}\n";
+  os << "  },\n  \"pruning\": {\n"
+     << "    \"machine_points_unpruned\": " << pr.machine_points_unpruned
+     << ",\n    \"machine_points_pruned\": " << pr.machine_points_pruned
+     << ",\n    \"points_pruned\": " << pr.points_pruned
+     << ",\n    \"bound_seconds\": " << pr.bound_seconds
+     << ",\n    \"machine_point_reduction\": " << pr.reduction()
+     << ",\n    \"results_identical\": "
+     << (pr.results_identical ? "true" : "false") << "\n  }\n}\n";
 }
 
 }  // namespace
@@ -177,6 +202,46 @@ int main(int argc, char** argv) {
     bench::print_sweep_stats(std::cout, s.stats(), s.jobs());
   }
 
+  // --- Bound-and-prune search: fig6-shaped strategy comparison ------
+  // The same compare_strategies run twice — exact, then with the
+  // admissible-lower-bound pruning the Session defaults to. The two
+  // StrategyComparisons must be equal; the machine-point cut is the
+  // pruning acceptance metric recorded in BENCH_gpusim.json.
+  PruningReport pruning;
+  {
+    tuner::CompareOptions copt;
+    copt.enumeration.tT_max = scale.full ? 48 : 24;
+    copt.enumeration.tS1_max = scale.full ? 64 : 32;
+    copt.enumeration.tS1_step = scale.full ? 2 : 4;
+    copt.enumeration.tS2_max = scale.full ? 512 : 256;
+    copt.exhaustive_cap = scale.full ? 1000 : 150;
+    copt.baseline_count = scale.full ? 85 : 40;
+    const stencil::ProblemSize cp{.dim = 2, .S = {4096, 4096, 0}, .T = 1024};
+    const tuner::TuningContext ctx =
+        tuner::TuningContext::with_inputs(dev, def, cp, in);
+
+    tuner::Session exact(
+        ctx, tuner::SessionOptions{}.with_jobs(scale.jobs).with_prune(false));
+    const auto t_exact = Clock::now();
+    const tuner::StrategyComparison ref = exact.compare_strategies(copt);
+    arms.push_back({"pruned_search_off", exact.stats().machine_points,
+                    seconds_since(t_exact)});
+
+    tuner::Session bounded(ctx,
+                           tuner::SessionOptions{}.with_jobs(scale.jobs));
+    const auto t_bounded = Clock::now();
+    const tuner::StrategyComparison got = bounded.compare_strategies(copt);
+    const tuner::SweepStats st = bounded.stats();
+    arms.push_back(
+        {"pruned_search_on", st.machine_points, seconds_since(t_bounded)});
+
+    pruning.machine_points_unpruned = exact.stats().machine_points;
+    pruning.machine_points_pruned = st.machine_points;
+    pruning.points_pruned = st.points_pruned;
+    pruning.bound_seconds = st.bound_seconds;
+    pruning.results_identical = got == ref;
+  }
+
   const auto arm = [&](const std::string& name) -> const ArmResult& {
     for (const auto& a : arms) {
       if (a.name == name) return a;
@@ -206,8 +271,13 @@ int main(int argc, char** argv) {
     std::cout << name << " profiled-vs-legacy speedup: "
               << AsciiTable::fmt(x, 2) << "x\n";
   }
+  std::cout << "pruned search: " << pruning.machine_points_unpruned
+            << " -> " << pruning.machine_points_pruned
+            << " machine points (" << pruning.points_pruned << " pruned, "
+            << AsciiTable::fmt(pruning.reduction(), 2) << "x fewer), results "
+            << (pruning.results_identical ? "identical" : "DIVERGED") << "\n";
 
-  emit_json(scale.csv_dir + "/BENCH_gpusim.json", arms, speedups,
+  emit_json(scale.csv_dir + "/BENCH_gpusim.json", arms, speedups, pruning,
             scale.resolved_jobs(), scale.full);
   std::cout << "wrote " << scale.csv_dir << "/BENCH_gpusim.json\n";
   return 0;

@@ -65,6 +65,8 @@ inline void accumulate(tuner::SweepStats& into, const tuner::SweepStats& s) {
   into.profile_hits += s.profile_hits;
   into.geometry_seconds += s.geometry_seconds;
   into.pricing_seconds += s.pricing_seconds;
+  into.points_pruned += s.points_pruned;
+  into.bound_seconds += s.bound_seconds;
 }
 
 // One-line engine summary the figure benches print after their table.
@@ -78,7 +80,8 @@ inline void print_sweep_stats(std::ostream& os, const tuner::SweepStats& st,
      << " cache hits) in " << st.machine_seconds << " s; profiles: "
      << st.profile_builds << " built (" << st.profile_hits << " hits), "
      << st.geometry_seconds << " s geometry + " << st.pricing_seconds
-     << " s pricing\n";
+     << " s pricing; pruned: " << st.points_pruned << " pts in "
+     << st.bound_seconds << " s bounds\n";
 }
 
 }  // namespace repro::bench

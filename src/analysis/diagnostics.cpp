@@ -15,7 +15,7 @@ struct CodeInfo {
 };
 
 // Numeric order; all_codes() exposes this table for docs and tests.
-constexpr std::array<CodeInfo, 25> kCodeTable{{
+constexpr std::array<CodeInfo, 26> kCodeTable{{
     {Code::kParseSyntax, "SL101", "malformed stencil DSL syntax"},
     {Code::kParseDim, "SL102", "missing or out-of-range 'dim'"},
     {Code::kParseTapBeyondDim, "SL103",
@@ -57,6 +57,8 @@ constexpr std::array<CodeInfo, 25> kCodeTable{{
     {Code::kTileExtent, "SL311", "spatial tile extents must be >= 1"},
     {Code::kOptionRange, "SL312",
      "tuning option out of range (EnumOptions / CompareOptions)"},
+    {Code::kSweepDelta, "SL313",
+     "model-sweep delta must be a finite non-negative fraction"},
 }};
 
 const CodeInfo& info(Code c) noexcept {

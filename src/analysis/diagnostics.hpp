@@ -57,6 +57,7 @@ enum class Code : std::uint16_t {
   kEnumStep = 310,          // enumeration step not positive
   kTileExtent = 311,        // non-positive spatial tile extent
   kOptionRange = 312,       // tuning option out of range (Enum/CompareOptions)
+  kSweepDelta = 313,        // model-sweep delta not a finite fraction >= 0
 };
 
 // "SL104" etc. — the stable identifier used in output and tests.

@@ -118,6 +118,12 @@ BlockGeometry block_geometry(const stencil::ProblemSize& p,
   return g;
 }
 
+std::int64_t BlockGeometry::total_points() const noexcept {
+  std::int64_t pts = 0;
+  for (const PointBin& b : bins) pts += b.points * b.weight;
+  return pts;
+}
+
 std::int64_t geometry_iter_units(const BlockGeometry& g, int threads,
                                  int n_v) {
   // HHC assigns the iterations of each (barrier-separated) tile row

@@ -55,6 +55,14 @@ struct BlockGeometry {
   std::int64_t busy_pieces = 0;  // pieces with any work (2 barriers each)
   double io_words = 0.0;
 
+  // Aggregates the admissible lower bound (gpusim/lower_bound.hpp)
+  // needs: total iterations of one block across all barrier rows, and
+  // the exact __syncthreads count price_block charges.
+  std::int64_t total_points() const noexcept;
+  std::int64_t sync_count() const noexcept {
+    return level_syncs + 2 * busy_pieces;
+  }
+
   friend bool operator==(const BlockGeometry&, const BlockGeometry&) = default;
 };
 

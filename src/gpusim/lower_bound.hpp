@@ -1,0 +1,75 @@
+// Admissible lower bound on simulated execution time.
+//
+// The tuner's exhaustive and within-10% passes measure thousands of
+// (tile, thread) points even though most are provably worse than the
+// current best. `lower_bound` computes a floor of `simulate_time` —
+// and therefore of `measure_best_of`, whose jitter factor never drops
+// below 1 — from the same thread-invariant `TileCostProfile` the
+// simulator prices, in O(classes) with no per-bin work:
+//
+//   * compute floor: per class, ceil(total_points / d) issue units
+//     with d = min(threads_rounded, n_v) — every bin pays at least
+//     points / threads_rounded serial rounds and points / n_v lane
+//     waves — at the resolved per-iteration cycle cost, plus the
+//     exact barrier count, times ceil(blocks / n_SM) compute rounds;
+//   * bandwidth floor: the class's exact coalescing-derated traffic
+//     over aggregate DRAM bandwidth plus one transfer latency per
+//     residency round (this equals the simulator's acc.mem term);
+//   * overhead floor: the exact kernel-launch total (one per
+//     wavefront row, empty rows included) and the exact per-round
+//     block-dispatch cost.
+//
+// Per kernel the simulator's wall time satisfies
+//   acc.time >= max(acc.mem, acc.comp) + acc.sched
+// in both the k = 1 (serialized) and k >= 2 (overlapped) branches of
+// price_wavefront, so summing max(memory, compute) + overhead floors
+// over classes is admissible: lower_bound <= simulate_time for every
+// run_id, bit for bit. The gpusim-tier property tests assert this
+// over the parity suite's 1D/2D/3D/clipped/spill cases and a
+// randomized feasible grid; the tuner prunes on it (session.hpp).
+#pragma once
+
+#include "gpusim/device.hpp"
+#include "gpusim/timing.hpp"
+#include "hhc/tile_sizes.hpp"
+#include "stencil/problem.hpp"
+#include "stencil/stencil.hpp"
+
+namespace repro::gpusim {
+
+class TileCostProfile;  // gpusim/cost_profile.hpp
+
+struct LowerBound {
+  // Mirrors SimResult::feasible (resolve_config + valid geometry).
+  bool feasible = false;
+  // The admissible floor; +infinity for an infeasible configuration
+  // (it can never become the incumbent, so any incumbent prunes it).
+  double seconds = 0.0;
+
+  // Diagnostic decomposition (each already summed over kernels;
+  // compute/memory enter `seconds` through a per-class max, so they
+  // do not sum to it).
+  double compute_floor = 0.0;
+  double memory_floor = 0.0;
+  double overhead_floor = 0.0;  // launches + block dispatch
+};
+
+// Floor for one configuration, pricing against a prebuilt profile
+// for the same (p, ts, def.radius).
+LowerBound lower_bound(const DeviceParams& dev,
+                       const stencil::StencilDef& def,
+                       const stencil::ProblemSize& p,
+                       const hhc::TileSizes& ts,
+                       const hhc::ThreadConfig& thr,
+                       const TileCostProfile& profile);
+
+// Convenience overload: builds the profile via build_auto. Prefer the
+// profile form in sweeps — the tuner's per-tile profile cache makes
+// the geometry walk free across thread configs.
+LowerBound lower_bound(const DeviceParams& dev,
+                       const stencil::StencilDef& def,
+                       const stencil::ProblemSize& p,
+                       const hhc::TileSizes& ts,
+                       const hhc::ThreadConfig& thr);
+
+}  // namespace repro::gpusim

@@ -248,7 +248,7 @@ SimResult measure_best_of(const DeviceParams& dev,
 
 double simulate_compute_only(const DeviceParams& dev,
                              const stencil::StencilDef& def,
-                             const stencil::ProblemSize& p,
+                             const stencil::ProblemSize& /*p*/,
                              const hhc::TileSizes& ts,
                              const hhc::ThreadConfig& thr,
                              const TileCostProfile& profile) {

@@ -34,12 +34,30 @@ double talg_of(const model::ModelInputs& in, const stencil::ProblemSize& p,
 
 }  // namespace
 
-void CompareOptions::validate(analysis::DiagnosticEngine& eng) const {
+void validate_sweep_delta(double delta, analysis::DiagnosticEngine& eng) {
   if (!std::isfinite(delta) || delta < 0.0) {
-    eng.error(analysis::Code::kOptionRange,
-              "CompareOptions.delta must be a finite fraction >= 0, got " +
-                  std::to_string(delta));
+    eng.error(analysis::Code::kSweepDelta,
+              "model-sweep delta must be a finite fraction >= 0, got " +
+                  std::to_string(delta) +
+                  " (a negative or non-finite delta silently selects an "
+                  "empty candidate set)");
   }
+}
+
+void validate_sweep_delta(double delta) {
+  analysis::DiagnosticEngine eng;
+  validate_sweep_delta(delta, eng);
+  for (const analysis::Diagnostic& d : eng.diagnostics()) {
+    if (d.severity == analysis::Severity::kError) {
+      throw std::invalid_argument(
+          std::string("[") + std::string(analysis::code_name(d.code)) + "] " +
+          d.message);
+    }
+  }
+}
+
+void CompareOptions::validate(analysis::DiagnosticEngine& eng) const {
+  validate_sweep_delta(delta, eng);
   if (baseline_count == 0) {
     eng.error(analysis::Code::kOptionRange,
               "CompareOptions.baseline_count must be >= 1 (the baseline "
@@ -63,6 +81,7 @@ void CompareOptions::validate() const {
 ModelSweep sweep_model(const model::ModelInputs& in,
                        const stencil::ProblemSize& p,
                        std::span<const hhc::TileSizes> space, double delta) {
+  validate_sweep_delta(delta);
   ModelSweep sweep;
   sweep.space_size = space.size();
   sweep.talg_min = std::numeric_limits<double>::infinity();
@@ -124,10 +143,18 @@ EvaluatedPoint best_over_threads(const gpusim::DeviceParams& dev,
                                  const stencil::ProblemSize& p,
                                  const model::ModelInputs& in,
                                  const hhc::TileSizes& ts) {
+  // The tile geometry is thread-invariant: walk the schedule once and
+  // price every thread config against the same profile (stage two of
+  // the cost pipeline) instead of rebuilding it per config. An
+  // invalid tile yields an invalid profile, and simulate_time then
+  // reports the same infeasibility resolve_config finds first —
+  // results are parity-pinned against the per-config rebuild.
+  const gpusim::TileCostProfile profile =
+      gpusim::TileCostProfile::build_auto(p, ts, def.radius);
   EvaluatedPoint best;
   for (const auto& thr : default_thread_configs(p.dim)) {
     const EvaluatedPoint ep =
-        evaluate_point(dev, def, p, in, DataPoint{ts, thr});
+        evaluate_point(dev, def, p, in, DataPoint{ts, thr}, profile);
     if (!ep.feasible) continue;
     if (!best.feasible || ep.texec < best.texec) best = ep;
   }

@@ -63,6 +63,14 @@ double model_talg_or_inf(const model::ModelInputs& in,
 
 // --- Model sweep ----------------------------------------------------
 
+// The within-delta candidate selection silently returned an empty set
+// for a negative or non-finite delta; every sweep entry point now
+// funnels the complaint through the diagnostics engine as SL313
+// (same pattern as EnumOptions/CompareOptions::validate). The
+// throwing form raises std::invalid_argument with "[SL313] ...".
+void validate_sweep_delta(double delta, analysis::DiagnosticEngine& eng);
+void validate_sweep_delta(double delta);
+
 struct ModelSweep {
   double talg_min = 0.0;
   hhc::TileSizes argmin;

@@ -1,11 +1,14 @@
 #include "tuner/session.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <limits>
+#include <numeric>
 #include <utility>
 
 #include "common/rng.hpp"
 #include "gpusim/cost_profile.hpp"
+#include "gpusim/lower_bound.hpp"
 #include "gpusim/microbench.hpp"
 #include "gpusim/timing.hpp"
 
@@ -159,6 +162,48 @@ EvaluatedPoint Session::measure(const DataPoint& dp) {
   return ep;
 }
 
+std::optional<EvaluatedPoint> Session::measure_bounded(const DataPoint& dp,
+                                                       Incumbent* inc) {
+  if (inc == nullptr || !opt_.prune) return measure(dp);
+  // Cache first: a hit costs less than the bound and keeps the memo
+  // counters meaningful (revisits stay cache hits, never prunes).
+  const PointKey key{dp.ts.tT, dp.ts.tS1, dp.ts.tS2, dp.ts.tS3,
+                     dp.thr.n1, dp.thr.n2, dp.thr.n3};
+  if (opt_.memoize) {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++stats_.machine_points;
+      ++stats_.cache_hits;
+      if (it->second.feasible) inc->offer(it->second.texec);
+      return it->second;
+    }
+  }
+  // Bound gate: only worth pricing once an incumbent exists. A prune
+  // requires lower_bound > incumbent strictly — see the header
+  // comment's determinism invariant.
+  const double cut = inc->load();
+  if (cut < std::numeric_limits<double>::infinity()) {
+    const std::shared_ptr<const gpusim::TileCostProfile> prof =
+        profile_for(dp.ts);
+    const auto t0 = Clock::now();
+    const gpusim::LowerBound lb = gpusim::lower_bound(
+        ctx_.dev, ctx_.def, ctx_.problem, dp.ts, dp.thr, *prof);
+    const double elapsed = seconds_since(t0);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stats_.bound_seconds += elapsed;
+      if (lb.seconds > cut) {
+        ++stats_.points_pruned;
+        return std::nullopt;
+      }
+    }
+  }
+  const EvaluatedPoint ep = measure(dp);
+  if (ep.feasible) inc->offer(ep.texec);
+  return ep;
+}
+
 void Session::fold_best(EvaluatedPoint& best, const EvaluatedPoint& cand) {
   if (!cand.feasible) return;
   if (!best.feasible || cand.texec < best.texec) best = cand;
@@ -166,6 +211,7 @@ void Session::fold_best(EvaluatedPoint& best, const EvaluatedPoint& cand) {
 
 ModelSweep Session::sweep_model(std::span<const hhc::TileSizes> space,
                                 double delta) {
+  validate_sweep_delta(delta);
   const auto t0 = Clock::now();
   ModelSweep sweep;
   sweep.space_size = space.size();
@@ -209,11 +255,49 @@ std::vector<EvaluatedPoint> Session::evaluate_points(
   return out;
 }
 
+std::vector<EvaluatedPoint> Session::evaluate_points(
+    std::span<const DataPoint> dps, Incumbent& inc) {
+  const auto t0 = Clock::now();
+  // Visit in ascending model-Talg order so the incumbent tightens
+  // early; results still land in their original slots, so out[i]
+  // always corresponds to dps[i].
+  const auto tb = Clock::now();
+  const std::vector<double> talg = parallel_map<double>(
+      pool_, dps.size(), /*grain=*/64, [&](std::size_t i) {
+        return model_talg_or_inf(ctx_.inputs, ctx_.problem, dps[i].ts);
+      });
+  std::vector<std::size_t> order(dps.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return talg[a] < talg[b];
+                   });
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.bound_seconds += seconds_since(tb);
+  }
+  std::vector<EvaluatedPoint> out(dps.size());
+  pool_.for_each_index(dps.size(), /*grain=*/1, [&](std::size_t j) {
+    const std::size_t i = order[j];
+    const std::optional<EvaluatedPoint> ep = measure_bounded(dps[i], &inc);
+    if (ep) {
+      out[i] = *ep;
+    } else {
+      out[i].dp = dps[i];  // pruned: provably not the scope's argmin
+    }
+  });
+  add_machine_time(seconds_since(t0));
+  return out;
+}
+
 EvaluatedPoint Session::best_over_threads(const hhc::TileSizes& ts) {
   const auto t0 = Clock::now();
+  Incumbent inc;  // thread-sweep-scoped
   EvaluatedPoint best;
   for (const auto& thr : default_thread_configs(ctx_.problem.dim)) {
-    fold_best(best, measure(DataPoint{ts, thr}));
+    const std::optional<EvaluatedPoint> ep =
+        measure_bounded(DataPoint{ts, thr}, &inc);
+    if (ep) fold_best(best, *ep);
   }
   add_machine_time(seconds_since(t0));
   return best;
@@ -223,11 +307,17 @@ std::vector<EvaluatedPoint> Session::best_over_threads_many(
     std::span<const hhc::TileSizes> tiles) {
   const auto t0 = Clock::now();
   const auto threads = default_thread_configs(ctx_.problem.dim);
+  // The incumbent is per tile, not shared: every tile's best is an
+  // output here (fig5 emits one CSV row per tile), so pruning may
+  // only ever discard points dominated within their own tile.
   std::vector<EvaluatedPoint> out = parallel_map<EvaluatedPoint>(
       pool_, tiles.size(), /*grain=*/4, [&](std::size_t i) {
+        Incumbent inc;
         EvaluatedPoint best;
         for (const auto& thr : threads) {
-          fold_best(best, measure(DataPoint{tiles[i], thr}));
+          const std::optional<EvaluatedPoint> ep =
+              measure_bounded(DataPoint{tiles[i], thr}, &inc);
+          if (ep) fold_best(best, *ep);
         }
         return best;
       });
@@ -235,19 +325,59 @@ std::vector<EvaluatedPoint> Session::best_over_threads_many(
   return out;
 }
 
-EvaluatedPoint Session::best_of_tiles(std::span<const hhc::TileSizes> tiles) {
+EvaluatedPoint Session::best_of_tiles(std::span<const hhc::TileSizes> tiles,
+                                      double incumbent_seed) {
   const auto threads = default_thread_configs(ctx_.problem.dim);
-  return parallel_reduce<EvaluatedPoint>(
-      pool_, tiles.size(), /*grain=*/4, EvaluatedPoint{},
-      [&](EvaluatedPoint& acc, std::size_t i) {
-        for (const auto& thr : threads) {
-          fold_best(acc, measure(DataPoint{tiles[i], thr}));
-        }
-      },
-      [](EvaluatedPoint a, EvaluatedPoint b) {
-        fold_best(a, b);
-        return a;
+  if (!opt_.prune) {
+    return parallel_reduce<EvaluatedPoint>(
+        pool_, tiles.size(), /*grain=*/4, EvaluatedPoint{},
+        [&](EvaluatedPoint& acc, std::size_t i) {
+          for (const auto& thr : threads) {
+            fold_best(acc, measure(DataPoint{tiles[i], thr}));
+          }
+        },
+        [](EvaluatedPoint a, EvaluatedPoint b) {
+          fold_best(a, b);
+          return a;
+        });
+  }
+  // Pruned path: one incumbent spans the whole reduction (a single
+  // best is returned, so cross-tile pruning is safe), tiles are
+  // visited in ascending model-Talg order so it tightens early, and
+  // the per-tile bests are folded serially in the original index
+  // order afterwards — identical tie-breaking to the unpruned
+  // reduction above.
+  const auto tb = Clock::now();
+  const std::vector<double> talg = parallel_map<double>(
+      pool_, tiles.size(), /*grain=*/64, [&](std::size_t i) {
+        return model_talg_or_inf(ctx_.inputs, ctx_.problem, tiles[i]);
       });
+  std::vector<std::size_t> order(tiles.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return talg[a] < talg[b];
+                   });
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.bound_seconds += seconds_since(tb);
+  }
+  Incumbent inc;
+  inc.offer(incumbent_seed);
+  std::vector<EvaluatedPoint> slot(tiles.size());
+  pool_.for_each_index(tiles.size(), /*grain=*/1, [&](std::size_t j) {
+    const std::size_t i = order[j];
+    EvaluatedPoint best;
+    for (const auto& thr : threads) {
+      const std::optional<EvaluatedPoint> ep =
+          measure_bounded(DataPoint{tiles[i], thr}, &inc);
+      if (ep) fold_best(best, *ep);
+    }
+    slot[i] = best;
+  });
+  EvaluatedPoint out;
+  for (const EvaluatedPoint& ep : slot) fold_best(out, ep);
+  return out;
 }
 
 StrategyComparison Session::compare_strategies(const CompareOptions& opt) {
@@ -303,8 +433,16 @@ StrategyComparison Session::compare_strategies(const CompareOptions& opt) {
     visited.push_back(space[i]);
   }
   // Every baseline and within-10% point that reappears here is a
-  // memo-cache hit rather than a fresh simulation.
-  cmp.exhaustive = best_of_tiles(visited);
+  // memo-cache hit rather than a fresh simulation. Seeding the
+  // incumbent with the earlier passes' best is safe because those
+  // points are folded into cmp.exhaustive below — the seed is a
+  // measured texec participating in this reduction.
+  double seed = std::numeric_limits<double>::infinity();
+  for (const EvaluatedPoint* ep :
+       {&cmp.talg_min, &cmp.within10_best, &cmp.baseline_best}) {
+    if (ep->feasible && ep->texec < seed) seed = ep->texec;
+  }
+  cmp.exhaustive = best_of_tiles(visited, seed);
 
   // The exhaustive pass subsumes every specific strategy point it
   // visited; make sure it is at least as good as the others.

@@ -23,12 +23,46 @@
 // compare_strategies profits directly: every point the exhaustive
 // pass shares with the baseline or within-10% sets is served from the
 // cache instead of being re-simulated.
+//
+// Bound-and-prune (SessionOptions::prune, default on): every
+// reduction-shaped method (best_over_threads, best_over_threads_many,
+// the strategy-comparison passes) keeps an atomic incumbent — the
+// best measured texec inside its own reduction scope — and skips the
+// simulator for any point whose admissible lower bound
+// (gpusim/lower_bound.hpp) exceeds it. Candidate points are visited
+// in ascending model-Talg order so the incumbent tightens early;
+// visit order never affects the reduction order.
+//
+// Determinism invariant (why pruned results are bitwise-identical to
+// unpruned, for any job count):
+//   * A point is skipped ONLY when an admissible bound proves
+//     lower_bound > incumbent, where the incumbent is a measured
+//     texec of a point participating in the same final reduction —
+//     never a bound, never a measurement foreign to the reduction.
+//     Then texec >= lower_bound > incumbent >= final minimum, so the
+//     skipped point is strictly worse than the winner and can affect
+//     neither the winning value nor the first-strictly-better
+//     tie-breaking. In particular every minimum-achieving point has
+//     lower_bound <= texec = minimum <= incumbent at all times and is
+//     therefore never skipped.
+//   * Chunk-local skip decisions may race with other chunks' updates
+//     (the incumbent only tightens, so a stale read merely prunes
+//     less); the *result* is re-derived from the surviving
+//     measurements by the final index-ordered reduction, which prunes
+//     only on bounds and never folds measured values across chunks
+//     out of index order.
+// The tuner-tier tests pin compare_strategies equality with pruning
+// on vs off across job counts; SweepStats reports the pruning volume
+// (points_pruned) and the bound-evaluation wall time (bound_seconds).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -37,6 +71,28 @@
 #include "tuner/optimizer.hpp"
 
 namespace repro::tuner {
+
+// The shared atomic incumbent of one reduction scope: the smallest
+// measured texec offered so far. Loads/offers are relaxed atomics —
+// a stale read is conservative (prunes less, never wrong).
+class Incumbent {
+ public:
+  // +infinity while no feasible measurement has been offered.
+  double load() const noexcept {
+    return best_.load(std::memory_order_relaxed);
+  }
+  // Atomic minimum update.
+  void offer(double seconds) noexcept {
+    double cur = best_.load(std::memory_order_relaxed);
+    while (seconds < cur &&
+           !best_.compare_exchange_weak(cur, seconds,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<double> best_{std::numeric_limits<double>::infinity()};
+};
 
 // The parameter pack every optimizer entry point used to take,
 // collapsed into one value type.
@@ -75,6 +131,13 @@ struct SweepStats {
   std::size_t profile_hits = 0;     // served from the profile cache
   double geometry_seconds = 0.0;    // wall time building profiles
   double pricing_seconds = 0.0;     // wall time pricing via profiles
+
+  // Bound-and-prune: points skipped because their admissible lower
+  // bound exceeded the incumbent (these count in neither
+  // machine_points nor cache_hits), and the wall time spent inside
+  // gpusim::lower_bound / Talg visit ordering.
+  std::size_t points_pruned = 0;
+  double bound_seconds = 0.0;
 };
 
 struct SessionOptions {
@@ -83,9 +146,15 @@ struct SessionOptions {
   int jobs = 0;
   // Disable to re-simulate every requested point (for A/B timing).
   bool memoize = true;
+  // Bound-and-prune: skip the simulator for points whose admissible
+  // lower bound beats the incumbent (see the header comment). Off
+  // measures every requested point — the A/B switch the pruning
+  // equality tests and benches flip.
+  bool prune = true;
 
   SessionOptions& with_jobs(int j) noexcept { jobs = j; return *this; }
   SessionOptions& with_memoize(bool m) noexcept { memoize = m; return *this; }
+  SessionOptions& with_prune(bool p) noexcept { prune = p; return *this; }
 };
 
 class Session {
@@ -112,7 +181,18 @@ class Session {
   EvaluatedPoint evaluate_point(const DataPoint& dp);
 
   // Batch form: out[i] corresponds to dps[i]; evaluated in parallel.
+  // Exact — every point is measured (no pruning), so the result is a
+  // complete table.
   std::vector<EvaluatedPoint> evaluate_points(std::span<const DataPoint> dps);
+
+  // Bounded batch form: points are visited in ascending model-Talg
+  // order, each consulting (and tightening) the caller's incumbent.
+  // A point pruned because its lower bound exceeded the incumbent
+  // comes back with its `dp` set but `feasible == false` — exactly
+  // like an infeasible point, it is provably not the argmin over the
+  // incumbent's scope. out[i] still corresponds to dps[i].
+  std::vector<EvaluatedPoint> evaluate_points(std::span<const DataPoint> dps,
+                                              Incumbent& inc);
 
   // Best measured thread config for one tile size (Section 7's
   // empirical thread-count step; serial — it is the unit of work the
@@ -165,12 +245,26 @@ class Session {
 
   // Cache-aware single measurement; also bumps the point counters.
   EvaluatedPoint measure(const DataPoint& dp);
+  // Like measure(), but consults `inc` first: cache hits and fresh
+  // measurements offer their texec to the incumbent; a cache miss
+  // whose lower bound exceeds the incumbent is skipped (nullopt,
+  // counted in points_pruned). inc == nullptr or prune off degrades
+  // to plain measure().
+  std::optional<EvaluatedPoint> measure_bounded(const DataPoint& dp,
+                                                Incumbent* inc);
   // Fold `candidate` into `best` with the serial loops' tie-breaking
   // (first strictly-better point wins).
   static void fold_best(EvaluatedPoint& best, const EvaluatedPoint& candidate);
   // Best-over-threads reduction across a tile list, parallel with
   // deterministic chunk order. Not timed — callers own the phase.
-  EvaluatedPoint best_of_tiles(std::span<const hhc::TileSizes> tiles);
+  // With pruning on, tiles are visited in ascending model-Talg order
+  // against a shared incumbent, optionally seeded with a measured
+  // texec that participates in the caller's final reduction
+  // (compare_strategies seeds the exhaustive pass with the best of
+  // the earlier passes — all of which it folds into the result).
+  EvaluatedPoint best_of_tiles(
+      std::span<const hhc::TileSizes> tiles,
+      double incumbent_seed = std::numeric_limits<double>::infinity());
   void add_model_time(double seconds, std::size_t points);
   void add_machine_time(double seconds);
 

@@ -1,0 +1,186 @@
+// Bound-and-prune correctness: pruning must be invisible in results
+// — compare_strategies, best_over_threads_many and the incumbent
+// evaluate_points overload return bitwise-identical winners with
+// pruning on or off, for any job count — while actually skipping
+// simulator work (points_pruned > 0, machine_points reduced). Also
+// pins the SL313 delta validation at the sweep entry points.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gpusim/microbench.hpp"
+#include "tuner/session.hpp"
+
+namespace repro::tuner {
+namespace {
+
+using stencil::get_stencil;
+using stencil::ProblemSize;
+using stencil::StencilKind;
+
+const ProblemSize kSmall2D{.dim = 2, .S = {2048, 2048, 0}, .T = 256};
+
+EnumOptions small_space() {
+  return EnumOptions{}
+      .with_tT_max(16)
+      .with_tT_step(2)
+      .with_tS1_max(24)
+      .with_tS1_step(4)
+      .with_tS2_max(128)
+      .with_tS2_step(32);
+}
+
+TEST(Prune, CompareStrategiesBitwiseEqualPrunedVsUnpruned) {
+  const auto& def = get_stencil(StencilKind::kHeat2D);
+  const model::ModelInputs in = gpusim::calibrate_model(gpusim::gtx980(), def);
+  const CompareOptions opt = CompareOptions{}
+                                 .with_enumeration(small_space())
+                                 .with_exhaustive_cap(0)  // visit everything
+                                 .with_baseline_count(24);
+
+  Session exact(TuningContext::with_inputs(gpusim::gtx980(), def, kSmall2D,
+                                           in),
+                SessionOptions{}.with_jobs(1).with_prune(false));
+  const StrategyComparison reference = exact.compare_strategies(opt);
+  const SweepStats exact_st = exact.stats();
+  EXPECT_EQ(exact_st.points_pruned, 0u);
+
+  for (const int jobs : {1, 2, 4}) {
+    Session pruned(
+        TuningContext::with_inputs(gpusim::gtx980(), def, kSmall2D, in),
+        SessionOptions{}.with_jobs(jobs));  // prune defaults on
+    const StrategyComparison cmp = pruned.compare_strategies(opt);
+    EXPECT_EQ(cmp, reference) << "jobs=" << jobs;
+
+    // The pruning is real: simulator work was skipped, and every
+    // request is accounted for exactly once — measured/hit
+    // (machine_points) or pruned (points_pruned).
+    const SweepStats st = pruned.stats();
+    EXPECT_GT(st.points_pruned, 0u) << "jobs=" << jobs;
+    EXPECT_LT(st.machine_points, exact_st.machine_points) << "jobs=" << jobs;
+    EXPECT_EQ(st.machine_points + st.points_pruned, exact_st.machine_points)
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(Prune, BestOverThreadsManyPerTileResultsUnchanged) {
+  // Per-tile bests are outputs (fig5 rows), so the incumbent must be
+  // tile-scoped: every slot has to match the unpruned sweep exactly.
+  const auto& def = get_stencil(StencilKind::kHeat2D);
+  const model::ModelInputs in = gpusim::calibrate_model(gpusim::gtx980(), def);
+  const std::vector<hhc::TileSizes> tiles =
+      enumerate_feasible(2, in.hw, small_space());
+  ASSERT_GT(tiles.size(), 10u);
+
+  Session exact(TuningContext::with_inputs(gpusim::gtx980(), def, kSmall2D,
+                                           in),
+                SessionOptions{}.with_jobs(2).with_prune(false));
+  const std::vector<EvaluatedPoint> reference =
+      exact.best_over_threads_many(tiles);
+
+  Session pruned(TuningContext::with_inputs(gpusim::gtx980(), def, kSmall2D,
+                                            in),
+                 SessionOptions{}.with_jobs(2));
+  const std::vector<EvaluatedPoint> got = pruned.best_over_threads_many(tiles);
+  ASSERT_EQ(got.size(), reference.size());
+  for (std::size_t i = 0; i < tiles.size(); ++i) {
+    EXPECT_EQ(got[i], reference[i]) << "tile " << i;
+  }
+}
+
+TEST(Prune, EvaluatePointsIncumbentOverloadKeepsTheWinner) {
+  const auto& def = get_stencil(StencilKind::kHeat2D);
+  const model::ModelInputs in = gpusim::calibrate_model(gpusim::gtx980(), def);
+  Session session(TuningContext::with_inputs(gpusim::gtx980(), def, kSmall2D,
+                                             in),
+                  SessionOptions{}.with_jobs(2));
+
+  const std::vector<hhc::TileSizes> tiles =
+      enumerate_feasible(2, in.hw, small_space());
+  std::vector<DataPoint> dps;
+  for (const auto& ts : tiles) {
+    dps.push_back({ts, hhc::ThreadConfig{32, 8, 1}});
+  }
+
+  Incumbent inc;
+  const std::vector<EvaluatedPoint> bounded =
+      session.evaluate_points(dps, inc);
+  ASSERT_EQ(bounded.size(), dps.size());
+
+  Session exact(TuningContext::with_inputs(gpusim::gtx980(), def, kSmall2D,
+                                           in),
+                SessionOptions{}.with_jobs(2).with_prune(false));
+  const std::vector<EvaluatedPoint> full = exact.evaluate_points(dps);
+
+  // The exact minimum must survive pruning bit for bit; pruned slots
+  // keep their dp and read as infeasible.
+  const double inf = std::numeric_limits<double>::infinity();
+  double min_full = inf;
+  double min_bounded = inf;
+  for (std::size_t i = 0; i < dps.size(); ++i) {
+    EXPECT_EQ(bounded[i].dp, dps[i]) << "slot " << i;
+    if (full[i].feasible && full[i].texec < min_full) {
+      min_full = full[i].texec;
+    }
+    if (bounded[i].feasible) {
+      EXPECT_EQ(bounded[i], full[i]) << "slot " << i;  // measured exactly
+      if (bounded[i].texec < min_bounded) min_bounded = bounded[i].texec;
+    }
+  }
+  ASSERT_LT(min_full, inf);
+  EXPECT_EQ(min_bounded, min_full);
+  EXPECT_EQ(inc.load(), min_full);
+}
+
+TEST(Prune, IncumbentIsAMonotoneAtomicMin) {
+  Incumbent inc;
+  EXPECT_EQ(inc.load(), std::numeric_limits<double>::infinity());
+  inc.offer(2.0);
+  EXPECT_EQ(inc.load(), 2.0);
+  inc.offer(5.0);  // worse: ignored
+  EXPECT_EQ(inc.load(), 2.0);
+  inc.offer(1.5);
+  EXPECT_EQ(inc.load(), 1.5);
+  inc.offer(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(inc.load(), 1.5);
+}
+
+TEST(Prune, SweepDeltaRejectedAsSL313) {
+  const auto& def = get_stencil(StencilKind::kHeat2D);
+  const model::ModelInputs in = gpusim::calibrate_model(gpusim::gtx980(), def);
+  const std::vector<hhc::TileSizes> space =
+      enumerate_feasible(2, in.hw, small_space());
+
+  for (const double bad :
+       {-0.1, std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::infinity()}) {
+    // Free function and Session method funnel through the same check.
+    try {
+      sweep_model(in, kSmall2D, space, bad);
+      FAIL() << "free sweep_model accepted delta " << bad;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("SL313"), std::string::npos);
+    }
+    Session session(
+        TuningContext::with_inputs(gpusim::gtx980(), def, kSmall2D, in),
+        SessionOptions{}.with_jobs(1));
+    try {
+      session.sweep_model(space, bad);
+      FAIL() << "Session::sweep_model accepted delta " << bad;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("SL313"), std::string::npos);
+    }
+    // The engine form collects instead of throwing.
+    analysis::DiagnosticEngine eng;
+    validate_sweep_delta(bad, eng);
+    EXPECT_TRUE(eng.has_code(analysis::Code::kSweepDelta));
+  }
+  // A zero delta (argmin only) is legal.
+  EXPECT_NO_THROW(sweep_model(in, kSmall2D, space, 0.0));
+}
+
+}  // namespace
+}  // namespace repro::tuner

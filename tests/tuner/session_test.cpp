@@ -102,9 +102,12 @@ TEST(Session, EvaluatePointsPreservesInputOrder) {
 }
 
 TEST(Session, MemoCacheServesRepeatedMeasurements) {
+  // Pins the memo-cache contract (every request measures or hits);
+  // pruning off so no request is skipped. prune_test.cpp covers the
+  // counter semantics with pruning on.
   const auto& def = get_stencil(StencilKind::kHeat2D);
   Session session(gpusim::gtx980(), def, kSmall2D,
-                  SessionOptions{}.with_jobs(2));
+                  SessionOptions{}.with_jobs(2).with_prune(false));
   const hhc::TileSizes ts{.tT = 8, .tS1 = 8, .tS2 = 64, .tS3 = 1};
 
   const EvaluatedPoint first = session.best_over_threads(ts);
@@ -130,9 +133,12 @@ TEST(Session, MemoCacheServesRepeatedMeasurements) {
 }
 
 TEST(Session, ProfileCacheSharesGeometryAcrossThreadConfigs) {
+  // Pruning off: the bound evaluation also consults the profile
+  // cache, which would add hits beyond the pipeline's one-build
+  // baseline this test pins.
   const auto& def = get_stencil(StencilKind::kHeat2D);
   Session session(gpusim::gtx980(), def, kSmall2D,
-                  SessionOptions{}.with_jobs(1));
+                  SessionOptions{}.with_jobs(1).with_prune(false));
   const hhc::TileSizes ts{.tT = 8, .tS1 = 8, .tS2 = 64, .tS3 = 1};
 
   // One thread sweep: the schedule is walked once, every other thread
@@ -168,8 +174,10 @@ TEST(Session, CompareStrategiesReusesSharedPoints) {
   // The exhaustive pass revisits the baseline and within-10% points;
   // with the memo cache those must be hits, not re-simulations.
   const auto& def = get_stencil(StencilKind::kHeat2D);
+  // Pruning off: a pruned within-10% point is never cached, so the
+  // exhaustive revisit would not be a guaranteed hit.
   Session session(gpusim::gtx980(), def, kSmall2D,
-                  SessionOptions{}.with_jobs(2));
+                  SessionOptions{}.with_jobs(2).with_prune(false));
   const CompareOptions opt = CompareOptions{}
                                  .with_enumeration(small_space())
                                  .with_exhaustive_cap(0)  // visit everything
@@ -211,7 +219,8 @@ TEST(CompareOptionsValidate, ReportsStructuredErrors) {
   analysis::DiagnosticEngine eng;
   bad.validate(eng);
   EXPECT_TRUE(eng.has_errors());
-  EXPECT_TRUE(eng.has_code(analysis::Code::kOptionRange));  // delta, count
+  EXPECT_TRUE(eng.has_code(analysis::Code::kSweepDelta));   // delta
+  EXPECT_TRUE(eng.has_code(analysis::Code::kOptionRange));  // baseline_count
   EXPECT_TRUE(eng.has_code(analysis::Code::kEnumStep));     // tS2_step
   EXPECT_GE(eng.size(), 3u);
 
@@ -219,7 +228,8 @@ TEST(CompareOptionsValidate, ReportsStructuredErrors) {
     bad.validate();
     FAIL() << "expected invalid_argument";
   } catch (const std::invalid_argument& e) {
-    EXPECT_NE(std::string(e.what()).find("SL312"), std::string::npos);
+    // delta is validated first, so SL313 leads the throw.
+    EXPECT_NE(std::string(e.what()).find("SL313"), std::string::npos);
   }
 
   // The defaults validate clean.
@@ -230,9 +240,12 @@ TEST(CompareOptionsValidate, ReportsStructuredErrors) {
 }
 
 TEST(SessionOptions, BuildersCompose) {
-  const SessionOptions opt = SessionOptions{}.with_jobs(7).with_memoize(false);
+  const SessionOptions opt =
+      SessionOptions{}.with_jobs(7).with_memoize(false).with_prune(false);
   EXPECT_EQ(opt.jobs, 7);
   EXPECT_FALSE(opt.memoize);
+  EXPECT_FALSE(opt.prune);
+  EXPECT_TRUE(SessionOptions{}.prune);  // pruning defaults on
 }
 
 TEST(Session, AnnealMatchesFreeFunction) {
