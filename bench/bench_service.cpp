@@ -1,0 +1,235 @@
+// Service-layer benchmark: replays a deterministic request trace
+// through service::ServiceCore and reports end-to-end request
+// latencies (p50/p95) plus store and coalescing effectiveness, for
+// four arms:
+//
+//   cold       — empty result store, singleflight on (every request
+//                computes or coalesces);
+//   warm       — same store directory replayed again (every request
+//                should be a store hit);
+//   coalesce   — N concurrent clients replaying the same trace, no
+//                store, singleflight ON;
+//   duplicate  — the same concurrent replay with singleflight OFF
+//                (every client recomputes).
+//
+// The bench also *checks* the service determinism contract — warm
+// responses byte-equal cold responses, and both concurrent arms agree
+// with the serial ones — and exits nonzero on any mismatch, so it
+// doubles as a smoke test. Emits BENCH_service.json into --csv-dir.
+//
+// Flags: --full (longer trace) --clients=N --csv-dir=DIR
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/json.hpp"
+#include "service/core.hpp"
+
+using namespace repro;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// The replayed trace: predict points around the Heat2D optimum, one
+// model sweep, one lint — each appearing twice so even the serial
+// cold arm exercises the store/session caches.
+std::vector<std::string> make_trace(bool full) {
+  std::vector<std::string> base;
+  const std::string problem = "\"problem\":{\"S\":[512,512],\"T\":64}";
+  int rid = 0;
+  auto add = [&](const std::string& body) {
+    base.push_back("{\"v\":1,\"id\":\"q\"," + body + "}");
+    ++rid;
+  };
+  for (const std::int64_t tT : {4, 6, 8}) {
+    for (const std::int64_t tS2 : {96, 160, 224}) {
+      add("\"kind\":\"predict\",\"stencil\":\"Heat2D\"," + problem +
+          ",\"tile\":{\"tT\":" + std::to_string(tT) +
+          ",\"tS1\":8,\"tS2\":" + std::to_string(tS2) +
+          "},\"threads\":{\"n1\":32,\"n2\":4}");
+    }
+  }
+  add("\"kind\":\"best_tile\",\"stencil\":\"Heat2D\"," + problem +
+      ",\"enum\":{\"tT_max\":8,\"tS1_max\":12,\"tS2_max\":192}");
+  add("\"kind\":\"lint\",\"stencil\":\"Heat2D\"," + problem +
+      ",\"tile\":{\"tT\":6,\"tS1\":8,\"tS2\":160}");
+
+  const int repeats = full ? 6 : 2;
+  std::vector<std::string> trace;
+  for (int r = 0; r < repeats; ++r) {
+    trace.insert(trace.end(), base.begin(), base.end());
+  }
+  return trace;
+}
+
+struct ArmResult {
+  std::string name;
+  std::vector<double> latencies;  // seconds, per request
+  service::ServiceStats stats;
+  std::vector<std::string> responses;  // in trace order (serial arms)
+};
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = std::min(
+      v.size() - 1, static_cast<std::size_t>(p * static_cast<double>(v.size())));
+  return v[idx];
+}
+
+ArmResult replay_serial(const std::string& name,
+                        const std::vector<std::string>& trace,
+                        const service::ServiceOptions& opt) {
+  service::ServiceCore core(opt);
+  ArmResult r;
+  r.name = name;
+  for (const std::string& line : trace) {
+    const Clock::time_point t0 = Clock::now();
+    r.responses.push_back(core.handle(line));
+    r.latencies.push_back(
+        std::chrono::duration<double>(Clock::now() - t0).count());
+  }
+  r.stats = core.stats();
+  return r;
+}
+
+ArmResult replay_concurrent(const std::string& name,
+                            const std::vector<std::string>& trace,
+                            const service::ServiceOptions& opt, int clients,
+                            std::vector<std::vector<std::string>>* out) {
+  service::ServiceCore core(opt);
+  ArmResult r;
+  r.name = name;
+  std::mutex mu;
+  out->assign(static_cast<std::size_t>(clients), {});
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<std::string> responses;
+      std::vector<double> latencies;
+      for (const std::string& line : trace) {
+        const Clock::time_point t0 = Clock::now();
+        responses.push_back(core.handle(line));
+        latencies.push_back(
+            std::chrono::duration<double>(Clock::now() - t0).count());
+      }
+      std::lock_guard<std::mutex> lk(mu);
+      (*out)[static_cast<std::size_t>(c)] = std::move(responses);
+      r.latencies.insert(r.latencies.end(), latencies.begin(),
+                         latencies.end());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  r.stats = core.stats();
+  return r;
+}
+
+json::Value arm_json(const ArmResult& r) {
+  json::Value o = json::Value::object();
+  o.set("requests", r.stats.requests);
+  o.set("errors", r.stats.errors);
+  o.set("computed", r.stats.computed);
+  o.set("coalesced", r.stats.coalesced);
+  o.set("store_hits", r.stats.store_hits);
+  o.set("store_writes", r.stats.store_writes);
+  const double total = static_cast<double>(r.stats.requests);
+  o.set("store_hit_rate",
+        total > 0 ? static_cast<double>(r.stats.store_hits) / total : 0.0);
+  o.set("p50_ms", percentile(r.latencies, 0.50) * 1e3);
+  o.set("p95_ms", percentile(r.latencies, 0.95) * 1e3);
+  o.set("compute_seconds", r.stats.compute_seconds);
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const bench::Scale scale = bench::Scale::from_args(args);
+  const int clients = static_cast<int>(args.get_int_or("clients", 4));
+  const std::vector<std::string> trace = make_trace(scale.full);
+
+  const std::string store_dir = scale.csv_dir + "/bench_service_store";
+  std::filesystem::remove_all(store_dir);
+
+  service::ServiceOptions base;
+  base.workers = 2;
+  base.queue_depth = 64;
+  base.session_jobs = 1;
+
+  const ArmResult cold = replay_serial(
+      "cold", trace, service::ServiceOptions(base).with_store_dir(store_dir));
+  const ArmResult warm = replay_serial(
+      "warm", trace, service::ServiceOptions(base).with_store_dir(store_dir));
+
+  std::vector<std::vector<std::string>> coalesce_out;
+  const ArmResult coalesce = replay_concurrent(
+      "coalesce", trace, base, clients, &coalesce_out);
+  std::vector<std::vector<std::string>> duplicate_out;
+  const ArmResult duplicate = replay_concurrent(
+      "duplicate", trace, service::ServiceOptions(base).with_coalesce(false),
+      clients, &duplicate_out);
+
+  // Determinism checks: every arm must serve byte-identical responses.
+  int mismatches = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (warm.responses[i] != cold.responses[i]) ++mismatches;
+    for (const auto& client : coalesce_out) {
+      if (client[i] != cold.responses[i]) ++mismatches;
+    }
+    for (const auto& client : duplicate_out) {
+      if (client[i] != cold.responses[i]) ++mismatches;
+    }
+  }
+
+  std::cout << "=== bench_service: " << trace.size() << "-request trace, "
+            << clients << " concurrent clients ===\n";
+  for (const ArmResult* r : {&cold, &warm, &coalesce, &duplicate}) {
+    std::cout << r->name << ": p50 "
+              << percentile(r->latencies, 0.50) * 1e3 << " ms, p95 "
+              << percentile(r->latencies, 0.95) * 1e3 << " ms, computed "
+              << r->stats.computed << ", coalesced " << r->stats.coalesced
+              << ", store hits " << r->stats.store_hits << "/"
+              << r->stats.requests << "\n";
+  }
+  std::cout << "byte mismatches across arms: " << mismatches << "\n";
+
+  json::Value doc = json::Value::object();
+  doc.set("bench", "bench_service");
+  doc.set("full", scale.full);
+  doc.set("clients", clients);
+  doc.set("trace_requests", trace.size());
+  doc.set("mismatches", mismatches);
+  json::Value arms = json::Value::object();
+  arms.set("cold", arm_json(cold));
+  arms.set("warm", arm_json(warm));
+  arms.set("coalesce", arm_json(coalesce));
+  arms.set("duplicate", arm_json(duplicate));
+  doc.set("arms", std::move(arms));
+  {
+    std::ofstream os(scale.csv_dir + "/BENCH_service.json");
+    os << doc.dump() << "\n";
+  }
+  std::cout << "wrote " << scale.csv_dir << "/BENCH_service.json\n";
+
+  if (mismatches != 0) {
+    std::cerr << "FAIL: served responses differ across arms\n";
+    return 1;
+  }
+  if (warm.stats.store_hits != warm.stats.requests) {
+    std::cerr << "FAIL: warm arm missed the store ("
+              << warm.stats.store_hits << "/" << warm.stats.requests
+              << " hits)\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,11 +1,13 @@
 // Shared helpers for the per-table/per-figure report binaries.
 #pragma once
 
+#include <fstream>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/json.hpp"
 #include "common/parallel.hpp"
 #include "gpusim/device.hpp"
 #include "stencil/problem.hpp"
@@ -82,6 +84,31 @@ inline void print_sweep_stats(std::ostream& os, const tuner::SweepStats& st,
      << st.geometry_seconds << " s geometry + " << st.pricing_seconds
      << " s pricing; pruned: " << st.points_pruned << " pts in "
      << st.bound_seconds << " s bounds\n";
+}
+
+// --stats-json=PATH: persist the accumulated engine counters as one
+// JSON object, so CI (and ad-hoc A/B runs) can diff sweep volume and
+// cache behaviour across revisions without scraping the human table.
+// Returns whether the file was written.
+inline bool write_stats_json(const std::string& path,
+                             const tuner::SweepStats& st, int jobs) {
+  json::Value o = json::Value::object();
+  o.set("jobs", jobs);
+  o.set("model_points", st.model_points);
+  o.set("machine_points", st.machine_points);
+  o.set("cache_hits", st.cache_hits);
+  o.set("model_seconds", st.model_seconds);
+  o.set("machine_seconds", st.machine_seconds);
+  o.set("profile_builds", st.profile_builds);
+  o.set("profile_hits", st.profile_hits);
+  o.set("geometry_seconds", st.geometry_seconds);
+  o.set("pricing_seconds", st.pricing_seconds);
+  o.set("points_pruned", st.points_pruned);
+  o.set("bound_seconds", st.bound_seconds);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << o.dump() << "\n";
+  return out.good();
 }
 
 }  // namespace repro::bench

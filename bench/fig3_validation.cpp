@@ -162,5 +162,8 @@ int main(int argc, char** argv) {
             << "Raw scatter written to fig3_validation.csv ("
             << csv.rows_written() << " rows).\n";
   bench::print_sweep_stats(std::cout, totals, scale.resolved_jobs());
+  if (const auto stats_path = args.get("stats-json")) {
+    bench::write_stats_json(*stats_path, totals, scale.resolved_jobs());
+  }
   return 0;
 }

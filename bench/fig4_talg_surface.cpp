@@ -6,6 +6,7 @@
 // Flags: --tS1=8 --stencil=Heat2D --device="GTX 980" --S=8192 --T=8192
 //        --jobs=N (the surface is computed in parallel; output is
 //        byte-identical for any N)
+#include <chrono>
 #include <iostream>
 #include <limits>
 #include <vector>
@@ -50,6 +51,7 @@ int main(int argc, char** argv) {
   };
   const std::size_t ncols = tS2_axis.size();
   ThreadPool pool(scale.jobs);
+  const auto sweep_start = std::chrono::steady_clock::now();
   const std::vector<Cell> cells = parallel_map<Cell>(
       pool, tT_axis.size() * ncols, 8, [&](std::size_t idx) {
         const std::size_t i = idx / ncols;
@@ -64,6 +66,13 @@ int main(int argc, char** argv) {
         c.feasible = true;
         return c;
       });
+  // This bench prices the surface directly (no Session), so its
+  // engine counters are synthesized: every cell is one model point.
+  tuner::SweepStats stats;
+  stats.model_points = tT_axis.size() * ncols;
+  stats.model_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - sweep_start)
+                            .count();
 
   double t_min = std::numeric_limits<double>::infinity();
   std::int64_t best_tT = 0;
@@ -119,5 +128,8 @@ int main(int argc, char** argv) {
             << ", tS2 = " << best_tS2
             << " (the figure's red dot). Full surface in "
                "fig4_talg_surface.csv.\n";
+  if (const auto stats_path = args.get("stats-json")) {
+    bench::write_stats_json(*stats_path, stats, pool.jobs());
+  }
   return 0;
 }

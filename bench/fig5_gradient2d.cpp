@@ -103,5 +103,8 @@ int main(int argc, char** argv) {
                }())
             << "\n";
   bench::print_sweep_stats(std::cout, session.stats(), session.jobs());
+  if (const auto stats_path = args.get("stats-json")) {
+    bench::write_stats_json(*stats_path, session.stats(), session.jobs());
+  }
   return 0;
 }

@@ -125,5 +125,8 @@ int main(int argc, char** argv) {
                                   : static_cast<double>(totals.points_pruned) /
                                         static_cast<double>(requested))
             << "); results are identical with --no-prune.\n";
+  if (const auto stats_path = args.get("stats-json")) {
+    bench::write_stats_json(*stats_path, totals, scale.resolved_jobs());
+  }
   return 0;
 }

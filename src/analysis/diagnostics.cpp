@@ -15,7 +15,7 @@ struct CodeInfo {
 };
 
 // Numeric order; all_codes() exposes this table for docs and tests.
-constexpr std::array<CodeInfo, 26> kCodeTable{{
+constexpr std::array<CodeInfo, 38> kCodeTable{{
     {Code::kParseSyntax, "SL101", "malformed stencil DSL syntax"},
     {Code::kParseDim, "SL102", "missing or out-of-range 'dim'"},
     {Code::kParseTapBeyondDim, "SL103",
@@ -59,6 +59,24 @@ constexpr std::array<CodeInfo, 26> kCodeTable{{
      "tuning option out of range (EnumOptions / CompareOptions)"},
     {Code::kSweepDelta, "SL313",
      "model-sweep delta must be a finite non-negative fraction"},
+    {Code::kSvcMalformed, "SL401",
+     "service request is not a valid JSON object"},
+    {Code::kSvcVersion, "SL402", "unsupported service protocol version"},
+    {Code::kSvcUnknownKind, "SL403", "unknown service request kind"},
+    {Code::kSvcMissingField, "SL404", "required request field is missing"},
+    {Code::kSvcBadField, "SL405",
+     "request field has the wrong type or an invalid value"},
+    {Code::kSvcOverloaded, "SL406",
+     "service overloaded: request rejected by admission control"},
+    {Code::kSvcInternal, "SL407", "internal service error during computation"},
+    {Code::kCalibIo, "SL411", "calibration file cannot be opened or written"},
+    {Code::kCalibMalformed, "SL412",
+     "calibration file has a malformed line or unparsable value"},
+    {Code::kCalibMissingKey, "SL413", "calibration file misses a required key"},
+    {Code::kCalibUnknownKey, "SL414",
+     "calibration file contains an unrecognized key"},
+    {Code::kCalibVersion, "SL415",
+     "calibration file has an unsupported format version"},
 }};
 
 const CodeInfo& info(Code c) noexcept {

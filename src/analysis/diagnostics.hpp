@@ -26,7 +26,9 @@ std::string_view to_string(Severity s) noexcept;
 // Stable diagnostic codes. Groups follow the pipeline stages:
 //   SL1xx — DSL parsing,
 //   SL2xx — dependence analysis,
-//   SL3xx — tiling / configuration legality (Eqn 31 and friends).
+//   SL3xx — tiling / configuration legality (Eqn 31 and friends),
+//   SL40x — tuned service protocol / admission control,
+//   SL41x — calibration persistence (gpusim/calibration_io).
 // Codes are append-only: never renumber, the CLI and docs expose them.
 enum class Code : std::uint16_t {
   // --- parse ---------------------------------------------------------
@@ -58,6 +60,20 @@ enum class Code : std::uint16_t {
   kTileExtent = 311,        // non-positive spatial tile extent
   kOptionRange = 312,       // tuning option out of range (Enum/CompareOptions)
   kSweepDelta = 313,        // model-sweep delta not a finite fraction >= 0
+  // --- tuned service protocol (src/service) --------------------------
+  kSvcMalformed = 401,   // request line is not a JSON object
+  kSvcVersion = 402,     // unsupported protocol version
+  kSvcUnknownKind = 403,  // unknown request kind
+  kSvcMissingField = 404,  // required request field absent
+  kSvcBadField = 405,    // field has the wrong type or an invalid value
+  kSvcOverloaded = 406,  // admission control rejected the request
+  kSvcInternal = 407,    // computation failed inside the service
+  // --- calibration persistence (gpusim/calibration_io) ---------------
+  kCalibIo = 411,        // calibration file cannot be opened / written
+  kCalibMalformed = 412,  // malformed line or unparsable value
+  kCalibMissingKey = 413,  // required key absent
+  kCalibUnknownKey = 414,  // unrecognized key (likely a typo)
+  kCalibVersion = 415,   // unsupported format version
 };
 
 // "SL104" etc. — the stable identifier used in output and tests.

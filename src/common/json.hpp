@@ -1,0 +1,133 @@
+// A minimal JSON value type, parser and deterministic serializer for
+// the service protocol (src/service) and the machine-readable bench
+// reports.
+//
+// Determinism contract: dump() is byte-stable — integers print via
+// std::to_string, doubles via std::to_chars (shortest round-trip
+// form), object keys keep insertion order, and dump_canonical()
+// additionally sorts object keys lexicographically at every level.
+// Two semantically-equal values therefore always serialize to the
+// same bytes, which is what the result store's byte-identity
+// guarantee and the request-coalescing key rest on.
+//
+// Non-finite doubles have no JSON representation and serialize as
+// null (callers that care, like the service payload builders, encode
+// infeasibility explicitly instead of shipping infinities).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace repro::json {
+
+class Value;
+
+// Objects preserve insertion order so rendered payloads read the way
+// they were built; canonical form sorts on serialization instead.
+using Member = std::pair<std::string, Value>;
+
+class Value {
+ public:
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kInt,
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Value() noexcept : type_(Type::kNull) {}
+  Value(std::nullptr_t) noexcept : type_(Type::kNull) {}  // NOLINT
+  Value(bool b) noexcept : type_(Type::kBool), bool_(b) {}  // NOLINT
+  Value(std::int64_t i) noexcept : type_(Type::kInt), int_(i) {}  // NOLINT
+  Value(int i) noexcept : Value(static_cast<std::int64_t>(i)) {}  // NOLINT
+  Value(std::size_t n)  // NOLINT
+      : Value(static_cast<std::int64_t>(n)) {}
+  Value(double d) noexcept : type_(Type::kDouble), double_(d) {}  // NOLINT
+  Value(std::string s) : type_(Type::kString), str_(std::move(s)) {}  // NOLINT
+  Value(std::string_view s) : Value(std::string(s)) {}  // NOLINT
+  Value(const char* s) : Value(std::string(s)) {}  // NOLINT
+
+  static Value array() {
+    Value v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static Value object() {
+    Value v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+  bool is_bool() const noexcept { return type_ == Type::kBool; }
+  bool is_int() const noexcept { return type_ == Type::kInt; }
+  bool is_double() const noexcept { return type_ == Type::kDouble; }
+  bool is_number() const noexcept { return is_int() || is_double(); }
+  bool is_string() const noexcept { return type_ == Type::kString; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+
+  // Accessors assume the matching type (callers check first; the
+  // protocol layer funnels mismatches into SL405 diagnostics).
+  bool as_bool() const noexcept { return bool_; }
+  std::int64_t as_int() const noexcept { return int_; }
+  // Numeric read that accepts both JSON number flavours.
+  double as_double() const noexcept {
+    return is_int() ? static_cast<double>(int_) : double_;
+  }
+  const std::string& as_string() const noexcept { return str_; }
+  const std::vector<Value>& items() const noexcept { return arr_; }
+  const std::vector<Member>& members() const noexcept { return obj_; }
+
+  // Array building.
+  void push_back(Value v) { arr_.push_back(std::move(v)); }
+
+  // Object building / lookup. set() replaces an existing key in place
+  // (keeping its position) or appends a new member.
+  void set(std::string key, Value v);
+  const Value* find(std::string_view key) const noexcept;
+
+  std::size_t size() const noexcept {
+    return is_array() ? arr_.size() : is_object() ? obj_.size() : 0;
+  }
+
+  // Deterministic serialization (see the header comment). Compact:
+  // no whitespace.
+  std::string dump() const;
+  std::string dump_canonical() const;
+
+ private:
+  void dump_to(std::string& out, bool canonical) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string str_;
+  std::vector<Value> arr_;
+  std::vector<Member> obj_;
+};
+
+// Appends the JSON string-literal encoding of `s` (including the
+// surrounding quotes) to `out`. Shared with the renderers that build
+// JSON textually.
+void escape_string(std::string& out, std::string_view s);
+
+// Deterministic number formatting used by dump(): shortest
+// round-trip form for finite doubles, "null" otherwise.
+std::string format_double(double d);
+
+// Parses a complete JSON document (trailing whitespace allowed,
+// trailing garbage rejected). On failure returns nullopt and, when
+// `error` is non-null, a one-line description with a byte offset.
+std::optional<Value> parse(std::string_view text, std::string* error = nullptr);
+
+}  // namespace repro::json

@@ -80,6 +80,60 @@ void ThreadPool::run_chunks(Batch& b) {
   }
 }
 
+BoundedTaskQueue::BoundedTaskQueue(int workers, std::size_t depth)
+    : workers_n_(workers > 0 ? workers : default_jobs()),
+      depth_(depth == 0 ? 1 : depth) {
+  threads_.reserve(static_cast<std::size_t>(workers_n_));
+  for (int i = 0; i < workers_n_; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+BoundedTaskQueue::~BoundedTaskQueue() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  cv_space_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void BoundedTaskQueue::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+      // Drain before exiting: accepted work always runs.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    cv_space_.notify_one();
+    task();
+  }
+}
+
+bool BoundedTaskQueue::try_submit(std::function<void()> task,
+                                  std::chrono::milliseconds wait) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (queue_.size() >= depth_ && wait.count() > 0) {
+    cv_space_.wait_for(lk, wait,
+                       [&] { return stop_ || queue_.size() < depth_; });
+  }
+  if (stop_ || queue_.size() >= depth_) return false;
+  queue_.push_back(std::move(task));
+  lk.unlock();
+  cv_work_.notify_one();
+  return true;
+}
+
+std::size_t BoundedTaskQueue::pending() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
 void ThreadPool::for_each_index(std::size_t n, std::size_t grain,
                                 const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;

@@ -17,9 +17,11 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -82,6 +84,53 @@ class ThreadPool {
   Batch* batch_ = nullptr;     // current batch; one at a time
   std::uint64_t generation_ = 0;
   bool started_ = false;
+  bool stop_ = false;
+};
+
+// A bounded work queue with its own fixed worker threads — the
+// admission-control companion of ThreadPool for *service* workloads:
+// where ThreadPool runs one batch at a time to completion, a
+// BoundedTaskQueue accepts independent tasks from many producer
+// threads, holds at most `depth` of them pending, and REJECTS new
+// work when full (try_submit returns false) instead of blocking the
+// producer forever. The tuned daemon turns a rejection into a
+// structured `overloaded` error (SL406) — backpressure the client
+// can see, never a silent drop: every accepted task runs, including
+// the ones still pending at destruction.
+class BoundedTaskQueue {
+ public:
+  // jobs <= 0 means default_jobs(); depth 0 means depth 1.
+  BoundedTaskQueue(int workers, std::size_t depth);
+  // Drains every already-accepted task, then joins the workers.
+  ~BoundedTaskQueue();
+
+  BoundedTaskQueue(const BoundedTaskQueue&) = delete;
+  BoundedTaskQueue& operator=(const BoundedTaskQueue&) = delete;
+
+  int workers() const noexcept { return workers_n_; }
+  std::size_t depth() const noexcept { return depth_; }
+
+  // Enqueues `task` unless the pending queue is at capacity; when
+  // full, waits up to `wait` for a slot (the admission deadline),
+  // then gives up. Returns whether the task was accepted. Tasks must
+  // not throw (they are run on worker threads with nowhere to
+  // rethrow); wrap fallible work in its own try/catch.
+  bool try_submit(std::function<void()> task,
+                  std::chrono::milliseconds wait = std::chrono::milliseconds(0));
+
+  // Pending (accepted, not yet started) tasks, for introspection.
+  std::size_t pending() const;
+
+ private:
+  void worker_loop();
+
+  int workers_n_;
+  std::size_t depth_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;   // workers wait for tasks
+  std::condition_variable cv_space_;  // producers wait for a slot
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
   bool stop_ = false;
 };
 

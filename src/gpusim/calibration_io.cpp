@@ -1,17 +1,67 @@
 #include "gpusim/calibration_io.hpp"
 
+#include <charconv>
+#include <cstdint>
 #include <fstream>
 #include <iomanip>
 #include <limits>
 #include <map>
-#include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 namespace repro::gpusim {
 
 namespace {
+
 constexpr int kFormatVersion = 1;
+
+using analysis::Code;
+
+// The complete key set of format version 1, used both to reject
+// unknown keys (SL414) and to report every missing key at once
+// (SL413) instead of stopping at the first.
+constexpr const char* kKnownKeys[] = {
+    "version",
+    "hw.name",
+    "hw.n_sm",
+    "hw.n_v",
+    "hw.regs_per_sm",
+    "hw.shared_words_per_sm",
+    "hw.max_shared_words_per_block",
+    "hw.max_tb_per_sm",
+    "mb.L_s_per_word",
+    "mb.tau_sync",
+    "mb.T_sync",
+    "c_iter",
+    "radius",
+};
+
+bool known_key(std::string_view key) {
+  for (const char* k : kKnownKeys) {
+    if (key == k) return true;
+  }
+  return false;
 }
+
+struct Entry {
+  std::string value;
+  int line = 0;
+};
+
+// Full-string numeric parses: trailing garbage ("1.5abc") is a
+// malformed value, not a silent truncation (std::stod would have
+// accepted it).
+bool parse_i64(std::string_view s, std::int64_t& out) {
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc() && p == s.data() + s.size();
+}
+
+bool parse_f64(std::string_view s, double& out) {
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc() && p == s.data() + s.size();
+}
+
+}  // namespace
 
 void save_calibration(const std::string& path, const model::ModelInputs& in) {
   std::ofstream out(path);
@@ -34,53 +84,108 @@ void save_calibration(const std::string& path, const model::ModelInputs& in) {
   if (!out) throw std::runtime_error("save_calibration: write failed");
 }
 
-model::ModelInputs load_calibration(const std::string& path) {
+std::optional<model::ModelInputs> load_calibration(
+    const std::string& path, analysis::DiagnosticEngine& diags) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("load_calibration: cannot open " + path);
-
-  std::map<std::string, std::string> kv;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') continue;
-    const auto sp = line.find(' ');
-    if (sp == std::string::npos) {
-      throw std::runtime_error("load_calibration: malformed line: " + line);
-    }
-    kv[line.substr(0, sp)] = line.substr(sp + 1);
+  if (!in) {
+    diags.error(Code::kCalibIo, "cannot open calibration file " + path);
+    return std::nullopt;
   }
 
-  auto require = [&](const std::string& key) -> const std::string& {
+  const std::size_t before = diags.count(analysis::Severity::kError);
+  std::map<std::string, Entry> kv;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    const auto sp = line.find(' ');
+    if (sp == std::string::npos || sp == 0 || sp + 1 >= line.size()) {
+      diags.error(Code::kCalibMalformed,
+                  "malformed line (expected 'key value'): " + line, lineno);
+      continue;
+    }
+    const std::string key = line.substr(0, sp);
+    if (!known_key(key)) {
+      diags.error(Code::kCalibUnknownKey, "unknown key '" + key + "'", lineno);
+      continue;
+    }
+    kv[key] = Entry{line.substr(sp + 1), lineno};
+  }
+
+  auto require = [&](const std::string& key) -> const Entry* {
     const auto it = kv.find(key);
     if (it == kv.end()) {
-      throw std::runtime_error("load_calibration: missing key " + key);
+      diags.error(Code::kCalibMissingKey, "missing key '" + key + "'");
+      return nullptr;
     }
-    return it->second;
+    return &it->second;
   };
-  auto as_double = [&](const std::string& key) {
-    return std::stod(require(key));
+  auto as_i64 = [&](const std::string& key) -> std::int64_t {
+    const Entry* e = require(key);
+    if (e == nullptr) return 0;
+    std::int64_t v = 0;
+    if (!parse_i64(e->value, v)) {
+      diags.error(Code::kCalibMalformed,
+                  "value of '" + key + "' is not an integer: " + e->value,
+                  e->line);
+      return 0;
+    }
+    return v;
   };
-  auto as_int = [&](const std::string& key) {
-    return std::stoll(require(key));
+  auto as_f64 = [&](const std::string& key) -> double {
+    const Entry* e = require(key);
+    if (e == nullptr) return 0.0;
+    double v = 0.0;
+    if (!parse_f64(e->value, v)) {
+      diags.error(Code::kCalibMalformed,
+                  "value of '" + key + "' is not a number: " + e->value,
+                  e->line);
+      return 0.0;
+    }
+    return v;
   };
 
-  if (as_int("version") != kFormatVersion) {
-    throw std::runtime_error("load_calibration: unsupported version");
+  const std::int64_t version = as_i64("version");
+  if (kv.count("version") != 0 && version != kFormatVersion) {
+    diags.error(Code::kCalibVersion,
+                "unsupported version " + std::to_string(version) +
+                    " (expected " + std::to_string(kFormatVersion) + ")",
+                kv["version"].line);
   }
 
   model::ModelInputs out;
-  out.hw.name = require("hw.name");
-  out.hw.n_sm = static_cast<int>(as_int("hw.n_sm"));
-  out.hw.n_v = static_cast<int>(as_int("hw.n_v"));
-  out.hw.regs_per_sm = as_int("hw.regs_per_sm");
-  out.hw.shared_words_per_sm = as_int("hw.shared_words_per_sm");
-  out.hw.max_shared_words_per_block = as_int("hw.max_shared_words_per_block");
-  out.hw.max_tb_per_sm = static_cast<int>(as_int("hw.max_tb_per_sm"));
-  out.mb.L_s_per_word = as_double("mb.L_s_per_word");
-  out.mb.tau_sync = as_double("mb.tau_sync");
-  out.mb.T_sync = as_double("mb.T_sync");
-  out.c_iter = as_double("c_iter");
-  out.radius = static_cast<int>(as_int("radius"));
+  if (const Entry* e = require("hw.name")) out.hw.name = e->value;
+  out.hw.n_sm = static_cast<int>(as_i64("hw.n_sm"));
+  out.hw.n_v = static_cast<int>(as_i64("hw.n_v"));
+  out.hw.regs_per_sm = as_i64("hw.regs_per_sm");
+  out.hw.shared_words_per_sm = as_i64("hw.shared_words_per_sm");
+  out.hw.max_shared_words_per_block = as_i64("hw.max_shared_words_per_block");
+  out.hw.max_tb_per_sm = static_cast<int>(as_i64("hw.max_tb_per_sm"));
+  out.mb.L_s_per_word = as_f64("mb.L_s_per_word");
+  out.mb.tau_sync = as_f64("mb.tau_sync");
+  out.mb.T_sync = as_f64("mb.T_sync");
+  out.c_iter = as_f64("c_iter");
+  out.radius = static_cast<int>(as_i64("radius"));
+
+  if (diags.count(analysis::Severity::kError) > before) return std::nullopt;
   return out;
+}
+
+model::ModelInputs load_calibration(const std::string& path) {
+  analysis::DiagnosticEngine diags;
+  const std::optional<model::ModelInputs> out = load_calibration(path, diags);
+  if (!out) {
+    for (const analysis::Diagnostic& d : diags.diagnostics()) {
+      if (d.severity == analysis::Severity::kError) {
+        throw std::runtime_error(
+            "load_calibration: [" + std::string(analysis::code_name(d.code)) +
+            "] " + d.message);
+      }
+    }
+    throw std::runtime_error("load_calibration: failed");  // unreachable
+  }
+  return *out;
 }
 
 }  // namespace repro::gpusim

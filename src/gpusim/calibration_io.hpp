@@ -4,8 +4,10 @@
 // small key=value text format (versioned, order-independent).
 #pragma once
 
+#include <optional>
 #include <string>
 
+#include "analysis/diagnostics.hpp"
 #include "model/talg.hpp"
 
 namespace repro::gpusim {
@@ -13,9 +15,18 @@ namespace repro::gpusim {
 // Writes `in` to `path`. Throws std::runtime_error on I/O failure.
 void save_calibration(const std::string& path, const model::ModelInputs& in);
 
-// Reads a calibration written by save_calibration. Throws
-// std::runtime_error on I/O failure, unknown keys, missing keys or a
-// version mismatch.
+// Collecting form: reads a calibration written by save_calibration.
+// Every problem — unopenable file (SL411), malformed line or
+// unparsable value (SL412, with the 1-based line number), missing key
+// (SL413), unknown key (SL414, likely a typo that would otherwise be
+// silently dropped), version mismatch (SL415) — lands in `diags`;
+// returns nullopt when any error was emitted, never a silently
+// defaulted calibration.
+std::optional<model::ModelInputs> load_calibration(
+    const std::string& path, analysis::DiagnosticEngine& diags);
+
+// Throwing form (back-compat): std::runtime_error carrying the first
+// error's "[SLxxx] ..." message.
 model::ModelInputs load_calibration(const std::string& path);
 
 }  // namespace repro::gpusim

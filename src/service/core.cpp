@@ -1,0 +1,406 @@
+#include "service/core.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "analysis/lint.hpp"
+#include "gpusim/device.hpp"
+#include "tuner/space.hpp"
+
+namespace repro::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+json::Value point_to_json(const tuner::EvaluatedPoint& ep) {
+  json::Value o = json::Value::object();
+  o.set("tile", tile_to_json(ep.dp.ts));
+  o.set("threads", threads_to_json(ep.dp.thr));
+  o.set("feasible", ep.feasible);
+  o.set("talg", ep.talg);  // non-finite doubles render as null
+  o.set("texec", ep.texec);
+  o.set("gflops", ep.gflops);
+  return o;
+}
+
+std::string compute_predict(const Request& req, tuner::Session& session) {
+  json::Value o = json::Value::object();
+  o.set("tile", tile_to_json(*req.tile));
+  const double talg =
+      tuner::model_talg_or_inf(session.inputs(), *req.problem, *req.tile);
+  const bool model_feasible = std::isfinite(talg);
+  if (req.threads && model_feasible) {
+    // Full prediction: model price plus the simulated measurement.
+    const tuner::EvaluatedPoint ep =
+        session.evaluate_point({*req.tile, *req.threads});
+    o.set("threads", threads_to_json(*req.threads));
+    o.set("feasible", ep.feasible);
+    o.set("talg", ep.talg);
+    o.set("texec", ep.texec);
+    o.set("gflops", ep.gflops);
+  } else {
+    if (req.threads) o.set("threads", threads_to_json(*req.threads));
+    o.set("feasible", model_feasible);
+    o.set("talg", talg);  // null when infeasible
+  }
+  return o.dump();
+}
+
+std::string compute_best_tile(const Request& req, tuner::Session& session) {
+  const std::vector<hhc::TileSizes> space = tuner::enumerate_feasible(
+      req.problem->dim, session.inputs().hw, req.enumeration, req.def.radius);
+  const tuner::ModelSweep sweep = session.sweep_model(space, req.delta);
+
+  json::Value o = json::Value::object();
+  o.set("space_size", sweep.space_size);
+  o.set("candidates_tried", sweep.candidates.size());
+  if (sweep.candidates.empty()) {
+    o.set("talg_min", nullptr);
+    o.set("argmin", nullptr);
+    o.set("best", nullptr);
+    return o.dump();
+  }
+  o.set("talg_min", sweep.talg_min);
+  o.set("argmin", tile_to_json(sweep.argmin));
+
+  // Measure every within-delta candidate, then fold serially with the
+  // first-strictly-better rule (index order — deterministic for any
+  // job count, same as the Session's own reductions).
+  const std::vector<tuner::EvaluatedPoint> evaluated =
+      session.best_over_threads_many(sweep.candidates);
+  const tuner::EvaluatedPoint* best = nullptr;
+  for (const tuner::EvaluatedPoint& ep : evaluated) {
+    if (!ep.feasible) continue;
+    if (best == nullptr || ep.texec < best->texec) best = &ep;
+  }
+  o.set("best", best != nullptr ? point_to_json(*best) : json::Value());
+  return o.dump();
+}
+
+std::string compute_compare(const Request& req, tuner::Session& session) {
+  tuner::CompareOptions copt;
+  copt.enumeration = req.enumeration;
+  copt.delta = req.delta;
+  copt.exhaustive_cap = req.exhaustive_cap;
+  copt.baseline_count = req.baseline_count;
+  const tuner::StrategyComparison cmp = session.compare_strategies(copt);
+
+  json::Value o = json::Value::object();
+  o.set("hhc_default", point_to_json(cmp.hhc_default));
+  o.set("talg_min", point_to_json(cmp.talg_min));
+  o.set("baseline_best", point_to_json(cmp.baseline_best));
+  o.set("within10_best", point_to_json(cmp.within10_best));
+  o.set("exhaustive", point_to_json(cmp.exhaustive));
+  o.set("candidates_tried", cmp.candidates_tried);
+  o.set("space_size", cmp.space_size);
+  return o.dump();
+}
+
+std::string compute_lint(const Request& req) {
+  analysis::LintOptions lopt;
+  lopt.ts = req.tile;
+  lopt.thr = req.threads;
+  lopt.problem = req.problem;
+  lopt.hw = gpusim::device_by_name(req.device).to_model_hardware();
+
+  analysis::DiagnosticEngine diags;
+  // Re-lint from source when the client sent DSL text, so parse
+  // warnings come back line-anchored alongside the semantic findings.
+  const analysis::LintResult res =
+      !req.stencil_text.empty()
+          ? analysis::lint_stencil_text(req.stencil_text, lopt, diags)
+          : analysis::lint_stencil_def(req.def, lopt, diags);
+
+  json::Value o = json::Value::object();
+  o.set("ok", res.ok);
+  json::Value arr = json::Value::array();
+  for (const analysis::Diagnostic& d : diags.diagnostics()) {
+    json::Value e = json::Value::object();
+    e.set("severity", std::string(analysis::to_string(d.severity)));
+    e.set("code", std::string(analysis::code_name(d.code)));
+    e.set("line", d.line);
+    e.set("message", d.message);
+    arr.push_back(std::move(e));
+  }
+  o.set("diagnostics", std::move(arr));
+  if (res.cone) {
+    json::Value c = json::Value::object();
+    c.set("dim", res.cone->dim);
+    json::Value radius = json::Value::array();
+    for (int i = 0; i < res.cone->dim; ++i) {
+      radius.push_back(res.cone->radius[static_cast<std::size_t>(i)]);
+    }
+    c.set("radius", std::move(radius));
+    c.set("max_radius", res.cone->max_radius);
+    c.set("symmetric", res.cone->symmetric);
+    c.set("has_center", res.cone->has_center);
+    c.set("tap_count", res.cone->tap_count);
+    o.set("cone", std::move(c));
+  } else {
+    o.set("cone", nullptr);
+  }
+  return o.dump();
+}
+
+}  // namespace
+
+std::string ServiceStats::to_json() const {
+  json::Value o = json::Value::object();
+  o.set("requests", requests);
+  o.set("errors", errors);
+  o.set("overloaded", overloaded);
+  o.set("computed", computed);
+  o.set("coalesced", coalesced);
+  o.set("store_hits", store_hits);
+  o.set("store_misses", store_misses);
+  o.set("store_writes", store_writes);
+  o.set("store_errors", store_errors);
+  json::Value kinds = json::Value::object();
+  kinds.set("predict", predict);
+  kinds.set("best_tile", best_tile);
+  kinds.set("compare_strategies", compare);
+  kinds.set("lint", lint);
+  o.set("kinds", std::move(kinds));
+  o.set("compute_seconds", compute_seconds);
+  o.set("latency_seconds", latency_seconds);
+  o.set("latency_max", latency_max);
+  return o.dump();
+}
+
+std::string compute_payload(const Request& req, tuner::Session* session) {
+  switch (req.kind) {
+    case RequestKind::kPredict:
+      return compute_predict(req, *session);
+    case RequestKind::kBestTile:
+      return compute_best_tile(req, *session);
+    case RequestKind::kCompareStrategies:
+      return compute_compare(req, *session);
+    case RequestKind::kLint:
+      return compute_lint(req);
+  }
+  throw std::logic_error("compute_payload: unhandled request kind");
+}
+
+ServiceCore::ServiceCore(ServiceOptions opt)
+    : opt_(std::move(opt)),
+      queue_(opt_.workers, opt_.queue_depth) {
+  if (!opt_.store_dir.empty()) store_.emplace(opt_.store_dir);
+}
+
+ServiceCore::~ServiceCore() = default;
+
+ServiceStats ServiceCore::stats() const {
+  ServiceStats s;
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    s = stats_;
+  }
+  if (store_) {
+    std::lock_guard<std::mutex> lk(store_mu_);
+    const ResultStore::Counters c = store_->counters();
+    s.store_hits = c.hits;
+    s.store_misses = c.misses;
+    s.store_writes = c.writes;
+    s.store_errors = c.errors;
+  }
+  return s;
+}
+
+ServiceCore::SessionEntry& ServiceCore::session_entry(const Request& req) {
+  // Sessions are shared across requests that agree on device, stencil
+  // identity and problem size — the Session's memoization then makes
+  // overlapping requests (e.g. predict after best_tile) cache hits.
+  json::Value k = json::Value::object();
+  k.set("device", req.device);
+  if (!req.stencil_text.empty()) {
+    k.set("text", req.stencil_text);
+  } else {
+    k.set("stencil", req.stencil_name);
+  }
+  json::Value s = json::Value::array();
+  for (int i = 0; i < req.problem->dim; ++i) {
+    s.push_back(req.problem->S[static_cast<std::size_t>(i)]);
+  }
+  k.set("S", std::move(s));
+  k.set("T", req.problem->T);
+  const std::string key = k.dump_canonical();
+
+  std::lock_guard<std::mutex> lk(sessions_mu_);
+  std::unique_ptr<SessionEntry>& entry = sessions_[key];
+  if (!entry) entry = std::make_unique<SessionEntry>();
+  return *entry;
+}
+
+void ServiceCore::finish_flight(const std::string& key,
+                                const std::shared_ptr<Flight>& flight,
+                                bool ok, std::string payload,
+                                std::vector<analysis::Diagnostic> diags) {
+  {
+    // Remove the flight first (identity-checked: a later flight under
+    // the same key must not be evicted), so a request arriving after
+    // fulfillment starts fresh — and finds the store already warm.
+    std::lock_guard<std::mutex> lk(flights_mu_);
+    const auto it = flights_.find(key);
+    if (it != flights_.end() && it->second == flight) flights_.erase(it);
+  }
+  {
+    std::lock_guard<std::mutex> lk(flight->mu);
+    flight->done = true;
+    flight->ok = ok;
+    flight->payload = std::move(payload);
+    flight->diags = std::move(diags);
+  }
+  flight->cv.notify_all();
+}
+
+void ServiceCore::run_compute(const std::string& key, const Request& req,
+                              const std::shared_ptr<Flight>& flight) {
+  std::string payload;
+  analysis::DiagnosticEngine diags;
+  bool ok = false;
+  const Clock::time_point t0 = Clock::now();
+  try {
+    if (hook_) hook_();
+    tuner::Session* session = nullptr;
+    std::unique_lock<std::mutex> session_lock;
+    if (req.kind != RequestKind::kLint) {
+      SessionEntry& entry = session_entry(req);
+      session_lock = std::unique_lock<std::mutex>(entry.mu);
+      if (!entry.session) {
+        entry.session = std::make_unique<tuner::Session>(
+            gpusim::device_by_name(req.device), req.def, *req.problem,
+            tuner::SessionOptions{}.with_jobs(opt_.session_jobs));
+      }
+      session = entry.session.get();
+    }
+    payload = compute_payload(req, session);
+    ok = true;
+  } catch (const std::exception& e) {
+    diags.error(analysis::Code::kSvcInternal,
+                std::string("computation failed: ") + e.what());
+  } catch (...) {
+    diags.error(analysis::Code::kSvcInternal,
+                "computation failed: unknown exception");
+  }
+  const double elapsed = seconds_since(t0);
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++stats_.computed;
+    stats_.compute_seconds += elapsed;
+  }
+
+  if (ok && store_) {
+    std::lock_guard<std::mutex> lk(store_mu_);
+    store_->save(key, payload);
+  }
+  finish_flight(key, flight, ok, std::move(payload), diags.diagnostics());
+}
+
+std::string ServiceCore::handle(const std::string& line) {
+  const Clock::time_point t0 = Clock::now();
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++stats_.requests;
+  }
+
+  analysis::DiagnosticEngine diags;
+  std::string id;
+  const std::optional<Request> req = parse_request(line, diags, &id);
+  if (!req) {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++stats_.errors;
+    return render_error(id, diags.diagnostics());
+  }
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    switch (req->kind) {
+      case RequestKind::kPredict: ++stats_.predict; break;
+      case RequestKind::kBestTile: ++stats_.best_tile; break;
+      case RequestKind::kCompareStrategies: ++stats_.compare; break;
+      case RequestKind::kLint: ++stats_.lint; break;
+    }
+  }
+
+  const std::string key = req->canonical_key();
+
+  if (store_) {
+    std::optional<std::string> hit;
+    {
+      std::lock_guard<std::mutex> lk(store_mu_);
+      hit = store_->load(key);
+    }
+    if (hit) {
+      const std::string out = render_result(req->id, req->kind, *hit);
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      const double elapsed = seconds_since(t0);
+      stats_.latency_seconds += elapsed;
+      if (elapsed > stats_.latency_max) stats_.latency_max = elapsed;
+      return out;
+    }
+  }
+
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lk(flights_mu_);
+    if (opt_.coalesce) {
+      const auto it = flights_.find(key);
+      if (it != flights_.end()) flight = it->second;
+    }
+    if (!flight) {
+      flight = std::make_shared<Flight>();
+      if (opt_.coalesce) flights_[key] = flight;
+      leader = true;
+    } else {
+      std::lock_guard<std::mutex> slk(stats_mu_);
+      ++stats_.coalesced;
+    }
+  }
+
+  if (leader) {
+    const bool accepted = queue_.try_submit(
+        [this, key, flight, r = *req] { run_compute(key, r, flight); },
+        std::chrono::milliseconds(opt_.submit_wait_ms));
+    if (!accepted) {
+      analysis::DiagnosticEngine odiags;
+      odiags.error(analysis::Code::kSvcOverloaded,
+                   "service overloaded: compute queue full (depth " +
+                       std::to_string(queue_.depth()) +
+                       "); retry later or raise --queue-depth");
+      // Wake any followers that joined this flight before the
+      // rejection — they get the same structured error.
+      finish_flight(key, flight, false, "", odiags.diagnostics());
+      {
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        ++stats_.overloaded;
+      }
+    }
+  }
+
+  {
+    std::unique_lock<std::mutex> lk(flight->mu);
+    flight->cv.wait(lk, [&] { return flight->done; });
+  }
+
+  std::string out = flight->ok
+                        ? render_result(req->id, req->kind, flight->payload)
+                        : render_error(req->id, flight->diags);
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    if (!flight->ok) ++stats_.errors;
+    const double elapsed = seconds_since(t0);
+    stats_.latency_seconds += elapsed;
+    if (elapsed > stats_.latency_max) stats_.latency_max = elapsed;
+  }
+  return out;
+}
+
+}  // namespace repro::service

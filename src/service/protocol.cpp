@@ -1,0 +1,507 @@
+#include "service/protocol.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "gpusim/device.hpp"
+#include "stencil/parser.hpp"
+#include "tuner/optimizer.hpp"
+
+namespace repro::service {
+
+namespace {
+
+using analysis::Code;
+using analysis::DiagnosticEngine;
+
+struct KindInfo {
+  RequestKind kind;
+  std::string_view name;
+};
+
+constexpr KindInfo kKinds[] = {
+    {RequestKind::kPredict, "predict"},
+    {RequestKind::kBestTile, "best_tile"},
+    {RequestKind::kCompareStrategies, "compare_strategies"},
+    {RequestKind::kLint, "lint"},
+};
+
+// Per-kind allowed top-level keys: a misspelled or misplaced field is
+// an SL405 error, never a silently ignored no-op.
+bool key_allowed(RequestKind kind, std::string_view key) {
+  static constexpr std::string_view kCommon[] = {"v",       "id",   "kind",
+                                                 "device",  "stencil", "text"};
+  for (const std::string_view k : kCommon) {
+    if (key == k) return true;
+  }
+  switch (kind) {
+    case RequestKind::kPredict:
+      return key == "problem" || key == "tile" || key == "threads";
+    case RequestKind::kBestTile:
+      return key == "problem" || key == "delta" || key == "enum";
+    case RequestKind::kCompareStrategies:
+      return key == "problem" || key == "delta" || key == "enum" ||
+             key == "exhaustive_cap" || key == "baseline_count";
+    case RequestKind::kLint:
+      return key == "problem" || key == "tile" || key == "threads";
+  }
+  return false;
+}
+
+// Integer field read with range check; emits SL405 and returns
+// nullopt on any mismatch.
+std::optional<std::int64_t> get_int(const json::Value& obj,
+                                    std::string_view key, std::int64_t lo,
+                                    std::int64_t hi, DiagnosticEngine& diags) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr) return std::nullopt;
+  if (!v->is_int() || v->as_int() < lo || v->as_int() > hi) {
+    diags.error(Code::kSvcBadField,
+                "field '" + std::string(key) + "' must be an integer in [" +
+                    std::to_string(lo) + ", " + std::to_string(hi) + "]");
+    return std::nullopt;
+  }
+  return v->as_int();
+}
+
+std::optional<stencil::ProblemSize> parse_problem(const json::Value& v,
+                                                  DiagnosticEngine& diags) {
+  if (!v.is_object()) {
+    diags.error(Code::kSvcBadField, "'problem' must be an object");
+    return std::nullopt;
+  }
+  for (const auto& [key, val] : v.members()) {
+    (void)val;
+    if (key != "S" && key != "T") {
+      diags.error(Code::kSvcBadField, "unknown 'problem' field '" + key + "'");
+      return std::nullopt;
+    }
+  }
+  const json::Value* s = v.find("S");
+  if (s == nullptr || !s->is_array() || s->size() < 1 || s->size() > 3) {
+    diags.error(Code::kSvcBadField,
+                "'problem.S' must be an array of 1 to 3 extents");
+    return std::nullopt;
+  }
+  stencil::ProblemSize p;
+  p.dim = static_cast<int>(s->size());
+  for (std::size_t i = 0; i < s->size(); ++i) {
+    const json::Value& e = s->items()[i];
+    if (!e.is_int() || e.as_int() < 1) {
+      diags.error(Code::kSvcBadField,
+                  "'problem.S' extents must be positive integers");
+      return std::nullopt;
+    }
+    p.S[i] = e.as_int();
+  }
+  const std::optional<std::int64_t> T =
+      get_int(v, "T", 1, std::int64_t{1} << 40, diags);
+  if (!T) {
+    if (v.find("T") == nullptr) {
+      diags.error(Code::kSvcMissingField, "'problem.T' is required");
+    }
+    return std::nullopt;
+  }
+  p.T = *T;
+  return p;
+}
+
+std::optional<hhc::TileSizes> parse_tile(const json::Value& v,
+                                         DiagnosticEngine& diags) {
+  if (!v.is_object()) {
+    diags.error(Code::kSvcBadField, "'tile' must be an object");
+    return std::nullopt;
+  }
+  for (const auto& [key, val] : v.members()) {
+    (void)val;
+    if (key != "tT" && key != "tS1" && key != "tS2" && key != "tS3") {
+      diags.error(Code::kSvcBadField, "unknown 'tile' field '" + key + "'");
+      return std::nullopt;
+    }
+  }
+  hhc::TileSizes ts;
+  const auto tT = get_int(v, "tT", 1, 1 << 20, diags);
+  const auto tS1 = get_int(v, "tS1", 1, 1 << 20, diags);
+  if (!tT || !tS1) {
+    if (v.find("tT") == nullptr || v.find("tS1") == nullptr) {
+      diags.error(Code::kSvcMissingField, "'tile' requires 'tT' and 'tS1'");
+    }
+    return std::nullopt;
+  }
+  ts.tT = *tT;
+  ts.tS1 = *tS1;
+  ts.tS2 = get_int(v, "tS2", 1, 1 << 20, diags).value_or(1);
+  ts.tS3 = get_int(v, "tS3", 1, 1 << 20, diags).value_or(1);
+  if (diags.has_errors()) return std::nullopt;
+  return ts;
+}
+
+std::optional<hhc::ThreadConfig> parse_threads(const json::Value& v,
+                                               DiagnosticEngine& diags) {
+  if (!v.is_object()) {
+    diags.error(Code::kSvcBadField, "'threads' must be an object");
+    return std::nullopt;
+  }
+  for (const auto& [key, val] : v.members()) {
+    (void)val;
+    if (key != "n1" && key != "n2" && key != "n3") {
+      diags.error(Code::kSvcBadField, "unknown 'threads' field '" + key + "'");
+      return std::nullopt;
+    }
+  }
+  hhc::ThreadConfig thr;
+  const auto n1 = get_int(v, "n1", 1, 1024, diags);
+  if (!n1) {
+    if (v.find("n1") == nullptr) {
+      diags.error(Code::kSvcMissingField, "'threads' requires 'n1'");
+    }
+    return std::nullopt;
+  }
+  thr.n1 = static_cast<int>(*n1);
+  thr.n2 = static_cast<int>(get_int(v, "n2", 1, 1024, diags).value_or(1));
+  thr.n3 = static_cast<int>(get_int(v, "n3", 1, 1024, diags).value_or(1));
+  if (diags.has_errors()) return std::nullopt;
+  return thr;
+}
+
+bool parse_enum_options(const json::Value& v, tuner::EnumOptions& opt,
+                        DiagnosticEngine& diags) {
+  if (!v.is_object()) {
+    diags.error(Code::kSvcBadField, "'enum' must be an object");
+    return false;
+  }
+  struct Field {
+    std::string_view key;
+    std::int64_t* slot;
+  };
+  const Field fields[] = {
+      {"tT_max", &opt.tT_max},   {"tT_step", &opt.tT_step},
+      {"tS1_max", &opt.tS1_max}, {"tS1_step", &opt.tS1_step},
+      {"tS2_max", &opt.tS2_max}, {"tS2_step", &opt.tS2_step},
+      {"tS3_max", &opt.tS3_max}, {"tS3_step", &opt.tS3_step},
+  };
+  for (const auto& [key, val] : v.members()) {
+    (void)val;
+    bool known = false;
+    for (const Field& f : fields) known = known || key == f.key;
+    if (!known) {
+      diags.error(Code::kSvcBadField, "unknown 'enum' field '" + key + "'");
+      return false;
+    }
+  }
+  for (const Field& f : fields) {
+    if (v.find(f.key) == nullptr) continue;
+    const auto i = get_int(v, f.key, 1, 1 << 20, diags);
+    if (!i) return false;
+    *f.slot = *i;
+  }
+  return true;
+}
+
+json::Value problem_to_json(const stencil::ProblemSize& p) {
+  json::Value o = json::Value::object();
+  json::Value s = json::Value::array();
+  for (int i = 0; i < p.dim; ++i) s.push_back(p.S[static_cast<std::size_t>(i)]);
+  o.set("S", std::move(s));
+  o.set("T", p.T);
+  return o;
+}
+
+json::Value enum_to_json(const tuner::EnumOptions& e) {
+  json::Value o = json::Value::object();
+  o.set("tT_max", e.tT_max);
+  o.set("tT_step", e.tT_step);
+  o.set("tS1_max", e.tS1_max);
+  o.set("tS1_step", e.tS1_step);
+  o.set("tS2_max", e.tS2_max);
+  o.set("tS2_step", e.tS2_step);
+  o.set("tS3_max", e.tS3_max);
+  o.set("tS3_step", e.tS3_step);
+  return o;
+}
+
+}  // namespace
+
+std::string_view to_string(RequestKind k) noexcept {
+  for (const KindInfo& ki : kKinds) {
+    if (ki.kind == k) return ki.name;
+  }
+  return "predict";
+}
+
+std::optional<RequestKind> parse_kind(std::string_view s) noexcept {
+  for (const KindInfo& ki : kKinds) {
+    if (ki.name == s) return ki.kind;
+  }
+  return std::nullopt;
+}
+
+json::Value tile_to_json(const hhc::TileSizes& ts) {
+  json::Value o = json::Value::object();
+  o.set("tT", ts.tT);
+  o.set("tS1", ts.tS1);
+  o.set("tS2", ts.tS2);
+  o.set("tS3", ts.tS3);
+  return o;
+}
+
+json::Value threads_to_json(const hhc::ThreadConfig& thr) {
+  json::Value o = json::Value::object();
+  o.set("n1", thr.n1);
+  o.set("n2", thr.n2);
+  o.set("n3", thr.n3);
+  return o;
+}
+
+std::string Request::canonical_key() const {
+  json::Value o = json::Value::object();
+  o.set("v", version);
+  o.set("kind", std::string(to_string(kind)));
+  o.set("device", device);
+  if (!stencil_text.empty()) {
+    o.set("text", stencil_text);
+  } else {
+    o.set("stencil", stencil_name);
+  }
+  if (problem) o.set("problem", problem_to_json(*problem));
+  switch (kind) {
+    case RequestKind::kPredict:
+    case RequestKind::kLint:
+      if (tile) o.set("tile", tile_to_json(*tile));
+      if (threads) o.set("threads", threads_to_json(*threads));
+      break;
+    case RequestKind::kCompareStrategies:
+      o.set("exhaustive_cap", exhaustive_cap);
+      o.set("baseline_count", baseline_count);
+      [[fallthrough]];
+    case RequestKind::kBestTile:
+      o.set("delta", delta);
+      o.set("enum", enum_to_json(enumeration));
+      break;
+  }
+  return o.dump_canonical();
+}
+
+std::optional<Request> parse_request(std::string_view line,
+                                     analysis::DiagnosticEngine& diags,
+                                     std::string* id_out) {
+  std::string err;
+  const std::optional<json::Value> doc = json::parse(line, &err);
+  if (!doc) {
+    diags.error(Code::kSvcMalformed, "invalid JSON: " + err);
+    return std::nullopt;
+  }
+  if (!doc->is_object()) {
+    diags.error(Code::kSvcMalformed, "request must be a JSON object");
+    return std::nullopt;
+  }
+
+  Request req;
+  // Recover the id first so even a failing request gets a correlated
+  // error response.
+  if (const json::Value* id = doc->find("id"); id != nullptr) {
+    if (!id->is_string()) {
+      diags.error(Code::kSvcBadField, "'id' must be a string");
+      return std::nullopt;
+    }
+    req.id = id->as_string();
+    if (id_out != nullptr) *id_out = req.id;
+  }
+
+  const json::Value* v = doc->find("v");
+  if (v == nullptr) {
+    diags.error(Code::kSvcMissingField, "'v' (protocol version) is required");
+    return std::nullopt;
+  }
+  if (!v->is_int() || v->as_int() != kProtocolVersion) {
+    diags.error(Code::kSvcVersion,
+                "unsupported protocol version (expected " +
+                    std::to_string(kProtocolVersion) + ")");
+    return std::nullopt;
+  }
+
+  const json::Value* kind = doc->find("kind");
+  if (kind == nullptr || !kind->is_string()) {
+    diags.error(Code::kSvcMissingField, "'kind' is required");
+    return std::nullopt;
+  }
+  const std::optional<RequestKind> k = parse_kind(kind->as_string());
+  if (!k) {
+    diags.error(Code::kSvcUnknownKind,
+                "unknown kind '" + kind->as_string() +
+                    "' (expected predict, best_tile, compare_strategies or "
+                    "lint)");
+    return std::nullopt;
+  }
+  req.kind = *k;
+
+  for (const auto& [key, val] : doc->members()) {
+    (void)val;
+    if (!key_allowed(req.kind, key)) {
+      diags.error(Code::kSvcBadField,
+                  "field '" + key + "' is not allowed for kind '" +
+                      std::string(to_string(req.kind)) + "'");
+    }
+  }
+  if (diags.has_errors()) return std::nullopt;
+
+  if (const json::Value* dev = doc->find("device"); dev != nullptr) {
+    if (!dev->is_string()) {
+      diags.error(Code::kSvcBadField, "'device' must be a string");
+      return std::nullopt;
+    }
+    req.device = dev->as_string();
+  }
+  try {
+    (void)gpusim::device_by_name(req.device);
+  } catch (const std::exception&) {
+    diags.error(Code::kSvcBadField, "unknown device '" + req.device + "'");
+    return std::nullopt;
+  }
+
+  const json::Value* name = doc->find("stencil");
+  const json::Value* text = doc->find("text");
+  if ((name == nullptr) == (text == nullptr)) {
+    diags.error(Code::kSvcMissingField,
+                "exactly one of 'stencil' (catalogue name) or 'text' (DSL "
+                "program) is required");
+    return std::nullopt;
+  }
+  if (name != nullptr) {
+    if (!name->is_string()) {
+      diags.error(Code::kSvcBadField, "'stencil' must be a string");
+      return std::nullopt;
+    }
+    req.stencil_name = name->as_string();
+    try {
+      req.def = stencil::get_stencil_by_name(req.stencil_name);
+    } catch (const std::exception&) {
+      diags.error(Code::kSvcBadField,
+                  "unknown catalogue stencil '" + req.stencil_name + "'");
+      return std::nullopt;
+    }
+  } else {
+    if (!text->is_string()) {
+      diags.error(Code::kSvcBadField, "'text' must be a string");
+      return std::nullopt;
+    }
+    req.stencil_text = text->as_string();
+    // Parse diagnostics (SL1xx, with line numbers into the DSL text)
+    // flow straight into the response.
+    const std::optional<stencil::StencilDef> def =
+        stencil::parse_stencil(req.stencil_text, diags);
+    if (!def) return std::nullopt;
+    req.def = *def;
+  }
+
+  if (const json::Value* p = doc->find("problem"); p != nullptr) {
+    req.problem = parse_problem(*p, diags);
+    if (!req.problem) return std::nullopt;
+    if (req.problem->dim != req.def.dim) {
+      diags.error(Code::kSvcBadField,
+                  "'problem.S' has " + std::to_string(req.problem->dim) +
+                      " extents but the stencil is " +
+                      std::to_string(req.def.dim) + "-dimensional");
+      return std::nullopt;
+    }
+  }
+  if (const json::Value* t = doc->find("tile"); t != nullptr) {
+    req.tile = parse_tile(*t, diags);
+    if (!req.tile) return std::nullopt;
+  }
+  if (const json::Value* t = doc->find("threads"); t != nullptr) {
+    req.threads = parse_threads(*t, diags);
+    if (!req.threads) return std::nullopt;
+  }
+  if (const json::Value* d = doc->find("delta"); d != nullptr) {
+    if (!d->is_number()) {
+      diags.error(Code::kSvcBadField, "'delta' must be a number");
+      return std::nullopt;
+    }
+    req.delta = d->as_double();
+    tuner::validate_sweep_delta(req.delta, diags);
+    if (diags.has_errors()) return std::nullopt;
+  }
+  if (const json::Value* e = doc->find("enum"); e != nullptr) {
+    if (!parse_enum_options(*e, req.enumeration, diags)) return std::nullopt;
+    req.enumeration.validate(diags);
+    if (diags.has_errors()) return std::nullopt;
+  }
+  if (const auto cap =
+          get_int(*doc, "exhaustive_cap", 0, 1 << 20, diags)) {
+    req.exhaustive_cap = static_cast<std::size_t>(*cap);
+  }
+  if (const auto bc = get_int(*doc, "baseline_count", 1, 1 << 20, diags)) {
+    req.baseline_count = static_cast<std::size_t>(*bc);
+  }
+  if (diags.has_errors()) return std::nullopt;
+
+  // Per-kind required fields.
+  switch (req.kind) {
+    case RequestKind::kPredict:
+      if (!req.problem) {
+        diags.error(Code::kSvcMissingField, "'problem' is required");
+      }
+      if (!req.tile) {
+        diags.error(Code::kSvcMissingField, "'tile' is required");
+      }
+      break;
+    case RequestKind::kBestTile:
+    case RequestKind::kCompareStrategies:
+      if (!req.problem) {
+        diags.error(Code::kSvcMissingField, "'problem' is required");
+      }
+      break;
+    case RequestKind::kLint:
+      break;
+  }
+  if (diags.has_errors()) return std::nullopt;
+  return req;
+}
+
+std::string render_result(const std::string& id, RequestKind kind,
+                          const std::string& payload) {
+  std::string out = "{\"v\":" + std::to_string(kProtocolVersion) + ",\"id\":";
+  json::escape_string(out, id);
+  out += ",\"ok\":true,\"kind\":";
+  json::escape_string(out, std::string(to_string(kind)));
+  out += ",\"result\":";
+  out += payload;
+  out += "}";
+  return out;
+}
+
+std::string render_error(const std::string& id,
+                         std::span<const analysis::Diagnostic> diags) {
+  const analysis::Diagnostic* first = nullptr;
+  for (const analysis::Diagnostic& d : diags) {
+    if (d.severity == analysis::Severity::kError) {
+      first = &d;
+      break;
+    }
+  }
+  json::Value arr = json::Value::array();
+  for (const analysis::Diagnostic& d : diags) {
+    json::Value o = json::Value::object();
+    o.set("severity", std::string(analysis::to_string(d.severity)));
+    o.set("code", std::string(analysis::code_name(d.code)));
+    o.set("line", d.line);
+    o.set("message", d.message);
+    arr.push_back(std::move(o));
+  }
+  std::string out = "{\"v\":" + std::to_string(kProtocolVersion) + ",\"id\":";
+  json::escape_string(out, id);
+  out += ",\"ok\":false,\"error\":{\"code\":";
+  json::escape_string(
+      out, first != nullptr ? std::string(analysis::code_name(first->code))
+                            : "SL407");
+  out += ",\"message\":";
+  json::escape_string(out, first != nullptr ? first->message
+                                            : "no error diagnostic recorded");
+  out += "},\"diagnostics\":";
+  out += arr.dump();
+  out += "}";
+  return out;
+}
+
+}  // namespace repro::service

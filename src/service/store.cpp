@@ -1,0 +1,117 @@
+#include "service/store.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "common/json.hpp"
+
+namespace repro::service {
+
+namespace fs = std::filesystem;
+
+std::string fnv1a_hex(std::string_view s) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
+
+ResultStore::ResultStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  // Failure is tolerated; load/save degrade to miss/error below.
+}
+
+std::string ResultStore::path_for(const std::string& key) const {
+  return dir_ + "/" + fnv1a_hex(key) + ".json";
+}
+
+std::optional<std::string> ResultStore::load(const std::string& key) {
+  std::ifstream in(path_for(key), std::ios::binary);
+  if (!in) {
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    ++counters_.misses;
+    ++counters_.errors;
+    return std::nullopt;
+  }
+
+  const std::optional<json::Value> doc = json::parse(buf.str());
+  if (!doc || !doc->is_object()) {
+    ++counters_.misses;
+    ++counters_.errors;
+    return std::nullopt;
+  }
+  const json::Value* version = doc->find("store_version");
+  const json::Value* stored_key = doc->find("key");
+  const json::Value* payload = doc->find("payload");
+  if (version == nullptr || !version->is_int() ||
+      version->as_int() != kStoreVersion || stored_key == nullptr ||
+      !stored_key->is_string() || payload == nullptr ||
+      !payload->is_string()) {
+    ++counters_.misses;
+    ++counters_.errors;
+    return std::nullopt;
+  }
+  // Hash collisions and hand-edited entries alike: the full key must
+  // match, or the entry is somebody else's answer.
+  if (stored_key->as_string() != key) {
+    ++counters_.misses;
+    ++counters_.errors;
+    return std::nullopt;
+  }
+  ++counters_.hits;
+  return payload->as_string();
+}
+
+bool ResultStore::save(const std::string& key, const std::string& payload) {
+  const std::string path = path_for(key);
+  const std::string tmp = path + ".tmp";
+
+  std::string body = "{\"store_version\":" + std::to_string(kStoreVersion) +
+                     ",\"key\":";
+  json::escape_string(body, key);
+  body += ",\"payload\":";
+  json::escape_string(body, payload);
+  body += "}\n";
+
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      ++counters_.errors;
+      return false;
+    }
+    out << body;
+    out.flush();
+    if (!out.good()) {
+      ++counters_.errors;
+      out.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ++counters_.errors;
+    std::remove(tmp.c_str());
+    return false;
+  }
+  ++counters_.writes;
+  return true;
+}
+
+}  // namespace repro::service

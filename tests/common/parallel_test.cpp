@@ -3,10 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdlib>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace repro {
@@ -137,6 +141,59 @@ TEST(ParallelReduce, SumMatchesSerialAtAnyJobCount) {
         },
         [](long long a, long long b) { return a + b; });
     EXPECT_EQ(got, expected) << "jobs=" << jobs;
+  }
+}
+
+TEST(BoundedTaskQueue, RunsEveryAcceptedTask) {
+  std::atomic<int> ran{0};
+  {
+    BoundedTaskQueue q(2, 8);
+    EXPECT_EQ(q.workers(), 2);
+    EXPECT_EQ(q.depth(), 8u);
+    for (int i = 0; i < 20; ++i) {
+      while (!q.try_submit([&] { ran.fetch_add(1); },
+                           std::chrono::milliseconds(100))) {
+      }
+    }
+  }  // destructor drains the queue
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(BoundedTaskQueue, RejectsWhenFullInsteadOfBlocking) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  BoundedTaskQueue q(1, 1);
+  // Occupy the single worker...
+  ASSERT_TRUE(q.try_submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  }));
+  // ...then fill the single pending slot. The worker may briefly hold
+  // the first task before blocking, so allow a short retry window.
+  bool filled = false;
+  for (int i = 0; i < 100 && !filled; ++i) {
+    filled = q.pending() == 1 ||
+             q.try_submit([] {}, std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(filled);
+  // A zero-wait submit against a full queue must fail immediately.
+  EXPECT_FALSE(q.try_submit([] {}));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+}
+
+TEST(BoundedTaskQueue, DepthZeroIsClampedToOne) {
+  BoundedTaskQueue q(1, 0);
+  EXPECT_EQ(q.depth(), 1u);
+  std::atomic<bool> ran{false};
+  ASSERT_TRUE(
+      q.try_submit([&] { ran = true; }, std::chrono::milliseconds(100)));
+  while (!ran.load()) {
+    std::this_thread::yield();
   }
 }
 

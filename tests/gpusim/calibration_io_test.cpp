@@ -101,6 +101,108 @@ TEST(CalibrationIo, CommentsAndBlankLinesIgnored) {
   std::remove(temp_path().c_str());
 }
 
+// --- Structured error paths (the diagnostic-collecting form) ---------
+// A corrupt calibration cache must produce SL41x diagnostics, never a
+// crash and never a silently defaulted calibration.
+
+TEST(CalibrationIoDiagnostics, UnopenableFileIsSL411) {
+  analysis::DiagnosticEngine diags;
+  EXPECT_EQ(load_calibration("/nonexistent/cal.txt", diags), std::nullopt);
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_TRUE(diags.has_code(analysis::Code::kCalibIo));
+}
+
+TEST(CalibrationIoDiagnostics, UnknownKeyIsSL414NotSilentlyIgnored) {
+  const model::ModelInputs in = calibrate_model(
+      gtx980(), stencil::get_stencil(stencil::StencilKind::kHeat2D));
+  save_calibration(temp_path(), in);
+  {
+    std::ofstream out(temp_path(), std::ios::app);
+    out << "hw.n_smm 16\n";  // typo'd key
+  }
+  analysis::DiagnosticEngine diags;
+  EXPECT_EQ(load_calibration(temp_path(), diags), std::nullopt);
+  EXPECT_TRUE(diags.has_code(analysis::Code::kCalibUnknownKey));
+  std::remove(temp_path().c_str());
+}
+
+TEST(CalibrationIoDiagnostics, TruncatedFileReportsEveryMissingKey) {
+  const model::ModelInputs in = calibrate_model(
+      gtx980(), stencil::get_stencil(stencil::StencilKind::kHeat2D));
+  save_calibration(temp_path(), in);
+  {
+    // Keep only the first three lines (version + two keys).
+    std::ifstream f(temp_path());
+    std::string head, line;
+    for (int i = 0; i < 3 && std::getline(f, line); ++i) {
+      head += line + "\n";
+    }
+    f.close();
+    std::ofstream out(temp_path(), std::ios::trunc);
+    out << head;
+  }
+  analysis::DiagnosticEngine diags;
+  EXPECT_EQ(load_calibration(temp_path(), diags), std::nullopt);
+  EXPECT_TRUE(diags.has_code(analysis::Code::kCalibMissingKey));
+  // A truncated file is missing many keys; all are reported at once.
+  EXPECT_GT(diags.count(analysis::Severity::kError), 1u);
+  std::remove(temp_path().c_str());
+}
+
+TEST(CalibrationIoDiagnostics, UnparsableValueIsSL412WithLineNumber) {
+  const model::ModelInputs in = calibrate_model(
+      gtx980(), stencil::get_stencil(stencil::StencilKind::kHeat2D));
+  save_calibration(temp_path(), in);
+  std::string rest;
+  {
+    std::ifstream f(temp_path());
+    std::string line;
+    std::getline(f, line);  // drop "version 1"
+    while (std::getline(f, line)) {
+      if (line.rfind("hw.n_sm ", 0) == 0) continue;  // replaced below
+      rest += line + "\n";
+    }
+  }
+  {
+    std::ofstream out(temp_path(), std::ios::trunc);
+    out << "version 1\nhw.n_sm 16abc\n" << rest;
+  }
+  analysis::DiagnosticEngine diags;
+  EXPECT_EQ(load_calibration(temp_path(), diags), std::nullopt);
+  ASSERT_TRUE(diags.has_code(analysis::Code::kCalibMalformed));
+  for (const analysis::Diagnostic& d : diags.diagnostics()) {
+    if (d.code == analysis::Code::kCalibMalformed) {
+      EXPECT_EQ(d.line, 2);  // 1-based: the corrupted line
+    }
+  }
+  std::remove(temp_path().c_str());
+}
+
+TEST(CalibrationIoDiagnostics, VersionMismatchIsSL415) {
+  {
+    std::ofstream out(temp_path(), std::ios::trunc);
+    out << "version 999\n";
+  }
+  analysis::DiagnosticEngine diags;
+  EXPECT_EQ(load_calibration(temp_path(), diags), std::nullopt);
+  EXPECT_TRUE(diags.has_code(analysis::Code::kCalibVersion));
+  std::remove(temp_path().c_str());
+}
+
+TEST(CalibrationIoDiagnostics, ThrowingFormCarriesTheCode) {
+  {
+    std::ofstream out(temp_path(), std::ios::trunc);
+    out << "version 999\n";
+  }
+  try {
+    load_calibration(temp_path());
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("SL415"), std::string::npos);
+  }
+  std::remove(temp_path().c_str());
+}
+
 TEST(ParametricVariant, ScalesInstructionCostsAndKillsSpills) {
   const DeviceParams base = gtx980();
   const DeviceParams par = parametric_codegen_variant(base, 0.15);

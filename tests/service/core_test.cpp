@@ -1,0 +1,246 @@
+#include "service/core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "stencil/stencil.hpp"
+
+namespace repro::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kPredict =
+    R"({"v":1,"id":"p1","kind":"predict","stencil":"Heat2D",)"
+    R"("problem":{"S":[512,512],"T":64},"tile":{"tT":6,"tS1":8,"tS2":160},)"
+    R"("threads":{"n1":32,"n2":4}})";
+
+constexpr const char* kBestTile =
+    R"({"v":1,"id":"b1","kind":"best_tile","stencil":"Heat2D",)"
+    R"("problem":{"S":[512,512],"T":64},)"
+    R"("enum":{"tT_max":8,"tS1_max":12,"tS2_max":192}})";
+
+constexpr const char* kLint =
+    R"({"v":1,"id":"l1","kind":"lint","stencil":"Heat2D",)"
+    R"("problem":{"S":[512,512],"T":64},"tile":{"tT":6,"tS1":8,"tS2":160}})";
+
+std::string predict_with_tT(int tT, const std::string& id) {
+  return R"({"v":1,"id":")" + id +
+         R"(","kind":"predict","stencil":"Heat2D",)"
+         R"("problem":{"S":[512,512],"T":64},"tile":{"tT":)" +
+         std::to_string(tT) + R"(,"tS1":8,"tS2":160},)"
+         R"("threads":{"n1":32,"n2":4}})";
+}
+
+class CoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_dir_ = fs::temp_directory_path() / "repro_core_test_store";
+    fs::remove_all(store_dir_);
+  }
+  void TearDown() override { fs::remove_all(store_dir_); }
+
+  fs::path store_dir_;
+};
+
+// The central determinism pin: a cold computation, a warm-store hit
+// from a brand-new core, and a direct tuner::Session computation all
+// serve byte-identical responses.
+TEST_F(CoreTest, ColdWarmAndDirectSessionAreByteIdentical) {
+  const std::vector<std::string> lines = {kPredict, kBestTile, kLint};
+
+  std::vector<std::string> cold;
+  {
+    ServiceCore core(ServiceOptions{}.with_store_dir(store_dir_.string()));
+    for (const std::string& line : lines) cold.push_back(core.handle(line));
+    const ServiceStats s = core.stats();
+    EXPECT_EQ(s.computed, lines.size());
+    EXPECT_EQ(s.store_writes, lines.size());
+    EXPECT_EQ(s.store_hits, 0u);
+    EXPECT_EQ(s.errors, 0u);
+  }
+
+  // Warm: a NEW core over the same store directory never recomputes.
+  {
+    ServiceCore core(ServiceOptions{}.with_store_dir(store_dir_.string()));
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      EXPECT_EQ(core.handle(lines[i]), cold[i]);
+    }
+    const ServiceStats s = core.stats();
+    EXPECT_EQ(s.computed, 0u);
+    EXPECT_EQ(s.store_hits, lines.size());
+  }
+
+  // Direct: compute_payload against a fresh Session, no service stack.
+  analysis::DiagnosticEngine diags;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    diags.clear();
+    const auto req = parse_request(lines[i], diags);
+    ASSERT_TRUE(req);
+    std::unique_ptr<tuner::Session> session;
+    if (req->kind != RequestKind::kLint) {
+      session = std::make_unique<tuner::Session>(
+          gpusim::device_by_name(req->device), req->def, *req->problem,
+          tuner::SessionOptions{}.with_jobs(1));
+    }
+    EXPECT_EQ(render_result(req->id, req->kind,
+                            compute_payload(*req, session.get())),
+              cold[i]);
+  }
+}
+
+TEST_F(CoreTest, RepeatedRequestsRecomputeIdenticallyWithoutStore) {
+  ServiceCore core{ServiceOptions{}};  // no store, serial traffic
+  const std::string first = core.handle(kPredict);
+  const std::string second = core.handle(kPredict);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(core.stats().computed, 2u);  // no store, no coalescing window
+}
+
+TEST_F(CoreTest, ParseErrorsProduceStructuredResponses) {
+  ServiceCore core{ServiceOptions{}};
+  const std::string bad = core.handle("{broken");
+  EXPECT_NE(bad.find(R"("ok":false)"), std::string::npos);
+  EXPECT_NE(bad.find("SL401"), std::string::npos);
+  const std::string unknown =
+      core.handle(R"({"v":1,"id":"x","kind":"nope","stencil":"Heat2D"})");
+  EXPECT_NE(unknown.find(R"("id":"x")"), std::string::npos);
+  EXPECT_NE(unknown.find("SL403"), std::string::npos);
+  EXPECT_EQ(core.stats().errors, 2u);
+  EXPECT_EQ(core.stats().computed, 0u);
+}
+
+// Concurrent identical requests coalesce onto one computation and all
+// receive the same bytes.
+TEST_F(CoreTest, ConcurrentIdenticalRequestsCoalesce) {
+  ServiceCore core(ServiceOptions{}.with_workers(2));
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  core.set_compute_hook([&] {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return release; });
+  });
+
+  constexpr int kClients = 4;
+  std::vector<std::string> responses(kClients);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back(
+        [&core, &responses, i] { responses[static_cast<std::size_t>(i)] = core.handle(kPredict); });
+  }
+
+  // Wait until every non-leader joined the in-flight computation,
+  // then let the single compute proceed.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (core.stats().coalesced < kClients - 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(core.stats().coalesced, static_cast<std::uint64_t>(kClients - 1));
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    release = true;
+  }
+  cv.notify_all();
+  for (std::thread& t : threads) t.join();
+
+  const ServiceStats s = core.stats();
+  EXPECT_EQ(s.computed, 1u);  // singleflight: one computation, N answers
+  EXPECT_EQ(s.errors, 0u);
+  for (int i = 1; i < kClients; ++i) {
+    EXPECT_EQ(responses[static_cast<std::size_t>(i)], responses[0]);
+  }
+}
+
+// Admission control: with the queue full, a new request fails fast
+// with a structured SL406 error instead of blocking forever.
+TEST_F(CoreTest, FullQueueReturnsStructuredOverloadError) {
+  ServiceCore core(
+      ServiceOptions{}.with_workers(1).with_queue_depth(1));
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> entered{0};
+  core.set_compute_hook([&] {
+    entered.fetch_add(1);
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return release; });
+  });
+
+  // r1 occupies the single worker (blocked in the hook); r2 fills the
+  // depth-1 queue.
+  std::thread t1([&core] { core.handle(predict_with_tT(4, "r1")); });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (entered.load() < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(entered.load(), 1);
+  std::thread t2([&core] { core.handle(predict_with_tT(6, "r2")); });
+  // Give r2 time to land in the queue before probing.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  // r3 must be rejected immediately with SL406, while the daemon is
+  // still busy.
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::string rejected = core.handle(predict_with_tT(8, "r3"));
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_NE(rejected.find(R"("ok":false)"), std::string::npos);
+  EXPECT_NE(rejected.find("SL406"), std::string::npos);
+  EXPECT_NE(rejected.find(R"("id":"r3")"), std::string::npos);
+  EXPECT_LT(elapsed, 5.0);  // fail-fast, not blocked behind the queue
+
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    release = true;
+  }
+  cv.notify_all();
+  t1.join();
+  t2.join();
+
+  const ServiceStats s = core.stats();
+  EXPECT_EQ(s.overloaded, 1u);
+  EXPECT_EQ(s.computed, 2u);  // r1 and r2 still completed
+}
+
+TEST_F(CoreTest, StatsJsonIsValidAndComplete) {
+  ServiceCore core(ServiceOptions{}.with_store_dir(store_dir_.string()));
+  core.handle(kPredict);
+  core.handle(kPredict);  // store hit
+  const auto doc = json::parse(core.stats_json());
+  ASSERT_TRUE(doc && doc->is_object());
+  EXPECT_EQ(doc->find("requests")->as_int(), 2);
+  EXPECT_EQ(doc->find("computed")->as_int(), 1);
+  EXPECT_EQ(doc->find("store_hits")->as_int(), 1);
+  EXPECT_EQ(doc->find("kinds")->find("predict")->as_int(), 2);
+  EXPECT_TRUE(doc->find("latency_seconds")->is_number());
+}
+
+TEST_F(CoreTest, InternalFailuresBecomeSL407) {
+  ServiceCore core{ServiceOptions{}};
+  core.set_compute_hook([] { throw std::runtime_error("injected failure"); });
+  const std::string out = core.handle(kPredict);
+  EXPECT_NE(out.find(R"("ok":false)"), std::string::npos);
+  EXPECT_NE(out.find("SL407"), std::string::npos);
+  EXPECT_NE(out.find("injected failure"), std::string::npos);
+  EXPECT_EQ(core.stats().errors, 1u);
+}
+
+}  // namespace
+}  // namespace repro::service

@@ -1,0 +1,219 @@
+#include "service/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace repro::service {
+namespace {
+
+using analysis::Code;
+using analysis::DiagnosticEngine;
+
+constexpr const char* kPredictLine =
+    R"({"v":1,"id":"r1","kind":"predict","stencil":"Heat2D",)"
+    R"("problem":{"S":[512,512],"T":64},"tile":{"tT":6,"tS1":8,"tS2":160},)"
+    R"("threads":{"n1":32,"n2":4}})";
+
+TEST(Protocol, ParsesPredictRequest) {
+  DiagnosticEngine diags;
+  const auto req = parse_request(kPredictLine, diags);
+  ASSERT_TRUE(req) << analysis::render_human(diags.diagnostics());
+  EXPECT_EQ(req->id, "r1");
+  EXPECT_EQ(req->kind, RequestKind::kPredict);
+  EXPECT_EQ(req->device, "GTX 980");
+  EXPECT_EQ(req->def.name, "Heat2D");
+  ASSERT_TRUE(req->problem);
+  EXPECT_EQ(req->problem->dim, 2);
+  EXPECT_EQ(req->problem->T, 64);
+  ASSERT_TRUE(req->tile);
+  EXPECT_EQ(req->tile->tT, 6);
+  EXPECT_EQ(req->tile->tS2, 160);
+  EXPECT_EQ(req->tile->tS3, 1);  // defaulted
+  ASSERT_TRUE(req->threads);
+  EXPECT_EQ(req->threads->n1, 32);
+}
+
+TEST(Protocol, ParsesInlineDslText) {
+  DiagnosticEngine diags;
+  const auto req = parse_request(
+      R"({"v":1,"kind":"lint","text":)"
+      R"("stencil S {\n dim 1\n tap (0) 0.5\n tap (1) 0.25\n tap (-1) 0.25\n}"})",
+      diags);
+  ASSERT_TRUE(req) << analysis::render_human(diags.diagnostics());
+  EXPECT_EQ(req->def.dim, 1);
+  EXPECT_EQ(req->def.taps.size(), 3u);
+}
+
+TEST(Protocol, InvalidJsonIsSL401) {
+  DiagnosticEngine diags;
+  std::string id;
+  EXPECT_EQ(parse_request("{not json", diags, &id), std::nullopt);
+  EXPECT_TRUE(diags.has_code(Code::kSvcMalformed));
+}
+
+TEST(Protocol, IdIsRecoveredEvenWhenParsingFails) {
+  DiagnosticEngine diags;
+  std::string id;
+  EXPECT_EQ(parse_request(R"({"v":7,"id":"r9","kind":"predict"})", diags, &id),
+            std::nullopt);
+  EXPECT_EQ(id, "r9");
+  EXPECT_TRUE(diags.has_code(Code::kSvcVersion));
+}
+
+TEST(Protocol, UnknownKindIsSL403) {
+  DiagnosticEngine diags;
+  EXPECT_EQ(
+      parse_request(R"({"v":1,"kind":"frobnicate","stencil":"Heat2D"})", diags),
+      std::nullopt);
+  EXPECT_TRUE(diags.has_code(Code::kSvcUnknownKind));
+}
+
+TEST(Protocol, MissingRequiredFieldIsSL404) {
+  DiagnosticEngine diags;
+  EXPECT_EQ(parse_request(R"({"v":1,"kind":"predict","stencil":"Heat2D"})",
+                          diags),
+            std::nullopt);
+  EXPECT_TRUE(diags.has_code(Code::kSvcMissingField));
+}
+
+TEST(Protocol, UnknownFieldIsRejectedNotIgnored) {
+  DiagnosticEngine diags;
+  EXPECT_EQ(parse_request(
+                R"({"v":1,"kind":"best_tile","stencil":"Heat2D",)"
+                R"("problem":{"S":[512,512],"T":64},"detla":0.2})",  // typo
+                diags),
+            std::nullopt);
+  EXPECT_TRUE(diags.has_code(Code::kSvcBadField));
+}
+
+TEST(Protocol, UnknownDeviceAndStencilAreSL405) {
+  DiagnosticEngine diags;
+  EXPECT_EQ(parse_request(
+                R"({"v":1,"kind":"lint","device":"GTX 9999","stencil":"Heat2D"})",
+                diags),
+            std::nullopt);
+  EXPECT_TRUE(diags.has_code(Code::kSvcBadField));
+  diags.clear();
+  EXPECT_EQ(
+      parse_request(R"({"v":1,"kind":"lint","stencil":"NoSuchStencil"})",
+                    diags),
+      std::nullopt);
+  EXPECT_TRUE(diags.has_code(Code::kSvcBadField));
+}
+
+TEST(Protocol, ProblemDimMustMatchStencilDim) {
+  DiagnosticEngine diags;
+  EXPECT_EQ(parse_request(
+                R"({"v":1,"kind":"best_tile","stencil":"Heat2D",)"
+                R"("problem":{"S":[512],"T":64}})",
+                diags),
+            std::nullopt);
+  EXPECT_TRUE(diags.has_code(Code::kSvcBadField));
+}
+
+TEST(Protocol, StencilAndTextAreMutuallyExclusive) {
+  DiagnosticEngine diags;
+  EXPECT_EQ(parse_request(
+                R"({"v":1,"kind":"lint","stencil":"Heat2D","text":"x"})",
+                diags),
+            std::nullopt);
+  EXPECT_TRUE(diags.has_code(Code::kSvcMissingField));
+  diags.clear();
+  EXPECT_EQ(parse_request(R"({"v":1,"kind":"lint"})", diags), std::nullopt);
+  EXPECT_TRUE(diags.has_code(Code::kSvcMissingField));
+}
+
+TEST(Protocol, BadEnumOptionsSurfaceTunerDiagnostics) {
+  DiagnosticEngine diags;
+  EXPECT_EQ(parse_request(
+                R"({"v":1,"kind":"best_tile","stencil":"Heat2D",)"
+                R"("problem":{"S":[512,512],"T":64},"enum":{"tT_max":"wide"}})",
+                diags),
+            std::nullopt);
+  EXPECT_TRUE(diags.has_code(Code::kSvcBadField));
+}
+
+// --- Canonical keys ---------------------------------------------------
+
+TEST(CanonicalKey, IgnoresIdAndFieldOrder) {
+  DiagnosticEngine diags;
+  const auto a = parse_request(kPredictLine, diags);
+  const auto b = parse_request(
+      R"({"kind":"predict","tile":{"tS2":160,"tS1":8,"tT":6},)"
+      R"("problem":{"T":64,"S":[512,512]},"stencil":"Heat2D",)"
+      R"("threads":{"n2":4,"n1":32},"id":"totally-different","v":1})",
+      diags);
+  ASSERT_TRUE(a && b) << analysis::render_human(diags.diagnostics());
+  EXPECT_EQ(a->canonical_key(), b->canonical_key());
+}
+
+TEST(CanonicalKey, DistinguishesEveryRelevantField) {
+  DiagnosticEngine diags;
+  const auto base = parse_request(kPredictLine, diags);
+  ASSERT_TRUE(base);
+  const char* variants[] = {
+      // different tile
+      R"({"v":1,"kind":"predict","stencil":"Heat2D",)"
+      R"("problem":{"S":[512,512],"T":64},"tile":{"tT":8,"tS1":8,"tS2":160},)"
+      R"("threads":{"n1":32,"n2":4}})",
+      // different problem
+      R"({"v":1,"kind":"predict","stencil":"Heat2D",)"
+      R"("problem":{"S":[512,512],"T":128},"tile":{"tT":6,"tS1":8,"tS2":160},)"
+      R"("threads":{"n1":32,"n2":4}})",
+      // different device
+      R"({"v":1,"kind":"predict","device":"Titan X","stencil":"Heat2D",)"
+      R"("problem":{"S":[512,512],"T":64},"tile":{"tT":6,"tS1":8,"tS2":160},)"
+      R"("threads":{"n1":32,"n2":4}})",
+      // no threads
+      R"({"v":1,"kind":"predict","stencil":"Heat2D",)"
+      R"("problem":{"S":[512,512],"T":64},"tile":{"tT":6,"tS1":8,"tS2":160}})",
+  };
+  for (const char* line : variants) {
+    diags.clear();
+    const auto other = parse_request(line, diags);
+    ASSERT_TRUE(other) << line << "\n"
+                       << analysis::render_human(diags.diagnostics());
+    EXPECT_NE(base->canonical_key(), other->canonical_key()) << line;
+  }
+}
+
+TEST(CanonicalKey, BestTileKeyTracksTuningOptions) {
+  DiagnosticEngine diags;
+  const auto a = parse_request(
+      R"({"v":1,"kind":"best_tile","stencil":"Heat2D",)"
+      R"("problem":{"S":[512,512],"T":64},"delta":0.1})",
+      diags);
+  const auto b = parse_request(
+      R"({"v":1,"kind":"best_tile","stencil":"Heat2D",)"
+      R"("problem":{"S":[512,512],"T":64},"delta":0.2})",
+      diags);
+  ASSERT_TRUE(a && b);
+  EXPECT_NE(a->canonical_key(), b->canonical_key());
+}
+
+// --- Rendering --------------------------------------------------------
+
+TEST(Render, ResultSplicesPayloadVerbatim) {
+  const std::string payload = R"({"feasible":true,"talg":0.25})";
+  EXPECT_EQ(render_result("r1", RequestKind::kPredict, payload),
+            R"({"v":1,"id":"r1","ok":true,"kind":"predict","result":)" +
+                payload + "}");
+}
+
+TEST(Render, ErrorCarriesFirstErrorCodeAndAllDiagnostics) {
+  analysis::DiagnosticEngine diags;
+  diags.warn(Code::kSvcBadField, "just a warning");
+  diags.error(Code::kSvcMissingField, "'problem' is required");
+  diags.error(Code::kSvcBadField, "second error");
+  const std::string out = render_error("r2", diags.diagnostics());
+  EXPECT_NE(out.find(R"("ok":false)"), std::string::npos);
+  EXPECT_NE(out.find(R"("code":"SL404")"), std::string::npos);
+  EXPECT_NE(out.find("just a warning"), std::string::npos);
+  EXPECT_NE(out.find("second error"), std::string::npos);
+  // The envelope itself is valid JSON.
+  EXPECT_TRUE(json::parse(out).has_value());
+}
+
+}  // namespace
+}  // namespace repro::service

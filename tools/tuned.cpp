@@ -1,0 +1,291 @@
+// tuned — the persistent autotuning daemon and its client.
+//
+//   tuned serve [--store=DIR] [--socket=PATH] [--workers=N]
+//               [--queue-depth=N] [--submit-wait-ms=MS] [--no-coalesce]
+//               [--session-jobs=N]
+//     Serves newline-delimited JSON requests (service/protocol.hpp).
+//     Default transport is stdin/stdout (one response line per request
+//     line); with --socket it listens on a Unix domain socket and
+//     serves each connection on its own thread. On shutdown (stdin
+//     EOF, SIGINT or SIGTERM) a one-line JSON stats summary —
+//     request, coalescing, store hit-rate and latency counters — is
+//     printed to stderr.
+//
+//   tuned client --socket=PATH
+//     Pumps stdin request lines to a serving daemon and prints the
+//     response lines.
+//
+//   tuned once --request='<json>'   (or one request line on stdin)
+//     Computes a single request in-process with a direct
+//     tuner::Session — no queue, no store — and prints the response
+//     line. Exits 0 on an ok response, 1 on an error response. The CI
+//     smoke job byte-compares this against daemon output.
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/cli.hpp"
+#include "gpusim/device.hpp"
+#include "service/core.hpp"
+#include "service/protocol.hpp"
+
+namespace {
+
+using namespace repro;  // NOLINT
+
+volatile std::sig_atomic_t g_stop = 0;
+int g_listen_fd = -1;
+
+void on_signal(int) {
+  g_stop = 1;
+  if (g_listen_fd >= 0) {
+    // Unblock accept(); serving connections finish their line.
+    ::shutdown(g_listen_fd, SHUT_RDWR);
+    ::close(g_listen_fd);
+    g_listen_fd = -1;
+  }
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " serve|client|once [options]\n"
+            << "  serve  [--store=DIR] [--socket=PATH] [--workers=N]\n"
+            << "         [--queue-depth=N] [--submit-wait-ms=MS]\n"
+            << "         [--no-coalesce] [--session-jobs=N]\n"
+            << "  client --socket=PATH\n"
+            << "  once   [--request='<json>']\n";
+  return 2;
+}
+
+bool check_options(const CliArgs& args,
+                   const std::vector<std::string>& allowed) {
+  bool ok = true;
+  for (const std::string& k : args.keys()) {
+    bool known = false;
+    for (const std::string& a : allowed) known = known || k == a;
+    if (!known) {
+      std::cerr << "error: unknown option --" << k << "\n";
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+// Incremental line reader over a socket fd.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  bool next(std::string& line) {
+    for (;;) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n <= 0) {
+        if (!buf_.empty()) {  // final unterminated line
+          line = std::move(buf_);
+          buf_.clear();
+          return true;
+        }
+        return false;
+      }
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buf_;
+};
+
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+service::ServiceOptions serve_options(const CliArgs& args) {
+  service::ServiceOptions opt;
+  opt.workers = static_cast<int>(args.get_int_or("workers", 2));
+  opt.queue_depth =
+      static_cast<std::size_t>(args.get_int_or("queue-depth", 16));
+  opt.submit_wait_ms =
+      static_cast<int>(args.get_int_or("submit-wait-ms", 0));
+  opt.coalesce = !args.has_flag("no-coalesce");
+  opt.session_jobs = static_cast<int>(args.get_int_or("session-jobs", 1));
+  opt.store_dir = args.get_or("store", "");
+  return opt;
+}
+
+void serve_connection(service::ServiceCore& core, int fd) {
+  LineReader reader(fd);
+  std::string line;
+  while (reader.next(line)) {
+    if (line.empty()) continue;
+    if (!write_all(fd, core.handle(line) + "\n")) break;
+  }
+  ::close(fd);
+}
+
+int serve_socket(service::ServiceCore& core, const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::cerr << "error: socket(): " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    std::cerr << "error: socket path too long: " << path << "\n";
+    ::close(fd);
+    return 1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 64) != 0) {
+    std::cerr << "error: bind/listen " << path << ": "
+              << std::strerror(errno) << "\n";
+    ::close(fd);
+    return 1;
+  }
+  g_listen_fd = fd;
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  std::vector<std::thread> conns;
+  while (g_stop == 0) {
+    const int cfd = ::accept(fd, nullptr, nullptr);
+    if (cfd < 0) break;  // listener closed by the signal handler
+    conns.emplace_back([&core, cfd] { serve_connection(core, cfd); });
+  }
+  for (std::thread& t : conns) t.join();
+  if (g_listen_fd >= 0) {
+    ::close(g_listen_fd);
+    g_listen_fd = -1;
+  }
+  ::unlink(path.c_str());
+  return 0;
+}
+
+int cmd_serve(const CliArgs& args) {
+  if (!check_options(args, {"socket", "store", "workers", "queue-depth",
+                            "submit-wait-ms", "no-coalesce",
+                            "session-jobs"})) {
+    return 2;
+  }
+  service::ServiceCore core(serve_options(args));
+  int rc = 0;
+  if (const std::optional<std::string> sock = args.get("socket")) {
+    rc = serve_socket(core, *sock);
+  } else {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      std::cout << core.handle(line) << "\n" << std::flush;
+    }
+  }
+  std::cerr << core.stats_json() << "\n";
+  return rc;
+}
+
+int cmd_client(const CliArgs& args) {
+  if (!check_options(args, {"socket"})) return 2;
+  const std::optional<std::string> path = args.get("socket");
+  if (!path) {
+    std::cerr << "error: client requires --socket=PATH\n";
+    return 2;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (fd < 0 || path->size() >= sizeof addr.sun_path) {
+    std::cerr << "error: bad socket path\n";
+    if (fd >= 0) ::close(fd);
+    return 1;
+  }
+  std::memcpy(addr.sun_path, path->c_str(), path->size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    std::cerr << "error: connect " << *path << ": " << std::strerror(errno)
+              << "\n";
+    ::close(fd);
+    return 1;
+  }
+  LineReader reader(fd);
+  std::string line;
+  std::string response;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (!write_all(fd, line + "\n") || !reader.next(response)) {
+      std::cerr << "error: connection closed by daemon\n";
+      ::close(fd);
+      return 1;
+    }
+    std::cout << response << "\n" << std::flush;
+  }
+  ::close(fd);
+  return 0;
+}
+
+int cmd_once(const CliArgs& args) {
+  if (!check_options(args, {"request"})) return 2;
+  std::string line = args.get_or("request", "");
+  if (line.empty() && !std::getline(std::cin, line)) {
+    std::cerr << "error: once needs --request='<json>' or a request line "
+                 "on stdin\n";
+    return 2;
+  }
+
+  analysis::DiagnosticEngine diags;
+  std::string id;
+  const std::optional<service::Request> req =
+      service::parse_request(line, diags, &id);
+  if (!req) {
+    std::cout << service::render_error(id, diags.diagnostics()) << "\n";
+    return 1;
+  }
+  try {
+    std::unique_ptr<tuner::Session> session;
+    if (req->kind != service::RequestKind::kLint) {
+      session = std::make_unique<tuner::Session>(
+          gpusim::device_by_name(req->device), req->def, *req->problem,
+          tuner::SessionOptions{}.with_jobs(1));
+    }
+    const std::string payload =
+        service::compute_payload(*req, session.get());
+    std::cout << service::render_result(req->id, req->kind, payload) << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    diags.error(analysis::Code::kSvcInternal,
+                std::string("computation failed: ") + e.what());
+    std::cout << service::render_error(req->id, diags.diagnostics()) << "\n";
+    return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string mode = argv[1];
+  const CliArgs args(argc - 1, argv + 1, {"no-coalesce"});
+  if (mode == "serve") return cmd_serve(args);
+  if (mode == "client") return cmd_client(args);
+  if (mode == "once") return cmd_once(args);
+  return usage(argv[0]);
+}
