@@ -11,6 +11,7 @@
 #include <iostream>
 #include <vector>
 
+#include "analysis/diagnostics.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "gpusim/microbench.hpp"
@@ -44,6 +45,15 @@ int main(int argc, char** argv) {
 
   // Feasible space and model sweep (runs on the session's pool).
   tuner::Session session(tuner::TuningContext::with_inputs(dev, def, p, in));
+
+  // Surface audit findings (SL5xx) before tuning. The audit is purely
+  // advisory: it never changes which configurations are swept or
+  // recommended below.
+  if (const auto findings = session.audit(); !findings.empty()) {
+    std::cout << "audit findings:\n"
+              << analysis::render_human(findings, def.name);
+    std::cout << "\n";
+  }
   tuner::EnumOptions opt;
   if (def.dim == 3) {
     opt.with_tS2_step(8).with_tS2_max(64).with_tS1_max(16);

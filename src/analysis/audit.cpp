@@ -1,0 +1,261 @@
+#include "analysis/audit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "analysis/lint.hpp"
+#include "stencil/parser.hpp"
+
+namespace repro::analysis {
+
+namespace {
+
+std::string num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool audit_device(const gpusim::DeviceParams& dev,
+                  DiagnosticEngine& diags) {
+  const std::size_t errors_before = diags.count(Severity::kError);
+  const std::string who =
+      dev.name.empty() ? std::string("device") : "device '" + dev.name + "'";
+  const auto bad = [&](const std::string& what, const std::string& hint) {
+    diags.add({Severity::kError, Code::kAuditDeviceInvariant,
+               who + ": " + what, 0, hint});
+  };
+
+  if (dev.n_sm < 1) {
+    bad("n_sm = " + std::to_string(dev.n_sm) + " (needs >= 1 SM)",
+        "set n_sm to the physical multiprocessor count");
+  }
+  if (dev.n_v < 1) {
+    bad("n_v = " + std::to_string(dev.n_v) + " vector lanes per SM",
+        "set n_v to the CUDA cores per SM");
+  }
+  if (dev.regs_per_sm < 1) {
+    bad("regs_per_sm = " + std::to_string(dev.regs_per_sm),
+        "set the per-SM register file size (R_SM)");
+  }
+  if (dev.shared_bytes_per_sm < 1) {
+    bad("shared_bytes_per_sm = " + std::to_string(dev.shared_bytes_per_sm),
+        "set the per-SM shared memory (M_SM) in bytes");
+  }
+  if (dev.max_shared_bytes_per_block < 1 ||
+      dev.max_shared_bytes_per_block > dev.shared_bytes_per_sm) {
+    bad("max_shared_bytes_per_block = " +
+            std::to_string(dev.max_shared_bytes_per_block) +
+            " must lie in [1, shared_bytes_per_sm = " +
+            std::to_string(dev.shared_bytes_per_sm) +
+            "] — a block cannot use more shared memory than its SM has",
+        "fix whichever of the two fields is mistyped");
+  }
+  if (dev.max_tb_per_sm < 1) {
+    bad("max_tb_per_sm = " + std::to_string(dev.max_tb_per_sm),
+        "set the per-SM thread-block limit (MTB_SM)");
+  }
+  if (dev.shared_banks < 1) {
+    bad("shared_banks = " + std::to_string(dev.shared_banks),
+        "set the shared-memory bank count (32 on every modern GPU)");
+  }
+  if (dev.max_threads_per_block < 1 ||
+      dev.max_threads_per_block > dev.max_threads_per_sm) {
+    bad("max_threads_per_block = " +
+            std::to_string(dev.max_threads_per_block) +
+            " must lie in [1, max_threads_per_sm = " +
+            std::to_string(dev.max_threads_per_sm) + "]",
+        "fix whichever of the two fields is mistyped");
+  }
+  if (dev.max_regs_per_thread < 1) {
+    bad("max_regs_per_thread = " + std::to_string(dev.max_regs_per_thread),
+        "set the architectural per-thread register cap (255)");
+  }
+  if (!std::isfinite(dev.clock_hz) || dev.clock_hz <= 0.0) {
+    bad("clock_hz = " + num(dev.clock_hz) + " (needs a finite rate > 0)",
+        "set the SM clock in Hz");
+  }
+  if (!std::isfinite(dev.mem_bandwidth_bps) ||
+      dev.mem_bandwidth_bps <= 0.0) {
+    bad("mem_bandwidth_bps = " + num(dev.mem_bandwidth_bps) +
+            " (needs a finite rate > 0)",
+        "set the effective global-memory bandwidth in bytes/s");
+  }
+  if (!std::isfinite(dev.warps_for_full_issue) ||
+      dev.warps_for_full_issue <= 0.0) {
+    bad("warps_for_full_issue = " + num(dev.warps_for_full_issue),
+        "set the resident-warp count that saturates the issue pipeline");
+  }
+  if (!std::isfinite(dev.latency_stall_factor) ||
+      dev.latency_stall_factor < 0.0) {
+    bad("latency_stall_factor = " + num(dev.latency_stall_factor),
+        "set a non-negative stall inflation factor");
+  }
+  if (!std::isfinite(dev.coalesce_words) || dev.coalesce_words < 1.0) {
+    bad("coalesce_words = " + num(dev.coalesce_words),
+        "set the contiguous-run length that reaches peak bandwidth");
+  }
+  const std::pair<const char*, double> non_negative[] = {
+      {"mem_latency_s", dev.mem_latency_s},
+      {"kernel_launch_s", dev.kernel_launch_s},
+      {"block_sched_s", dev.block_sched_s},
+      {"sync_cycles", dev.sync_cycles},
+      {"spill_cycles_per_reg", dev.spill_cycles_per_reg},
+      {"jitter_amplitude", dev.jitter_amplitude}};
+  for (const auto& [field, value] : non_negative) {
+    if (!std::isfinite(value) || value < 0.0) {
+      bad(std::string(field) + " = " + num(value) +
+              " (needs a finite value >= 0)",
+          "fix the descriptor field");
+    }
+  }
+  return diags.count(Severity::kError) == errors_before;
+}
+
+bool audit_calibration(const model::ModelInputs& in,
+                       DiagnosticEngine& diags) {
+  const std::size_t errors_before = diags.count(Severity::kError);
+  const auto bad = [&](const std::string& what, const std::string& hint) {
+    diags.add({Severity::kError, Code::kAuditDeviceInvariant,
+               "calibration: " + what, 0, hint});
+  };
+  const auto suspect = [&](const std::string& what,
+                           const std::string& hint) {
+    diags.add({Severity::kWarning, Code::kAuditCalibrationSuspect,
+               "calibration: " + what, 0, hint});
+  };
+
+  // Hard invariants of the model-visible hardware subset.
+  if (in.hw.n_sm < 1) {
+    bad("n_sm = " + std::to_string(in.hw.n_sm), "set n_sm >= 1");
+  }
+  if (in.hw.n_v < 1) {
+    bad("n_v = " + std::to_string(in.hw.n_v), "set n_v >= 1");
+  }
+  if (in.hw.shared_words_per_sm < 1) {
+    bad("shared_words_per_sm = " +
+            std::to_string(in.hw.shared_words_per_sm),
+        "set M_SM in 4-byte words");
+  }
+  if (in.hw.max_shared_words_per_block < 1 ||
+      in.hw.max_shared_words_per_block > in.hw.shared_words_per_sm) {
+    bad("max_shared_words_per_block = " +
+            std::to_string(in.hw.max_shared_words_per_block) +
+            " must lie in [1, shared_words_per_sm = " +
+            std::to_string(in.hw.shared_words_per_sm) + "]",
+        "fix whichever field is mistyped");
+  }
+  if (in.hw.max_tb_per_sm < 1) {
+    bad("max_tb_per_sm = " + std::to_string(in.hw.max_tb_per_sm),
+        "set MTB_SM >= 1");
+  }
+
+  // Measured quantities: hard errors when unusable, plausibility
+  // warnings when a value is legal but almost certainly mis-measured
+  // or mis-edited.
+  if (!std::isfinite(in.mb.L_s_per_word) || in.mb.L_s_per_word <= 0.0) {
+    bad("L = " + num(in.mb.L_s_per_word) +
+            " s/word (needs a finite value > 0)",
+        "re-run the bandwidth micro-benchmark");
+  } else {
+    const double implied_bps = 4.0 / in.mb.L_s_per_word;
+    if (implied_bps < 1e9 || implied_bps > 2e13) {
+      suspect("L = " + num(in.mb.L_s_per_word) +
+                  " s/word implies a global-memory bandwidth of " +
+                  num(implied_bps / 1e9) +
+                  " GB/s — outside anything a real GPU delivers",
+              "check the unit: L is seconds per 4-byte word");
+    }
+  }
+  const std::pair<const char*, double> sync_fields[] = {
+      {"tau_sync", in.mb.tau_sync}, {"T_sync", in.mb.T_sync}};
+  for (const auto& [field, value] : sync_fields) {
+    if (!std::isfinite(value) || value < 0.0) {
+      bad(std::string(field) + " = " + num(value) +
+              " (needs a finite value >= 0)",
+          "re-run the synchronization micro-benchmark");
+    }
+  }
+  if (std::isfinite(in.mb.tau_sync) && std::isfinite(in.mb.T_sync) &&
+      in.mb.T_sync > 0.0 && in.mb.tau_sync > in.mb.T_sync) {
+    suspect("tau_sync = " + num(in.mb.tau_sync) +
+                " s exceeds T_sync = " + num(in.mb.T_sync) +
+                " s: an intra-kernel barrier priced above a full "
+                "kernel boundary usually means the two were swapped",
+            "swap the two values (or re-calibrate)");
+  }
+  if (std::isfinite(in.mb.T_sync) && in.mb.T_sync > 1e-2) {
+    suspect("T_sync = " + num(in.mb.T_sync) +
+                " s per kernel boundary is implausibly slow",
+            "check the unit: T_sync is seconds per launch");
+  }
+  if (!std::isfinite(in.c_iter) || in.c_iter <= 0.0) {
+    bad("c_iter = " + num(in.c_iter) + " (needs a finite value > 0)",
+        "re-measure C_iter (Table 4) for this stencil/device");
+  } else if (in.c_iter < 1e-12 || in.c_iter > 1e-3) {
+    suspect("c_iter = " + num(in.c_iter) +
+                " s per iteration point is outside [1e-12, 1e-3]",
+            "check the unit: C_iter is seconds per grid-point update");
+  }
+  if (in.radius < 1) {
+    suspect("radius = " + std::to_string(in.radius) +
+                "; the model clamps the dependence radius to 1",
+            "set the stencil's true radius");
+  }
+  return diags.count(Severity::kError) == errors_before;
+}
+
+AuditResult audit_stencil_def(const stencil::StencilDef& def,
+                              const AuditOptions& opt,
+                              DiagnosticEngine& diags) {
+  AuditResult res;
+  if (opt.dev) audit_device(*opt.dev, diags);
+  if (opt.calibration) audit_calibration(*opt.calibration, diags);
+
+  LintOptions lopt;
+  lopt.ts = opt.ts;
+  lopt.thr = opt.thr;
+  lopt.problem = opt.problem;
+  if (opt.dev) lopt.hw = opt.dev->to_model_hardware();
+  lopt.warp = opt.warp;
+  const LintResult lint = lint_stencil_def(def, lopt, diags);
+  res.def = lint.def;
+  res.cone = lint.cone;
+
+  check_tap_ranges(def, diags);
+
+  if (opt.dev && opt.ts && opt.thr) {
+    res.resources = predict_resources(*opt.dev, def, *opt.ts, *opt.thr);
+    check_resources(*opt.dev, def, *opt.ts, *opt.thr, diags,
+                    opt.stall_warn_fraction);
+  }
+
+  if (opt.dev && opt.sweep) {
+    res.certificate = certify_sweep(
+        def.dim, opt.dev->to_model_hardware(), *opt.sweep, def.radius);
+    audit_sweep(*res.certificate, diags, opt.max_region_notes);
+  }
+
+  res.ok = !diags.has_errors();
+  return res;
+}
+
+AuditResult audit_stencil_text(std::string_view text,
+                               const AuditOptions& opt,
+                               DiagnosticEngine& diags) {
+  const std::optional<stencil::StencilDef> def =
+      stencil::parse_stencil(text, diags);
+  if (!def) {
+    AuditResult res;
+    res.ok = false;
+    return res;
+  }
+  return audit_stencil_def(*def, opt, diags);
+}
+
+}  // namespace repro::analysis

@@ -15,7 +15,7 @@ struct CodeInfo {
 };
 
 // Numeric order; all_codes() exposes this table for docs and tests.
-constexpr std::array<CodeInfo, 38> kCodeTable{{
+constexpr std::array<CodeInfo, 52> kCodeTable{{
     {Code::kParseSyntax, "SL101", "malformed stencil DSL syntax"},
     {Code::kParseDim, "SL102", "missing or out-of-range 'dim'"},
     {Code::kParseTapBeyondDim, "SL103",
@@ -77,6 +77,34 @@ constexpr std::array<CodeInfo, 38> kCodeTable{{
      "calibration file contains an unrecognized key"},
     {Code::kCalibVersion, "SL415",
      "calibration file has an unsupported format version"},
+    {Code::kAuditTapBeyondRadius, "SL501",
+     "tap reaches beyond the declared dependence radius (halo overrun)"},
+    {Code::kAuditRadiusOverdeclared, "SL502",
+     "declared radius exceeds the taps' actual reach (wasted halo)"},
+    {Code::kAuditDuplicateTap, "SL503",
+     "the same cell is tapped more than once (redundant shared load)"},
+    {Code::kAuditNonFiniteCoefficient, "SL504",
+     "tap weight or stencil constant is not a finite number"},
+    {Code::kAuditDeadTap, "SL505",
+     "dead tap: weight zero contributes nothing but still costs a load"},
+    {Code::kAuditAmplification, "SL506",
+     "tap weights amplify (sum of |w| > 1); iteration may diverge"},
+    {Code::kAuditRegisterSpill, "SL510",
+     "predicted register spill: per-thread demand over the physical cap"},
+    {Code::kAuditOccupancyCliff, "SL511",
+     "occupancy cliff: too few resident warps to hide issue latency"},
+    {Code::kAuditIdleThreads, "SL512",
+     "thread block wider than the widest tile row (threads sit idle)"},
+    {Code::kAuditResidencyBelowModel, "SL513",
+     "achievable residency k is below the model's shared-memory bound"},
+    {Code::kAuditDeviceInvariant, "SL520",
+     "device descriptor violates a cross-field invariant"},
+    {Code::kAuditCalibrationSuspect, "SL521",
+     "calibrated value lies outside its physically plausible range"},
+    {Code::kAuditDeadRegion, "SL530",
+     "sweep sub-region certified infeasible (dead-region certificate)"},
+    {Code::kAuditEmptySweep, "SL531",
+     "sweep space is provably empty: no feasible tile size exists"},
 }};
 
 const CodeInfo& info(Code c) noexcept {
@@ -131,6 +159,19 @@ std::span<const Code> all_codes() noexcept {
   return codes;
 }
 
+void DiagnosticEngine::add(Diagnostic d) {
+  // Dedup guard: the parser, the linter and the auditor can each
+  // re-derive the same finding; one report per (code, location,
+  // message) is enough. Linear scan — real passes emit a handful.
+  for (const Diagnostic& prev : diags_) {
+    if (prev.code == d.code && prev.line == d.line &&
+        prev.message == d.message) {
+      return;
+    }
+  }
+  diags_.push_back(std::move(d));
+}
+
 std::size_t DiagnosticEngine::count(Severity s) const noexcept {
   return static_cast<std::size_t>(
       std::count_if(diags_.begin(), diags_.end(),
@@ -151,6 +192,9 @@ std::string render_human(std::span<const Diagnostic> diags,
     }
     os << to_string(d.severity) << ": [" << code_name(d.code) << "] "
        << d.message << "\n";
+    if (!d.hint.empty()) {
+      os << "  hint: " << d.hint << "\n";
+    }
   }
   return os.str();
 }
@@ -166,7 +210,13 @@ std::string render_json(std::span<const Diagnostic> diags) {
        << code_name(d.code) << "\", \"line\": " << d.line
        << ", \"message\": \"";
     json_escape(os, d.message);
-    os << "\"}";
+    os << "\"";
+    if (!d.hint.empty()) {
+      os << ", \"hint\": \"";
+      json_escape(os, d.hint);
+      os << "\"";
+    }
+    os << "}";
   }
   os << (first ? "]" : "\n]");
   return os.str();

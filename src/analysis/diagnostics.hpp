@@ -28,7 +28,9 @@ std::string_view to_string(Severity s) noexcept;
 //   SL2xx — dependence analysis,
 //   SL3xx — tiling / configuration legality (Eqn 31 and friends),
 //   SL40x — tuned service protocol / admission control,
-//   SL41x — calibration persistence (gpusim/calibration_io).
+//   SL41x — calibration persistence (gpusim/calibration_io),
+//   SL5xx — semantic audit (analysis/audit: tap ranges, resource
+//           prediction, descriptor invariants, sweep certificates).
 // Codes are append-only: never renumber, the CLI and docs expose them.
 enum class Code : std::uint16_t {
   // --- parse ---------------------------------------------------------
@@ -74,6 +76,24 @@ enum class Code : std::uint16_t {
   kCalibMissingKey = 413,  // required key absent
   kCalibUnknownKey = 414,  // unrecognized key (likely a typo)
   kCalibVersion = 415,   // unsupported format version
+  // --- semantic audit: tap/footprint range analysis -------------------
+  kAuditTapBeyondRadius = 501,   // tap reaches beyond the declared radius
+  kAuditRadiusOverdeclared = 502,  // declared radius exceeds the taps' reach
+  kAuditDuplicateTap = 503,      // duplicate tap offset (semantic level)
+  kAuditNonFiniteCoefficient = 504,  // NaN/inf weight or constant
+  kAuditDeadTap = 505,           // zero-weight tap: load with no effect
+  kAuditAmplification = 506,     // note: sum |w| > 1 (amplifying scheme)
+  // --- semantic audit: static resource prediction ---------------------
+  kAuditRegisterSpill = 510,     // predicted per-thread register spill
+  kAuditOccupancyCliff = 511,    // too few warps to hide issue latency
+  kAuditIdleThreads = 512,       // block wider than the widest tile row
+  kAuditResidencyBelowModel = 513,  // k below the model's shared-mem bound
+  // --- semantic audit: device / calibration descriptors ---------------
+  kAuditDeviceInvariant = 520,   // cross-field descriptor invariant broken
+  kAuditCalibrationSuspect = 521,  // calibration value outside sane range
+  // --- semantic audit: sweep-space certificates -----------------------
+  kAuditDeadRegion = 530,        // note: sub-box certified infeasible
+  kAuditEmptySweep = 531,        // the whole sweep space is infeasible
 };
 
 // "SL104" etc. — the stable identifier used in output and tests.
@@ -90,23 +110,29 @@ struct Diagnostic {
   Code code = Code::kParseSyntax;
   std::string message;
   int line = 0;  // 1-based DSL source line; 0 = not tied to source
+  // Optional fix-it hint ("cap threads at <= 192"). Rendered only when
+  // non-empty, so hint-less diagnostics keep their exact legacy bytes.
+  std::string hint;
 
   friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
 };
 
 // Collects diagnostics. Never throws on add; `has_errors()` is the
 // pass/fail verdict a driver consults at the end of a pass.
+// Identical findings — same (code, line, message) — reported from
+// multiple entry points (e.g. the parser and the semantic auditor
+// both flagging one tap) collapse to the first occurrence.
 class DiagnosticEngine {
  public:
-  void add(Diagnostic d) { diags_.push_back(std::move(d)); }
+  void add(Diagnostic d);
   void note(Code c, std::string message, int line = 0) {
-    add({Severity::kNote, c, std::move(message), line});
+    add({Severity::kNote, c, std::move(message), line, {}});
   }
   void warn(Code c, std::string message, int line = 0) {
-    add({Severity::kWarning, c, std::move(message), line});
+    add({Severity::kWarning, c, std::move(message), line, {}});
   }
   void error(Code c, std::string message, int line = 0) {
-    add({Severity::kError, c, std::move(message), line});
+    add({Severity::kError, c, std::move(message), line, {}});
   }
 
   const std::vector<Diagnostic>& diagnostics() const noexcept {
@@ -126,12 +152,15 @@ class DiagnosticEngine {
 // Compiler-style rendering, one diagnostic per line:
 //   <source>:<line>: error: [SL104] tap (1,0) has no mirror tap (-1,0)
 // `source_name` prefixes line-anchored diagnostics ("<config>" is used
-// for line-less ones' positions being omitted entirely).
+// for line-less ones' positions being omitted entirely). A diagnostic
+// carrying a fix-it hint gets one extra indented "  hint: ..." line.
 std::string render_human(std::span<const Diagnostic> diags,
                          std::string_view source_name = "<input>");
 
 // JSON array of {severity, code, message, line} objects, stable key
 // order, suitable for tooling. Always valid JSON, even when empty.
+// A non-empty hint adds a trailing "hint" key; hint-less diagnostics
+// serialize exactly as before the audit pass existed.
 std::string render_json(std::span<const Diagnostic> diags);
 
 }  // namespace repro::analysis

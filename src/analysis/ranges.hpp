@@ -1,0 +1,125 @@
+// Tap/footprint range analysis and sweep-space dead-region
+// certificates — the value-range half of the semantic audit pass
+// (analysis/audit.hpp).
+//
+// Range analysis walks a StencilDef's tap set as an abstract value
+// (per-dimension reach intervals + coefficient aggregates) and flags
+// everything the parser cannot see on hand-built defs: taps reaching
+// beyond the declared radius (halo overrun, SL501), an over-declared
+// radius (wasted halo words in every tile, SL502), duplicate and dead
+// taps (SL503/SL505), non-finite coefficients (SL504) and amplifying
+// weight sums (SL506).
+//
+// Certificates prove sub-boxes of the tile-size enumeration lattice
+// infeasible *once* instead of rejecting point by point. The only
+// constraint that prunes on-lattice points in enumerate_feasible is
+// shared-memory capacity, and hhc::shared_words_per_tile is monotone
+// non-decreasing in each of tT/tS1/tS2/tS3 — so the infeasible set is
+// an up-set of the lattice and is exactly the union of the tail boxes
+// {p >= m} over its minimal elements m (an antichain). certify_sweep
+// finds that antichain with one binary search per innermost fiber; a
+// proof-obligation test pins the certified-live set equal to
+// enumerate_feasible on the full parity suite.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "hhc/tile_sizes.hpp"
+#include "model/params.hpp"
+#include "stencil/stencil.hpp"
+
+namespace repro::analysis {
+
+// The abstract state of one tap set: how far it actually reaches and
+// what its coefficients add up to.
+struct TapRangeInfo {
+  std::array<int, 3> reach{0, 0, 0};  // max |offset| per dimension
+  int max_reach = 0;
+  std::size_t duplicate_taps = 0;  // taps whose offset appeared before
+  std::size_t zero_weight_taps = 0;
+  bool finite = true;       // every weight and the constant are finite
+  double weight_sum = 0.0;  // signed sum of weights
+  double abs_weight_sum = 0.0;
+};
+
+TapRangeInfo analyze_tap_ranges(const stencil::StencilDef& def);
+
+// Emits SL501-SL506 for `def`. Returns true iff no error-severity
+// diagnostic was added by this call.
+bool check_tap_ranges(const stencil::StencilDef& def,
+                      DiagnosticEngine& diags);
+
+// --- sweep-space dead-region certificates ---------------------------
+
+// Bounds and steps of the enumeration lattice, mirroring
+// tuner::EnumOptions (analysis cannot include tuner headers — the
+// dependency points the other way; tuner::to_sweep_grid converts, and
+// a parity test pins the defaults equal).
+struct SweepGrid {
+  std::int64_t tT_max = 64;
+  std::int64_t tT_step = 2;
+  std::int64_t tS1_max = 96;
+  std::int64_t tS1_step = 1;
+  std::int64_t tS2_max = 512;
+  std::int64_t tS2_step = 32;
+  std::int64_t tS3_max = 96;
+  std::int64_t tS3_step = 32;
+
+  friend bool operator==(const SweepGrid&, const SweepGrid&) = default;
+};
+
+// One certified tail box: every lattice point >= `lo` componentwise
+// (in the dimensions the stencil uses) violates shared-memory
+// capacity. `lo` is a minimal such point; `points` counts the
+// in-bounds lattice points of this box alone (boxes may overlap).
+struct DeadRegion {
+  hhc::TileSizes lo;
+  Code reason = Code::kTileBlockLimit;  // SL303 or SL304 equivalent
+  std::int64_t points = 0;
+};
+
+struct SweepCertificate {
+  int dim = 2;
+  std::int64_t radius = 1;
+  SweepGrid grid;
+  // Minimal infeasible corners, in enumeration order. Together their
+  // tail boxes cover the capacity-infeasible lattice exactly.
+  std::vector<DeadRegion> dead;
+  // Lattice points with tS1 below max(radius, 1) have no legal
+  // wavefront schedule (slope); they are dead independently of
+  // capacity. Non-trivial only for radius-0 stencils, whose lattice
+  // starts at tS1 = 0.
+  std::int64_t slope_min_tS1 = 1;
+  std::int64_t lattice_points = 0;
+  std::int64_t dead_points = 0;  // exact size of the dead set (union)
+
+  bool empty() const noexcept { return dead_points == lattice_points; }
+  // True iff the (on-lattice) point is certified dead — covered by a
+  // tail box or below the slope cut.
+  bool covers(const hhc::TileSizes& ts) const noexcept;
+};
+
+// Builds the certificate for `dim`-dimensional tiles on `grid`
+// against `hw`'s shared-memory capacity limits.
+SweepCertificate certify_sweep(int dim, const model::HardwareParams& hw,
+                               const SweepGrid& grid,
+                               std::int64_t radius = 1);
+
+// Walks the lattice in enumerate_feasible's exact loop order,
+// keeping every point the certificate does NOT cover — without ever
+// evaluating the capacity predicate. The proof obligation: this list
+// equals enumerate_feasible(dim, hw, opt, radius) verbatim.
+std::vector<hhc::TileSizes> certified_live_points(
+    const SweepCertificate& cert);
+
+// Reports the certificate: SL531 (error) when the space is provably
+// empty, otherwise one SL530 note per region up to `max_region_notes`
+// plus a coverage summary note.
+void audit_sweep(const SweepCertificate& cert, DiagnosticEngine& diags,
+                 std::size_t max_region_notes = 8);
+
+}  // namespace repro::analysis

@@ -1,0 +1,161 @@
+#include "analysis/resources.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "analysis/legality.hpp"
+#include "gpusim/registers.hpp"
+#include "hhc/footprint.hpp"
+
+namespace repro::analysis {
+
+namespace {
+
+std::string pct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace
+
+ResourcePrediction predict_resources(const gpusim::DeviceParams& dev,
+                                     const stencil::StencilDef& def,
+                                     const hhc::TileSizes& ts,
+                                     const hhc::ThreadConfig& thr) {
+  // This function must stay arithmetic-identical to the front half of
+  // gpusim::resolve_config (timing.cpp): the consistency test compares
+  // k / regs / spills field by field, so the auditor can never promise
+  // an occupancy the simulator will not deliver.
+  ResourcePrediction rp;
+  try {
+    hhc::validate(ts, def.dim);
+  } catch (const std::invalid_argument&) {
+    return rp;
+  }
+  if (ts.tS1 < def.radius) return rp;
+  rp.shared_bytes = hhc::shared_bytes_per_tile(def.dim, ts, def.radius);
+  if (rp.shared_bytes > dev.max_shared_bytes_per_block) return rp;
+  const int threads = thr.total();
+  if (threads < 1 || threads > dev.max_threads_per_block) return rp;
+
+  rp.regs_per_thread = gpusim::estimate_regs_per_thread(def, ts, threads);
+  rp.spilled_regs =
+      std::max(0, rp.regs_per_thread - dev.max_regs_per_thread);
+  const int regs_resident =
+      std::min(rp.regs_per_thread, dev.max_regs_per_thread);
+
+  rp.k_shared = dev.shared_bytes_per_sm / rp.shared_bytes;
+  rp.k_regs =
+      dev.regs_per_sm /
+      std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(regs_resident) * threads);
+  rp.k_threads = dev.max_threads_per_sm / threads;
+  rp.k = std::max<std::int64_t>(
+      1, std::min({static_cast<std::int64_t>(dev.max_tb_per_sm),
+                   rp.k_shared, rp.k_regs, rp.k_threads}));
+
+  rp.resident_warps =
+      std::max(1.0, static_cast<double>(rp.k) * threads / 32.0);
+  if (rp.resident_warps < dev.warps_for_full_issue) {
+    rp.stall_inflation = dev.latency_stall_factor *
+                         (dev.warps_for_full_issue - rp.resident_warps) /
+                         dev.warps_for_full_issue;
+  }
+
+  // Widest row of the hexagonal tile (the w_tile of Eqn 4): what one
+  // wavefront of this tile actually offers the block to chew on.
+  rp.widest_row_points = ts.tS1 + ts.tT - 2;
+  if (def.dim >= 2) rp.widest_row_points *= ts.tS2;
+  if (def.dim >= 3) rp.widest_row_points *= ts.tS3;
+
+  rp.fits = true;
+  return rp;
+}
+
+bool check_resources(const gpusim::DeviceParams& dev,
+                     const stencil::StencilDef& def,
+                     const hhc::TileSizes& ts,
+                     const hhc::ThreadConfig& thr,
+                     DiagnosticEngine& diags,
+                     double stall_warn_fraction) {
+  const std::size_t errors_before = diags.count(Severity::kError);
+  const ResourcePrediction rp = predict_resources(dev, def, ts, thr);
+  if (!rp.fits) return diags.count(Severity::kError) == errors_before;
+
+  const int threads = thr.total();
+
+  if (rp.spilled_regs > 0) {
+    diags.add({Severity::kWarning, Code::kAuditRegisterSpill,
+               "predicted " + std::to_string(rp.regs_per_thread) +
+                   " registers/thread against a physical cap of " +
+                   std::to_string(dev.max_regs_per_thread) + "; about " +
+                   std::to_string(rp.spilled_regs) +
+                   " values spill to local memory on every iteration — "
+                   "the failure mode the optimistic model cannot see",
+               0,
+               "shrink the per-thread unrolled work (smaller tS "
+               "extents or a shallower tT) or raise the thread count"});
+  }
+
+  if (rp.stall_inflation > stall_warn_fraction) {
+    char warps[32];
+    std::snprintf(warps, sizeof(warps), "%.0f", rp.resident_warps);
+    std::string bound = "shared memory";
+    if (rp.k_regs <= rp.k_shared && rp.k_regs <= rp.k_threads) {
+      bound = "the register file";
+    } else if (rp.k_threads <= rp.k_shared) {
+      bound = "the SM thread capacity";
+    }
+    diags.add({Severity::kWarning, Code::kAuditOccupancyCliff,
+               "occupancy cliff: only " + std::string(warps) +
+                   " resident warps (full issue needs " +
+                   std::to_string(
+                       static_cast<int>(dev.warps_for_full_issue)) +
+                   "), inflating per-iteration cost by about " +
+                   pct(rp.stall_inflation) + "; residency k=" +
+                   std::to_string(rp.k) + " is capped by " + bound,
+               0,
+               "prefer smaller tiles (higher k) or wider thread "
+               "blocks to keep the issue pipeline fed"});
+  }
+
+  if (threads > rp.widest_row_points) {
+    diags.add({Severity::kWarning, Code::kAuditIdleThreads,
+               "thread block of " + std::to_string(threads) +
+                   " threads exceeds the widest tile row of " +
+                   std::to_string(rp.widest_row_points) +
+                   " iteration points; " +
+                   std::to_string(threads - rp.widest_row_points) +
+                   " threads idle at every barrier",
+               0,
+               "cap the block at <= " +
+                   std::to_string(rp.widest_row_points) + " threads"});
+  }
+
+  // The analytical model bounds residency by shared memory alone
+  // (Eqn 11); when registers or thread capacity bind first, Talg is
+  // optimistic for this point (Section 7's information asymmetry).
+  const std::int64_t model_k = hyperthreading_bound(
+      def.dim, ts, dev.to_model_hardware(),
+      std::max<std::int64_t>(def.radius, 1));
+  if (model_k >= 1 && rp.k < model_k) {
+    const std::string bound =
+        rp.k_regs < rp.k_threads ? "the register file"
+                                 : "the SM thread capacity";
+    diags.add({Severity::kWarning, Code::kAuditResidencyBelowModel,
+               "the model's shared-memory bound admits k=" +
+                   std::to_string(model_k) +
+                   " resident tiles but " + bound + " caps residency at k=" +
+                   std::to_string(rp.k) +
+                   "; Talg over-estimates the hyper-threading this "
+                   "point achieves",
+               0, ""});
+  }
+
+  return diags.count(Severity::kError) == errors_before;
+}
+
+}  // namespace repro::analysis

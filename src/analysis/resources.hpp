@@ -1,0 +1,61 @@
+// Static resource prediction — the occupancy half of the semantic
+// audit pass. Re-derives, from the same gpusim register/shared-memory
+// accounting the simulator uses, what a (stencil, tile, threads,
+// device) tuple will cost *before* any pricing: register demand and
+// predicted spills (SL510), the residency ladder k = min(MTB, shared,
+// regs, threads) and the issue-latency cliff below full occupancy
+// (SL511), idle threads when the block is wider than the widest tile
+// row (SL512), and the gap between the achievable residency and the
+// shared-memory-only bound the analytical model optimistically
+// assumes (SL513). A consistency test pins k / regs / spills equal to
+// gpusim::resolve_config on every feasible configuration.
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/diagnostics.hpp"
+#include "gpusim/device.hpp"
+#include "hhc/tile_sizes.hpp"
+#include "stencil/stencil.hpp"
+
+namespace repro::analysis {
+
+struct ResourcePrediction {
+  // Mirrors resolve_config's hard gates: tile shape valid, slope ok,
+  // per-block shared fit, thread count within machine limits. The
+  // per-field predictions below are meaningful only when true.
+  bool fits = false;
+  std::int64_t shared_bytes = 0;
+  int regs_per_thread = 0;
+  int spilled_regs = 0;  // regs beyond the physical per-thread cap
+  std::int64_t k_shared = 0;   // residency if shared memory alone bound
+  std::int64_t k_regs = 0;     // ... if the register file alone bound
+  std::int64_t k_threads = 0;  // ... if the thread capacity alone bound
+  std::int64_t k = 0;          // achieved residency (>= 1, all limits)
+  double resident_warps = 0.0;
+  // Fractional per-iteration cost inflation from issue-latency
+  // stalls: 0 at/above warps_for_full_issue, up to
+  // latency_stall_factor at one warp.
+  double stall_inflation = 0.0;
+  // Iteration points of the widest tile row — the per-wavefront
+  // parallelism a thread block can actually feed.
+  std::int64_t widest_row_points = 0;
+};
+
+ResourcePrediction predict_resources(const gpusim::DeviceParams& dev,
+                                     const stencil::StencilDef& def,
+                                     const hhc::TileSizes& ts,
+                                     const hhc::ThreadConfig& thr);
+
+// Emits SL510-SL513 for the prediction. Hard infeasibility is the
+// legality checker's job (SL301-SL311), so an unfittable tuple adds
+// nothing here. Returns true iff no error-severity diagnostic was
+// added (the SL51x family is warnings only).
+bool check_resources(const gpusim::DeviceParams& dev,
+                     const stencil::StencilDef& def,
+                     const hhc::TileSizes& ts,
+                     const hhc::ThreadConfig& thr,
+                     DiagnosticEngine& diags,
+                     double stall_warn_fraction = 0.25);
+
+}  // namespace repro::analysis

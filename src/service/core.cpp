@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "analysis/audit.hpp"
 #include "analysis/lint.hpp"
 #include "gpusim/device.hpp"
 #include "tuner/space.hpp"
@@ -105,22 +106,40 @@ std::string compute_compare(const Request& req, tuner::Session& session) {
 }
 
 std::string compute_lint(const Request& req) {
-  analysis::LintOptions lopt;
-  lopt.ts = req.tile;
-  lopt.thr = req.threads;
-  lopt.problem = req.problem;
-  lopt.hw = gpusim::device_by_name(req.device).to_model_hardware();
-
   analysis::DiagnosticEngine diags;
-  // Re-lint from source when the client sent DSL text, so parse
-  // warnings come back line-anchored alongside the semantic findings.
-  const analysis::LintResult res =
-      !req.stencil_text.empty()
-          ? analysis::lint_stencil_text(req.stencil_text, lopt, diags)
-          : analysis::lint_stencil_def(req.def, lopt, diags);
+  bool ok = false;
+  std::optional<analysis::DependenceCone> cone;
+  if (req.audit) {
+    // The full semantic audit (SL5xx on top of the lint pipeline).
+    analysis::AuditOptions aopt;
+    aopt.ts = req.tile;
+    aopt.thr = req.threads;
+    aopt.problem = req.problem;
+    aopt.dev = gpusim::device_by_name(req.device);
+    // Re-audit from source when the client sent DSL text, so parse
+    // warnings come back line-anchored alongside the semantic ones.
+    const analysis::AuditResult res =
+        !req.stencil_text.empty()
+            ? analysis::audit_stencil_text(req.stencil_text, aopt, diags)
+            : analysis::audit_stencil_def(req.def, aopt, diags);
+    ok = res.ok;
+    cone = res.cone;
+  } else {
+    analysis::LintOptions lopt;
+    lopt.ts = req.tile;
+    lopt.thr = req.threads;
+    lopt.problem = req.problem;
+    lopt.hw = gpusim::device_by_name(req.device).to_model_hardware();
+    const analysis::LintResult res =
+        !req.stencil_text.empty()
+            ? analysis::lint_stencil_text(req.stencil_text, lopt, diags)
+            : analysis::lint_stencil_def(req.def, lopt, diags);
+    ok = res.ok;
+    cone = res.cone;
+  }
 
   json::Value o = json::Value::object();
-  o.set("ok", res.ok);
+  o.set("ok", ok);
   json::Value arr = json::Value::array();
   for (const analysis::Diagnostic& d : diags.diagnostics()) {
     json::Value e = json::Value::object();
@@ -128,21 +147,24 @@ std::string compute_lint(const Request& req) {
     e.set("code", std::string(analysis::code_name(d.code)));
     e.set("line", d.line);
     e.set("message", d.message);
+    // Only audit-mode findings carry hints; audit-less payloads stay
+    // byte-identical to the pre-audit protocol.
+    if (!d.hint.empty()) e.set("hint", d.hint);
     arr.push_back(std::move(e));
   }
   o.set("diagnostics", std::move(arr));
-  if (res.cone) {
+  if (cone) {
     json::Value c = json::Value::object();
-    c.set("dim", res.cone->dim);
+    c.set("dim", cone->dim);
     json::Value radius = json::Value::array();
-    for (int i = 0; i < res.cone->dim; ++i) {
-      radius.push_back(res.cone->radius[static_cast<std::size_t>(i)]);
+    for (int i = 0; i < cone->dim; ++i) {
+      radius.push_back(cone->radius[static_cast<std::size_t>(i)]);
     }
     c.set("radius", std::move(radius));
-    c.set("max_radius", res.cone->max_radius);
-    c.set("symmetric", res.cone->symmetric);
-    c.set("has_center", res.cone->has_center);
-    c.set("tap_count", res.cone->tap_count);
+    c.set("max_radius", cone->max_radius);
+    c.set("symmetric", cone->symmetric);
+    c.set("has_center", cone->has_center);
+    c.set("tap_count", cone->tap_count);
     o.set("cone", std::move(c));
   } else {
     o.set("cone", nullptr);

@@ -43,7 +43,8 @@ bool key_allowed(RequestKind kind, std::string_view key) {
       return key == "problem" || key == "delta" || key == "enum" ||
              key == "exhaustive_cap" || key == "baseline_count";
     case RequestKind::kLint:
-      return key == "problem" || key == "tile" || key == "threads";
+      return key == "problem" || key == "tile" || key == "threads" ||
+             key == "audit";
   }
   return false;
 }
@@ -269,6 +270,9 @@ std::string Request::canonical_key() const {
     case RequestKind::kLint:
       if (tile) o.set("tile", tile_to_json(*tile));
       if (threads) o.set("threads", threads_to_json(*threads));
+      // Only when on: audit-less lint requests keep their pre-audit
+      // keys, so stored results stay valid (and byte-identical).
+      if (audit) o.set("audit", true);
       break;
     case RequestKind::kCompareStrategies:
       o.set("exhaustive_cap", exhaustive_cap);
@@ -412,6 +416,13 @@ std::optional<Request> parse_request(std::string_view line,
   if (const json::Value* t = doc->find("threads"); t != nullptr) {
     req.threads = parse_threads(*t, diags);
     if (!req.threads) return std::nullopt;
+  }
+  if (const json::Value* a = doc->find("audit"); a != nullptr) {
+    if (!a->is_bool()) {
+      diags.error(Code::kSvcBadField, "'audit' must be a boolean");
+      return std::nullopt;
+    }
+    req.audit = a->as_bool();
   }
   if (const json::Value* d = doc->find("delta"); d != nullptr) {
     if (!d->is_number()) {

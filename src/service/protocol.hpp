@@ -9,6 +9,7 @@
 //    "problem":{"S":[4096,4096],"T":1024},          // dim = |S|
 //    "tile":{"tT":6,"tS1":8,"tS2":160},             // predict / lint
 //    "threads":{"n1":32,"n2":4},                    // optional
+//    "audit":true,                                  // lint only: SL5xx pass
 //    "delta":0.1,                                   // best_tile / compare
 //    "enum":{"tT_max":24,"tS1_max":32,"tS1_step":4,"tS2_max":256},
 //    "exhaustive_cap":150, "baseline_count":40}     // compare only
@@ -68,6 +69,10 @@ struct Request {
   std::optional<stencil::ProblemSize> problem;
   std::optional<hhc::TileSizes> tile;
   std::optional<hhc::ThreadConfig> threads;
+  // Lint only: also run the semantic audit pass (SL5xx). Defaults off
+  // so pre-audit clients (and their stored results) keep byte-
+  // identical payloads.
+  bool audit = false;
   double delta = 0.10;
   tuner::EnumOptions enumeration;
   std::size_t exhaustive_cap = 150;

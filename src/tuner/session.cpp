@@ -6,6 +6,7 @@
 #include <numeric>
 #include <utility>
 
+#include "analysis/audit.hpp"
 #include "common/rng.hpp"
 #include "gpusim/cost_profile.hpp"
 #include "gpusim/lower_bound.hpp"
@@ -84,6 +85,22 @@ void Session::add_model_time(double seconds, std::size_t points) {
 void Session::add_machine_time(double seconds) {
   std::lock_guard<std::mutex> lk(mu_);
   stats_.machine_seconds += seconds;
+}
+
+std::vector<analysis::Diagnostic> Session::audit(
+    std::optional<hhc::TileSizes> ts,
+    std::optional<hhc::ThreadConfig> thr) const {
+  // Read-only over the immutable context: no pool, no caches, no
+  // stats — nothing a tuning path could observe.
+  analysis::AuditOptions opt;
+  opt.ts = ts;
+  opt.thr = thr;
+  opt.problem = ctx_.problem;
+  opt.dev = ctx_.dev;
+  opt.calibration = ctx_.inputs;
+  analysis::DiagnosticEngine diags;
+  analysis::audit_stencil_def(ctx_.def, opt, diags);
+  return diags.diagnostics();
 }
 
 SweepStats Session::stats() const {

@@ -214,6 +214,16 @@ class Session {
 
   // --- Introspection ------------------------------------------------
 
+  // Semantic audit (SL5xx) of the session's fixed context: the device
+  // descriptor, the calibrated model inputs, the stencil's tap ranges
+  // and — when a tile/thread pair is given — the static resource
+  // prediction. Purely observational: no tuning path ever consults
+  // the findings, so running (or skipping) the audit cannot perturb
+  // any sweep; tests pin byte-identical results either way.
+  std::vector<analysis::Diagnostic> audit(
+      std::optional<hhc::TileSizes> ts = std::nullopt,
+      std::optional<hhc::ThreadConfig> thr = std::nullopt) const;
+
   SweepStats stats() const;
   void reset_stats();
   std::size_t cache_size() const;

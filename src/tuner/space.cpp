@@ -52,6 +52,19 @@ void EnumOptions::validate() const {
 
 void validate_enum_options(const EnumOptions& opt) { opt.validate(); }
 
+analysis::SweepGrid to_sweep_grid(const EnumOptions& opt) noexcept {
+  analysis::SweepGrid g;
+  g.tT_max = opt.tT_max;
+  g.tT_step = opt.tT_step;
+  g.tS1_max = opt.tS1_max;
+  g.tS1_step = opt.tS1_step;
+  g.tS2_max = opt.tS2_max;
+  g.tS2_step = opt.tS2_step;
+  g.tS3_max = opt.tS3_max;
+  g.tS3_step = opt.tS3_step;
+  return g;
+}
+
 std::vector<hhc::TileSizes> enumerate_feasible(int dim,
                                                const model::HardwareParams& hw,
                                                const EnumOptions& opt,

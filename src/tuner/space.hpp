@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "analysis/diagnostics.hpp"
+#include "analysis/ranges.hpp"
 #include "hhc/tile_sizes.hpp"
 #include "model/params.hpp"
 
@@ -53,6 +54,12 @@ struct EnumOptions {
 
 // Back-compat alias for EnumOptions::validate().
 void validate_enum_options(const EnumOptions& opt);
+
+// The enumeration lattice these options describe, in the analysis
+// subsystem's own vocabulary (analysis cannot depend on tuner, so the
+// audit pass certifies over a SweepGrid mirror; a parity test pins
+// default == default).
+analysis::SweepGrid to_sweep_grid(const EnumOptions& opt) noexcept;
 
 // All tile sizes satisfying Eqn 31's resource constraints:
 //   M_tile <= M_SM / threadblock-limit (48 KB rule),

@@ -1,0 +1,211 @@
+// The audit driver: device-descriptor invariants (SL520), calibration
+// plausibility (SL520/SL521), and end-to-end audit_stencil_text /
+// audit_stencil_def behavior including the ok flag and fix-it hints.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "analysis/audit.hpp"
+#include "analysis/diagnostics.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/microbench.hpp"
+#include "stencil/stencil.hpp"
+
+namespace repro::analysis {
+namespace {
+
+constexpr const char* kGoodSpec = R"(
+stencil Audit2D {
+  dim 2
+  tap (0,0)   0.2
+  tap (-1,0)  0.2
+  tap (1,0)   0.2
+  tap (0,-1)  0.2
+  tap (0,1)   0.2
+}
+)";
+
+const stencil::StencilDef& heat2d() {
+  return stencil::get_stencil(stencil::StencilKind::kHeat2D);
+}
+
+TEST(AuditDevice, ShippedDescriptorsAreClean) {
+  for (const gpusim::DeviceParams* dev :
+       {&gpusim::gtx980(), &gpusim::titan_x()}) {
+    DiagnosticEngine e;
+    EXPECT_TRUE(audit_device(*dev, e)) << dev->name;
+    EXPECT_TRUE(e.diagnostics().empty()) << dev->name;
+  }
+}
+
+TEST(AuditDevice, ZeroSmCountIsSL520) {
+  gpusim::DeviceParams dev = gpusim::gtx980();
+  dev.n_sm = 0;
+  DiagnosticEngine e;
+  EXPECT_FALSE(audit_device(dev, e));
+  EXPECT_TRUE(e.has_code(Code::kAuditDeviceInvariant));
+  EXPECT_TRUE(e.has_errors());
+}
+
+TEST(AuditDevice, BlockLimitAboveSmCapacityIsSL520) {
+  gpusim::DeviceParams dev = gpusim::gtx980();
+  dev.max_shared_bytes_per_block = dev.shared_bytes_per_sm + 1;
+  DiagnosticEngine e;
+  EXPECT_FALSE(audit_device(dev, e));
+  EXPECT_TRUE(e.has_code(Code::kAuditDeviceInvariant));
+}
+
+TEST(AuditDevice, NonFiniteClockIsSL520) {
+  gpusim::DeviceParams dev = gpusim::titan_x();
+  dev.clock_hz = std::numeric_limits<double>::quiet_NaN();
+  DiagnosticEngine e;
+  EXPECT_FALSE(audit_device(dev, e));
+  EXPECT_TRUE(e.has_code(Code::kAuditDeviceInvariant));
+}
+
+TEST(AuditDevice, NegativeLatencyIsSL520) {
+  gpusim::DeviceParams dev = gpusim::gtx980();
+  dev.mem_latency_s = -1e-6;
+  DiagnosticEngine e;
+  EXPECT_FALSE(audit_device(dev, e));
+  EXPECT_TRUE(e.has_code(Code::kAuditDeviceInvariant));
+}
+
+TEST(AuditCalibration, RealCalibrationIsClean) {
+  const model::ModelInputs in =
+      gpusim::calibrate_model(gpusim::gtx980(), heat2d());
+  DiagnosticEngine e;
+  EXPECT_TRUE(audit_calibration(in, e));
+  EXPECT_FALSE(e.has_errors());
+  EXPECT_FALSE(e.has_code(Code::kAuditCalibrationSuspect));
+}
+
+TEST(AuditCalibration, ZeroMemoryTimeIsSL520) {
+  model::ModelInputs in =
+      gpusim::calibrate_model(gpusim::gtx980(), heat2d());
+  in.mb.L_s_per_word = 0.0;
+  DiagnosticEngine e;
+  EXPECT_FALSE(audit_calibration(in, e));
+  EXPECT_TRUE(e.has_code(Code::kAuditDeviceInvariant));
+}
+
+TEST(AuditCalibration, NegativeCiterIsSL520) {
+  model::ModelInputs in =
+      gpusim::calibrate_model(gpusim::gtx980(), heat2d());
+  in.c_iter = -1e-9;
+  DiagnosticEngine e;
+  EXPECT_FALSE(audit_calibration(in, e));
+  EXPECT_TRUE(e.has_code(Code::kAuditDeviceInvariant));
+}
+
+TEST(AuditCalibration, SwappedSyncPairIsSL521Warning) {
+  model::ModelInputs in =
+      gpusim::calibrate_model(gpusim::gtx980(), heat2d());
+  std::swap(in.mb.tau_sync, in.mb.T_sync);
+  // The swap only matters when the two differ (they do on every
+  // shipped device); a sync priced above a kernel boundary is the
+  // classic hand-edited-calibration-file bug.
+  ASSERT_GT(in.mb.tau_sync, in.mb.T_sync);
+  DiagnosticEngine e;
+  EXPECT_TRUE(audit_calibration(in, e));  // suspicion, not an error
+  EXPECT_TRUE(e.has_code(Code::kAuditCalibrationSuspect));
+  EXPECT_FALSE(e.has_errors());
+}
+
+TEST(AuditCalibration, ImplausibleBandwidthIsSL521Warning) {
+  model::ModelInputs in =
+      gpusim::calibrate_model(gpusim::gtx980(), heat2d());
+  in.mb.L_s_per_word = 4.0 / 1e15;  // a petabyte per second
+  DiagnosticEngine e;
+  EXPECT_TRUE(audit_calibration(in, e));
+  EXPECT_TRUE(e.has_code(Code::kAuditCalibrationSuspect));
+}
+
+TEST(Audit, CleanProgramFullContextIsOk) {
+  AuditOptions opt;
+  opt.ts = hhc::TileSizes{.tT = 2, .tS1 = 8, .tS2 = 256, .tS3 = 1};
+  opt.thr = hhc::ThreadConfig{.n1 = 256, .n2 = 1, .n3 = 1};
+  opt.problem = stencil::ProblemSize{
+      .dim = 2, .S = {4096, 4096, 0}, .T = 1024};
+  opt.dev = gpusim::gtx980();
+  opt.calibration = gpusim::calibrate_model(gpusim::gtx980(), heat2d());
+  opt.sweep = SweepGrid{};
+  DiagnosticEngine e;
+  const AuditResult res = audit_stencil_text(kGoodSpec, opt, e);
+  EXPECT_TRUE(res.ok);
+  ASSERT_TRUE(res.def.has_value());
+  ASSERT_TRUE(res.cone.has_value());
+  ASSERT_TRUE(res.resources.has_value());
+  EXPECT_TRUE(res.resources->fits);
+  ASSERT_TRUE(res.certificate.has_value());
+  EXPECT_FALSE(e.has_errors());
+}
+
+TEST(Audit, ParseFailureIsNotOkAndSkipsSemanticStages) {
+  AuditOptions opt;
+  opt.dev = gpusim::gtx980();
+  DiagnosticEngine e;
+  const AuditResult res =
+      audit_stencil_text("stencil Broken { dim 2\n  tap (0,0)\n}", opt, e);
+  EXPECT_FALSE(res.ok);
+  EXPECT_FALSE(res.def.has_value());
+  EXPECT_TRUE(e.has_errors());
+}
+
+TEST(Audit, HandBuiltHaloOverrunFailsTheAudit) {
+  stencil::StencilDef def = heat2d();
+  def.radius = 0;  // taps still reach 1: halo overrun
+  DiagnosticEngine e;
+  const AuditResult res = audit_stencil_def(def, AuditOptions{}, e);
+  EXPECT_FALSE(res.ok);
+  EXPECT_TRUE(e.has_code(Code::kAuditTapBeyondRadius));
+}
+
+TEST(Audit, CorruptDeviceFailsEvenWithCleanProgram) {
+  AuditOptions opt;
+  gpusim::DeviceParams dev = gpusim::gtx980();
+  dev.regs_per_sm = 0;
+  opt.dev = dev;
+  DiagnosticEngine e;
+  const AuditResult res = audit_stencil_text(kGoodSpec, opt, e);
+  EXPECT_FALSE(res.ok);
+  EXPECT_TRUE(e.has_code(Code::kAuditDeviceInvariant));
+}
+
+TEST(Audit, EmptySweepSpaceIsSL531Error) {
+  AuditOptions opt;
+  opt.dev = gpusim::gtx980();
+  // Every lattice point of this grid statically overflows shared
+  // memory: the whole sweep is provably dead.
+  SweepGrid g;
+  g.tS2_step = 8192;
+  g.tS2_max = 8192;
+  opt.sweep = g;
+  DiagnosticEngine e;
+  const AuditResult res = audit_stencil_text(kGoodSpec, opt, e);
+  EXPECT_FALSE(res.ok);
+  EXPECT_TRUE(e.has_code(Code::kAuditEmptySweep));
+  ASSERT_TRUE(res.certificate.has_value());
+  EXPECT_TRUE(res.certificate->empty());
+}
+
+TEST(Audit, DeadRegionNotesAreCappedBySummary) {
+  AuditOptions opt;
+  opt.dev = gpusim::gtx980();
+  opt.sweep = SweepGrid{};
+  opt.max_region_notes = 2;
+  DiagnosticEngine e;
+  const AuditResult res = audit_stencil_text(kGoodSpec, opt, e);
+  EXPECT_TRUE(res.ok);  // dead regions are notes, not errors
+  std::size_t region_notes = 0;
+  for (const Diagnostic& d : e.diagnostics()) {
+    if (d.code == Code::kAuditDeadRegion) ++region_notes;
+  }
+  // At most max_region_notes region notes plus the one summary note.
+  EXPECT_GT(region_notes, 0u);
+  EXPECT_LE(region_notes, 3u);
+}
+
+}  // namespace
+}  // namespace repro::analysis

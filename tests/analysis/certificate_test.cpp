@@ -1,0 +1,152 @@
+// Sweep-space dead-region certificates: the proof obligation. A
+// certificate asserts "every lattice point in these tail boxes is
+// infeasible"; the only acceptable evidence is exact agreement with
+// tuner::enumerate_feasible, which rejects point by point. The parity
+// suite runs the full default lattice on both shipped devices, dims
+// 1-3 and radii 1-2.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "analysis/ranges.hpp"
+#include "gpusim/device.hpp"
+#include "hhc/footprint.hpp"
+#include "tuner/space.hpp"
+
+namespace repro::analysis {
+namespace {
+
+TEST(Certificate, DefaultGridMatchesEnumDefaults) {
+  // SweepGrid's defaults exist so analysis/ need not link the tuner;
+  // they must stay in lock-step with tuner::EnumOptions.
+  EXPECT_EQ(SweepGrid{}, tuner::to_sweep_grid(tuner::EnumOptions{}));
+}
+
+TEST(Certificate, LivePointsEqualEnumerateFeasibleEverywhere) {
+  for (const gpusim::DeviceParams* dev :
+       {&gpusim::gtx980(), &gpusim::titan_x()}) {
+    const model::HardwareParams hw = dev->to_model_hardware();
+    for (int dim = 1; dim <= 3; ++dim) {
+      for (std::int64_t radius = 1; radius <= 2; ++radius) {
+        const tuner::EnumOptions opt;
+        const SweepCertificate cert =
+            certify_sweep(dim, hw, tuner::to_sweep_grid(opt), radius);
+        const auto live = certified_live_points(cert);
+        const auto expected = tuner::enumerate_feasible(dim, hw, opt, radius);
+        ASSERT_EQ(live.size(), expected.size())
+            << dev->name << " dim=" << dim << " r=" << radius;
+        for (std::size_t i = 0; i < live.size(); ++i) {
+          ASSERT_EQ(live[i], expected[i])
+              << dev->name << " dim=" << dim << " r=" << radius
+              << " index " << i;
+        }
+        // The exact dead count is the complement of the live count.
+        EXPECT_EQ(cert.dead_points + static_cast<std::int64_t>(live.size()),
+                  cert.lattice_points)
+            << dev->name << " dim=" << dim << " r=" << radius;
+      }
+    }
+  }
+}
+
+TEST(Certificate, ParityHoldsOnCoarseAndShiftedGrids) {
+  const model::HardwareParams hw = gpusim::gtx980().to_model_hardware();
+  tuner::EnumOptions opts[3];
+  opts[0].with_tT_max(24).with_tT_step(4).with_tS1_step(3);
+  opts[1].with_tS2_step(16).with_tS2_max(96).with_tS1_max(40);
+  opts[2].with_tT_max(64).with_tS1_max(8).with_tS2_step(64).with_tS3_step(16);
+  for (const tuner::EnumOptions& opt : opts) {
+    for (int dim = 1; dim <= 3; ++dim) {
+      const SweepCertificate cert =
+          certify_sweep(dim, hw, tuner::to_sweep_grid(opt), 1);
+      const auto live = certified_live_points(cert);
+      const auto expected = tuner::enumerate_feasible(dim, hw, opt, 1);
+      ASSERT_EQ(live.size(), expected.size()) << "dim=" << dim;
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        ASSERT_EQ(live[i], expected[i]) << "dim=" << dim;
+      }
+    }
+  }
+}
+
+TEST(Certificate, EveryRegionCornerActuallyFailsCapacity) {
+  // Each tail box is justified by one corner check: the corner itself
+  // must exceed the capacity wall, or the certificate proves nothing.
+  const model::HardwareParams hw = gpusim::titan_x().to_model_hardware();
+  const std::int64_t limit =
+      std::min(hw.max_shared_words_per_block, hw.shared_words_per_sm);
+  for (int dim = 2; dim <= 3; ++dim) {
+    const SweepCertificate cert = certify_sweep(dim, hw, SweepGrid{}, 1);
+    ASSERT_FALSE(cert.dead.empty()) << "dim=" << dim;
+    for (const DeadRegion& region : cert.dead) {
+      EXPECT_GT(hhc::shared_words_per_tile(dim, region.lo, 1), limit);
+      EXPECT_GT(region.points, 0);
+      EXPECT_TRUE(cert.covers(region.lo));
+    }
+  }
+}
+
+TEST(Certificate, CoversRejectsBelowSlopeAndAcceptsLivePoints) {
+  const model::HardwareParams hw = gpusim::gtx980().to_model_hardware();
+  const SweepCertificate cert = certify_sweep(2, hw, SweepGrid{}, 2);
+  // tS1 below the radius violates the slope constraint everywhere.
+  EXPECT_TRUE(
+      cert.covers(hhc::TileSizes{.tT = 2, .tS1 = 1, .tS2 = 32, .tS3 = 1}));
+  // A small tile comfortably inside capacity must stay live.
+  EXPECT_FALSE(
+      cert.covers(hhc::TileSizes{.tT = 2, .tS1 = 4, .tS2 = 32, .tS3 = 1}));
+}
+
+TEST(Certificate, DegenerateGridIsEmptyLattice) {
+  const model::HardwareParams hw = gpusim::gtx980().to_model_hardware();
+  SweepGrid g;
+  g.tT_max = 0;  // no even tT >= 2 exists
+  const SweepCertificate cert = certify_sweep(2, hw, g, 1);
+  EXPECT_EQ(cert.lattice_points, 0);
+  EXPECT_TRUE(certified_live_points(cert).empty());
+  // The tuner rejects the degenerate bound eagerly (SL312) where the
+  // audit certifies it as an empty lattice; both agree nothing runs.
+  EXPECT_THROW((void)tuner::enumerate_feasible(
+                   2, hw, tuner::EnumOptions{}.with_tT_max(0)),
+               std::invalid_argument);
+
+  DiagnosticEngine e;
+  audit_sweep(cert, e);
+  EXPECT_TRUE(e.has_code(Code::kAuditEmptySweep));
+  EXPECT_TRUE(e.has_errors());
+}
+
+TEST(Certificate, FullyDeadGridIsSL531AndMatchesEnumeration) {
+  const model::HardwareParams hw = gpusim::gtx980().to_model_hardware();
+  SweepGrid g;
+  g.tS2_step = 8192;
+  g.tS2_max = 8192;
+  const SweepCertificate cert = certify_sweep(2, hw, g, 1);
+  EXPECT_GT(cert.lattice_points, 0);
+  EXPECT_TRUE(cert.empty());
+  EXPECT_TRUE(certified_live_points(cert).empty());
+  tuner::EnumOptions opt;
+  opt.with_tS2_step(8192).with_tS2_max(8192);
+  EXPECT_TRUE(tuner::enumerate_feasible(2, hw, opt).empty());
+
+  DiagnosticEngine e;
+  audit_sweep(cert, e);
+  EXPECT_TRUE(e.has_code(Code::kAuditEmptySweep));
+}
+
+TEST(Certificate, HealthySweepEmitsRegionNotesOnly) {
+  const model::HardwareParams hw = gpusim::gtx980().to_model_hardware();
+  const SweepCertificate cert = certify_sweep(2, hw, SweepGrid{}, 1);
+  EXPECT_GT(cert.dead_points, 0);
+  EXPECT_FALSE(cert.empty());
+  DiagnosticEngine e;
+  audit_sweep(cert, e);
+  EXPECT_TRUE(e.has_code(Code::kAuditDeadRegion));
+  EXPECT_FALSE(e.has_errors());
+  for (const Diagnostic& d : e.diagnostics()) {
+    EXPECT_EQ(d.severity, Severity::kNote);
+  }
+}
+
+}  // namespace
+}  // namespace repro::analysis

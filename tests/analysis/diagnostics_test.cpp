@@ -80,5 +80,58 @@ TEST(Diagnostics, SeverityNames) {
   EXPECT_EQ(to_string(Severity::kError), "error");
 }
 
+TEST(Diagnostics, IdenticalFindingsCollapseToOne) {
+  // The parser, the linter and the auditor can each re-derive the
+  // same finding; one report per (code, line, message) is enough.
+  DiagnosticEngine e;
+  e.warn(Code::kTileLowOccupancy, "k=1", 4);
+  e.warn(Code::kTileLowOccupancy, "k=1", 4);
+  e.warn(Code::kTileLowOccupancy, "k=1", 4);
+  EXPECT_EQ(e.diagnostics().size(), 1u);
+  EXPECT_EQ(e.count(Severity::kWarning), 1u);
+}
+
+TEST(Diagnostics, DedupKeyIsCodeLineAndMessage) {
+  DiagnosticEngine e;
+  e.warn(Code::kTileLowOccupancy, "k=1", 4);
+  e.warn(Code::kTileLowOccupancy, "k=1", 5);    // different line
+  e.warn(Code::kTileLowOccupancy, "k=2", 4);    // different message
+  e.warn(Code::kTilePartial, "k=1", 4);         // different code
+  EXPECT_EQ(e.diagnostics().size(), 4u);
+}
+
+TEST(Diagnostics, DedupKeepsTheFirstReport) {
+  DiagnosticEngine e;
+  e.add({Severity::kWarning, Code::kTileLowOccupancy, "k=1", 4,
+         "the original hint"});
+  e.add({Severity::kNote, Code::kTileLowOccupancy, "k=1", 4, {}});
+  ASSERT_EQ(e.diagnostics().size(), 1u);
+  EXPECT_EQ(e.diagnostics()[0].severity, Severity::kWarning);
+  EXPECT_EQ(e.diagnostics()[0].hint, "the original hint");
+}
+
+TEST(Diagnostics, HintsRenderInBothForms) {
+  DiagnosticEngine e;
+  e.add({Severity::kError, Code::kAuditTapBeyondRadius, "halo overrun", 0,
+         "declare radius >= 2"});
+  const std::string human = render_human(e.diagnostics());
+  EXPECT_NE(human.find("error: [SL501] halo overrun"), std::string::npos);
+  EXPECT_NE(human.find("  hint: declare radius >= 2"), std::string::npos);
+  const std::string json = render_json(e.diagnostics());
+  EXPECT_NE(json.find("\"hint\": \"declare radius >= 2\""),
+            std::string::npos);
+}
+
+TEST(Diagnostics, AuditCodesAreRegistered) {
+  EXPECT_EQ(code_name(Code::kAuditTapBeyondRadius), "SL501");
+  EXPECT_EQ(code_name(Code::kAuditAmplification), "SL506");
+  EXPECT_EQ(code_name(Code::kAuditRegisterSpill), "SL510");
+  EXPECT_EQ(code_name(Code::kAuditResidencyBelowModel), "SL513");
+  EXPECT_EQ(code_name(Code::kAuditDeviceInvariant), "SL520");
+  EXPECT_EQ(code_name(Code::kAuditCalibrationSuspect), "SL521");
+  EXPECT_EQ(code_name(Code::kAuditDeadRegion), "SL530");
+  EXPECT_EQ(code_name(Code::kAuditEmptySweep), "SL531");
+}
+
 }  // namespace
 }  // namespace repro::analysis

@@ -1,0 +1,178 @@
+// Tap/footprint range analysis (SL501-SL506): each code has at least
+// one triggering case and one clean case. These checks run on the
+// semantic StencilDef, so hand-built definitions (radius inconsistent
+// with taps, NaN weights) are covered even though the parser can never
+// produce some of them.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/ranges.hpp"
+#include "stencil/stencil.hpp"
+
+namespace repro::analysis {
+namespace {
+
+stencil::StencilDef make_def(int dim, int radius,
+                             std::vector<stencil::Tap> taps) {
+  stencil::StencilDef def;
+  def.kind = stencil::StencilKind::kCustom;
+  def.name = "RangeTest";
+  def.dim = dim;
+  def.radius = radius;
+  def.taps = std::move(taps);
+  return def;
+}
+
+TEST(TapRanges, AnalyzeComputesReachAndSums) {
+  const auto def = make_def(2, 2,
+                            {{{0, 0, 0}, 0.5},
+                             {{-2, 0, 0}, 0.25},
+                             {{2, 0, 0}, 0.25},
+                             {{0, -1, 0}, -0.1},
+                             {{0, 1, 0}, -0.1}});
+  const TapRangeInfo info = analyze_tap_ranges(def);
+  EXPECT_EQ(info.reach[0], 2);
+  EXPECT_EQ(info.reach[1], 1);
+  EXPECT_EQ(info.reach[2], 0);
+  EXPECT_EQ(info.max_reach, 2);
+  EXPECT_TRUE(info.finite);
+  EXPECT_EQ(info.duplicate_taps, 0u);
+  EXPECT_EQ(info.zero_weight_taps, 0u);
+  EXPECT_NEAR(info.weight_sum, 0.8, 1e-12);
+  EXPECT_NEAR(info.abs_weight_sum, 1.2, 1e-12);
+}
+
+TEST(TapRanges, TapBeyondRadiusIsSL501Error) {
+  const auto def =
+      make_def(1, 1, {{{0, 0, 0}, 0.5}, {{-2, 0, 0}, 0.25},
+                      {{2, 0, 0}, 0.25}});
+  DiagnosticEngine e;
+  EXPECT_FALSE(check_tap_ranges(def, e));
+  EXPECT_TRUE(e.has_errors());
+  EXPECT_TRUE(e.has_code(Code::kAuditTapBeyondRadius));
+  // Fix-it hint names the radius that would make the program legal.
+  bool hinted = false;
+  for (const Diagnostic& d : e.diagnostics()) {
+    if (d.code == Code::kAuditTapBeyondRadius) {
+      hinted = hinted || d.hint.find("radius >= 2") != std::string::npos;
+    }
+  }
+  EXPECT_TRUE(hinted);
+}
+
+TEST(TapRanges, TapWithinRadiusIsClean) {
+  const auto def =
+      make_def(1, 2, {{{0, 0, 0}, 0.5}, {{-2, 0, 0}, 0.25},
+                      {{2, 0, 0}, 0.25}});
+  DiagnosticEngine e;
+  EXPECT_TRUE(check_tap_ranges(def, e));
+  EXPECT_FALSE(e.has_code(Code::kAuditTapBeyondRadius));
+  EXPECT_FALSE(e.has_code(Code::kAuditRadiusOverdeclared));
+}
+
+TEST(TapRanges, OverdeclaredRadiusIsSL502Warning) {
+  const auto def =
+      make_def(1, 3, {{{0, 0, 0}, 0.5}, {{-1, 0, 0}, 0.25},
+                      {{1, 0, 0}, 0.25}});
+  DiagnosticEngine e;
+  EXPECT_TRUE(check_tap_ranges(def, e));  // warning, not error
+  EXPECT_TRUE(e.has_code(Code::kAuditRadiusOverdeclared));
+  EXPECT_FALSE(e.has_errors());
+}
+
+TEST(TapRanges, DuplicateTapIsSL503Warning) {
+  const auto def =
+      make_def(1, 1, {{{0, 0, 0}, 0.4}, {{-1, 0, 0}, 0.2},
+                      {{1, 0, 0}, 0.2}, {{1, 0, 0}, 0.2}});
+  DiagnosticEngine e;
+  check_tap_ranges(def, e);
+  EXPECT_TRUE(e.has_code(Code::kAuditDuplicateTap));
+  EXPECT_FALSE(e.has_errors());
+}
+
+TEST(TapRanges, DistinctTapsHaveNoSL503) {
+  const auto def =
+      make_def(1, 1, {{{0, 0, 0}, 0.6}, {{-1, 0, 0}, 0.2},
+                      {{1, 0, 0}, 0.2}});
+  DiagnosticEngine e;
+  check_tap_ranges(def, e);
+  EXPECT_FALSE(e.has_code(Code::kAuditDuplicateTap));
+}
+
+TEST(TapRanges, NanWeightIsSL504Error) {
+  const auto def = make_def(
+      1, 1,
+      {{{0, 0, 0}, std::numeric_limits<double>::quiet_NaN()},
+       {{-1, 0, 0}, 0.2},
+       {{1, 0, 0}, 0.2}});
+  DiagnosticEngine e;
+  EXPECT_FALSE(check_tap_ranges(def, e));
+  EXPECT_TRUE(e.has_code(Code::kAuditNonFiniteCoefficient));
+}
+
+TEST(TapRanges, InfiniteConstantIsSL504Error) {
+  auto def = make_def(1, 1, {{{0, 0, 0}, 1.0}});
+  def.constant = std::numeric_limits<double>::infinity();
+  DiagnosticEngine e;
+  EXPECT_FALSE(check_tap_ranges(def, e));
+  EXPECT_TRUE(e.has_code(Code::kAuditNonFiniteCoefficient));
+}
+
+TEST(TapRanges, FiniteCoefficientsHaveNoSL504) {
+  const auto def = make_def(1, 1, {{{0, 0, 0}, 1.0}});
+  DiagnosticEngine e;
+  EXPECT_TRUE(check_tap_ranges(def, e));
+  EXPECT_FALSE(e.has_code(Code::kAuditNonFiniteCoefficient));
+}
+
+TEST(TapRanges, ZeroWeightTapIsSL505Warning) {
+  const auto def =
+      make_def(1, 1, {{{0, 0, 0}, 1.0}, {{-1, 0, 0}, 0.0},
+                      {{1, 0, 0}, 0.0}});
+  DiagnosticEngine e;
+  check_tap_ranges(def, e);
+  EXPECT_TRUE(e.has_code(Code::kAuditDeadTap));
+  EXPECT_FALSE(e.has_errors());
+}
+
+TEST(TapRanges, GradientBodySkipsZeroWeightAndAmplification) {
+  // Gradient-style bodies carry structural taps whose weights do not
+  // mean "convolution coefficient" — the parser's SL108 skips them,
+  // and the semantic twin must agree.
+  auto def = make_def(2, 1,
+                      {{{0, 0, 0}, 0.0},
+                       {{-1, 0, 0}, -1.0},
+                       {{1, 0, 0}, 1.0},
+                       {{0, -1, 0}, -1.0},
+                       {{0, 1, 0}, 1.0}});
+  def.body = stencil::BodyKind::kGradientMagnitude;
+  DiagnosticEngine e;
+  EXPECT_TRUE(check_tap_ranges(def, e));
+  EXPECT_FALSE(e.has_code(Code::kAuditDeadTap));
+  EXPECT_FALSE(e.has_code(Code::kAuditAmplification));
+}
+
+TEST(TapRanges, AmplifyingWeightedSumIsSL506Note) {
+  const auto def =
+      make_def(1, 1, {{{0, 0, 0}, 1.0}, {{-1, 0, 0}, 0.3},
+                      {{1, 0, 0}, 0.3}});
+  DiagnosticEngine e;
+  EXPECT_TRUE(check_tap_ranges(def, e));  // note only
+  EXPECT_TRUE(e.has_code(Code::kAuditAmplification));
+  EXPECT_FALSE(e.has_errors());
+}
+
+TEST(TapRanges, ConvexSumHasNoSL506) {
+  const auto def =
+      make_def(1, 1, {{{0, 0, 0}, 0.5}, {{-1, 0, 0}, 0.25},
+                      {{1, 0, 0}, 0.25}});
+  DiagnosticEngine e;
+  check_tap_ranges(def, e);
+  EXPECT_FALSE(e.has_code(Code::kAuditAmplification));
+}
+
+}  // namespace
+}  // namespace repro::analysis

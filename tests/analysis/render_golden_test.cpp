@@ -1,0 +1,111 @@
+// Rendering parity and documentation goldens. The human and JSON
+// renderers must agree on severity names, codes, lines, messages and
+// hints for every severity; and the SLxxx code table published in
+// README.md must list exactly the codes registered in diagnostics.cpp
+// (a new code without a documented row — or a documented row whose
+// code was removed — fails here).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "analysis/diagnostics.hpp"
+#include "common/json.hpp"
+
+namespace repro::analysis {
+namespace {
+
+std::vector<Diagnostic> sample_diags() {
+  return {
+      {Severity::kError, Code::kParseSyntax, "unexpected character", 3, {}},
+      {Severity::kWarning, Code::kAuditRegisterSpill,
+       "predicted 300 registers/thread", 0,
+       "shrink the per-thread unrolled work"},
+      {Severity::kNote, Code::kAuditDeadRegion,
+       "certified dead region: \"quoted\" and \\slashed\\", 0, {}},
+  };
+}
+
+TEST(RenderParity, HumanAndJsonAgreeAcrossSeverities) {
+  const auto diags = sample_diags();
+  const std::string human = render_human(diags, "prog.stencil");
+  const std::string json_text = render_json(diags);
+
+  const auto doc = json::parse(json_text);
+  ASSERT_TRUE(doc.has_value()) << json_text;
+  ASSERT_TRUE(doc->is_array());
+  ASSERT_EQ(doc->size(), diags.size());
+
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    const json::Value& e = doc->items()[i];
+    EXPECT_EQ(e.find("severity")->as_string(), to_string(d.severity));
+    EXPECT_EQ(e.find("code")->as_string(), code_name(d.code));
+    EXPECT_EQ(e.find("line")->as_int(), d.line);
+    EXPECT_EQ(e.find("message")->as_string(), d.message);
+    if (d.hint.empty()) {
+      EXPECT_EQ(e.find("hint"), nullptr);
+    } else {
+      ASSERT_NE(e.find("hint"), nullptr);
+      EXPECT_EQ(e.find("hint")->as_string(), d.hint);
+    }
+
+    // The human renderer prints the same severity word, code and
+    // message on one line.
+    const std::string expect_line = std::string(to_string(d.severity)) +
+                                    ": [" + std::string(code_name(d.code)) +
+                                    "] " + d.message;
+    EXPECT_NE(human.find(expect_line), std::string::npos) << expect_line;
+  }
+
+  // Line anchoring and hints in the human form.
+  EXPECT_NE(human.find("prog.stencil:3: error:"), std::string::npos);
+  EXPECT_NE(human.find("  hint: shrink the per-thread unrolled work"),
+            std::string::npos);
+}
+
+TEST(RenderParity, HintlessDiagnosticsSerializeExactlyAsBeforeAudit) {
+  // Pre-audit byte-format pin: no "hint" key, no trailing hint line.
+  const std::vector<Diagnostic> diags = {
+      {Severity::kWarning, Code::kTilePartial, "partial tiles", 0, {}}};
+  EXPECT_EQ(render_json(diags),
+            "[\n  {\"severity\": \"warning\", \"code\": \"SL308\", "
+            "\"line\": 0, \"message\": \"partial tiles\"}\n]");
+  EXPECT_EQ(render_human(diags), "warning: [SL308] partial tiles\n");
+}
+
+TEST(Golden, ReadmeCodeTableMatchesRegisteredCodes) {
+  const std::string path = std::string(REPRO_SOURCE_DIR) + "/README.md";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << path;
+  std::set<std::string> documented;
+  std::string line;
+  while (std::getline(in, line)) {
+    // Table rows look like "| SL501 | error | ... |".
+    if (line.rfind("| SL", 0) != 0) continue;
+    const std::size_t end = line.find(' ', 2);
+    ASSERT_NE(end, std::string::npos) << line;
+    documented.insert(line.substr(2, end - 2));
+  }
+
+  std::set<std::string> registered;
+  for (const Code c : all_codes()) {
+    registered.insert(std::string(code_name(c)));
+  }
+
+  for (const std::string& code : registered) {
+    EXPECT_TRUE(documented.count(code) == 1)
+        << code << " is registered in diagnostics.cpp but missing from "
+        << "the README code table";
+  }
+  for (const std::string& code : documented) {
+    EXPECT_TRUE(registered.count(code) == 1)
+        << code << " is documented in README but not registered in "
+        << "diagnostics.cpp";
+  }
+}
+
+}  // namespace
+}  // namespace repro::analysis

@@ -1,0 +1,140 @@
+// Static resource prediction (SL510-SL513): triggering and clean
+// cases for each code, plus the consistency pin that predict_resources
+// agrees field-by-field with gpusim::resolve_config — the auditor must
+// never promise an occupancy the simulator will not deliver.
+#include <gtest/gtest.h>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/resources.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/timing.hpp"
+#include "stencil/stencil.hpp"
+#include "tuner/space.hpp"
+
+namespace repro::analysis {
+namespace {
+
+const stencil::StencilDef& heat2d() {
+  return stencil::get_stencil(stencil::StencilKind::kHeat2D);
+}
+
+TEST(Resources, PredictedSpillIsSL510) {
+  // 2000 iteration points over 8 threads unrolls ~250 deep: way past
+  // the 255-register physical budget.
+  const hhc::TileSizes ts{.tT = 2, .tS1 = 4, .tS2 = 500, .tS3 = 1};
+  const hhc::ThreadConfig thr{.n1 = 8, .n2 = 1, .n3 = 1};
+  const ResourcePrediction rp =
+      predict_resources(gpusim::gtx980(), heat2d(), ts, thr);
+  ASSERT_TRUE(rp.fits);
+  EXPECT_GT(rp.spilled_regs, 0);
+
+  DiagnosticEngine e;
+  EXPECT_TRUE(check_resources(gpusim::gtx980(), heat2d(), ts, thr, e));
+  EXPECT_TRUE(e.has_code(Code::kAuditRegisterSpill));
+  EXPECT_FALSE(e.has_errors());  // SL51x family is warnings only
+}
+
+TEST(Resources, OccupancyCliffIsSL511) {
+  // A near-capacity tile: k_shared = 2, so 128 threads give only 8
+  // resident warps against the 40 needed for full issue.
+  const hhc::TileSizes ts{.tT = 2, .tS1 = 10, .tS2 = 448, .tS3 = 1};
+  const hhc::ThreadConfig thr{.n1 = 128, .n2 = 1, .n3 = 1};
+  DiagnosticEngine e;
+  check_resources(gpusim::gtx980(), heat2d(), ts, thr, e);
+  EXPECT_TRUE(e.has_code(Code::kAuditOccupancyCliff));
+  EXPECT_FALSE(e.has_code(Code::kAuditRegisterSpill));
+}
+
+TEST(Resources, IdleThreadsIsSL512) {
+  const stencil::StencilDef& jacobi1d =
+      stencil::get_stencil(stencil::StencilKind::kJacobi1D);
+  // Widest row of a {tT=2, tS1=4} hexagon is 4 points; a 32-thread
+  // block leaves 28 threads idle at every barrier.
+  const hhc::TileSizes ts{.tT = 2, .tS1 = 4, .tS2 = 1, .tS3 = 1};
+  const hhc::ThreadConfig thr{.n1 = 32, .n2 = 1, .n3 = 1};
+  DiagnosticEngine e;
+  check_resources(gpusim::gtx980(), jacobi1d, ts, thr, e);
+  EXPECT_TRUE(e.has_code(Code::kAuditIdleThreads));
+}
+
+TEST(Resources, ThreadCapBelowModelBoundIsSL513) {
+  // A tiny tile with 1024 threads: shared memory admits dozens of
+  // resident tiles but the SM thread capacity caps k at 2 — the
+  // analytical model (shared-memory bound only) is optimistic here.
+  const hhc::TileSizes ts{.tT = 2, .tS1 = 4, .tS2 = 32, .tS3 = 1};
+  const hhc::ThreadConfig thr{.n1 = 1024, .n2 = 1, .n3 = 1};
+  DiagnosticEngine e;
+  check_resources(gpusim::gtx980(), heat2d(), ts, thr, e);
+  EXPECT_TRUE(e.has_code(Code::kAuditResidencyBelowModel));
+}
+
+TEST(Resources, BalancedConfigurationIsClean) {
+  // Shared memory binds (k = k_shared = 4), 32 resident warps keep
+  // inflation under the warning gate, no spill, no idle threads.
+  const hhc::TileSizes ts{.tT = 2, .tS1 = 8, .tS2 = 256, .tS3 = 1};
+  const hhc::ThreadConfig thr{.n1 = 256, .n2 = 1, .n3 = 1};
+  DiagnosticEngine e;
+  EXPECT_TRUE(check_resources(gpusim::gtx980(), heat2d(), ts, thr, e));
+  EXPECT_FALSE(e.has_code(Code::kAuditRegisterSpill));
+  EXPECT_FALSE(e.has_code(Code::kAuditOccupancyCliff));
+  EXPECT_FALSE(e.has_code(Code::kAuditIdleThreads));
+  EXPECT_FALSE(e.has_code(Code::kAuditResidencyBelowModel));
+}
+
+TEST(Resources, UnfitTupleEmitsNothing) {
+  // Hard infeasibility (tT odd) is the legality checker's job; the
+  // resource pass must stay silent instead of duplicating SL301.
+  const hhc::TileSizes ts{.tT = 3, .tS1 = 8, .tS2 = 32, .tS3 = 1};
+  const hhc::ThreadConfig thr{.n1 = 32, .n2 = 1, .n3 = 1};
+  const ResourcePrediction rp =
+      predict_resources(gpusim::gtx980(), heat2d(), ts, thr);
+  EXPECT_FALSE(rp.fits);
+  DiagnosticEngine e;
+  EXPECT_TRUE(check_resources(gpusim::gtx980(), heat2d(), ts, thr, e));
+  EXPECT_TRUE(e.diagnostics().empty());
+}
+
+// The consistency pin: over the real enumeration lattice and several
+// thread shapes, the prediction equals resolve_config on every shared
+// field. Any drift between the two accountings would let the audit
+// pass promise occupancies the simulator rejects (or vice versa).
+TEST(Resources, PredictionMatchesResolveConfigOnFeasibleLattice) {
+  struct Case {
+    stencil::StencilKind kind;
+    int dim;
+  };
+  const Case cases[] = {{stencil::StencilKind::kJacobi1D, 1},
+                        {stencil::StencilKind::kHeat2D, 2},
+                        {stencil::StencilKind::kHeat3D, 3}};
+  const int threads_list[] = {32, 64, 128, 256};
+  for (const gpusim::DeviceParams* dev :
+       {&gpusim::gtx980(), &gpusim::titan_x()}) {
+    for (const Case& c : cases) {
+      const stencil::StencilDef& def = stencil::get_stencil(c.kind);
+      tuner::EnumOptions opt;
+      opt.with_tT_max(8).with_tS1_max(16).with_tS2_max(128).with_tS3_max(64);
+      const auto lattice =
+          tuner::enumerate_feasible(c.dim, dev->to_model_hardware(), opt);
+      ASSERT_FALSE(lattice.empty());
+      for (const hhc::TileSizes& ts : lattice) {
+        for (const int threads : threads_list) {
+          const hhc::ThreadConfig thr{.n1 = threads, .n2 = 1, .n3 = 1};
+          const ResourcePrediction rp =
+              predict_resources(*dev, def, ts, thr);
+          const gpusim::ResolvedConfig rc =
+              gpusim::resolve_config(*dev, def, c.dim, ts, threads);
+          ASSERT_EQ(rp.fits, rc.feasible)
+              << ts.to_string() << " threads=" << threads;
+          if (!rp.fits) continue;
+          EXPECT_EQ(rp.k, rc.k) << ts.to_string();
+          EXPECT_EQ(rp.regs_per_thread, rc.regs_per_thread)
+              << ts.to_string();
+          EXPECT_EQ(rp.spilled_regs > 0, rc.spills) << ts.to_string();
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace repro::analysis

@@ -98,6 +98,36 @@ TEST_F(CoreTest, ColdWarmAndDirectSessionAreByteIdentical) {
   }
 }
 
+TEST_F(CoreTest, AuditLintReturnsStructuredSL5xxFindings) {
+  ServiceCore core{ServiceOptions{}};
+  // 1024 threads against a tile whose widest row has 128 iteration
+  // points: the audit predicts idle threads (SL512) with a fix-it hint.
+  const std::string audited = core.handle(
+      R"({"v":1,"id":"a1","kind":"lint","stencil":"Heat2D",)"
+      R"("tile":{"tT":2,"tS1":4,"tS2":32},"threads":{"n1":1024},)"
+      R"("audit":true})");
+  EXPECT_NE(audited.find(R"("ok":true)"), std::string::npos);
+  EXPECT_NE(audited.find("SL512"), std::string::npos);
+  EXPECT_NE(audited.find(R"("hint")"), std::string::npos);
+  EXPECT_TRUE(json::parse(audited).has_value()) << audited;
+}
+
+TEST_F(CoreTest, AuditOffPayloadIsByteIdenticalToLegacyLint) {
+  // The explicit "audit":false spelling and the pre-audit request
+  // shape must serve the same bytes (same canonical key, same payload:
+  // warm-store entries written before the audit existed stay valid).
+  ServiceCore core{ServiceOptions{}};
+  const std::string legacy = core.handle(kLint);
+  const std::string explicit_off = core.handle(
+      R"({"v":1,"id":"l1","kind":"lint","stencil":"Heat2D",)"
+      R"("problem":{"S":[512,512],"T":64},"tile":{"tT":6,"tS1":8,"tS2":160},)"
+      R"("audit":false})");
+  EXPECT_EQ(legacy, explicit_off);
+  // No SL5xx family codes and no hint keys on the legacy path.
+  EXPECT_EQ(legacy.find("SL5"), std::string::npos);
+  EXPECT_EQ(legacy.find(R"("hint")"), std::string::npos);
+}
+
 TEST_F(CoreTest, RepeatedRequestsRecomputeIdenticallyWithoutStore) {
   ServiceCore core{ServiceOptions{}};  // no store, serial traffic
   const std::string first = core.handle(kPredict);

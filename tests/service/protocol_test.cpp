@@ -178,6 +178,58 @@ TEST(CanonicalKey, DistinguishesEveryRelevantField) {
   }
 }
 
+TEST(Protocol, AuditFlagParsesOnLintOnly) {
+  DiagnosticEngine diags;
+  const auto req = parse_request(
+      R"({"v":1,"kind":"lint","stencil":"Heat2D","audit":true})", diags);
+  ASSERT_TRUE(req) << analysis::render_human(diags.diagnostics());
+  EXPECT_TRUE(req->audit);
+
+  // Defaults off.
+  diags.clear();
+  const auto plain =
+      parse_request(R"({"v":1,"kind":"lint","stencil":"Heat2D"})", diags);
+  ASSERT_TRUE(plain);
+  EXPECT_FALSE(plain->audit);
+
+  // Not a lint field elsewhere: unknown-field rejection (SL405).
+  diags.clear();
+  EXPECT_EQ(parse_request(
+                R"({"v":1,"kind":"predict","stencil":"Heat2D",)"
+                R"("problem":{"S":[512,512],"T":64},)"
+                R"("tile":{"tT":6,"tS1":8,"tS2":160},"audit":true})",
+                diags),
+            std::nullopt);
+  EXPECT_TRUE(diags.has_code(Code::kSvcBadField));
+}
+
+TEST(Protocol, AuditFlagMustBeBoolean) {
+  DiagnosticEngine diags;
+  EXPECT_EQ(parse_request(
+                R"({"v":1,"kind":"lint","stencil":"Heat2D","audit":1})",
+                diags),
+            std::nullopt);
+  EXPECT_TRUE(diags.has_code(Code::kSvcBadField));
+}
+
+TEST(CanonicalKey, AuditEntersTheKeyOnlyWhenEnabled) {
+  DiagnosticEngine diags;
+  const auto off =
+      parse_request(R"({"v":1,"kind":"lint","stencil":"Heat2D"})", diags);
+  const auto explicit_off = parse_request(
+      R"({"v":1,"kind":"lint","stencil":"Heat2D","audit":false})", diags);
+  const auto on = parse_request(
+      R"({"v":1,"kind":"lint","stencil":"Heat2D","audit":true})", diags);
+  ASSERT_TRUE(off && explicit_off && on)
+      << analysis::render_human(diags.diagnostics());
+  // Pre-audit clients' stored results must keep their keys: audit:false
+  // (explicit or defaulted) is canonically absent.
+  EXPECT_EQ(off->canonical_key(), explicit_off->canonical_key());
+  EXPECT_EQ(off->canonical_key().find("audit"), std::string::npos);
+  EXPECT_NE(on->canonical_key(), off->canonical_key());
+  EXPECT_NE(on->canonical_key().find("audit"), std::string::npos);
+}
+
 TEST(CanonicalKey, BestTileKeyTracksTuningOptions) {
   DiagnosticEngine diags;
   const auto a = parse_request(

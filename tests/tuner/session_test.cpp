@@ -66,6 +66,46 @@ TEST(Session, MatchesFreeFunctions) {
             best_over_threads(gpusim::gtx980(), def, kSmall2D, in, ts));
 }
 
+TEST(Session, AuditSurfacesFindingsWithoutPerturbingTuning) {
+  // The observational-purity pin: audit() reads the session context
+  // and returns diagnostics, but every tuning result stays identical
+  // whether the audit ran or not — the findings are advisory only.
+  const auto& def = get_stencil(StencilKind::kHeat2D);
+  const model::ModelInputs in = gpusim::calibrate_model(gpusim::gtx980(), def);
+  const auto space = enumerate_feasible(2, in.hw, small_space());
+
+  Session plain(TuningContext::with_inputs(gpusim::gtx980(), def, kSmall2D,
+                                           in));
+  const ModelSweep before = plain.sweep_model(space, 0.10);
+
+  Session audited(TuningContext::with_inputs(gpusim::gtx980(), def, kSmall2D,
+                                             in));
+  const auto findings = audited.audit(
+      hhc::TileSizes{.tT = 2, .tS1 = 4, .tS2 = 32, .tS3 = 1},
+      hhc::ThreadConfig{.n1 = 1024, .n2 = 1, .n3 = 1});
+  // The chosen configuration predicts idle threads (SL512).
+  bool found = false;
+  for (const auto& d : findings) {
+    found = found || d.code == analysis::Code::kAuditIdleThreads;
+  }
+  EXPECT_TRUE(found);
+
+  const ModelSweep after = audited.sweep_model(space, 0.10);
+  EXPECT_EQ(after.talg_min, before.talg_min);
+  EXPECT_EQ(after.argmin, before.argmin);
+  EXPECT_EQ(after.candidates, before.candidates);
+
+  // Audit twice: same findings, still no effect.
+  const auto findings2 = audited.audit(
+      hhc::TileSizes{.tT = 2, .tS1 = 4, .tS2 = 32, .tS3 = 1},
+      hhc::ThreadConfig{.n1 = 1024, .n2 = 1, .n3 = 1});
+  EXPECT_EQ(findings, findings2);
+  EXPECT_EQ(audited.evaluate_point({{.tT = 8, .tS1 = 8, .tS2 = 64, .tS3 = 1},
+                                    {.n1 = 32, .n2 = 8, .n3 = 1}}),
+            plain.evaluate_point({{.tT = 8, .tS1 = 8, .tS2 = 64, .tS3 = 1},
+                                  {.n1 = 32, .n2 = 8, .n3 = 1}}));
+}
+
 TEST(Session, CompareStrategiesIsDeterministicAcrossJobCounts) {
   const auto& def = get_stencil(StencilKind::kHeat2D);
   const model::ModelInputs in = gpusim::calibrate_model(gpusim::gtx980(), def);

@@ -7,8 +7,16 @@
 // constraints, the 48 KB rule, warp alignment, register pressure and
 // partial-tile hazards for the selected device.
 //
+// --audit additionally runs the semantic audit pass (SL5xx): tap
+// range analysis, static resource prediction, device-descriptor
+// invariants and sweep-space dead-region certificates, with fix-it
+// hints on the findings.
+//
+// Batch mode: several inputs may be given in one invocation; each is
+// linted independently (CI gates on the combined exit status).
+//
 // Exit status: 0 = clean (warnings allowed), 1 = error diagnostics
-// were emitted, 2 = bad command line.
+// were emitted for any input, 2 = bad command line or unreadable file.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -17,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/audit.hpp"
 #include "analysis/diagnostics.hpp"
 #include "analysis/lint.hpp"
 #include "common/cli.hpp"
@@ -33,12 +42,15 @@ int usage(const char* prog) {
                "configurations\n"
                "\n"
                "usage:\n"
-               "  %s [options] <file.stencil | ->\n"
+               "  %s [options] <file.stencil | -> [more files...]\n"
                "  %s --stencil=<catalogue-name> [options]\n"
                "  %s --list-codes\n"
                "\n"
                "options:\n"
-               "  --json                    emit diagnostics as a JSON array\n"
+               "  --json                    emit diagnostics as JSON (one "
+               "array per run)\n"
+               "  --audit                   run the semantic audit pass "
+               "(SL5xx) with fix-it hints\n"
                "  --device=<gtx980|titanx>  hardware for configuration checks "
                "(default gtx980)\n"
                "  --tile=tT,tS1[,tS2[,tS3]] tile sizes to legality-check\n"
@@ -83,10 +95,25 @@ std::string read_stream(std::istream& in) {
   return os.str();
 }
 
+// One linted input: either a file path / "-" or a catalogue name.
+struct Input {
+  std::string source_name;
+  std::string text;        // DSL text, or
+  bool catalogue = false;  // ... resolve `name` from the catalogue
+  std::string name;
+};
+
+struct FileReport {
+  std::string source_name;
+  analysis::DiagnosticEngine diags;
+  std::optional<stencil::StencilDef> def;
+  std::optional<analysis::DependenceCone> cone;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv, {"json", "list-codes", "help"});
+  const CliArgs args(argc, argv, {"json", "list-codes", "help", "audit"});
 
   if (args.has_flag("list-codes")) return list_codes();
   if (args.has_flag("help")) return usage(argv[0]) == 2 ? 0 : 0;
@@ -95,8 +122,8 @@ int main(int argc, char** argv) {
   // flag this binary understands is listed here.
   for (const std::string& key : args.keys()) {
     static constexpr const char* kKnown[] = {
-        "json", "device", "tile", "threads", "size",
-        "steps", "warp",   "stencil"};
+        "json", "audit", "device", "tile", "threads",
+        "size", "steps", "warp",   "stencil"};
     bool known = false;
     for (const char* k : kKnown) known = known || key == k;
     if (!known) {
@@ -106,21 +133,23 @@ int main(int argc, char** argv) {
   }
 
   const auto catalogue_name = args.get("stencil");
-  if (args.positional().size() + (catalogue_name ? 1 : 0) != 1) {
+  if (args.positional().empty() && !catalogue_name) {
     return usage(argv[0]);
   }
 
+  const bool audit = args.has_flag("audit");
   analysis::LintOptions opt;
   const std::string device = args.get_or("device", "gtx980");
+  gpusim::DeviceParams dev;
   try {
-    opt.hw = gpusim::device_by_name(device == "gtx980"   ? "GTX 980"
-                                    : device == "titanx" ? "Titan X"
-                                                         : device)
-                 .to_model_hardware();
+    dev = gpusim::device_by_name(device == "gtx980"   ? "GTX 980"
+                                 : device == "titanx" ? "Titan X"
+                                                      : device);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
+  opt.hw = dev.to_model_hardware();
   opt.warp = args.get_int_or("warp", 32);
   if (opt.warp <= 0) {
     std::fprintf(stderr, "--warp must be positive\n");
@@ -165,65 +194,131 @@ int main(int argc, char** argv) {
     opt.problem = p;
   }
 
-  analysis::DiagnosticEngine diags;
-  analysis::LintResult result;
-  std::string source_name;
+  // Collect the batch: every positional plus, when given, the
+  // catalogue stencil.
+  std::vector<Input> inputs;
   if (catalogue_name) {
-    source_name = "<catalogue:" + *catalogue_name + ">";
+    Input in;
+    in.source_name = "<catalogue:" + *catalogue_name + ">";
+    in.catalogue = true;
+    in.name = *catalogue_name;
+    inputs.push_back(std::move(in));
+  }
+  for (const std::string& path : args.positional()) {
+    Input in;
+    in.source_name = path == "-" ? "<stdin>" : path;
+    if (path == "-") {
+      in.text = read_stream(std::cin);
+    } else {
+      std::ifstream f(path);
+      if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 2;
+      }
+      in.text = read_stream(f);
+    }
+    inputs.push_back(std::move(in));
+  }
+
+  analysis::AuditOptions aopt;
+  if (audit) {
+    aopt.ts = opt.ts;
+    aopt.thr = opt.thr;
+    aopt.problem = opt.problem;
+    aopt.dev = dev;
+    aopt.warp = opt.warp;
+    // Certify the default enumeration lattice: prove the infeasible
+    // sub-boxes once instead of letting a later sweep reject them
+    // point by point.
+    aopt.sweep = analysis::SweepGrid{};
+  }
+
+  std::vector<FileReport> reports(inputs.size());
+  bool any_errors = false;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const Input& in = inputs[i];
+    FileReport& rep = reports[i];
+    rep.source_name = in.source_name;
     try {
-      result = analysis::lint_stencil_def(
-          stencil::get_stencil_by_name(*catalogue_name), opt, diags);
+      if (audit) {
+        analysis::AuditResult res;
+        if (in.catalogue) {
+          res = analysis::audit_stencil_def(
+              stencil::get_stencil_by_name(in.name), aopt, rep.diags);
+        } else {
+          res = analysis::audit_stencil_text(in.text, aopt, rep.diags);
+        }
+        rep.def = res.def;
+        rep.cone = res.cone;
+      } else {
+        analysis::LintResult res;
+        if (in.catalogue) {
+          res = analysis::lint_stencil_def(
+              stencil::get_stencil_by_name(in.name), opt, rep.diags);
+        } else {
+          res = analysis::lint_stencil_text(in.text, opt, rep.diags);
+        }
+        rep.def = res.def;
+        rep.cone = res.cone;
+      }
     } catch (const std::exception& e) {
       std::fprintf(stderr, "%s\n", e.what());
       return 2;
     }
-  } else {
-    const std::string& path = args.positional()[0];
-    source_name = path == "-" ? "<stdin>" : path;
-    std::string text;
-    if (path == "-") {
-      text = read_stream(std::cin);
-    } else {
-      std::ifstream in(path);
-      if (!in) {
-        std::fprintf(stderr, "cannot open %s\n", path.c_str());
-        return 2;
-      }
-      text = read_stream(in);
-    }
-    result = analysis::lint_stencil_text(text, opt, diags);
-  }
 
-  // When the problem's dimensionality disagrees with the stencil's,
-  // the size flag was probably mistyped — surface it rather than
-  // silently checking a different problem.
-  if (result.def && opt.problem && opt.problem->dim != result.def->dim) {
-    diags.warn(analysis::Code::kTilePartial,
-               "--size has " + std::to_string(opt.problem->dim) +
-                   " extents but the stencil is " +
-                   std::to_string(result.def->dim) +
-                   "-dimensional; divisibility checks used the given "
-                   "extents as-is");
+    // When the problem's dimensionality disagrees with the stencil's,
+    // the size flag was probably mistyped — surface it rather than
+    // silently checking a different problem.
+    if (rep.def && opt.problem && opt.problem->dim != rep.def->dim) {
+      rep.diags.warn(analysis::Code::kTilePartial,
+                     "--size has " + std::to_string(opt.problem->dim) +
+                         " extents but the stencil is " +
+                         std::to_string(rep.def->dim) +
+                         "-dimensional; divisibility checks used the given "
+                         "extents as-is");
+    }
+    any_errors = any_errors || rep.diags.has_errors();
   }
 
   if (args.has_flag("json")) {
-    std::printf("%s\n", analysis::render_json(diags.diagnostics()).c_str());
-  } else {
-    std::printf("%s",
-                analysis::render_human(diags.diagnostics(), source_name)
-                    .c_str());
-    if (result.def && result.cone) {
-      std::printf("%s: %s — dim=%d taps=%zu radius=(%d,%d,%d) r=%d%s\n",
-                  source_name.c_str(),
-                  diags.has_errors() ? "invalid" : "ok",
-                  result.def->dim, result.cone->tap_count,
-                  result.cone->radius[0], result.cone->radius[1],
-                  result.cone->radius[2], result.cone->max_radius,
-                  result.cone->symmetric ? "" : " (asymmetric)");
+    if (reports.size() == 1) {
+      // Single-input invocations keep the legacy shape: one array of
+      // diagnostics.
+      std::printf("%s\n",
+                  analysis::render_json(reports[0].diags.diagnostics())
+                      .c_str());
     } else {
-      std::printf("%s: invalid — %zu error(s)\n", source_name.c_str(),
-                  diags.count(analysis::Severity::kError));
+      // Batch shape: one object per input, in argument order.
+      std::string out = "[";
+      for (std::size_t i = 0; i < reports.size(); ++i) {
+        out += i == 0 ? "\n" : ",\n";
+        out += " {\"file\": \"" + reports[i].source_name + "\", \"ok\": ";
+        out += reports[i].diags.has_errors() ? "false" : "true";
+        out += ", \"diagnostics\": ";
+        out += analysis::render_json(reports[i].diags.diagnostics());
+        out += "}";
+      }
+      out += "\n]";
+      std::printf("%s\n", out.c_str());
+    }
+  } else {
+    for (const FileReport& rep : reports) {
+      std::printf("%s", analysis::render_human(rep.diags.diagnostics(),
+                                               rep.source_name)
+                            .c_str());
+      if (rep.def && rep.cone) {
+        std::printf("%s: %s — dim=%d taps=%zu radius=(%d,%d,%d) r=%d%s\n",
+                    rep.source_name.c_str(),
+                    rep.diags.has_errors() ? "invalid" : "ok",
+                    rep.def->dim, rep.cone->tap_count, rep.cone->radius[0],
+                    rep.cone->radius[1], rep.cone->radius[2],
+                    rep.cone->max_radius,
+                    rep.cone->symmetric ? "" : " (asymmetric)");
+      } else {
+        std::printf("%s: invalid — %zu error(s)\n", rep.source_name.c_str(),
+                    rep.diags.count(analysis::Severity::kError));
+      }
     }
   }
-  return diags.has_errors() ? 1 : 0;
+  return any_errors ? 1 : 0;
 }
