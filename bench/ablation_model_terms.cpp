@@ -56,7 +56,7 @@ double predict(const model::ModelInputs& base, const Variant& v,
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const bench::Scale scale = bench::Scale::from_args(args);
-  const auto& dev = gpusim::device_by_name(args.get_or("device", "GTX 980"));
+  const auto& dev = bench::gpu_device_or_die(args.get_or("device", "GTX 980"));
 
   const std::vector<Variant> variants = {
       {.name = "full (default)"},

@@ -100,7 +100,7 @@ void emit_json(const std::string& path, const std::vector<ArmResult>& arms,
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const bench::Scale scale = bench::Scale::from_args(args);
-  const auto& dev = gpusim::device_by_name(args.get_or("device", "GTX 980"));
+  const auto& dev = bench::gpu_device_or_die(args.get_or("device", "GTX 980"));
   const auto& def =
       stencil::get_stencil_by_name(args.get_or("stencil", "Heat2D"));
   // The time dimension drives the schedule-walk cost (rows ~ T/tT)

@@ -1,7 +1,9 @@
 // Shared helpers for the per-table/per-figure report binaries.
 #pragma once
 
+#include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -9,6 +11,7 @@
 #include "common/cli.hpp"
 #include "common/json.hpp"
 #include "common/parallel.hpp"
+#include "device/registry.hpp"
 #include "gpusim/device.hpp"
 #include "stencil/problem.hpp"
 #include "stencil/stencil.hpp"
@@ -54,6 +57,27 @@ inline std::vector<stencil::ProblemSize> sizes_3d(const Scale& s) {
 
 inline std::vector<const gpusim::DeviceParams*> devices(const Scale&) {
   return {&gpusim::gtx980(), &gpusim::titan_x()};
+}
+
+// Resolves --device against the process-wide registry for a report
+// that prices GPU figures. Unknown names get the registry's
+// structured SL522 diagnostic (registered names + nearest match);
+// a registered non-GPU descriptor is rejected by kind. Exits on
+// failure: a figure against the wrong machine is worthless.
+inline const gpusim::DeviceParams& gpu_device_or_die(const std::string& name) {
+  analysis::DiagnosticEngine diags;
+  const device::Descriptor* d = device::registry().resolve(name, &diags);
+  if (d == nullptr) {
+    std::cerr << analysis::render_human(diags.diagnostics(), "<device>");
+    std::exit(2);
+  }
+  if (!d->is_gpu()) {
+    std::cerr << "device '" << name << "' is a "
+              << device::to_string(d->kind())
+              << " device; this report requires a gpu device\n";
+    std::exit(2);
+  }
+  return d->gpu();
 }
 
 // Fold one session's counters into a report-wide total.

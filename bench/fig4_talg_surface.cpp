@@ -22,7 +22,7 @@ using namespace repro;
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const bench::Scale scale = bench::Scale::from_args(args);
-  const auto& dev = gpusim::device_by_name(args.get_or("device", "GTX 980"));
+  const auto& dev = bench::gpu_device_or_die(args.get_or("device", "GTX 980"));
   const auto& def =
       stencil::get_stencil_by_name(args.get_or("stencil", "Heat2D"));
   const std::int64_t tS1 = args.get_int_or("tS1", 8);

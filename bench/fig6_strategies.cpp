@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
 
   std::vector<const gpusim::DeviceParams*> devs;
   if (const auto name = args.get("device")) {
-    devs.push_back(&gpusim::device_by_name(*name));
+    devs.push_back(&bench::gpu_device_or_die(*name));
   } else {
     devs.push_back(&gpusim::gtx980());
     if (scale.full) devs.push_back(&gpusim::titan_x());

@@ -62,7 +62,7 @@ GhostBest tune_ghost(const gpusim::DeviceParams& dev,
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const bench::Scale scale = bench::Scale::from_args(args);
-  const auto& dev = gpusim::device_by_name(args.get_or("device", "GTX 980"));
+  const auto& dev = bench::gpu_device_or_die(args.get_or("device", "GTX 980"));
   const stencil::ProblemSize p{
       .dim = 2,
       .S = {args.get_int_or("S", 4096), args.get_int_or("S", 4096), 0},

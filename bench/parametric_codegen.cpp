@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const bench::Scale scale = bench::Scale::from_args(args);
   const double compile_s = args.get_double_or("compile-seconds", 30.0);
-  const auto& dev = gpusim::device_by_name(args.get_or("device", "GTX 980"));
+  const auto& dev = bench::gpu_device_or_die(args.get_or("device", "GTX 980"));
   const gpusim::DeviceParams param_dev =
       gpusim::parametric_codegen_variant(dev);
 

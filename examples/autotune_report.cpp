@@ -7,6 +7,10 @@
 // Usage:
 //   autotune_report [--stencil=Heat2D] [--device="Titan X"]
 //                   [--S=8192] [--T=4096] [--delta=0.10] [--top=12]
+//
+// --device accepts any registered descriptor — GPU or CPU — and the
+// whole pipeline (calibration, model sweep, measurement) dispatches
+// to the matching backend.
 #include <algorithm>
 #include <iostream>
 #include <vector>
@@ -14,14 +18,21 @@
 #include "analysis/diagnostics.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
-#include "gpusim/microbench.hpp"
+#include "device/registry.hpp"
 #include "tuner/session.hpp"
 
 using namespace repro;
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
-  const auto& dev = gpusim::device_by_name(args.get_or("device", "GTX 980"));
+  analysis::DiagnosticEngine ddiags;
+  const device::Descriptor* devp =
+      device::registry().resolve(args.get_or("device", "GTX 980"), &ddiags);
+  if (devp == nullptr) {
+    std::cerr << analysis::render_human(ddiags.diagnostics(), "<device>");
+    return 2;
+  }
+  const device::Descriptor& dev = *devp;
   const auto& def =
       stencil::get_stencil_by_name(args.get_or("stencil", "Heat2D"));
   const double delta = args.get_double_or("delta", 0.10);
@@ -34,17 +45,18 @@ int main(int argc, char** argv) {
   p.T = args.get_int_or("T", def.dim == 3 ? 256 : 4096);
 
   std::cout << "=== autotune report: " << def.name << " " << p.to_string()
-            << " on " << dev.name << " ===\n\n";
+            << " on " << dev.name() << " (" << dev.summary() << ") ===\n\n";
 
-  // Calibration.
-  const model::ModelInputs in = gpusim::calibrate_model(dev, def);
+  // Calibration against the descriptor's backend.
+  tuner::TuningContext ctx = tuner::TuningContext::calibrate(dev, def, p);
+  const model::ModelInputs in = ctx.inputs;
   std::cout << "calibration: C_iter = " << in.c_iter << " s, L = "
             << model::l_s_per_gb_from_per_word(in.mb.L_s_per_word)
             << " s/GB, tau_sync = " << in.mb.tau_sync
             << " s, T_sync = " << in.mb.T_sync << " s\n";
 
   // Feasible space and model sweep (runs on the session's pool).
-  tuner::Session session(tuner::TuningContext::with_inputs(dev, def, p, in));
+  tuner::Session session(std::move(ctx));
 
   // Surface audit findings (SL5xx) before tuning. The audit is purely
   // advisory: it never changes which configurations are swept or
@@ -94,9 +106,10 @@ int main(int argc, char** argv) {
               << "x" << best.dp.thr.n3 << "  (expected "
               << AsciiTable::fmt(best.gflops, 1) << " GFLOP/s)\n"
               << "empirical evaluations spent: "
-              << measured.size() * tuner::default_thread_configs(p.dim).size()
+              << measured.size() *
+                     tuner::device_thread_configs(dev, p.dim).size()
               << " runs instead of "
-              << space.size() * tuner::default_thread_configs(p.dim).size()
+              << space.size() * tuner::device_thread_configs(dev, p.dim).size()
               << " for exhaustive search\n";
   }
   return measured.empty() ? 1 : 0;

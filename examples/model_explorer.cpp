@@ -10,6 +10,7 @@
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "device/registry.hpp"
 #include "gpusim/microbench.hpp"
 #include "gpusim/timing.hpp"
 #include "model/talg.hpp"
@@ -59,7 +60,22 @@ void explain_one(const gpusim::DeviceParams& dev,
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
-  const auto& dev = gpusim::device_by_name(args.get_or("device", "GTX 980"));
+  analysis::DiagnosticEngine ddiags;
+  const device::Descriptor* devp =
+      device::registry().resolve(args.get_or("device", "GTX 980"), &ddiags);
+  if (devp == nullptr) {
+    std::cerr << analysis::render_human(ddiags.diagnostics(), "<device>");
+    return 2;
+  }
+  if (!devp->is_gpu()) {
+    // This explorer dumps the gpusim breakdown (registers, occupancy);
+    // CPU descriptors have no such columns.
+    std::cerr << "device '" << devp->name()
+              << "' is a cpu device; model_explorer explains the GPU "
+                 "simulator breakdown\n";
+    return 2;
+  }
+  const gpusim::DeviceParams& dev = devp->gpu();
   const auto& def =
       stencil::get_stencil_by_name(args.get_or("stencil", "Heat2D"));
 

@@ -117,6 +117,110 @@ bool audit_device(const gpusim::DeviceParams& dev,
   return diags.count(Severity::kError) == errors_before;
 }
 
+bool audit_device(const cpusim::CpuParams& dev, DiagnosticEngine& diags) {
+  const std::size_t errors_before = diags.count(Severity::kError);
+  const std::string who =
+      dev.name.empty() ? std::string("device") : "device '" + dev.name + "'";
+  const auto bad = [&](const std::string& what, const std::string& hint) {
+    diags.add({Severity::kError, Code::kAuditDeviceInvariant,
+               who + ": " + what, 0, hint});
+  };
+
+  if (dev.cores < 1) {
+    bad("cores = " + std::to_string(dev.cores) + " (needs >= 1 core)",
+        "set the physical core count");
+  }
+  if (dev.vector_words < 1) {
+    bad("vector_words = " + std::to_string(dev.vector_words),
+        "set the 4-byte SIMD lane count (AVX2: 8)");
+  }
+  if (dev.smt < 1) {
+    bad("smt = " + std::to_string(dev.smt) + " (needs >= 1 thread/core)",
+        "set the hardware threads per core (no SMT: 1)");
+  }
+  if (!std::isfinite(dev.clock_hz) || dev.clock_hz <= 0.0) {
+    bad("clock_hz = " + num(dev.clock_hz) + " (needs a finite rate > 0)",
+        "set the core clock in Hz");
+  }
+  if (!std::isfinite(dev.mem_bandwidth_bps) || dev.mem_bandwidth_bps <= 0.0) {
+    bad("mem_bandwidth_bps = " + num(dev.mem_bandwidth_bps) +
+            " (needs a finite rate > 0)",
+        "set the aggregate DRAM bandwidth in bytes/s");
+  }
+  if (dev.levels.empty()) {
+    bad("cache hierarchy is empty",
+        "describe at least one cache level (L1 first)");
+  }
+  for (std::size_t i = 0; i < dev.levels.size(); ++i) {
+    const cpusim::CacheLevel& lvl = dev.levels[i];
+    const std::string lw =
+        lvl.name.empty() ? "level " + std::to_string(i) : lvl.name;
+    if (lvl.size_bytes < 1) {
+      bad(lw + ": size_bytes = " + std::to_string(lvl.size_bytes),
+          "set the level capacity in bytes");
+    }
+    if (lvl.line_bytes < 1) {
+      bad(lw + ": line_bytes = " + std::to_string(lvl.line_bytes),
+          "set the cache-line length in bytes");
+    } else if (lvl.size_bytes >= 1 && lvl.size_bytes % lvl.line_bytes != 0) {
+      bad(lw + ": line_bytes = " + std::to_string(lvl.line_bytes) +
+              " does not divide size_bytes = " +
+              std::to_string(lvl.size_bytes) +
+              " — a cache holds a whole number of lines",
+          "fix whichever of the two fields is mistyped");
+    }
+    if (!std::isfinite(lvl.latency_s) || lvl.latency_s < 0.0) {
+      bad(lw + ": latency_s = " + num(lvl.latency_s) +
+              " (needs a finite value >= 0)",
+          "set the per-access service latency in seconds");
+    }
+    if (!std::isfinite(lvl.bandwidth_bps) || lvl.bandwidth_bps <= 0.0) {
+      bad(lw + ": bandwidth_bps = " + num(lvl.bandwidth_bps) +
+              " (needs a finite rate > 0)",
+          "set the sustained fill bandwidth in bytes/s");
+    }
+    if (i > 0) {
+      const cpusim::CacheLevel& prev = dev.levels[i - 1];
+      if (lvl.size_bytes <= prev.size_bytes) {
+        bad(lw + ": size_bytes = " + std::to_string(lvl.size_bytes) +
+                " does not grow over " + (prev.name.empty()
+                                              ? "the previous level"
+                                              : "'" + prev.name + "'") +
+                " = " + std::to_string(prev.size_bytes) +
+                " — levels must be listed nearest-first with strictly "
+                "increasing capacity",
+            "reorder the levels or fix the capacities");
+      }
+      if (lvl.latency_s < prev.latency_s) {
+        bad(lw + ": latency_s = " + num(lvl.latency_s) +
+                " is below the nearer level's " + num(prev.latency_s) +
+                " — outward levels cannot get faster",
+            "fix whichever latency is mistyped");
+      }
+    }
+  }
+  const std::pair<const char*, double> non_negative[] = {
+      {"mem_latency_s", dev.mem_latency_s},
+      {"parallel_launch_s", dev.parallel_launch_s},
+      {"step_fence_s", dev.step_fence_s},
+      {"stall_factor", dev.stall_factor},
+      {"oversub_penalty", dev.oversub_penalty},
+      {"jitter_amplitude", dev.jitter_amplitude}};
+  for (const auto& [field, value] : non_negative) {
+    if (!std::isfinite(value) || value < 0.0) {
+      bad(std::string(field) + " = " + num(value) +
+              " (needs a finite value >= 0)",
+          "fix the descriptor field");
+    }
+  }
+  return diags.count(Severity::kError) == errors_before;
+}
+
+bool audit_device(const device::Descriptor& dev, DiagnosticEngine& diags) {
+  return dev.is_gpu() ? audit_device(dev.gpu(), diags)
+                      : audit_device(dev.cpu(), diags);
+}
+
 bool audit_calibration(const model::ModelInputs& in,
                        DiagnosticEngine& diags) {
   const std::size_t errors_before = diags.count(Severity::kError);
@@ -229,9 +333,11 @@ AuditResult audit_stencil_def(const stencil::StencilDef& def,
 
   check_tap_ranges(def, diags);
 
-  if (opt.dev && opt.ts && opt.thr) {
-    res.resources = predict_resources(*opt.dev, def, *opt.ts, *opt.thr);
-    check_resources(*opt.dev, def, *opt.ts, *opt.thr, diags,
+  // Register/occupancy prediction is GPU vocabulary; CPU descriptors
+  // skip the stage (their invariants were audited above).
+  if (opt.dev && opt.dev->is_gpu() && opt.ts && opt.thr) {
+    res.resources = predict_resources(opt.dev->gpu(), def, *opt.ts, *opt.thr);
+    check_resources(opt.dev->gpu(), def, *opt.ts, *opt.thr, diags,
                     opt.stall_warn_fraction);
   }
 

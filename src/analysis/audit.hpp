@@ -26,6 +26,8 @@
 #include "analysis/diagnostics.hpp"
 #include "analysis/ranges.hpp"
 #include "analysis/resources.hpp"
+#include "cpusim/device.hpp"
+#include "device/descriptor.hpp"
 #include "gpusim/device.hpp"
 #include "hhc/tile_sizes.hpp"
 #include "model/talg.hpp"
@@ -39,9 +41,11 @@ struct AuditOptions {
   std::optional<hhc::ThreadConfig> thr;
   std::optional<stencil::ProblemSize> problem;
   // The full device descriptor (not just the model-visible subset):
-  // enables the descriptor audit, Eqn 31 legality, resource
-  // prediction and sweep certification.
-  std::optional<gpusim::DeviceParams> dev;
+  // enables the descriptor audit, Eqn 31 legality, sweep
+  // certification and — for GPU descriptors — resource prediction.
+  // Converts implicitly from gpusim::DeviceParams or
+  // cpusim::CpuParams, so pre-redesign call sites read unchanged.
+  std::optional<device::Descriptor> dev;
   // Calibrated model inputs, e.g. loaded via gpusim/calibration_io.
   std::optional<model::ModelInputs> calibration;
   // Enumeration grid to certify (requires `dev`).
@@ -79,6 +83,15 @@ AuditResult audit_stencil_text(std::string_view text,
 // finite positive physical rates. Returns true iff clean.
 bool audit_device(const gpusim::DeviceParams& dev,
                   DiagnosticEngine& diags);
+
+// CPU-descriptor invariants (SL520, errors): positive core/lane/SMT
+// counts and physical rates, and per cache level a line size that
+// divides the level size, capacities strictly increasing and
+// latencies non-decreasing outward. Returns true iff clean.
+bool audit_device(const cpusim::CpuParams& dev, DiagnosticEngine& diags);
+
+// Kind dispatch over the tagged descriptor.
+bool audit_device(const device::Descriptor& dev, DiagnosticEngine& diags);
 
 // Calibrated model inputs: hard invariants as SL520 errors, values
 // outside their physically plausible ranges as SL521 warnings (e.g.

@@ -15,7 +15,7 @@ struct CodeInfo {
 };
 
 // Numeric order; all_codes() exposes this table for docs and tests.
-constexpr std::array<CodeInfo, 52> kCodeTable{{
+constexpr std::array<CodeInfo, 55> kCodeTable{{
     {Code::kParseSyntax, "SL101", "malformed stencil DSL syntax"},
     {Code::kParseDim, "SL102", "missing or out-of-range 'dim'"},
     {Code::kParseTapBeyondDim, "SL103",
@@ -101,6 +101,12 @@ constexpr std::array<CodeInfo, 52> kCodeTable{{
      "device descriptor violates a cross-field invariant"},
     {Code::kAuditCalibrationSuspect, "SL521",
      "calibrated value lies outside its physically plausible range"},
+    {Code::kAuditUnknownDevice, "SL522",
+     "device name not found in the registry (available names listed)"},
+    {Code::kAuditDuplicateDevice, "SL523",
+     "a device with this name is already registered"},
+    {Code::kAuditRegistryJson, "SL524",
+     "device descriptor / registry JSON is malformed"},
     {Code::kAuditDeadRegion, "SL530",
      "sweep sub-region certified infeasible (dead-region certificate)"},
     {Code::kAuditEmptySweep, "SL531",

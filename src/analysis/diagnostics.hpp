@@ -91,6 +91,9 @@ enum class Code : std::uint16_t {
   // --- semantic audit: device / calibration descriptors ---------------
   kAuditDeviceInvariant = 520,   // cross-field descriptor invariant broken
   kAuditCalibrationSuspect = 521,  // calibration value outside sane range
+  kAuditUnknownDevice = 522,     // registry lookup miss (names listed)
+  kAuditDuplicateDevice = 523,   // registry already holds this name
+  kAuditRegistryJson = 524,      // malformed descriptor/registry JSON
   // --- semantic audit: sweep-space certificates -----------------------
   kAuditDeadRegion = 530,        // note: sub-box certified infeasible
   kAuditEmptySweep = 531,        // the whole sweep space is infeasible

@@ -1,0 +1,83 @@
+#include "cpusim/device.hpp"
+
+#include <algorithm>
+
+namespace repro::cpusim {
+
+std::int64_t CpuParams::cache_budget_bytes() const noexcept {
+  std::int64_t best = 0;
+  for (const CacheLevel& lvl : levels) {
+    if (!lvl.shared) best = std::max(best, lvl.size_bytes);
+  }
+  return best;
+}
+
+model::HardwareParams CpuParams::to_model_hardware() const {
+  model::HardwareParams hw;
+  hw.name = name;
+  hw.n_sm = cores;
+  hw.n_v = vector_words;
+  // No architectural register-file constraint on a CPU tile.
+  hw.regs_per_sm = std::int64_t{1} << 20;
+  const std::int64_t budget_words = cache_budget_bytes() / 4;
+  hw.shared_words_per_sm = budget_words;
+  hw.max_shared_words_per_block = budget_words;
+  hw.max_tb_per_sm = 1;
+  return hw;
+}
+
+namespace {
+
+CpuParams make_xeon() {
+  CpuParams d;
+  d.name = "Xeon E5-2690 v4";
+  d.cores = 14;
+  d.vector_words = 8;  // AVX2, 8 x 4-byte lanes
+  d.smt = 2;
+  d.clock_hz = 2.9e9;  // all-core turbo
+  d.levels = {
+      {"L1", 32 * 1024, 64, false, 1.4e-9, 220e9},
+      {"L2", 256 * 1024, 64, false, 4.1e-9, 85e9},
+      {"L3", 35 * 1024 * 1024, 64, true, 15.5e-9, 42e9},
+  };
+  d.write_allocate = true;
+  d.mem_bandwidth_bps = 68e9;
+  d.mem_latency_s = 85e-9;
+  d.parallel_launch_s = 4.5e-6;
+  d.step_fence_s = 60e-9;
+  return d;
+}
+
+CpuParams make_ryzen() {
+  CpuParams d;
+  d.name = "Ryzen 7 3700X";
+  d.cores = 8;
+  d.vector_words = 8;
+  d.smt = 2;
+  d.clock_hz = 4.0e9;
+  d.levels = {
+      {"L1", 32 * 1024, 64, false, 1.0e-9, 260e9},
+      {"L2", 512 * 1024, 64, false, 3.0e-9, 110e9},
+      {"L3", 32 * 1024 * 1024, 64, true, 10.0e-9, 60e9},
+  };
+  d.write_allocate = true;
+  d.mem_bandwidth_bps = 48e9;
+  d.mem_latency_s = 78e-9;
+  d.parallel_launch_s = 3.0e-6;
+  d.step_fence_s = 45e-9;
+  return d;
+}
+
+}  // namespace
+
+const CpuParams& xeon_e5_2690v4() {
+  static const CpuParams d = make_xeon();
+  return d;
+}
+
+const CpuParams& ryzen_3700x() {
+  static const CpuParams d = make_ryzen();
+  return d;
+}
+
+}  // namespace repro::cpusim

@@ -1,0 +1,83 @@
+// Device descriptors for the simulated cache-hierarchy CPUs.
+//
+// The CPU backend mirrors the gpusim split: the analytical model only
+// ever sees the model::HardwareParams subset exported by
+// to_model_hardware() (cores as "SMs", SIMD lanes as "vector units",
+// the private-cache budget as "shared memory"), while the simulator
+// additionally knows the full cache hierarchy — per-level sizes, line
+// lengths, latencies and bandwidths — plus the write-allocate policy,
+// SMT width and scheduling costs the model deliberately ignores.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/params.hpp"
+
+namespace repro::cpusim {
+
+// One cache level, ordered nearest-first (L1, L2, then a shared LLC).
+// `shared` levels are divided among the cores actively competing for
+// them; private levels belong to one core outright.
+struct CacheLevel {
+  std::string name;            // "L1", "L2", "L3"
+  std::int64_t size_bytes = 0;
+  int line_bytes = 64;
+  bool shared = false;         // shared across cores (last-level cache)
+  double latency_s = 0.0;      // per-access service latency
+  double bandwidth_bps = 0.0;  // sustained per-core fill bandwidth
+};
+
+// Cycle prices of one unrolled loop-body iteration, per SIMD group of
+// `vector_words` points (a vector op retires the whole group).
+struct CpuInstructionCosts {
+  double issue_base = 2.0;  // loop/branch/induction overhead per group
+  double load = 0.5;        // per L1-resident tap load
+  double fma = 0.5;         // per fused multiply-add (two FMA pipes)
+  double add = 0.5;         // per plain add/sub
+  double special = 18.0;    // per sqrt / div
+  double addr = 0.25;       // per integer addressing op
+};
+
+struct CpuParams {
+  std::string name;
+
+  // Model-visible machine shape.
+  int cores = 0;
+  int vector_words = 8;  // 4-byte lanes per SIMD op (AVX2: 8)
+
+  // Simulator-only quantities.
+  int smt = 2;               // hardware threads per core
+  double clock_hz = 0.0;     // core clock
+  std::vector<CacheLevel> levels;  // L1 -> LLC, capacities increasing
+  bool write_allocate = true;      // stores read the line first (RFO)
+  double mem_bandwidth_bps = 0.0;  // DRAM, aggregate over the socket
+  double mem_latency_s = 0.0;      // DRAM access startup latency
+  double parallel_launch_s = 0.0;  // parallel-region entry+exit (T_sync)
+  double step_fence_s = 0.0;       // per-time-step fence (tau_sync)
+  double stall_factor = 0.25;      // under-threaded issue-stall inflation
+  double oversub_penalty = 0.03;   // per excess strand beyond SMT
+  double jitter_amplitude = 0.015; // deterministic run-to-run noise
+
+  CpuInstructionCosts cost;
+
+  // The per-core cache budget the optimistic model may treat as a
+  // scratchpad: the largest *private* level. Tiles beyond it are
+  // Eqn 31-infeasible for the model; the simulator still prices them
+  // (they spill to the shared LLC or to DRAM and pay for it).
+  std::int64_t cache_budget_bytes() const noexcept;
+
+  // Export the model-visible subset: cores -> n_sm, SIMD lanes ->
+  // n_v, the private-cache budget -> shared memory, and no
+  // hyper-threading residency (max_tb_per_sm = 1): a core processes
+  // one tile at a time, so Eqn 12's k-overlap never applies.
+  model::HardwareParams to_model_hardware() const;
+};
+
+// The two reference CPU platforms registered alongside the paper's
+// GPUs: a 14-core server part and an 8-core desktop part, both AVX2.
+const CpuParams& xeon_e5_2690v4();
+const CpuParams& ryzen_3700x();
+
+}  // namespace repro::cpusim

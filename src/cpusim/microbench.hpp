@@ -1,0 +1,37 @@
+// Micro-benchmarks for the CPU backend (Section 5.2 rerun against the
+// cache-hierarchy simulator): measure the model parameters the same
+// way the paper measures them on hardware — streaming transfer for L,
+// fence storm for tau_sync, parallel-region storm for T_sync, and a
+// transfer-free sweep for C_iter. The model only ever sees these
+// measured numbers plus to_model_hardware(); the cache hierarchy,
+// write-allocate policy and scheduling penalties stay simulator-only.
+#pragma once
+
+#include <cstdint>
+
+#include "cpusim/device.hpp"
+#include "model/talg.hpp"
+#include "stencil/stencil.hpp"
+
+namespace repro::cpusim {
+
+struct CpuMicrobench {
+  double L_s_per_gb = 0.0;  // streaming-transfer cost
+  double tau_sync = 0.0;    // per-time-step fence cost (seconds)
+  double t_sync = 0.0;      // per parallel-region launch cost (seconds)
+};
+
+CpuMicrobench run_machine_microbench(const CpuParams& dev);
+
+// C_iter: run `samples` random (problem, tile) instances through the
+// compute-only simulator at the SMT-saturating strand count, divide
+// the per-lane execution time by the iteration count, and average.
+double measure_citer(const CpuParams& dev, const stencil::StencilDef& def,
+                     int samples = 70, std::uint64_t seed = 0xc19e5);
+
+// Bundle everything the analytical model needs for one
+// (device, stencil) pair.
+model::ModelInputs calibrate_model(const CpuParams& dev,
+                                   const stencil::StencilDef& def);
+
+}  // namespace repro::cpusim

@@ -1,0 +1,123 @@
+// The CPU timing simulator: prices a full hexagonally-tiled sweep on a
+// cache-hierarchy CPU descriptor.
+//
+// Mirror of gpusim/timing.hpp for the second backend. The sweep is
+// decomposed exactly as the analytical model assumes (Eqns 17/30 at
+// k = 1): each wavefront row holds w hexagons, distributed over the
+// cores in ceil(w / cores) rounds; a core walks its hexagon's n_sub
+// sub-prisms/slabs serially. The staggered tiling interlocks two
+// hexagon families (base widths tS1 and tS1 + 2r), so every per-tile
+// quantity is the mean of the two — the same geometry the model's
+// kFamilyAveraged mode prices.
+//
+// Per sub-tile the simulator charges
+//   * a DRAM fill/writeback: the cold read+write streams at aggregate
+//     burst bandwidth form an un-hidable HEAD; the rest of the traffic
+//     (write-allocate read-for-ownership, contention beyond the burst
+//     rate when all cores stream at once, line-granularity rounding)
+//     overlaps with compute behind the hardware prefetchers and only
+//     shows when it exceeds the compute+service time,
+//   * per-time-step service from the smallest cache level whose
+//     per-core share holds the tile's working set — or, when no level
+//     fits, a per-step re-stream of the whole footprint from DRAM
+//     (the working-set cliff the optimistic model never sees),
+//   * vectorized compute with SIMD-remainder and strand-chunking
+//     ceilings, under-threaded issue stalls and over-subscription
+//     penalties,
+//   * tT step fences plus the two copy-in/copy-out barriers (the
+//     model's 2 tau_sync of Eqn 8), and a per-row parallel-region
+//     launch.
+// Every model term is dominated by a simulator term, so the model is
+// optimistic pointwise; the simulator-only terms (RFO, contention,
+// cache service, stalls, rounding) supply the error the model ignores.
+// A deterministic multiplicative jitter in [1, 1 + amplitude) models
+// run-to-run noise; measure_best_of takes the min over `runs` draws,
+// so the jitter-free base time is a true lower envelope.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cpusim/device.hpp"
+#include "hhc/tile_sizes.hpp"
+#include "stencil/problem.hpp"
+#include "stencil/stencil.hpp"
+
+namespace repro::cpusim {
+
+struct SimResult {
+  bool feasible = false;
+  std::string infeasible_reason;
+  double seconds = 0.0;
+  double gflops = 0.0;
+
+  // Component totals (jitter-free, aggregated over the sweep, BEFORE
+  // the prefetch overlap is applied — `seconds` is not their sum).
+  int fit_level = -1;  // index into CpuParams::levels; -1 = DRAM
+  double fill_seconds = 0.0;     // DRAM fill + writeback (head + rest)
+  double service_seconds = 0.0;  // per-step cache/DRAM working-set service
+  double compute_seconds = 0.0;
+  double fence_seconds = 0.0;
+  double launch_seconds = 0.0;
+  std::int64_t wavefronts = 0;
+  std::int64_t tiles_per_row = 0;
+};
+
+// The tile/schedule accounting shared by the simulator and the
+// admissible lower bound (cpusim/lower_bound.hpp). Every ceiling and
+// penalty the simulator charges is derived from these quantities, so
+// the bound can relax them term by term. *_avg fields are the mean of
+// the two interlocked hexagon families; the plain fields describe the
+// narrow (base-width tS1) family, whose quantities never exceed the
+// mean.
+struct SweepGeometry {
+  bool feasible = false;
+  std::string infeasible_reason;
+  int strands = 0;            // thr.total()
+  std::int64_t w = 0;         // hexagons per wavefront row along s1
+  std::int64_t n_sub = 0;     // sub-prisms/slabs per hexagon (serial)
+  std::int64_t tasks_row = 0; // w * n_sub (total sub-tiles per row)
+  std::int64_t rounds = 0;    // ceil(w / cores): hexagon rounds per row
+  int active_cores = 0;       // min(cores, w)
+  std::int64_t wavefronts = 0;
+  std::int64_t volume = 0;    // iteration points per sub-tile (narrow)
+  double volume_avg = 0.0;    // family-averaged iteration points
+  std::int64_t footprint_bytes = 0;  // narrow family (= model's Eqn 31)
+  std::int64_t io_words = 0;  // one-directional words per sub-tile (narrow)
+  double io_words_avg = 0.0;  // family-averaged; == model m_io / 2
+  double groups_avg = 0.0;    // family-averaged SIMD groups per sub-tile
+  int fit_level = -1;         // smallest level whose share fits; -1 = DRAM
+  double line_waste = 1.0;    // >= 1: line-granularity inflation
+  double cyc_group = 0.0;     // cycles per SIMD group of n_v points
+};
+
+SweepGeometry analyze_sweep(const CpuParams& dev,
+                            const stencil::StencilDef& def,
+                            const stencil::ProblemSize& p,
+                            const hhc::TileSizes& ts,
+                            const hhc::ThreadConfig& thr);
+
+SimResult simulate_time(const CpuParams& dev, const stencil::StencilDef& def,
+                        const stencil::ProblemSize& p,
+                        const hhc::TileSizes& ts,
+                        const hhc::ThreadConfig& thr,
+                        std::uint64_t run_id = 0);
+
+// Best (minimum) of `runs` jittered simulations — the measurement
+// protocol the paper uses on the real machines.
+SimResult measure_best_of(const CpuParams& dev, const stencil::StencilDef& def,
+                          const stencil::ProblemSize& p,
+                          const hhc::TileSizes& ts,
+                          const hhc::ThreadConfig& thr, int runs = 5);
+
+// Compute-only time of the whole sweep on ONE core with no memory
+// system, no penalties and no overheads: the C_iter micro-benchmark
+// kernel (cpusim/microbench.hpp) inverts the model's compute equation
+// on this.
+double simulate_compute_only(const CpuParams& dev,
+                             const stencil::StencilDef& def,
+                             const stencil::ProblemSize& p,
+                             const hhc::TileSizes& ts,
+                             const hhc::ThreadConfig& thr);
+
+}  // namespace repro::cpusim

@@ -1,8 +1,5 @@
 #include "gpusim/device.hpp"
 
-#include <array>
-#include <stdexcept>
-
 namespace repro::gpusim {
 
 model::HardwareParams DeviceParams::to_model_hardware() const {
@@ -67,11 +64,6 @@ const DeviceParams& titan_x() {
   return d;
 }
 
-std::span<const DeviceParams> paper_devices() {
-  static const std::array<DeviceParams, 2> devices = {gtx980(), titan_x()};
-  return devices;
-}
-
 DeviceParams parametric_codegen_variant(DeviceParams dev,
                                         double efficiency_loss) {
   dev.name += " (parametric)";
@@ -87,12 +79,6 @@ DeviceParams parametric_codegen_variant(DeviceParams dev,
   // No unrolling => bounded live values => spills cannot occur.
   dev.spill_cycles_per_reg = 0.0;
   return dev;
-}
-
-const DeviceParams& device_by_name(const std::string& name) {
-  if (name == gtx980().name) return gtx980();
-  if (name == titan_x().name) return titan_x();
-  throw std::invalid_argument("unknown device: " + name);
 }
 
 }  // namespace repro::gpusim

@@ -9,7 +9,6 @@
 #pragma once
 
 #include <cstdint>
-#include <span>
 #include <string>
 
 #include "model/params.hpp"
@@ -86,8 +85,8 @@ const DeviceParams& titan_x();
 // register pressure drops to a small constant (no spills).
 DeviceParams parametric_codegen_variant(DeviceParams dev,
                                         double efficiency_loss = 0.15);
-std::span<const DeviceParams> paper_devices();
 
-const DeviceParams& device_by_name(const std::string& name);
+// Name-based lookup and the device list live in device::DeviceRegistry
+// (src/device/registry.hpp), which also covers the CPU backend.
 
 }  // namespace repro::gpusim

@@ -8,7 +8,7 @@
 
 #include "analysis/audit.hpp"
 #include "analysis/lint.hpp"
-#include "gpusim/device.hpp"
+#include "device/registry.hpp"
 #include "tuner/space.hpp"
 
 namespace repro::service {
@@ -115,7 +115,7 @@ std::string compute_lint(const Request& req) {
     aopt.ts = req.tile;
     aopt.thr = req.threads;
     aopt.problem = req.problem;
-    aopt.dev = gpusim::device_by_name(req.device);
+    aopt.dev = *device::registry().find(req.device);
     // Re-audit from source when the client sent DSL text, so parse
     // warnings come back line-anchored alongside the semantic ones.
     const analysis::AuditResult res =
@@ -129,7 +129,7 @@ std::string compute_lint(const Request& req) {
     lopt.ts = req.tile;
     lopt.thr = req.threads;
     lopt.problem = req.problem;
-    lopt.hw = gpusim::device_by_name(req.device).to_model_hardware();
+    lopt.hw = device::registry().find(req.device)->to_model_hardware();
     const analysis::LintResult res =
         !req.stencil_text.empty()
             ? analysis::lint_stencil_text(req.stencil_text, lopt, diags)
@@ -172,6 +172,23 @@ std::string compute_lint(const Request& req) {
   return o.dump();
 }
 
+std::string compute_devices() {
+  // A registry listing in registration order: stable identity plus
+  // the human-oriented capability summary each descriptor renders.
+  json::Value arr = json::Value::array();
+  for (const device::Descriptor& d : device::registry().devices()) {
+    json::Value e = json::Value::object();
+    e.set("name", d.name());
+    e.set("kind", std::string(device::to_string(d.kind())));
+    e.set("summary", d.summary());
+    arr.push_back(std::move(e));
+  }
+  json::Value o = json::Value::object();
+  o.set("count", device::registry().size());
+  o.set("devices", std::move(arr));
+  return o.dump();
+}
+
 }  // namespace
 
 std::string ServiceStats::to_json() const {
@@ -190,6 +207,7 @@ std::string ServiceStats::to_json() const {
   kinds.set("best_tile", best_tile);
   kinds.set("compare_strategies", compare);
   kinds.set("lint", lint);
+  kinds.set("devices", devices);
   o.set("kinds", std::move(kinds));
   o.set("compute_seconds", compute_seconds);
   o.set("latency_seconds", latency_seconds);
@@ -207,6 +225,8 @@ std::string compute_payload(const Request& req, tuner::Session* session) {
       return compute_compare(req, *session);
     case RequestKind::kLint:
       return compute_lint(req);
+    case RequestKind::kDevices:
+      return compute_devices();
   }
   throw std::logic_error("compute_payload: unhandled request kind");
 }
@@ -293,12 +313,14 @@ void ServiceCore::run_compute(const std::string& key, const Request& req,
     if (hook_) hook_();
     tuner::Session* session = nullptr;
     std::unique_lock<std::mutex> session_lock;
-    if (req.kind != RequestKind::kLint) {
+    if (req.kind != RequestKind::kLint && req.kind != RequestKind::kDevices) {
       SessionEntry& entry = session_entry(req);
       session_lock = std::unique_lock<std::mutex>(entry.mu);
       if (!entry.session) {
+        // parse_request already resolved the name, so find() cannot
+        // miss here.
         entry.session = std::make_unique<tuner::Session>(
-            gpusim::device_by_name(req.device), req.def, *req.problem,
+            *device::registry().find(req.device), req.def, *req.problem,
             tuner::SessionOptions{}.with_jobs(opt_.session_jobs));
       }
       session = entry.session.get();
@@ -319,7 +341,10 @@ void ServiceCore::run_compute(const std::string& key, const Request& req,
     stats_.compute_seconds += elapsed;
   }
 
-  if (ok && store_) {
+  // The registry is process-local state (imports can extend it), so a
+  // `devices` listing is never persisted — a stale store must not
+  // shadow devices registered since.
+  if (ok && store_ && req.kind != RequestKind::kDevices) {
     std::lock_guard<std::mutex> lk(store_mu_);
     store_->save(key, payload);
   }
@@ -348,12 +373,13 @@ std::string ServiceCore::handle(const std::string& line) {
       case RequestKind::kBestTile: ++stats_.best_tile; break;
       case RequestKind::kCompareStrategies: ++stats_.compare; break;
       case RequestKind::kLint: ++stats_.lint; break;
+      case RequestKind::kDevices: ++stats_.devices; break;
     }
   }
 
   const std::string key = req->canonical_key();
 
-  if (store_) {
+  if (store_ && req->kind != RequestKind::kDevices) {
     std::optional<std::string> hit;
     {
       std::lock_guard<std::mutex> lk(store_mu_);

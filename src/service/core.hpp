@@ -97,6 +97,7 @@ struct ServiceStats {
   std::uint64_t best_tile = 0;
   std::uint64_t compare = 0;
   std::uint64_t lint = 0;
+  std::uint64_t devices = 0;
   double compute_seconds = 0.0;  // wall time inside compute_payload
   double latency_seconds = 0.0;  // summed handle() wall time
   double latency_max = 0.0;
@@ -108,9 +109,9 @@ struct ServiceStats {
 // serialized result payload. This is THE payload producer: the
 // service core, the `tuned once` mode and the byte-identity tests all
 // call it, so "served result == direct Session result" holds by
-// construction. `session` may be null for kLint (which needs no
-// machine model). Throws on internal failure (the core converts that
-// to SL407).
+// construction. `session` may be null for kLint and kDevices (which
+// need no per-problem tuner state). Throws on internal failure (the
+// core converts that to SL407).
 std::string compute_payload(const Request& req, tuner::Session* session);
 
 class ServiceCore {

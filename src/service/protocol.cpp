@@ -3,7 +3,7 @@
 #include <exception>
 #include <utility>
 
-#include "gpusim/device.hpp"
+#include "device/registry.hpp"
 #include "stencil/parser.hpp"
 #include "tuner/optimizer.hpp"
 
@@ -24,11 +24,17 @@ constexpr KindInfo kKinds[] = {
     {RequestKind::kBestTile, "best_tile"},
     {RequestKind::kCompareStrategies, "compare_strategies"},
     {RequestKind::kLint, "lint"},
+    {RequestKind::kDevices, "devices"},
 };
 
 // Per-kind allowed top-level keys: a misspelled or misplaced field is
 // an SL405 error, never a silently ignored no-op.
 bool key_allowed(RequestKind kind, std::string_view key) {
+  // `devices` is a pure registry listing: no device, stencil or
+  // computation fields apply.
+  if (kind == RequestKind::kDevices) {
+    return key == "v" || key == "id" || key == "kind";
+  }
   static constexpr std::string_view kCommon[] = {"v",       "id",   "kind",
                                                  "device",  "stencil", "text"};
   for (const std::string_view k : kCommon) {
@@ -45,6 +51,8 @@ bool key_allowed(RequestKind kind, std::string_view key) {
     case RequestKind::kLint:
       return key == "problem" || key == "tile" || key == "threads" ||
              key == "audit";
+    case RequestKind::kDevices:
+      return false;  // handled above
   }
   return false;
 }
@@ -258,6 +266,10 @@ std::string Request::canonical_key() const {
   json::Value o = json::Value::object();
   o.set("v", version);
   o.set("kind", std::string(to_string(kind)));
+  // A `devices` listing depends on nothing but the protocol version
+  // (the registry is process-global); its key carries no device or
+  // stencil identity.
+  if (kind == RequestKind::kDevices) return o.dump_canonical();
   o.set("device", device);
   if (!stencil_text.empty()) {
     o.set("text", stencil_text);
@@ -282,6 +294,8 @@ std::string Request::canonical_key() const {
       o.set("delta", delta);
       o.set("enum", enum_to_json(enumeration));
       break;
+    case RequestKind::kDevices:
+      break;  // unreachable: early return above
   }
   return o.dump_canonical();
 }
@@ -333,8 +347,8 @@ std::optional<Request> parse_request(std::string_view line,
   if (!k) {
     diags.error(Code::kSvcUnknownKind,
                 "unknown kind '" + kind->as_string() +
-                    "' (expected predict, best_tile, compare_strategies or "
-                    "lint)");
+                    "' (expected predict, best_tile, compare_strategies, "
+                    "lint or devices)");
     return std::nullopt;
   }
   req.kind = *k;
@@ -349,6 +363,10 @@ std::optional<Request> parse_request(std::string_view line,
   }
   if (diags.has_errors()) return std::nullopt;
 
+  // A `devices` listing has no further fields: the key_allowed pass
+  // above already rejected anything beyond {v, id, kind}.
+  if (req.kind == RequestKind::kDevices) return req;
+
   if (const json::Value* dev = doc->find("device"); dev != nullptr) {
     if (!dev->is_string()) {
       diags.error(Code::kSvcBadField, "'device' must be a string");
@@ -356,10 +374,9 @@ std::optional<Request> parse_request(std::string_view line,
     }
     req.device = dev->as_string();
   }
-  try {
-    (void)gpusim::device_by_name(req.device);
-  } catch (const std::exception&) {
-    diags.error(Code::kSvcBadField, "unknown device '" + req.device + "'");
+  // Registry lookup emits the structured SL522 diagnostic (available
+  // names, nearest-name hint) straight into the error response.
+  if (device::registry().resolve(req.device, &diags) == nullptr) {
     return std::nullopt;
   }
 
@@ -464,6 +481,7 @@ std::optional<Request> parse_request(std::string_view line,
       }
       break;
     case RequestKind::kLint:
+    case RequestKind::kDevices:
       break;
   }
   if (diags.has_errors()) return std::nullopt;
@@ -498,6 +516,8 @@ std::string render_error(const std::string& id,
     o.set("code", std::string(analysis::code_name(d.code)));
     o.set("line", d.line);
     o.set("message", d.message);
+    // Only when present: pre-hint error replies stay byte-identical.
+    if (!d.hint.empty()) o.set("hint", d.hint);
     arr.push_back(std::move(o));
   }
   std::string out = "{\"v\":" + std::to_string(kProtocolVersion) + ",\"id\":";

@@ -3,8 +3,9 @@
 // structured errors reusing analysis::diagnostics.
 //
 // Request schema (version 1):
-//   {"v":1, "id":"r1", "kind":"predict|best_tile|compare_strategies|lint",
-//    "device":"GTX 980",
+//   {"v":1, "id":"r1",
+//    "kind":"predict|best_tile|compare_strategies|lint|devices",
+//    "device":"GTX 980",                             // any registered name
 //    "stencil":"Heat2D" | "text":"dim 2\n...",      // catalogue or DSL
 //    "problem":{"S":[4096,4096],"T":1024},          // dim = |S|
 //    "tile":{"tT":6,"tS1":8,"tS2":160},             // predict / lint
@@ -49,6 +50,10 @@ enum class RequestKind : std::uint8_t {
   kBestTile,
   kCompareStrategies,
   kLint,
+  // List the registered device descriptors (name, kind, capability
+  // summary). Takes no device/stencil/problem fields; its canonical
+  // key is {v, kind} alone.
+  kDevices,
 };
 
 std::string_view to_string(RequestKind k) noexcept;

@@ -8,6 +8,9 @@
 
 #include "analysis/audit.hpp"
 #include "common/rng.hpp"
+#include "cpusim/lower_bound.hpp"
+#include "cpusim/microbench.hpp"
+#include "cpusim/timing.hpp"
 #include "gpusim/cost_profile.hpp"
 #include "gpusim/lower_bound.hpp"
 #include "gpusim/microbench.hpp"
@@ -27,13 +30,15 @@ double seconds_since(Clock::time_point t0) {
 
 // --- TuningContext ---------------------------------------------------
 
-TuningContext TuningContext::calibrate(const gpusim::DeviceParams& dev,
+TuningContext TuningContext::calibrate(const device::Descriptor& dev,
                                        const stencil::StencilDef& def,
                                        const stencil::ProblemSize& p) {
-  return with_inputs(dev, def, p, gpusim::calibrate_model(dev, def));
+  return with_inputs(dev, def, p,
+                     dev.is_gpu() ? gpusim::calibrate_model(dev.gpu(), def)
+                                  : cpusim::calibrate_model(dev.cpu(), def));
 }
 
-TuningContext TuningContext::with_inputs(const gpusim::DeviceParams& dev,
+TuningContext TuningContext::with_inputs(const device::Descriptor& dev,
                                          const stencil::StencilDef& def,
                                          const stencil::ProblemSize& p,
                                          const model::ModelInputs& in) {
@@ -71,7 +76,7 @@ std::size_t Session::TileKeyHash::operator()(const TileKey& k) const noexcept {
 Session::Session(TuningContext ctx, SessionOptions opt)
     : ctx_(std::move(ctx)), opt_(opt), pool_(opt.jobs) {}
 
-Session::Session(const gpusim::DeviceParams& dev,
+Session::Session(const device::Descriptor& dev,
                  const stencil::StencilDef& def,
                  const stencil::ProblemSize& p, SessionOptions opt)
     : Session(TuningContext::calibrate(dev, def, p), opt) {}
@@ -163,6 +168,26 @@ EvaluatedPoint Session::measure(const DataPoint& dp) {
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.machine_points;
   }
+  if (ctx_.dev.is_cpu()) {
+    // The CPU backend has no thread-invariant geometry profile; the
+    // sweep walk is cheap enough to price per point.
+    const auto t0 = Clock::now();
+    EvaluatedPoint ep;
+    ep.dp = dp;
+    ep.talg = model_talg_or_inf(ctx_.inputs, ctx_.problem, dp.ts);
+    const cpusim::SimResult res = cpusim::measure_best_of(
+        ctx_.dev.cpu(), ctx_.def, ctx_.problem, dp.ts, dp.thr);
+    ep.feasible = res.feasible;
+    if (res.feasible) {
+      ep.texec = res.seconds;
+      ep.gflops = res.gflops;
+    }
+    const double priced = seconds_since(t0);
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.pricing_seconds += priced;
+    if (opt_.memoize) cache_.emplace(key, ep);
+    return ep;
+  }
   // Stage one (memoized schedule walk), then stage two (closed-form
   // pricing). Both run outside the lock; two threads may race to fill
   // the same key, but they insert the same value, so first-wins is
@@ -171,7 +196,7 @@ EvaluatedPoint Session::measure(const DataPoint& dp) {
       profile_for(dp.ts);
   const auto t0 = Clock::now();
   const EvaluatedPoint ep = tuner::evaluate_point(
-      ctx_.dev, ctx_.def, ctx_.problem, ctx_.inputs, dp, *prof);
+      ctx_.dev.gpu(), ctx_.def, ctx_.problem, ctx_.inputs, dp, *prof);
   const double priced = seconds_since(t0);
   std::lock_guard<std::mutex> lk(mu_);
   stats_.pricing_seconds += priced;
@@ -201,16 +226,27 @@ std::optional<EvaluatedPoint> Session::measure_bounded(const DataPoint& dp,
   // comment's determinism invariant.
   const double cut = inc->load();
   if (cut < std::numeric_limits<double>::infinity()) {
-    const std::shared_ptr<const gpusim::TileCostProfile> prof =
-        profile_for(dp.ts);
-    const auto t0 = Clock::now();
-    const gpusim::LowerBound lb = gpusim::lower_bound(
-        ctx_.dev, ctx_.def, ctx_.problem, dp.ts, dp.thr, *prof);
-    const double elapsed = seconds_since(t0);
+    double bound = 0.0;
+    double elapsed = 0.0;
+    if (ctx_.dev.is_cpu()) {
+      const auto t0 = Clock::now();
+      bound = cpusim::lower_bound(ctx_.dev.cpu(), ctx_.def, ctx_.problem,
+                                  dp.ts, dp.thr)
+                  .seconds;
+      elapsed = seconds_since(t0);
+    } else {
+      const std::shared_ptr<const gpusim::TileCostProfile> prof =
+          profile_for(dp.ts);
+      const auto t0 = Clock::now();
+      bound = gpusim::lower_bound(ctx_.dev.gpu(), ctx_.def, ctx_.problem,
+                                  dp.ts, dp.thr, *prof)
+                  .seconds;
+      elapsed = seconds_since(t0);
+    }
     {
       std::lock_guard<std::mutex> lk(mu_);
       stats_.bound_seconds += elapsed;
-      if (lb.seconds > cut) {
+      if (bound > cut) {
         ++stats_.points_pruned;
         return std::nullopt;
       }
@@ -311,7 +347,7 @@ EvaluatedPoint Session::best_over_threads(const hhc::TileSizes& ts) {
   const auto t0 = Clock::now();
   Incumbent inc;  // thread-sweep-scoped
   EvaluatedPoint best;
-  for (const auto& thr : default_thread_configs(ctx_.problem.dim)) {
+  for (const auto& thr : device_thread_configs(ctx_.dev, ctx_.problem.dim)) {
     const std::optional<EvaluatedPoint> ep =
         measure_bounded(DataPoint{ts, thr}, &inc);
     if (ep) fold_best(best, *ep);
@@ -323,7 +359,7 @@ EvaluatedPoint Session::best_over_threads(const hhc::TileSizes& ts) {
 std::vector<EvaluatedPoint> Session::best_over_threads_many(
     std::span<const hhc::TileSizes> tiles) {
   const auto t0 = Clock::now();
-  const auto threads = default_thread_configs(ctx_.problem.dim);
+  const auto threads = device_thread_configs(ctx_.dev, ctx_.problem.dim);
   // The incumbent is per tile, not shared: every tile's best is an
   // output here (fig5 emits one CSV row per tile), so pruning may
   // only ever discard points dominated within their own tile.
@@ -344,7 +380,7 @@ std::vector<EvaluatedPoint> Session::best_over_threads_many(
 
 EvaluatedPoint Session::best_of_tiles(std::span<const hhc::TileSizes> tiles,
                                       double incumbent_seed) {
-  const auto threads = default_thread_configs(ctx_.problem.dim);
+  const auto threads = device_thread_configs(ctx_.dev, ctx_.problem.dim);
   if (!opt_.prune) {
     return parallel_reduce<EvaluatedPoint>(
         pool_, tiles.size(), /*grain=*/4, EvaluatedPoint{},
@@ -400,7 +436,7 @@ EvaluatedPoint Session::best_of_tiles(std::span<const hhc::TileSizes> tiles,
 StrategyComparison Session::compare_strategies(const CompareOptions& opt) {
   opt.validate();
   StrategyComparison cmp;
-  cmp.device = ctx_.dev.name;
+  cmp.device = ctx_.dev.name();
   cmp.stencil = ctx_.def.name;
   cmp.problem = ctx_.problem;
 

@@ -95,21 +95,25 @@ class Incumbent {
 };
 
 // The parameter pack every optimizer entry point used to take,
-// collapsed into one value type.
+// collapsed into one value type. The device is a tagged descriptor
+// (device/descriptor.hpp): GPU payloads drive the gpusim pipeline
+// byte-identically to the pre-descriptor code; CPU payloads route
+// measurement, bounding and calibration through cpusim.
 struct TuningContext {
-  gpusim::DeviceParams dev;
+  device::Descriptor dev;
   stencil::StencilDef def;
   stencil::ProblemSize problem;
   model::ModelInputs inputs;
 
-  // Run the micro-benchmarks (Section 5.2) to fill `inputs`.
-  static TuningContext calibrate(const gpusim::DeviceParams& dev,
+  // Run the micro-benchmarks (Section 5.2) against the descriptor's
+  // backend to fill `inputs`.
+  static TuningContext calibrate(const device::Descriptor& dev,
                                  const stencil::StencilDef& def,
                                  const stencil::ProblemSize& p);
 
   // Reuse an existing calibration (it depends only on device and
   // stencil, so it can be shared across problem sizes).
-  static TuningContext with_inputs(const gpusim::DeviceParams& dev,
+  static TuningContext with_inputs(const device::Descriptor& dev,
                                    const stencil::StencilDef& def,
                                    const stencil::ProblemSize& p,
                                    const model::ModelInputs& in);
@@ -160,8 +164,9 @@ struct SessionOptions {
 class Session {
  public:
   explicit Session(TuningContext ctx, SessionOptions opt = {});
-  // Convenience: calibrate on construction.
-  Session(const gpusim::DeviceParams& dev, const stencil::StencilDef& def,
+  // Convenience: calibrate on construction. Takes any descriptor
+  // (gpusim::DeviceParams and cpusim::CpuParams convert implicitly).
+  Session(const device::Descriptor& dev, const stencil::StencilDef& def,
           const stencil::ProblemSize& p, SessionOptions opt = {});
 
   Session(const Session&) = delete;

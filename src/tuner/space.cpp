@@ -177,4 +177,15 @@ std::vector<hhc::ThreadConfig> default_thread_configs(int dim) {
           {64, 2, 1}, {64, 2, 2}, {64, 4, 2}, {128, 2, 2}, {128, 4, 1}};
 }
 
+std::vector<hhc::ThreadConfig> device_thread_configs(
+    const device::Descriptor& dev, int dim) {
+  if (dev.is_gpu()) return default_thread_configs(dim);
+  // Per-tile strand counts for the CPU backend: from a single strand
+  // (under-threaded: issue stalls) through the SMT sweet spot to
+  // heavy oversubscription (context-switch penalties) — ten values,
+  // mirroring the paper's 10-configs-per-tile protocol.
+  return {{1, 1, 1},  {2, 1, 1},  {4, 1, 1},  {6, 1, 1},  {8, 1, 1},
+          {12, 1, 1}, {16, 1, 1}, {24, 1, 1}, {32, 1, 1}, {48, 1, 1}};
+}
+
 }  // namespace repro::tuner

@@ -10,6 +10,7 @@
 
 #include "analysis/diagnostics.hpp"
 #include "analysis/ranges.hpp"
+#include "device/descriptor.hpp"
 #include "hhc/tile_sizes.hpp"
 #include "model/params.hpp"
 
@@ -83,5 +84,13 @@ hhc::TileSizes hhc_default_tiles(int dim);
 // (Section 5.1: "for each of them, we explore 10 different values of
 // n_thr,i").
 std::vector<hhc::ThreadConfig> default_thread_configs(int dim);
+
+// Backend-aware form: GPU descriptors get exactly
+// default_thread_configs(dim) (byte-compatibility with every GPU
+// sweep); CPU descriptors get ten per-tile strand counts spanning
+// below-SMT through oversubscribed (n1 only — a CPU "block" is a flat
+// worker team, not a 3D lattice).
+std::vector<hhc::ThreadConfig> device_thread_configs(
+    const device::Descriptor& dev, int dim);
 
 }  // namespace repro::tuner

@@ -8,6 +8,8 @@
 
 #include "analysis/audit.hpp"
 #include "analysis/diagnostics.hpp"
+#include "cpusim/device.hpp"
+#include "device/descriptor.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/microbench.hpp"
 #include "stencil/stencil.hpp"
@@ -67,6 +69,62 @@ TEST(AuditDevice, NonFiniteClockIsSL520) {
 TEST(AuditDevice, NegativeLatencyIsSL520) {
   gpusim::DeviceParams dev = gpusim::gtx980();
   dev.mem_latency_s = -1e-6;
+  DiagnosticEngine e;
+  EXPECT_FALSE(audit_device(dev, e));
+  EXPECT_TRUE(e.has_code(Code::kAuditDeviceInvariant));
+}
+
+TEST(AuditDevice, ShippedCpuDescriptorsAreClean) {
+  for (const cpusim::CpuParams* dev :
+       {&cpusim::xeon_e5_2690v4(), &cpusim::ryzen_3700x()}) {
+    DiagnosticEngine e;
+    EXPECT_TRUE(audit_device(*dev, e)) << dev->name;
+    EXPECT_TRUE(e.diagnostics().empty()) << dev->name;
+  }
+}
+
+TEST(AuditDevice, DescriptorOverloadDispatchesOnKind) {
+  // The tagged overload must route each payload to its own invariant
+  // set — a CPU defect must surface through a Descriptor too.
+  cpusim::CpuParams cpu = cpusim::ryzen_3700x();
+  cpu.cores = 0;
+  DiagnosticEngine e;
+  EXPECT_FALSE(audit_device(device::Descriptor(cpu), e));
+  EXPECT_TRUE(e.has_code(Code::kAuditDeviceInvariant));
+  DiagnosticEngine ok;
+  EXPECT_TRUE(audit_device(device::Descriptor(gpusim::gtx980()), ok));
+  EXPECT_TRUE(ok.diagnostics().empty());
+}
+
+TEST(AuditDevice, LineNotDividingCacheSizeIsSL520) {
+  cpusim::CpuParams dev = cpusim::xeon_e5_2690v4();
+  dev.levels[0].line_bytes = 60;  // 32 KB is not a whole number of lines
+  DiagnosticEngine e;
+  EXPECT_FALSE(audit_device(dev, e));
+  EXPECT_TRUE(e.has_code(Code::kAuditDeviceInvariant));
+}
+
+TEST(AuditDevice, NonIncreasingCacheCapacityIsSL520) {
+  cpusim::CpuParams dev = cpusim::xeon_e5_2690v4();
+  ASSERT_GE(dev.levels.size(), 2u);
+  dev.levels[1].size_bytes = dev.levels[0].size_bytes;  // L2 == L1
+  DiagnosticEngine e;
+  EXPECT_FALSE(audit_device(dev, e));
+  EXPECT_TRUE(e.has_code(Code::kAuditDeviceInvariant));
+}
+
+TEST(AuditDevice, OutwardLevelFasterThanInnerIsSL520) {
+  cpusim::CpuParams dev = cpusim::xeon_e5_2690v4();
+  ASSERT_GE(dev.levels.size(), 2u);
+  dev.levels[1].latency_s = dev.levels[0].latency_s / 2.0;
+  DiagnosticEngine e;
+  EXPECT_FALSE(audit_device(dev, e));
+  EXPECT_TRUE(e.has_code(Code::kAuditDeviceInvariant));
+}
+
+TEST(AuditDevice, EmptyCacheHierarchyIsSL520) {
+  cpusim::CpuParams dev = cpusim::ryzen_3700x();
+  dev.levels.clear();
   DiagnosticEngine e;
   EXPECT_FALSE(audit_device(dev, e));
   EXPECT_TRUE(e.has_code(Code::kAuditDeviceInvariant));

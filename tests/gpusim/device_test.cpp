@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "device/registry.hpp"
+
 namespace repro::gpusim {
 namespace {
 
@@ -41,10 +43,18 @@ TEST(Device, ModelHardwareExportMatchesSpecSubset) {
 }
 
 TEST(Device, LookupByName) {
-  EXPECT_EQ(&device_by_name("GTX 980"), &gtx980());
-  EXPECT_EQ(&device_by_name("Titan X"), &titan_x());
-  EXPECT_THROW(device_by_name("Volta"), std::invalid_argument);
-  EXPECT_EQ(paper_devices().size(), 2u);
+  // Name lookup moved into the process-wide DeviceRegistry; the GPU
+  // entries must round-trip back to the exact Table 2 descriptors.
+  const device::Descriptor* g = device::registry().find("GTX 980");
+  ASSERT_NE(g, nullptr);
+  ASSERT_TRUE(g->is_gpu());
+  EXPECT_EQ(g->gpu().n_sm, gtx980().n_sm);
+  EXPECT_EQ(g->gpu().clock_hz, gtx980().clock_hz);
+  const device::Descriptor* t = device::registry().find("Titan X");
+  ASSERT_NE(t, nullptr);
+  ASSERT_TRUE(t->is_gpu());
+  EXPECT_EQ(t->gpu().n_sm, titan_x().n_sm);
+  EXPECT_EQ(device::registry().find("Volta"), nullptr);
 }
 
 }  // namespace

@@ -11,7 +11,7 @@
 #include <thread>
 #include <vector>
 
-#include "gpusim/device.hpp"
+#include "device/registry.hpp"
 #include "stencil/stencil.hpp"
 
 namespace repro::service {
@@ -87,9 +87,10 @@ TEST_F(CoreTest, ColdWarmAndDirectSessionAreByteIdentical) {
     const auto req = parse_request(lines[i], diags);
     ASSERT_TRUE(req);
     std::unique_ptr<tuner::Session> session;
-    if (req->kind != RequestKind::kLint) {
+    if (req->kind != RequestKind::kLint &&
+        req->kind != RequestKind::kDevices) {
       session = std::make_unique<tuner::Session>(
-          gpusim::device_by_name(req->device), req->def, *req->problem,
+          *device::registry().find(req->device), req->def, *req->problem,
           tuner::SessionOptions{}.with_jobs(1));
     }
     EXPECT_EQ(render_result(req->id, req->kind,
@@ -247,6 +248,54 @@ TEST_F(CoreTest, FullQueueReturnsStructuredOverloadError) {
   const ServiceStats s = core.stats();
   EXPECT_EQ(s.overloaded, 1u);
   EXPECT_EQ(s.computed, 2u);  // r1 and r2 still completed
+}
+
+TEST_F(CoreTest, DevicesListingEnumeratesRegistryAndBypassesStore) {
+  ServiceCore core(ServiceOptions{}.with_store_dir(store_dir_.string()));
+  const std::string out =
+      core.handle(R"({"v":1,"id":"d1","kind":"devices"})");
+  const auto doc = json::parse(out);
+  ASSERT_TRUE(doc && doc->is_object()) << out;
+  EXPECT_TRUE(doc->find("ok")->as_bool());
+  const json::Value* result = doc->find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->find("count")->as_int(),
+            static_cast<std::int64_t>(device::registry().size()));
+  const json::Value* devices = result->find("devices");
+  ASSERT_TRUE(devices != nullptr && devices->is_array());
+  // Registration order, both backends, with a capability summary.
+  const auto& items = devices->items();
+  ASSERT_EQ(items.size(), device::registry().size());
+  EXPECT_EQ(items[0].find("name")->as_string(), "GTX 980");
+  EXPECT_EQ(items[0].find("kind")->as_string(), "gpu");
+  EXPECT_EQ(items[2].find("name")->as_string(), "Xeon E5-2690 v4");
+  EXPECT_EQ(items[2].find("kind")->as_string(), "cpu");
+  EXPECT_FALSE(items[2].find("summary")->as_string().empty());
+  // The listing reflects process-local registry state, so it is never
+  // persisted: a second core over the same store recomputes it.
+  EXPECT_EQ(core.stats().store_writes, 0u);
+  EXPECT_EQ(core.stats().devices, 1u);
+  ServiceCore warm(ServiceOptions{}.with_store_dir(store_dir_.string()));
+  EXPECT_EQ(warm.handle(R"({"v":1,"id":"d1","kind":"devices"})"), out);
+  EXPECT_EQ(warm.stats().store_hits, 0u);
+  EXPECT_EQ(warm.stats().computed, 1u);
+}
+
+TEST_F(CoreTest, UnknownDeviceIsSL522WithNearestCandidates) {
+  ServiceCore core{ServiceOptions{}};
+  const std::string out = core.handle(
+      R"({"v":1,"id":"u1","kind":"predict","device":"GTX 908",)"
+      R"("stencil":"Heat2D","problem":{"S":[512,512],"T":64},)"
+      R"("tile":{"tT":6,"tS1":8,"tS2":160}})");
+  EXPECT_NE(out.find(R"("ok":false)"), std::string::npos);
+  EXPECT_NE(out.find("SL522"), std::string::npos);
+  // The structured error lists the registered names and suggests the
+  // nearest one.
+  EXPECT_NE(out.find("Xeon E5-2690 v4"), std::string::npos);
+  EXPECT_NE(out.find("did you mean"), std::string::npos);
+  EXPECT_NE(out.find("GTX 980"), std::string::npos);
+  EXPECT_EQ(core.stats().errors, 1u);
+  EXPECT_EQ(core.stats().computed, 0u);
 }
 
 TEST_F(CoreTest, StatsJsonIsValidAndComplete) {

@@ -87,18 +87,43 @@ TEST(Protocol, UnknownFieldIsRejectedNotIgnored) {
   EXPECT_TRUE(diags.has_code(Code::kSvcBadField));
 }
 
-TEST(Protocol, UnknownDeviceAndStencilAreSL405) {
+TEST(Protocol, UnknownDeviceIsStructuredSL522) {
+  // The registry redesign: an unknown device reports SL522 with the
+  // registered names in the message and a nearest-name hint — not the
+  // old bare SL405.
   DiagnosticEngine diags;
   EXPECT_EQ(parse_request(
                 R"({"v":1,"kind":"lint","device":"GTX 9999","stencil":"Heat2D"})",
                 diags),
             std::nullopt);
-  EXPECT_TRUE(diags.has_code(Code::kSvcBadField));
-  diags.clear();
+  ASSERT_TRUE(diags.has_code(Code::kAuditUnknownDevice));
+  const analysis::Diagnostic& d = diags.diagnostics().front();
+  EXPECT_NE(d.message.find("GTX 980"), std::string::npos);
+  EXPECT_NE(d.message.find("Xeon E5-2690 v4"), std::string::npos);
+  EXPECT_NE(d.hint.find("GTX 980"), std::string::npos);
+}
+
+TEST(Protocol, UnknownStencilIsSL405) {
+  DiagnosticEngine diags;
   EXPECT_EQ(
       parse_request(R"({"v":1,"kind":"lint","stencil":"NoSuchStencil"})",
                     diags),
       std::nullopt);
+  EXPECT_TRUE(diags.has_code(Code::kSvcBadField));
+}
+
+TEST(Protocol, DevicesKindTakesNoComputationFields) {
+  DiagnosticEngine diags;
+  const auto req = parse_request(R"({"v":1,"id":"d1","kind":"devices"})", diags);
+  ASSERT_TRUE(req) << analysis::render_human(diags.diagnostics());
+  EXPECT_EQ(req->kind, RequestKind::kDevices);
+  // Its canonical key is {v, kind} alone — no device/stencil identity.
+  EXPECT_EQ(req->canonical_key(), R"({"kind":"devices","v":1})");
+  // Any computation field is rejected, not ignored.
+  diags.clear();
+  EXPECT_EQ(parse_request(
+                R"({"v":1,"kind":"devices","device":"GTX 980"})", diags),
+            std::nullopt);
   EXPECT_TRUE(diags.has_code(Code::kSvcBadField));
 }
 

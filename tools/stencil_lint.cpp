@@ -29,7 +29,7 @@
 #include "analysis/diagnostics.hpp"
 #include "analysis/lint.hpp"
 #include "common/cli.hpp"
-#include "gpusim/device.hpp"
+#include "device/registry.hpp"
 #include "stencil/stencil.hpp"
 
 namespace {
@@ -51,8 +51,12 @@ int usage(const char* prog) {
                "array per run)\n"
                "  --audit                   run the semantic audit pass "
                "(SL5xx) with fix-it hints\n"
-               "  --device=<gtx980|titanx>  hardware for configuration checks "
-               "(default gtx980)\n"
+               "  --device=<name>           any registered device (GPU or "
+               "CPU) for configuration\n"
+               "                            checks; gtx980/titanx shorthands "
+               "accepted (default gtx980)\n"
+               "  --devices=<file.json>     import extra device descriptors "
+               "into the registry\n"
                "  --tile=tT,tS1[,tS2[,tS3]] tile sizes to legality-check\n"
                "  --threads=n1[,n2[,n3]]    thread-block shape\n"
                "  --size=S1[,S2[,S3]]       problem spatial extents\n"
@@ -122,8 +126,8 @@ int main(int argc, char** argv) {
   // flag this binary understands is listed here.
   for (const std::string& key : args.keys()) {
     static constexpr const char* kKnown[] = {
-        "json", "audit", "device", "tile", "threads",
-        "size", "steps", "warp",   "stencil"};
+        "json", "audit", "device", "tile",    "threads",
+        "size", "steps", "warp",   "stencil", "devices"};
     bool known = false;
     for (const char* k : kKnown) known = known || key == k;
     if (!known) {
@@ -139,16 +143,38 @@ int main(int argc, char** argv) {
 
   const bool audit = args.has_flag("audit");
   analysis::LintOptions opt;
+  // --devices=FILE: import extra descriptors before the lookup, same
+  // format as `tuned devices --json`.
+  if (const auto devfile = args.get("devices")) {
+    std::ifstream f(*devfile);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", devfile->c_str());
+      return 2;
+    }
+    analysis::DiagnosticEngine idiags;
+    if (!device::registry().load(read_stream(f), &idiags)) {
+      std::fprintf(
+          stderr, "%s",
+          analysis::render_human(idiags.diagnostics(), *devfile).c_str());
+      return 2;
+    }
+  }
   const std::string device = args.get_or("device", "gtx980");
-  gpusim::DeviceParams dev;
-  try {
-    dev = gpusim::device_by_name(device == "gtx980"   ? "GTX 980"
-                                 : device == "titanx" ? "Titan X"
-                                                      : device);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "%s\n", e.what());
+  // The legacy shorthands stay; anything else is a registry name, so
+  // the CPU descriptors (and imported ones) work unchanged.
+  const std::string device_name = device == "gtx980"   ? "GTX 980"
+                                  : device == "titanx" ? "Titan X"
+                                                       : device;
+  analysis::DiagnosticEngine ddiags;
+  const device::Descriptor* devp =
+      device::registry().resolve(device_name, &ddiags);
+  if (devp == nullptr) {
+    std::fprintf(
+        stderr, "%s",
+        analysis::render_human(ddiags.diagnostics(), "<device>").c_str());
     return 2;
   }
+  const device::Descriptor& dev = *devp;
   opt.hw = dev.to_model_hardware();
   opt.warp = args.get_int_or("warp", 32);
   if (opt.warp <= 0) {

@@ -20,9 +20,20 @@
 //     tuner::Session — no queue, no store — and prints the response
 //     line. Exits 0 on an ok response, 1 on an error response. The CI
 //     smoke job byte-compares this against daemon output.
+//
+//   tuned devices [--json]
+//     Lists the registered device descriptors (name, kind, capability
+//     summary); --json dumps the full registry JSON, which re-imports
+//     byte-identically via --devices.
+//
+// Every mode accepts --devices=FILE to import additional descriptors
+// ({"devices":[...]}, the exact format `tuned devices --json` emits)
+// into the process registry before serving/computing.
 #include <csignal>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -32,7 +43,7 @@
 #include <unistd.h>
 
 #include "common/cli.hpp"
-#include "gpusim/device.hpp"
+#include "device/registry.hpp"
 #include "service/core.hpp"
 #include "service/protocol.hpp"
 
@@ -54,13 +65,37 @@ void on_signal(int) {
 }
 
 int usage(const char* argv0) {
-  std::cerr << "usage: " << argv0 << " serve|client|once [options]\n"
-            << "  serve  [--store=DIR] [--socket=PATH] [--workers=N]\n"
-            << "         [--queue-depth=N] [--submit-wait-ms=MS]\n"
-            << "         [--no-coalesce] [--session-jobs=N]\n"
-            << "  client --socket=PATH\n"
-            << "  once   [--request='<json>']\n";
+  std::cerr << "usage: " << argv0 << " serve|client|once|devices [options]\n"
+            << "  serve   [--store=DIR] [--socket=PATH] [--workers=N]\n"
+            << "          [--queue-depth=N] [--submit-wait-ms=MS]\n"
+            << "          [--no-coalesce] [--session-jobs=N]\n"
+            << "  client  --socket=PATH\n"
+            << "  once    [--request='<json>']\n"
+            << "  devices [--json]\n"
+            << "every mode also accepts --devices=FILE (registry import)\n";
   return 2;
+}
+
+// --devices=FILE: import descriptors into the process registry before
+// anything consults it. Malformed input (SL524) or duplicate names
+// (SL523) are fatal — serving against half a registry is worse than
+// not starting.
+bool import_devices(const CliArgs& args) {
+  const std::optional<std::string> path = args.get("devices");
+  if (!path) return true;
+  std::ifstream in(*path);
+  if (!in) {
+    std::cerr << "error: cannot read --devices file: " << *path << "\n";
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  analysis::DiagnosticEngine diags;
+  if (!device::registry().load(text.str(), &diags)) {
+    std::cerr << analysis::render_human(diags.diagnostics(), *path);
+    return false;
+  }
+  return true;
 }
 
 bool check_options(const CliArgs& args,
@@ -185,8 +220,8 @@ int serve_socket(service::ServiceCore& core, const std::string& path) {
 
 int cmd_serve(const CliArgs& args) {
   if (!check_options(args, {"socket", "store", "workers", "queue-depth",
-                            "submit-wait-ms", "no-coalesce",
-                            "session-jobs"})) {
+                            "submit-wait-ms", "no-coalesce", "session-jobs",
+                            "devices"})) {
     return 2;
   }
   service::ServiceCore core(serve_options(args));
@@ -205,7 +240,7 @@ int cmd_serve(const CliArgs& args) {
 }
 
 int cmd_client(const CliArgs& args) {
-  if (!check_options(args, {"socket"})) return 2;
+  if (!check_options(args, {"socket", "devices"})) return 2;
   const std::optional<std::string> path = args.get("socket");
   if (!path) {
     std::cerr << "error: client requires --socket=PATH\n";
@@ -242,8 +277,20 @@ int cmd_client(const CliArgs& args) {
   return 0;
 }
 
+int cmd_devices(const CliArgs& args) {
+  if (!check_options(args, {"json", "devices"})) return 2;
+  if (args.has_flag("json")) {
+    std::cout << device::registry().dump() << "\n";
+    return 0;
+  }
+  for (const device::Descriptor& d : device::registry().devices()) {
+    std::cout << d.name() << "\n  " << d.summary() << "\n";
+  }
+  return 0;
+}
+
 int cmd_once(const CliArgs& args) {
-  if (!check_options(args, {"request"})) return 2;
+  if (!check_options(args, {"request", "devices"})) return 2;
   std::string line = args.get_or("request", "");
   if (line.empty() && !std::getline(std::cin, line)) {
     std::cerr << "error: once needs --request='<json>' or a request line "
@@ -261,9 +308,10 @@ int cmd_once(const CliArgs& args) {
   }
   try {
     std::unique_ptr<tuner::Session> session;
-    if (req->kind != service::RequestKind::kLint) {
+    if (req->kind != service::RequestKind::kLint &&
+        req->kind != service::RequestKind::kDevices) {
       session = std::make_unique<tuner::Session>(
-          gpusim::device_by_name(req->device), req->def, *req->problem,
+          *device::registry().find(req->device), req->def, *req->problem,
           tuner::SessionOptions{}.with_jobs(1));
     }
     const std::string payload =
@@ -283,9 +331,11 @@ int cmd_once(const CliArgs& args) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
   const std::string mode = argv[1];
-  const CliArgs args(argc - 1, argv + 1, {"no-coalesce"});
+  const CliArgs args(argc - 1, argv + 1, {"no-coalesce", "json"});
+  if (!import_devices(args)) return 2;
   if (mode == "serve") return cmd_serve(args);
   if (mode == "client") return cmd_client(args);
   if (mode == "once") return cmd_once(args);
+  if (mode == "devices") return cmd_devices(args);
   return usage(argv[0]);
 }
