@@ -8,14 +8,21 @@
 // each with a "legacy" arm (the serial free functions: one full
 // geometry walk per simulator call) and a "profiled" arm (a
 // tuner::Session: the walk runs once per tile size, every thread
-// config after the first is closed-form pricing). Results of the two
-// arms are bitwise-identical — only the throughput differs; the
-// speedup column is the point of the exercise.
+// config after the first is closed-form pricing). The
+// best_over_threads shape adds a third, "batched" arm: the session's
+// SoA pricing path (measure_best_of_batch) that prices a whole
+// thread sweep per tile in one fold — its speedup over the scalar
+// profiled arm, with bitwise-identical results, is the acceptance
+// metric of the batch pipeline. A fig6-shaped strategy comparison
+// over the variant-extended space (all six kernel variants) rounds
+// out the headline arms.
 //
-// Emits BENCH_gpusim.json into --csv-dir. Default scale is a smoke
-// run sized for CI; --full runs paper-scale problems. --jobs=N sets
-// the profiled arms' worker count (legacy arms are serial by
-// definition); jobs=1 keeps the comparison apples-to-apples.
+// Emits BENCH_gpusim.json into --csv-dir (default bench/out/).
+// Default scale is a smoke run sized for CI; --full runs paper-scale
+// problems. --jobs=N sets the profiled arms' worker count (legacy
+// arms are serial by definition); jobs=1 keeps the comparison
+// apples-to-apples.
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -66,9 +73,19 @@ struct PruningReport {
   }
 };
 
+// The batched-pricing A/B: the best_over_threads sweep run through
+// the scalar per-point path, then through the SoA batch path.
+// Results must match exactly; the speedup is the acceptance metric.
+struct BatchReport {
+  double speedup = 0.0;
+  double points_per_sec = 0.0;
+  bool results_identical = false;
+};
+
 void emit_json(const std::string& path, const std::vector<ArmResult>& arms,
                const std::vector<std::pair<std::string, double>>& speedups,
-               const PruningReport& pr, int jobs, bool full) {
+               const PruningReport& pr, const BatchReport& br, int jobs,
+               bool full) {
   std::ofstream os(path);
   os << "{\n  \"bench\": \"bench_sim_throughput\",\n"
      << "  \"mode\": \"" << (full ? "full" : "smoke") << "\",\n"
@@ -85,7 +102,12 @@ void emit_json(const std::string& path, const std::vector<ArmResult>& arms,
     os << "    \"" << speedups[i].first << "\": " << speedups[i].second
        << (i + 1 < speedups.size() ? "," : "") << "\n";
   }
-  os << "  },\n  \"pruning\": {\n"
+  os << "  },\n  \"batch\": {\n"
+     << "    \"speedup\": " << br.speedup
+     << ",\n    \"points_per_sec\": " << br.points_per_sec
+     << ",\n    \"results_identical\": "
+     << (br.results_identical ? "true" : "false") << "\n  },\n"
+     << "  \"pruning\": {\n"
      << "    \"machine_points_unpruned\": " << pr.machine_points_unpruned
      << ",\n    \"machine_points_pruned\": " << pr.machine_points_pruned
      << ",\n    \"points_pruned\": " << pr.points_pruned
@@ -122,15 +144,36 @@ int main(int argc, char** argv) {
   const std::vector<hhc::TileSizes> space =
       tuner::enumerate_feasible(2, in.hw, opt, def.radius);
 
-  // Deterministic subsample for the machine-evaluation arms.
-  const std::size_t n_tiles = scale.full ? 64 : 16;
-  const std::size_t stride = space.size() > n_tiles
-                                 ? space.size() / n_tiles
-                                 : 1;
+  // Deterministic machine-arm sample, fig5-shaped: a few (tT, tS1)
+  // columns swept along tS2 — the slice real tuning sweeps (fig4,
+  // fig5, best_tile) walk, and the shape the batched pipeline's
+  // incremental profile rebuild (build_step) is designed for. The
+  // columns are spread across the feasible space by stride.
+  const std::size_t n_cols = scale.full ? 8 : 4;
+  const std::size_t per_col = scale.full ? 8 : 4;
+  const std::size_t n_tiles = n_cols * per_col;
   std::vector<hhc::TileSizes> tiles;
-  for (std::size_t i = 0; i < space.size() && tiles.size() < n_tiles;
-       i += stride) {
-    tiles.push_back(space[i]);
+  {
+    std::vector<std::pair<std::int64_t, std::int64_t>> cols;
+    const std::size_t stride =
+        space.size() > n_tiles ? space.size() / n_tiles : 1;
+    for (std::size_t i = 0; i < space.size() && tiles.size() < n_tiles;
+         ++i) {
+      const std::pair<std::int64_t, std::int64_t> col{space[i].tT,
+                                                      space[i].tS1};
+      const auto it = std::find(cols.begin(), cols.end(), col);
+      if (it == cols.end()) {
+        // Start a new column on stride boundaries only, so the
+        // sample spans the space instead of its first corner.
+        if (cols.size() >= n_cols || i % stride != 0) continue;
+        cols.push_back(col);
+      }
+      std::size_t taken = 0;
+      for (const auto& ts : tiles) {
+        if (ts.tT == col.first && ts.tS1 == col.second) ++taken;
+      }
+      if (taken < per_col) tiles.push_back(space[i]);
+    }
   }
   const auto threads = tuner::default_thread_configs(2);
 
@@ -181,8 +224,8 @@ int main(int argc, char** argv) {
   }
 
   // --- best_over_threads: the acceptance metric ---------------------
-  // Serial vs serial (jobs=1): the speedup isolates the two-stage
-  // pipeline from thread-pool parallelism.
+  // Serial vs serial (jobs=1): the speedups isolate the two-stage
+  // pipeline and the SoA batch fold from thread-pool parallelism.
   {
     const auto t0 = Clock::now();
     for (const auto& ts : tiles) {
@@ -191,15 +234,34 @@ int main(int argc, char** argv) {
     arms.push_back({"best_over_threads_legacy",
                     tiles.size() * threads.size(), seconds_since(t0)});
   }
+  BatchReport batch;
   {
-    tuner::Session s(
-        tuner::TuningContext::with_inputs(dev, def, p, in),
-        tuner::SessionOptions{}.with_jobs(1).with_memoize(false));
+    // Scalar per-point pricing (batch off): one simulate_time call
+    // per (tile, thread) point against the shared profile.
+    tuner::Session s(tuner::TuningContext::with_inputs(dev, def, p, in),
+                     tuner::SessionOptions{}
+                         .with_jobs(1)
+                         .with_memoize(false)
+                         .with_batch(false));
+    std::vector<tuner::EvaluatedPoint> scalar_best;
     const auto t0 = Clock::now();
-    for (const auto& ts : tiles) (void)s.best_over_threads(ts);
+    for (const auto& ts : tiles) scalar_best.push_back(s.best_over_threads(ts));
     arms.push_back({"best_over_threads_profiled",
                     tiles.size() * threads.size(), seconds_since(t0)});
     bench::print_sweep_stats(std::cout, s.stats(), s.jobs());
+
+    // Batched SoA pricing (the session default): one
+    // measure_best_of_batch fold per tile, Talg hoisted per tile.
+    tuner::Session b(tuner::TuningContext::with_inputs(dev, def, p, in),
+                     tuner::SessionOptions{}.with_jobs(1).with_memoize(false));
+    std::vector<tuner::EvaluatedPoint> batch_best;
+    const auto t1 = Clock::now();
+    for (const auto& ts : tiles) batch_best.push_back(b.best_over_threads(ts));
+    arms.push_back({"best_over_threads_batched",
+                    tiles.size() * threads.size(), seconds_since(t1)});
+    bench::print_sweep_stats(std::cout, b.stats(), b.jobs());
+
+    batch.results_identical = scalar_best == batch_best;
   }
 
   // --- Bound-and-prune search: fig6-shaped strategy comparison ------
@@ -240,6 +302,27 @@ int main(int argc, char** argv) {
     pruning.points_pruned = st.points_pruned;
     pruning.bound_seconds = st.bound_seconds;
     pruning.results_identical = got == ref;
+
+    // --- Variant-extended strategy comparison (headline arm) --------
+    // The same fig6 shape with the enumeration crossed against all
+    // six kernel variants (unroll x staging): the realistic search
+    // space of Ernst et al., served by the batched pricing path with
+    // pruning on.
+    tuner::CompareOptions vopt = copt;
+    const auto vspan = stencil::all_kernel_variants();
+    vopt.enumeration.variants.assign(vspan.begin(), vspan.end());
+    tuner::Session vs(ctx, tuner::SessionOptions{}.with_jobs(scale.jobs));
+    const auto t_var = Clock::now();
+    const tuner::StrategyComparison vcmp = vs.compare_strategies(vopt);
+    arms.push_back({"compare_variants", vs.stats().machine_points,
+                    seconds_since(t_var)});
+    std::cout << "variant-extended exhaustive best: "
+              << vcmp.exhaustive.dp.ts.to_string() << " "
+              << vcmp.exhaustive.dp.var.to_string() << " ("
+              << AsciiTable::fmt(vcmp.exhaustive.gflops, 1) << " GFlop/s vs "
+              << AsciiTable::fmt(ref.exhaustive.gflops, 1)
+              << " default-variant)\n";
+    bench::print_sweep_stats(std::cout, vs.stats(), vs.jobs());
   }
 
   const auto arm = [&](const std::string& name) -> const ArmResult& {
@@ -259,7 +342,12 @@ int main(int argc, char** argv) {
        ratio("machine_sweep_profiled", "machine_sweep_legacy")},
       {"best_over_threads",
        ratio("best_over_threads_profiled", "best_over_threads_legacy")},
+      {"best_over_threads_batch",
+       ratio("best_over_threads_batched", "best_over_threads_profiled")},
   };
+  batch.speedup =
+      ratio("best_over_threads_batched", "best_over_threads_profiled");
+  batch.points_per_sec = arm("best_over_threads_batched").pts_per_sec();
 
   AsciiTable t({"arm", "points", "seconds", "points/s"});
   for (const auto& a : arms) {
@@ -271,6 +359,9 @@ int main(int argc, char** argv) {
     std::cout << name << " profiled-vs-legacy speedup: "
               << AsciiTable::fmt(x, 2) << "x\n";
   }
+  std::cout << "batched pricing: " << AsciiTable::fmt(batch.speedup, 2)
+            << "x over scalar profiled, results "
+            << (batch.results_identical ? "identical" : "DIVERGED") << "\n";
   std::cout << "pruned search: " << pruning.machine_points_unpruned
             << " -> " << pruning.machine_points_pruned
             << " machine points (" << pruning.points_pruned << " pruned, "
@@ -278,7 +369,7 @@ int main(int argc, char** argv) {
             << (pruning.results_identical ? "identical" : "DIVERGED") << "\n";
 
   emit_json(scale.csv_dir + "/BENCH_gpusim.json", arms, speedups, pruning,
-            scale.resolved_jobs(), scale.full);
+            batch, scale.resolved_jobs(), scale.full);
   std::cout << "wrote " << scale.csv_dir << "/BENCH_gpusim.json\n";
   return 0;
 }

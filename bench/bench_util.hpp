@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <ostream>
@@ -26,13 +27,18 @@ namespace repro::bench {
 struct Scale {
   bool full = false;
   int jobs = 0;         // 0 = auto (REPRO_JOBS / hardware)
-  std::string csv_dir;  // where to drop raw CSVs ("." by default)
+  // Where to drop raw CSVs / JSON reports. Defaults to bench/out/
+  // (gitignored); the committed reference copies live in
+  // tests/golden/ and CI diffs regenerated output against them.
+  std::string csv_dir;
 
   static Scale from_args(const CliArgs& args) {
     Scale s;
     s.full = args.has_flag("full");
     s.jobs = static_cast<int>(args.get_int_or("jobs", 0));
-    s.csv_dir = args.get_or("csv-dir", ".");
+    s.csv_dir = args.get_or("csv-dir", "bench/out");
+    std::error_code ec;  // best-effort; the writer reports failures
+    std::filesystem::create_directories(s.csv_dir, ec);
     return s;
   }
 
@@ -88,6 +94,7 @@ inline void accumulate(tuner::SweepStats& into, const tuner::SweepStats& s) {
   into.model_seconds += s.model_seconds;
   into.machine_seconds += s.machine_seconds;
   into.profile_builds += s.profile_builds;
+  into.profile_steps += s.profile_steps;
   into.profile_hits += s.profile_hits;
   into.geometry_seconds += s.geometry_seconds;
   into.pricing_seconds += s.pricing_seconds;
@@ -104,7 +111,8 @@ inline void print_sweep_stats(std::ostream& os, const tuner::SweepStats& st,
      << " pts in " << st.model_seconds << " s; machine eval: "
      << st.machine_points << " pts (" << st.cache_hits
      << " cache hits) in " << st.machine_seconds << " s; profiles: "
-     << st.profile_builds << " built (" << st.profile_hits << " hits), "
+     << st.profile_builds << " built + " << st.profile_steps
+     << " stepped (" << st.profile_hits << " hits), "
      << st.geometry_seconds << " s geometry + " << st.pricing_seconds
      << " s pricing; pruned: " << st.points_pruned << " pts in "
      << st.bound_seconds << " s bounds\n";
@@ -124,6 +132,7 @@ inline bool write_stats_json(const std::string& path,
   o.set("model_seconds", st.model_seconds);
   o.set("machine_seconds", st.machine_seconds);
   o.set("profile_builds", st.profile_builds);
+  o.set("profile_steps", st.profile_steps);
   o.set("profile_hits", st.profile_hits);
   o.set("geometry_seconds", st.geometry_seconds);
   o.set("pricing_seconds", st.pricing_seconds);

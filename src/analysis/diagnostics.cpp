@@ -15,7 +15,7 @@ struct CodeInfo {
 };
 
 // Numeric order; all_codes() exposes this table for docs and tests.
-constexpr std::array<CodeInfo, 55> kCodeTable{{
+constexpr std::array<CodeInfo, 56> kCodeTable{{
     {Code::kParseSyntax, "SL101", "malformed stencil DSL syntax"},
     {Code::kParseDim, "SL102", "missing or out-of-range 'dim'"},
     {Code::kParseTapBeyondDim, "SL103",
@@ -59,6 +59,9 @@ constexpr std::array<CodeInfo, 55> kCodeTable{{
      "tuning option out of range (EnumOptions / CompareOptions)"},
     {Code::kSweepDelta, "SL313",
      "model-sweep delta must be a finite non-negative fraction"},
+    {Code::kVariantResource, "SL314",
+     "kernel variant is invalid or pushes the register estimate over "
+     "the register file"},
     {Code::kSvcMalformed, "SL401",
      "service request is not a valid JSON object"},
     {Code::kSvcVersion, "SL402", "unsupported service protocol version"},

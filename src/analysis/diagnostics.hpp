@@ -62,6 +62,7 @@ enum class Code : std::uint16_t {
   kTileExtent = 311,        // non-positive spatial tile extent
   kOptionRange = 312,       // tuning option out of range (Enum/CompareOptions)
   kSweepDelta = 313,        // model-sweep delta not a finite fraction >= 0
+  kVariantResource = 314,   // kernel variant invalid or over the register file
   // --- tuned service protocol (src/service) --------------------------
   kSvcMalformed = 401,   // request line is not a JSON object
   kSvcVersion = 402,     // unsupported protocol version

@@ -84,6 +84,12 @@ bool check_tiling(const TilingCheckInput& in, DiagnosticEngine& diags) {
                     "; the hexagon slopes cannot contain the dependence "
                     "cone, so no legal wavefront schedule exists");
   }
+  if (!stencil::valid_unroll(in.variant.unroll)) {
+    diags.error(Code::kVariantResource,
+                "kernel variant unroll factor " +
+                    std::to_string(in.variant.unroll) +
+                    " is not one the generator emits (1, 2 or 4)");
+  }
 
   // Footprint checks need a geometrically meaningful tile.
   if (time_tile_ok(ts) && extents_ok(in.dim, ts)) {
@@ -166,6 +172,26 @@ bool check_tiling(const TilingCheckInput& in, DiagnosticEngine& diags) {
                          std::to_string(in.hw.regs_per_sm) +
                          "; expect spills the analytical model cannot "
                          "predict");
+        } else if (!in.variant.is_default() &&
+                   stencil::valid_unroll(in.variant.unroll)) {
+          // SL314 fires only for overflow the *variant* introduces:
+          // the default variant's demand fits (checked above), the
+          // variant's does not. A base overflow already carries SL307
+          // and would only be restated here.
+          const int vregs = gpusim::estimate_regs_per_thread(
+              *in.def, ts, total, in.variant);
+          const std::int64_t vdemand =
+              static_cast<std::int64_t>(vregs) * total;
+          if (vdemand > in.hw.regs_per_sm) {
+            diags.warn(Code::kVariantResource,
+                       "kernel variant " + in.variant.to_string() +
+                           " raises the register estimate to " +
+                           std::to_string(vregs) + "/thread (" +
+                           std::to_string(vdemand) + " total, over the " +
+                           std::to_string(in.hw.regs_per_sm) +
+                           "-register file); the default variant fits — "
+                           "expect spills only for this variant");
+          }
         }
       }
     }

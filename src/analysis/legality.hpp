@@ -16,6 +16,7 @@
 #include "model/params.hpp"
 #include "stencil/problem.hpp"
 #include "stencil/stencil.hpp"
+#include "stencil/variant.hpp"
 
 namespace repro::analysis {
 
@@ -55,6 +56,9 @@ struct TilingCheckInput {
   std::optional<hhc::ThreadConfig> thr;
   std::optional<stencil::ProblemSize> problem;
   std::int64_t warp = 32;  // lanes per warp (Eqn 31's alignment unit)
+  // Kernel implementation variant; the default is variant-blind (no
+  // SL314 can fire). Needs `def` and `thr` for the resource check.
+  stencil::KernelVariant variant{};
 };
 
 // Statically verifies one (stencil, tile, threads, hardware) tuple and
@@ -68,7 +72,10 @@ struct TilingCheckInput {
 //   SL306 (warning) hyper-threading bound k < 2,
 //   SL307 (warning) register estimate over the register file,
 //   SL308 (warning) problem sizes leave partial tiles,
-//   SL309 (error/warning) thread block too large / not warp-shaped.
+//   SL309 (error/warning) thread block too large / not warp-shaped,
+//   SL314 (error)   variant unroll factor the codegen cannot emit,
+//   SL314 (warning) variant register estimate over the register file
+//                   while the default variant's estimate fits.
 // Returns true iff no *error*-severity diagnostic was added by this
 // call (warnings and notes do not fail the check).
 bool check_tiling(const TilingCheckInput& in, DiagnosticEngine& diags);

@@ -1,21 +1,23 @@
 #include "common/log.hpp"
 
 #include <atomic>
-#include <cstdlib>
 #include <iostream>
+
+#include "common/env.hpp"
 
 namespace repro {
 
 namespace {
 
 LogLevel initial_threshold() {
-  const char* env = std::getenv("REPRO_LOG");
-  if (env == nullptr) return LogLevel::kWarn;
-  const std::string v(env);
-  if (v == "debug") return LogLevel::kDebug;
-  if (v == "info") return LogLevel::kInfo;
-  if (v == "warn") return LogLevel::kWarn;
-  if (v == "error") return LogLevel::kError;
+  // REPRO_LOG follows the once-per-process contract of common/env.hpp
+  // (set_log_threshold can still override it later).
+  const std::optional<std::string> v = env_once("REPRO_LOG");
+  if (!v) return LogLevel::kWarn;
+  if (*v == "debug") return LogLevel::kDebug;
+  if (*v == "info") return LogLevel::kInfo;
+  if (*v == "warn") return LogLevel::kWarn;
+  if (*v == "error") return LogLevel::kError;
   return LogLevel::kWarn;
 }
 

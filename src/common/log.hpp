@@ -9,8 +9,9 @@ namespace repro {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-// Current threshold, read once from the REPRO_LOG environment variable
-// (values: debug, info, warn, error; default warn).
+// Current threshold, initialized from the REPRO_LOG environment
+// variable (values: debug, info, warn, error; default warn) under the
+// once-per-process contract documented in common/env.hpp.
 LogLevel log_threshold() noexcept;
 void set_log_threshold(LogLevel level) noexcept;
 

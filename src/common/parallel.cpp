@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/env.hpp"
+
 namespace repro {
 
 int default_jobs() noexcept {
-  if (const char* env = std::getenv("REPRO_JOBS")) {
+  // REPRO_JOBS follows the once-per-process contract of common/env.hpp.
+  if (const std::optional<std::string> env = env_once("REPRO_JOBS")) {
     char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v > 0 && v <= 4096) {
+    const long v = std::strtol(env->c_str(), &end, 10);
+    if (end != env->c_str() && *end == '\0' && v > 0 && v <= 4096) {
       return static_cast<int>(v);
     }
   }

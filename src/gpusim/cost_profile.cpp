@@ -1,12 +1,13 @@
 #include "gpusim/cost_profile.hpp"
 
 #include <algorithm>
-#include <cstdlib>
+#include <bit>
 #include <map>
 #include <stdexcept>
 #include <tuple>
 #include <utility>
 
+#include "common/env.hpp"
 #include "common/math_util.hpp"
 #include "hhc/bands.hpp"
 
@@ -124,38 +125,191 @@ std::int64_t BlockGeometry::total_points() const noexcept {
   return pts;
 }
 
+namespace {
+
+// log2 of a positive power of two, -1 otherwise.
+int pow2_shift(std::int64_t v) noexcept {
+  return (v > 0 && (v & (v - 1)) == 0)
+             ? std::countr_zero(static_cast<std::uint64_t>(v))
+             : -1;
+}
+
+// The per-row unit fold shared by every pricing path — the scalar
+// geometry_iter_units (and through it the event simulator's per-tile
+// pricing) and the batched SoA pass. HHC assigns the iterations of
+// each (barrier-separated) tile row statically to the block's
+// threads, so a row of `points` costs ceil(points / threads) serial
+// iterations per thread, issued in ceil(active / n_v) lane waves with
+// warp-rounded active threads. This is the thread-count effect the
+// analytical model deliberately ignores (Section 7) and the empirical
+// thread-count step tunes.
+//
+// When the rounded thread count and n_v are powers of two (every 2D
+// thread config of the default sweep, and gtx980's n_v = 128) the
+// ceil-divisions become shifts and the fold is branch-free; shift and
+// division compute the same quotients on the same non-negative
+// integers, so the fast path is exact, not approximate.
+struct UnitFold {
+  std::int64_t threads_r;
+  std::int64_t n_v;
+  int tr_shift;
+  int nv_shift;
+
+  UnitFold(int threads, int n_v_in) noexcept
+      : threads_r(repro::round_up<std::int64_t>(std::max(threads, 1), 32)),
+        n_v(std::max(n_v_in, 1)),
+        tr_shift(pow2_shift(threads_r)),
+        nv_shift(pow2_shift(n_v)) {}
+
+  std::int64_t fold(const std::int64_t* points, const std::int64_t* weights,
+                    std::size_t n) const noexcept {
+    std::int64_t units = 0;
+    if (tr_shift >= 0 && nv_shift >= 0) {
+      const std::int64_t tr_m1 = threads_r - 1;
+      const std::int64_t nv_m1 = n_v - 1;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::int64_t p = points[i];
+        const std::int64_t per_thread = (p + tr_m1) >> tr_shift;
+        const std::int64_t active =
+            (std::min(p, threads_r) + 31) & ~std::int64_t{31};
+        const std::int64_t waves = (active + nv_m1) >> nv_shift;
+        units += weights[i] * (per_thread * waves);
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::int64_t p = points[i];
+        const std::int64_t per_thread = ceil_div(p, threads_r);
+        const std::int64_t active =
+            repro::round_up<std::int64_t>(std::min(p, threads_r), 32);
+        const std::int64_t waves = ceil_div(active, n_v);
+        units += weights[i] * (per_thread * waves);
+      }
+    }
+    return units;
+  }
+};
+
+}  // namespace
+
 std::int64_t geometry_iter_units(const BlockGeometry& g, int threads,
                                  int n_v) {
-  // HHC assigns the iterations of each (barrier-separated) tile row
-  // statically to the block's threads, so a row of `points` costs
-  // ceil(points / threads) serial iterations per thread, issued in
-  // ceil(active / n_v) lane waves with warp-rounded active threads.
-  // This is the thread-count effect the analytical model deliberately
-  // ignores (Section 7) and the empirical thread-count step tunes.
-  const std::int64_t threads_r =
-      repro::round_up<std::int64_t>(std::max(threads, 1), 32);
+  const UnitFold fold(threads, n_v);
   std::int64_t units = 0;
   for (const PointBin& b : g.bins) {
-    const std::int64_t per_thread = ceil_div(b.points, threads_r);
-    const std::int64_t active =
-        repro::round_up<std::int64_t>(std::min(b.points, threads_r), 32);
-    const std::int64_t waves =
-        ceil_div(active, static_cast<std::int64_t>(n_v));
-    units += b.weight * (per_thread * waves);
+    units += fold.fold(&b.points, &b.weight, 1);
   }
   return units;
+}
+
+BlockWork block_work_from_units(const DeviceParams& dev, std::int64_t units,
+                                std::int64_t syncs, double io_words,
+                                double cyc_iter) {
+  BlockWork bw;
+  bw.compute_s = (static_cast<double>(units) * cyc_iter +
+                  static_cast<double>(syncs) * dev.sync_cycles) /
+                 dev.clock_hz;
+  bw.io_bytes = io_words * 4.0;
+  return bw;
 }
 
 BlockWork price_block(const DeviceParams& dev, const BlockGeometry& g,
                       int threads, double cyc_iter) {
   const std::int64_t units = geometry_iter_units(g, threads, dev.n_v);
-  const std::int64_t syncs = g.level_syncs + 2 * g.busy_pieces;
-  BlockWork bw;
-  bw.compute_s = (static_cast<double>(units) * cyc_iter +
-                  static_cast<double>(syncs) * dev.sync_cycles) /
-                 dev.clock_hz;
-  bw.io_bytes = g.io_words * 4.0;
-  return bw;
+  return block_work_from_units(dev, units, g.sync_count(), g.io_words,
+                               cyc_iter);
+}
+
+void TileCostProfile::soa_iter_units(int threads, int n_v,
+                                     std::int64_t* units_out) const {
+  const UnitFold fold(threads, n_v);
+  if (!soa_.empty()) {
+    const std::int64_t* pts = soa_.points();
+    const std::int64_t* wts = soa_.weights();
+    for (std::size_t c = 0; c + 1 < soa_.off.size(); ++c) {
+      const std::size_t lo = soa_.off[c];
+      const std::size_t hi = soa_.off[c + 1];
+      units_out[c] = fold.fold(pts + lo, wts + lo, hi - lo);
+    }
+    return;
+  }
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    units_out[c] = geometry_iter_units(classes_[c].geom, threads, n_v);
+  }
+}
+
+void price_block_batch(const DeviceParams& dev,
+                       const TileCostProfile& profile,
+                       std::span<const hhc::ThreadConfig> thrs,
+                       double cyc_iter, std::span<BlockWork> out) {
+  const std::vector<RowClass>& classes = profile.classes();
+  const std::size_t nc = classes.size();
+  const std::size_t nj = thrs.size();
+  std::vector<std::int64_t> units(nc);
+  for (std::size_t j = 0; j < nj; ++j) {
+    profile.soa_iter_units(thrs[j].total(), dev.n_v, units.data());
+    for (std::size_t c = 0; c < nc; ++c) {
+      out[c * nj + j] =
+          block_work_from_units(dev, units[c], classes[c].geom.sync_count(),
+                                classes[c].geom.io_words, cyc_iter);
+    }
+  }
+}
+
+void TileCostProfile::finalize_soa() {
+  soa_ = ProfileSoA{};
+  if (!valid_) return;
+  std::size_t nbins = 0;
+  for (const RowClass& c : classes_) nbins += c.geom.bins.size();
+  soa_.nbins = nbins;
+  // One arena slab: points | weights | per-class totals.
+  soa_.slab.assign(2 * nbins + classes_.size(), 0);
+  soa_.off.resize(classes_.size() + 1);
+  std::int64_t* pts = soa_.slab.data();
+  std::int64_t* wts = soa_.slab.data() + nbins;
+  std::int64_t* totals = soa_.slab.data() + 2 * nbins;
+  std::size_t at = 0;
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    soa_.off[c] = static_cast<std::uint32_t>(at);
+    for (const PointBin& b : classes_[c].geom.bins) {
+      pts[at] = b.points;
+      wts[at] = b.weight;
+      ++at;
+    }
+    totals[c] = classes_[c].geom.total_points();
+  }
+  soa_.off[classes_.size()] = static_cast<std::uint32_t>(at);
+}
+
+TileCostProfile TileCostProfile::build_step(const hhc::TileSizes& ts) const {
+  if (!valid_ || !collapsed_ || ts.tT != ts_.tT || ts.tS1 != ts_.tS1) {
+    return collapsed_ ? build(p_, ts, radius_)
+                      : build_reference(p_, ts, radius_);
+  }
+  TileCostProfile prof;
+  prof.collapsed_ = true;
+  prof.p_ = p_;
+  prof.ts_ = ts;
+  prof.radius_ = radius_;
+  try {
+    hhc::validate(ts, p_.dim);
+    prof.classes_.reserve(classes_.size());
+    prof.rep_shapes_ = rep_shapes_;
+    for (std::size_t i = 0; i < classes_.size(); ++i) {
+      prof.classes_.push_back(
+          {classes_[i].mult, classes_[i].blocks,
+           block_geometry(p_, ts, rep_shapes_[i], /*collapse_bands=*/true)});
+    }
+    prof.empty_rows_ = empty_rows_;
+    prof.valid_ = true;
+  } catch (const std::invalid_argument& e) {
+    prof.valid_ = false;
+    prof.error_ = e.what();
+    prof.classes_.clear();
+    prof.rep_shapes_.clear();
+    prof.empty_rows_ = 0;
+  }
+  prof.finalize_soa();
+  return prof;
 }
 
 TileCostProfile TileCostProfile::build_impl(const stencil::ProblemSize& p,
@@ -163,6 +317,10 @@ TileCostProfile TileCostProfile::build_impl(const stencil::ProblemSize& p,
                                             std::int64_t radius,
                                             bool collapse) {
   TileCostProfile prof;
+  prof.collapsed_ = collapse;
+  prof.p_ = p;
+  prof.ts_ = ts;
+  prof.radius_ = radius;
   try {
     hhc::validate(ts, p.dim);
     const HexSchedule sched(p.T, p.S[0], ts.tT, ts.tS1, radius);
@@ -194,8 +352,8 @@ TileCostProfile TileCostProfile::build_impl(const stencil::ProblemSize& p,
       // fraction of a row and are priced like interior ones).
       const std::int64_t q_mid =
           sched.q_begin(r) + (sched.q_end(r) - sched.q_begin(r)) / 2;
-      BlockGeometry geom =
-          block_geometry(p, ts, sched.shape(r, q_mid), collapse);
+      hhc::TileShape shape = sched.shape(r, q_mid);
+      BlockGeometry geom = block_geometry(p, ts, shape, collapse);
       if (it != index.end()) {
         // Reference walk: verify the congruence assumption row by row
         // instead of trusting the first representative.
@@ -205,19 +363,23 @@ TileCostProfile TileCostProfile::build_impl(const stencil::ProblemSize& p,
         } else {
           ++prof.mismatches_;
           prof.classes_.push_back({1, blocks, std::move(geom)});
+          prof.rep_shapes_.push_back(std::move(shape));
         }
         continue;
       }
       index.emplace(key, prof.classes_.size());
       prof.classes_.push_back({1, blocks, std::move(geom)});
+      prof.rep_shapes_.push_back(std::move(shape));
     }
     prof.valid_ = true;
   } catch (const std::invalid_argument& e) {
     prof.valid_ = false;
     prof.error_ = e.what();
     prof.classes_.clear();
+    prof.rep_shapes_.clear();
     prof.empty_rows_ = 0;
   }
+  prof.finalize_soa();
   return prof;
 }
 
@@ -253,10 +415,10 @@ std::int64_t TileCostProfile::total_blocks() const noexcept {
 }
 
 bool use_reference_sim_path() {
-  static const bool reference = [] {
-    const char* v = std::getenv("REPRO_SIM_PATH");
-    return v != nullptr && std::string(v) == "reference";
-  }();
+  // Captured once via common/env.hpp; the local static keeps the hot
+  // path a single load.
+  static const bool reference =
+      repro::env_once_equals("REPRO_SIM_PATH", "reference");
   return reference;
 }
 

@@ -23,7 +23,9 @@
 // every bit.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -66,6 +68,37 @@ struct BlockGeometry {
   friend bool operator==(const BlockGeometry&, const BlockGeometry&) = default;
 };
 
+// Structure-of-arrays mirror of every class's bins, packed into one
+// arena-allocated slab of int64 so the batched pricing fold
+// (price_block_batch, measure_best_of_batch) streams `points[]` and
+// `weight[]` as two contiguous arrays instead of chasing AoS
+// PointBins. Layout of `slab`:
+//
+//   [ points[0..nbins) | weight[0..nbins) | class_totals[0..nc) ]
+//
+// with `off[c] .. off[c+1]` delimiting class c's bins. The fold over
+// this layout accumulates the exact integers geometry_iter_units
+// accumulates (int64 addition is associative, and the power-of-two
+// shift fast path computes the same quotients), so batched and scalar
+// pricing are bit-identical by construction.
+struct ProfileSoA {
+  std::vector<std::int64_t> slab;
+  std::vector<std::uint32_t> off;  // nc + 1 entries
+  std::size_t nbins = 0;
+
+  bool empty() const noexcept { return off.empty(); }
+  std::size_t num_classes() const noexcept {
+    return off.empty() ? 0 : off.size() - 1;
+  }
+  const std::int64_t* points() const noexcept { return slab.data(); }
+  const std::int64_t* weights() const noexcept {
+    return slab.data() + nbins;
+  }
+  const std::int64_t* class_totals() const noexcept {
+    return slab.data() + 2 * nbins;
+  }
+};
+
 // One congruence class of wavefront rows: `mult` kernel rows of
 // `blocks` tiles each, every tile priced like the class
 // representative (a column-interior tile — boundary tiles in s1 are a
@@ -96,14 +129,36 @@ class TileCostProfile {
                                          std::int64_t radius);
 
   // build(), or build_reference() when REPRO_SIM_PATH=reference is
-  // set in the environment (read once per process) — the A/B switch
-  // the parity benches flip.
+  // set in the environment — the A/B switch the parity benches flip.
+  // The variable follows the once-per-process contract documented in
+  // common/env.hpp.
   static TileCostProfile build_auto(const stencil::ProblemSize& p,
                                     const hhc::TileSizes& ts,
                                     std::int64_t radius);
 
+  // Incremental rebuild for a tile that differs from this profile's
+  // only in the inner extents (tS2/tS3). The HexSchedule depends only
+  // on (T, S1, tT, tS1, radius), so the row classification — class
+  // order, multiplicities, block counts, empty rows — carries over
+  // verbatim and only each class's band geometry is re-derived from
+  // its stored representative shape: bit-identical to a fresh
+  // build(), minus the O(rows) schedule walk. Falls back to a full
+  // build when the precondition does not hold (different tT/tS1, an
+  // invalid base, or a reference-walk base, whose per-row mismatch
+  // audit an incremental step cannot reproduce).
+  TileCostProfile build_step(const hhc::TileSizes& ts) const;
+
   bool valid() const noexcept { return valid_; }
   const std::string& error() const noexcept { return error_; }
+
+  // The SoA mirror of classes() (empty for invalid profiles).
+  const ProfileSoA& soa() const noexcept { return soa_; }
+
+  // Batched stage-two fold: units_out[c] = geometry_iter_units(
+  // classes()[c].geom, threads, n_v) for every class, computed over
+  // the SoA slab in one pass.
+  void soa_iter_units(int threads, int n_v,
+                      std::int64_t* units_out) const;
 
   const std::vector<RowClass>& classes() const noexcept { return classes_; }
   // Rows with no tiles intersecting the domain (launch cost only).
@@ -120,18 +175,32 @@ class TileCostProfile {
   static TileCostProfile build_impl(const stencil::ProblemSize& p,
                                     const hhc::TileSizes& ts,
                                     std::int64_t radius, bool collapse);
+  void finalize_soa();
 
   bool valid_ = false;
   std::string error_;
   std::vector<RowClass> classes_;
   std::int64_t empty_rows_ = 0;
   std::int64_t mismatches_ = 0;
+
+  // Inputs and per-class representative tile shapes, retained so
+  // build_step can re-derive geometry without a schedule walk.
+  bool collapsed_ = false;
+  stencil::ProblemSize p_{};
+  hhc::TileSizes ts_{};
+  std::int64_t radius_ = 1;
+  std::vector<hhc::TileShape> rep_shapes_;
+
+  ProfileSoA soa_;
 };
 
 // True when REPRO_SIM_PATH=reference: simulate_time and the Session
-// route geometry through build_reference(), and the event simulator
-// disables congruent-tile reuse. Results are bit-identical either
-// way; the switch exists so benches and tests can prove it.
+// route geometry through build_reference(), the Session prices
+// through the scalar AoS path instead of the batched SoA fold, and
+// the event simulator disables congruent-tile reuse. Results are
+// bit-identical either way; the switch exists so benches and tests
+// can prove it. REPRO_SIM_PATH follows the once-per-process contract
+// documented in common/env.hpp.
 bool use_reference_sim_path();
 
 // Stage-one primitive shared with the event simulator: the
@@ -154,5 +223,23 @@ std::int64_t geometry_iter_units(const BlockGeometry& g, int threads,
 // global traffic of one block at `threads`, from profiled geometry.
 BlockWork price_block(const DeviceParams& dev, const BlockGeometry& g,
                       int threads, double cyc_iter);
+
+// The shared pricing tail: fold precomputed iteration units, the
+// barrier count and the traffic words into a BlockWork. price_block
+// and every batched path call this one out-of-line function, so the
+// floating-point expression is compiled exactly once and scalar vs
+// batched pricing cannot diverge by contraction.
+BlockWork block_work_from_units(const DeviceParams& dev, std::int64_t units,
+                                std::int64_t syncs, double io_words,
+                                double cyc_iter);
+
+// Stage two, batched: price every class of `profile` at every thread
+// config in one SoA pass. out[c * thrs.size() + j] is bit-identical
+// to price_block(dev, profile.classes()[c].geom, thrs[j].total(),
+// cyc_iter); `out` must hold classes * thrs.size() entries.
+void price_block_batch(const DeviceParams& dev,
+                       const TileCostProfile& profile,
+                       std::span<const hhc::ThreadConfig> thrs,
+                       double cyc_iter, std::span<BlockWork> out);
 
 }  // namespace repro::gpusim

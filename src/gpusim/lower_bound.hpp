@@ -55,13 +55,17 @@ struct LowerBound {
 };
 
 // Floor for one configuration, pricing against a prebuilt profile
-// for the same (p, ts, def.radius).
+// for the same (p, ts, def.radius). The bound is variant-aware and
+// stays admissible per variant: both the floor and simulate_time
+// derive their cycle cost and coalescing from the same
+// resolve_config(..., var).
 LowerBound lower_bound(const DeviceParams& dev,
                        const stencil::StencilDef& def,
                        const stencil::ProblemSize& p,
                        const hhc::TileSizes& ts,
                        const hhc::ThreadConfig& thr,
-                       const TileCostProfile& profile);
+                       const TileCostProfile& profile,
+                       const stencil::KernelVariant& var = {});
 
 // Convenience overload: builds the profile via build_auto. Prefer the
 // profile form in sweeps — the tuner's per-tile profile cache makes
@@ -70,6 +74,7 @@ LowerBound lower_bound(const DeviceParams& dev,
                        const stencil::StencilDef& def,
                        const stencil::ProblemSize& p,
                        const hhc::TileSizes& ts,
-                       const hhc::ThreadConfig& thr);
+                       const hhc::ThreadConfig& thr,
+                       const stencil::KernelVariant& var = {});
 
 }  // namespace repro::gpusim

@@ -25,6 +25,17 @@ int estimate_regs_per_thread(const stencil::StencilDef& def,
   return static_cast<int>(std::min<std::int64_t>(regs, 4096));
 }
 
+int estimate_regs_per_thread(const stencil::StencilDef& def,
+                             const hhc::TileSizes& ts, int threads,
+                             const stencil::KernelVariant& var) {
+  const std::int64_t base = estimate_regs_per_thread(def, ts, threads);
+  std::int64_t extra = 2 * (static_cast<std::int64_t>(var.unroll) - 1);
+  if (var.staging == stencil::Staging::kRegister) {
+    extra += static_cast<std::int64_t>(def.taps.size()) * var.unroll;
+  }
+  return static_cast<int>(std::min<std::int64_t>(base + extra, 4096));
+}
+
 double bank_conflict_factor(int dim, const hhc::TileSizes& ts, int banks) {
   // Innermost stride of the shared-memory tile buffer (matches the
   // M_tile layouts of footprint.hpp).

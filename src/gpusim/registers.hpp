@@ -10,6 +10,7 @@
 
 #include "hhc/tile_sizes.hpp"
 #include "stencil/stencil.hpp"
+#include "stencil/variant.hpp"
 
 namespace repro::gpusim {
 
@@ -18,6 +19,14 @@ namespace repro::gpusim {
 // per-thread unrolled work of the widest tile row.
 int estimate_regs_per_thread(const stencil::StencilDef& def,
                              const hhc::TileSizes& ts, int threads);
+
+// Variant-aware estimate: explicit unrolling keeps two extra live
+// values per additional unroll step, and register staging keeps one
+// register per tap per unrolled point resident. The default variant
+// reproduces the base estimate exactly.
+int estimate_regs_per_thread(const stencil::StencilDef& def,
+                             const hhc::TileSizes& ts, int threads,
+                             const stencil::KernelVariant& var);
 
 // Shared-memory bank-conflict factor (>= 1.0) for the tile's shared
 // array layout: the innermost shared-array stride hitting a multiple

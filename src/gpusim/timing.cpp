@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include "common/math_util.hpp"
 #include "common/rng.hpp"
@@ -18,11 +19,15 @@ namespace {
 // Deterministic key for jitter: mixes every input that identifies a
 // "compiled program + run", one mix64 round per field so no two
 // fields can cancel (p.S[1]*3 + p.S[2]-style linear mixes collide).
+// The variant enters only when non-default, so every pre-variant
+// key — and hence every pre-variant jitter draw — is unchanged.
 std::uint64_t config_key(const DeviceParams& dev,
                          const stencil::StencilDef& def,
                          const stencil::ProblemSize& p,
                          const hhc::TileSizes& ts,
-                         const hhc::ThreadConfig& thr, std::uint64_t run_id) {
+                         const hhc::ThreadConfig& thr,
+                         const stencil::KernelVariant& var,
+                         std::uint64_t run_id) {
   std::uint64_t h = repro::mix64(static_cast<std::uint64_t>(dev.n_sm));
   h = repro::mix64(h ^ static_cast<std::uint64_t>(dev.clock_hz));
   h = repro::mix64(h ^ static_cast<std::uint64_t>(def.kind));
@@ -35,8 +40,89 @@ std::uint64_t config_key(const DeviceParams& dev,
   h = repro::mix64(h ^ static_cast<std::uint64_t>(ts.tS2));
   h = repro::mix64(h ^ static_cast<std::uint64_t>(ts.tS3));
   h = repro::mix64(h ^ static_cast<std::uint64_t>(thr.total()));
+  if (!var.is_default()) {
+    h = repro::mix64(h ^ static_cast<std::uint64_t>(var.unroll));
+    h = repro::mix64(h ^ (static_cast<std::uint64_t>(var.staging) + 1));
+  }
   h = repro::mix64(h ^ run_id);
   return h;
+}
+
+// The shared pricing body of simulate_time: price every class at one
+// resolved configuration, with `units` either precomputed by the
+// batched SoA fold or (nullptr) derived per class on the fly. Both
+// the scalar and the batched entry points run this one compiled
+// function, so their floating-point folds cannot diverge.
+SimResult price_profile(const DeviceParams& dev,
+                        const stencil::StencilDef& def,
+                        const stencil::ProblemSize& p,
+                        const hhc::TileSizes& ts,
+                        const hhc::ThreadConfig& thr,
+                        const TileCostProfile& profile,
+                        const ResolvedConfig& rc,
+                        const stencil::KernelVariant& var,
+                        std::uint64_t run_id, const std::int64_t* units) {
+  SimResult res;
+  res.regs_per_thread = rc.regs_per_thread;
+  res.spills = rc.spills;
+  res.k = rc.k;
+
+  const int threads = thr.total();
+  // Stage two: price the thread-invariant classes at this thread
+  // count — O(classes x bins), no schedule walk.
+  const double launch = dev.kernel_launch_s;
+  double total = static_cast<double>(profile.empty_rows()) * launch;
+  res.launch_seconds = total;
+  res.kernel_calls = profile.empty_rows();
+  const std::vector<RowClass>& classes = profile.classes();
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    const RowClass& c = classes[i];
+    const std::int64_t u =
+        units ? units[i] : geometry_iter_units(c.geom, threads, dev.n_v);
+    BlockWork bc = block_work_from_units(dev, u, c.geom.sync_count(),
+                                         c.geom.io_words, rc.cyc_iter);
+    bc.io_bytes /= rc.coalesce_eff;
+    const WavefrontCost acc = price_wavefront(dev, bc, c.blocks, rc.k);
+    const double m = static_cast<double>(c.mult);
+    total += m * (launch + acc.time);
+    res.launch_seconds += m * launch;
+    res.mem_seconds += m * acc.mem;
+    res.compute_seconds += m * acc.comp;
+    res.sched_seconds += m * acc.sched;
+    res.kernel_calls += c.mult;
+  }
+
+  total *= hash_jitter(config_key(dev, def, p, ts, thr, var, run_id),
+                       dev.jitter_amplitude);
+
+  res.feasible = true;
+  res.seconds = total;
+  res.gflops = stencil::total_flops(def, p) / total / 1e9;
+  return res;
+}
+
+// The paper's best-of-`runs` protocol as a final transform on a
+// run-0 simulation: the per-run jitter is a final multiplicative
+// factor, so one base simulation plus `runs` jitter draws is exactly
+// equivalent to simulating each run — and 5x cheaper for the big
+// sweeps. Shared by measure_best_of and measure_best_of_batch.
+void apply_best_of(const DeviceParams& dev, const stencil::StencilDef& def,
+                   const stencil::ProblemSize& p, const hhc::TileSizes& ts,
+                   const hhc::ThreadConfig& thr,
+                   const stencil::KernelVariant& var, int runs,
+                   SimResult& best) {
+  const double base =
+      best.seconds / hash_jitter(config_key(dev, def, p, ts, thr, var, 0),
+                                 dev.jitter_amplitude);
+  double min_jitter = best.seconds / base;
+  for (int r = 1; r < runs; ++r) {
+    min_jitter = std::min(
+        min_jitter, hash_jitter(config_key(dev, def, p, ts, thr, var,
+                                           static_cast<std::uint64_t>(r)),
+                                dev.jitter_amplitude));
+  }
+  best.seconds = base * min_jitter;
+  best.gflops = stencil::total_flops(def, p) / best.seconds / 1e9;
 }
 
 }  // namespace
@@ -60,9 +146,38 @@ double iteration_cycles(const DeviceParams& dev,
          c.addr * m.addr_ops;
 }
 
+double iteration_cycles(const DeviceParams& dev,
+                        const stencil::StencilDef& def,
+                        const hhc::TileSizes& ts,
+                        const stencil::KernelVariant& var) {
+  // The default variant must evaluate the base expression itself —
+  // even a divide-by-one inserted into the tree could change how the
+  // compiler contracts the multiply-adds.
+  if (var.is_default()) return iteration_cycles(dev, def, ts);
+
+  const InstructionCosts& c = dev.cost;
+  const stencil::InstructionMix& m = def.mix;
+  double conflict = bank_conflict_factor(def.dim, ts, dev.shared_banks);
+  int shared_loads = m.shared_loads;
+  if (var.staging == stencil::Staging::kRegister) {
+    // One operand per point is staged through a register instead of
+    // re-read from shared memory, and the remaining loads are issued
+    // conflict-free from the shrunken staging buffer.
+    shared_loads = std::max(0, shared_loads - 1);
+    conflict = 1.0;
+  }
+  // Loop overhead (issue slot, addressing arithmetic) is paid once
+  // per unrolled group of `unroll` points.
+  const double u = static_cast<double>(var.unroll);
+  return c.issue_base / u + c.shared_load * shared_loads * conflict +
+         c.fma * m.fma_ops + c.add * m.add_ops + c.special * m.special_ops +
+         c.addr * m.addr_ops / u;
+}
+
 ResolvedConfig resolve_config(const DeviceParams& dev,
                               const stencil::StencilDef& def, int dim,
-                              const hhc::TileSizes& ts, int threads) {
+                              const hhc::TileSizes& ts, int threads,
+                              const stencil::KernelVariant& var) {
   ResolvedConfig rc;
   try {
     hhc::validate(ts, dim);
@@ -75,8 +190,16 @@ ResolvedConfig resolve_config(const DeviceParams& dev,
     rc.infeasible_reason = "tS1 smaller than the stencil radius";
     return rc;
   }
-  const std::int64_t mtile_bytes =
-      hhc::shared_bytes_per_tile(dim, ts, def.radius);
+  std::int64_t mtile_bytes = hhc::shared_bytes_per_tile(dim, ts, def.radius);
+  if (var.staging == stencil::Staging::kRegister) {
+    // Register staging keeps one of the tile's operand planes in
+    // registers, shrinking the shared buffer to 3/4 of its words
+    // (integer, so the footprint — and every feasibility/occupancy
+    // decision derived from it — is exact and deterministic).
+    const std::int64_t words =
+        hhc::shared_words_per_tile(dim, ts, def.radius);
+    mtile_bytes = (3 * words / 4) * hhc::kWordBytes;
+  }
   if (mtile_bytes > dev.max_shared_bytes_per_block) {
     rc.infeasible_reason = "tile exceeds per-block shared memory";
     return rc;
@@ -88,7 +211,7 @@ ResolvedConfig resolve_config(const DeviceParams& dev,
 
   // Registers: beyond the physical per-thread budget the compiler
   // spills; spilled values cost extra cycles every iteration.
-  const int regs = estimate_regs_per_thread(def, ts, threads);
+  const int regs = estimate_regs_per_thread(def, ts, threads, var);
   rc.regs_per_thread = regs;
   const int spilled = std::max(0, regs - dev.max_regs_per_thread);
   rc.spills = spilled > 0;
@@ -106,7 +229,7 @@ ResolvedConfig resolve_config(const DeviceParams& dev,
       1, std::min({static_cast<std::int64_t>(dev.max_tb_per_sm), k_shared,
                    k_regs, k_threads}));
 
-  double cyc_iter = iteration_cycles(dev, def, ts);
+  double cyc_iter = iteration_cycles(dev, def, ts, var);
   cyc_iter +=
       dev.spill_cycles_per_reg * static_cast<double>(std::min(spilled, 64));
 
@@ -138,12 +261,13 @@ SimResult simulate_time(const DeviceParams& dev,
                         const hhc::TileSizes& ts,
                         const hhc::ThreadConfig& thr,
                         const TileCostProfile& profile,
-                        std::uint64_t run_id) {
+                        std::uint64_t run_id,
+                        const stencil::KernelVariant& var) {
   SimResult res;
   res.feasible = false;
 
-  const int threads = thr.total();
-  const ResolvedConfig rc = resolve_config(dev, def, p.dim, ts, threads);
+  const ResolvedConfig rc =
+      resolve_config(dev, def, p.dim, ts, thr.total(), var);
   if (!rc.feasible) {
     res.infeasible_reason = rc.infeasible_reason;
     return res;
@@ -154,46 +278,20 @@ SimResult simulate_time(const DeviceParams& dev,
     res.infeasible_reason = profile.error();
     return res;
   }
-  res.regs_per_thread = rc.regs_per_thread;
-  res.spills = rc.spills;
-  res.k = rc.k;
-
-  // Stage two: price the thread-invariant classes at this thread
-  // count — O(classes x bins), no schedule walk.
-  const double launch = dev.kernel_launch_s;
-  double total = static_cast<double>(profile.empty_rows()) * launch;
-  res.launch_seconds = total;
-  res.kernel_calls = profile.empty_rows();
-  for (const RowClass& c : profile.classes()) {
-    BlockWork bc = price_block(dev, c.geom, threads, rc.cyc_iter);
-    bc.io_bytes /= rc.coalesce_eff;
-    const WavefrontCost acc = price_wavefront(dev, bc, c.blocks, rc.k);
-    const double m = static_cast<double>(c.mult);
-    total += m * (launch + acc.time);
-    res.launch_seconds += m * launch;
-    res.mem_seconds += m * acc.mem;
-    res.compute_seconds += m * acc.comp;
-    res.sched_seconds += m * acc.sched;
-    res.kernel_calls += c.mult;
-  }
-
-  total *= hash_jitter(config_key(dev, def, p, ts, thr, run_id),
-                       dev.jitter_amplitude);
-
-  res.feasible = true;
-  res.seconds = total;
-  res.gflops = stencil::total_flops(def, p) / total / 1e9;
-  return res;
+  return price_profile(dev, def, p, ts, thr, profile, rc, var, run_id,
+                       /*units=*/nullptr);
 }
 
 SimResult simulate_time(const DeviceParams& dev,
                         const stencil::StencilDef& def,
                         const stencil::ProblemSize& p,
                         const hhc::TileSizes& ts,
-                        const hhc::ThreadConfig& thr, std::uint64_t run_id) {
+                        const hhc::ThreadConfig& thr, std::uint64_t run_id,
+                        const stencil::KernelVariant& var) {
   // Cheap machine-feasibility first, so infeasible points (common in
   // thread sweeps) never pay the geometry walk.
-  const ResolvedConfig rc = resolve_config(dev, def, p.dim, ts, thr.total());
+  const ResolvedConfig rc =
+      resolve_config(dev, def, p.dim, ts, thr.total(), var);
   if (!rc.feasible) {
     SimResult res;
     res.infeasible_reason = rc.infeasible_reason;
@@ -201,7 +299,7 @@ SimResult simulate_time(const DeviceParams& dev,
   }
   const TileCostProfile profile =
       TileCostProfile::build_auto(p, ts, def.radius);
-  return simulate_time(dev, def, p, ts, thr, profile, run_id);
+  return simulate_time(dev, def, p, ts, thr, profile, run_id, var);
 }
 
 SimResult measure_best_of(const DeviceParams& dev,
@@ -209,24 +307,11 @@ SimResult measure_best_of(const DeviceParams& dev,
                           const stencil::ProblemSize& p,
                           const hhc::TileSizes& ts,
                           const hhc::ThreadConfig& thr,
-                          const TileCostProfile& profile, int runs) {
-  // The per-run jitter is a final multiplicative factor, so one base
-  // simulation plus `runs` jitter draws is exactly equivalent to
-  // simulating each run — and 5x cheaper for the big sweeps.
-  SimResult best = simulate_time(dev, def, p, ts, thr, profile, 0);
+                          const TileCostProfile& profile, int runs,
+                          const stencil::KernelVariant& var) {
+  SimResult best = simulate_time(dev, def, p, ts, thr, profile, 0, var);
   if (!best.feasible) return best;
-  const double base =
-      best.seconds / hash_jitter(config_key(dev, def, p, ts, thr, 0),
-                                 dev.jitter_amplitude);
-  double min_jitter = best.seconds / base;
-  for (int r = 1; r < runs; ++r) {
-    min_jitter = std::min(
-        min_jitter, hash_jitter(config_key(dev, def, p, ts, thr,
-                                           static_cast<std::uint64_t>(r)),
-                                dev.jitter_amplitude));
-  }
-  best.seconds = base * min_jitter;
-  best.gflops = stencil::total_flops(def, p) / best.seconds / 1e9;
+  apply_best_of(dev, def, p, ts, thr, var, runs, best);
   return best;
 }
 
@@ -234,8 +319,10 @@ SimResult measure_best_of(const DeviceParams& dev,
                           const stencil::StencilDef& def,
                           const stencil::ProblemSize& p,
                           const hhc::TileSizes& ts,
-                          const hhc::ThreadConfig& thr, int runs) {
-  const ResolvedConfig rc = resolve_config(dev, def, p.dim, ts, thr.total());
+                          const hhc::ThreadConfig& thr, int runs,
+                          const stencil::KernelVariant& var) {
+  const ResolvedConfig rc =
+      resolve_config(dev, def, p.dim, ts, thr.total(), var);
   if (!rc.feasible) {
     SimResult res;
     res.infeasible_reason = rc.infeasible_reason;
@@ -243,7 +330,34 @@ SimResult measure_best_of(const DeviceParams& dev,
   }
   const TileCostProfile profile =
       TileCostProfile::build_auto(p, ts, def.radius);
-  return measure_best_of(dev, def, p, ts, thr, profile, runs);
+  return measure_best_of(dev, def, p, ts, thr, profile, runs, var);
+}
+
+void measure_best_of_batch(const DeviceParams& dev,
+                           const stencil::StencilDef& def,
+                           const stencil::ProblemSize& p,
+                           const hhc::TileSizes& ts,
+                           std::span<const hhc::ThreadConfig> thrs,
+                           const TileCostProfile& profile,
+                           std::span<SimResult> out, int runs,
+                           const stencil::KernelVariant& var) {
+  std::vector<std::int64_t> units(profile.classes().size());
+  for (std::size_t j = 0; j < thrs.size(); ++j) {
+    SimResult res;
+    const ResolvedConfig rc =
+        resolve_config(dev, def, p.dim, ts, thrs[j].total(), var);
+    if (!rc.feasible) {
+      res.infeasible_reason = rc.infeasible_reason;
+    } else if (!profile.valid()) {
+      res.infeasible_reason = profile.error();
+    } else {
+      profile.soa_iter_units(thrs[j].total(), dev.n_v, units.data());
+      res = price_profile(dev, def, p, ts, thrs[j], profile, rc, var, 0,
+                          units.data());
+      apply_best_of(dev, def, p, ts, thrs[j], var, runs, res);
+    }
+    out[j] = std::move(res);
+  }
 }
 
 double simulate_compute_only(const DeviceParams& dev,

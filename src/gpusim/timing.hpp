@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "gpusim/device.hpp"
@@ -33,6 +34,7 @@
 #include "hhc/tile_sizes.hpp"
 #include "stencil/problem.hpp"
 #include "stencil/stencil.hpp"
+#include "stencil/variant.hpp"
 
 namespace repro::gpusim {
 
@@ -61,12 +63,15 @@ struct SimResult {
 };
 
 // Price one configuration. `run_id` perturbs the deterministic jitter
-// (different run_id = a different "run" of the same binary).
+// (different run_id = a different "run" of the same binary). `var`
+// selects the kernel implementation variant; the default variant
+// reproduces the pre-variant result bit for bit.
 SimResult simulate_time(const DeviceParams& dev,
                         const stencil::StencilDef& def,
                         const stencil::ProblemSize& p,
                         const hhc::TileSizes& ts,
-                        const hhc::ThreadConfig& thr, std::uint64_t run_id = 0);
+                        const hhc::ThreadConfig& thr, std::uint64_t run_id = 0,
+                        const stencil::KernelVariant& var = {});
 
 // Stage-two entry point: price one thread configuration against a
 // prebuilt geometry profile (see gpusim/cost_profile.hpp). `profile`
@@ -78,7 +83,8 @@ SimResult simulate_time(const DeviceParams& dev,
                         const hhc::TileSizes& ts,
                         const hhc::ThreadConfig& thr,
                         const TileCostProfile& profile,
-                        std::uint64_t run_id = 0);
+                        std::uint64_t run_id = 0,
+                        const stencil::KernelVariant& var = {});
 
 // The paper's measurement protocol (Section 5.1): run five times and
 // keep the smallest execution time.
@@ -86,14 +92,33 @@ SimResult measure_best_of(const DeviceParams& dev,
                           const stencil::StencilDef& def,
                           const stencil::ProblemSize& p,
                           const hhc::TileSizes& ts,
-                          const hhc::ThreadConfig& thr, int runs = 5);
+                          const hhc::ThreadConfig& thr, int runs = 5,
+                          const stencil::KernelVariant& var = {});
 
 SimResult measure_best_of(const DeviceParams& dev,
                           const stencil::StencilDef& def,
                           const stencil::ProblemSize& p,
                           const hhc::TileSizes& ts,
                           const hhc::ThreadConfig& thr,
-                          const TileCostProfile& profile, int runs = 5);
+                          const TileCostProfile& profile, int runs = 5,
+                          const stencil::KernelVariant& var = {});
+
+// Batched measurement: price every thread config in `thrs` against
+// one prebuilt profile (and one variant) through the SoA unit fold.
+// out[j] is bit-identical to measure_best_of(dev, def, p, ts,
+// thrs[j], profile, runs, var) — the unit totals are the same
+// integers by associativity, and the floating-point tails (the
+// per-class pricing, the wavefront fold, the jitter protocol) are the
+// very functions the scalar path calls. `out` must hold thrs.size()
+// entries.
+void measure_best_of_batch(const DeviceParams& dev,
+                           const stencil::StencilDef& def,
+                           const stencil::ProblemSize& p,
+                           const hhc::TileSizes& ts,
+                           std::span<const hhc::ThreadConfig> thrs,
+                           const TileCostProfile& profile,
+                           std::span<SimResult> out, int runs = 5,
+                           const stencil::KernelVariant& var = {});
 
 // Compute-only variant used by the C_iter micro-benchmark: transfers,
 // launches and scheduling costs removed, jitter off.
@@ -116,6 +141,17 @@ double iteration_cycles(const DeviceParams& dev,
                         const stencil::StencilDef& def,
                         const hhc::TileSizes& ts);
 
+// Variant-aware issue cost: unrolling amortizes the loop overhead
+// (issue base, addressing arithmetic) over `unroll` points; register
+// staging removes one shared load per point and its bank-conflict
+// serialization. The default variant returns the base expression
+// unchanged (the formula above, same expression tree — inserting a
+// divide-by-one would still perturb floating-point contraction).
+double iteration_cycles(const DeviceParams& dev,
+                        const stencil::StencilDef& def,
+                        const hhc::TileSizes& ts,
+                        const stencil::KernelVariant& var);
+
 // Machine-resource resolution for one configuration: residency k,
 // register outcome, the effective per-iteration cycle cost (spills,
 // bank conflicts, issue-latency stalls included) and the DRAM
@@ -133,7 +169,8 @@ struct ResolvedConfig {
 
 ResolvedConfig resolve_config(const DeviceParams& dev,
                               const stencil::StencilDef& def, int dim,
-                              const hhc::TileSizes& ts, int threads);
+                              const hhc::TileSizes& ts, int threads,
+                              const stencil::KernelVariant& var = {});
 
 // Exact per-block work of one tile shape (compute seconds and raw
 // global traffic in bytes, before coalescing derating). Used by the

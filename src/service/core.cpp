@@ -39,16 +39,21 @@ std::string compute_predict(const Request& req, tuner::Session& session) {
       tuner::model_talg_or_inf(session.inputs(), *req.problem, *req.tile);
   const bool model_feasible = std::isfinite(talg);
   if (req.threads && model_feasible) {
-    // Full prediction: model price plus the simulated measurement.
-    const tuner::EvaluatedPoint ep =
-        session.evaluate_point({*req.tile, *req.threads});
+    // Full prediction: model price plus the simulated measurement of
+    // the requested kernel variant (default when absent — the model
+    // price is deliberately variant-blind either way).
+    const tuner::EvaluatedPoint ep = session.evaluate_point(
+        {*req.tile, *req.threads,
+         req.variant.value_or(stencil::KernelVariant{})});
     o.set("threads", threads_to_json(*req.threads));
+    if (req.variant) o.set("variant", variant_to_json(*req.variant));
     o.set("feasible", ep.feasible);
     o.set("talg", ep.talg);
     o.set("texec", ep.texec);
     o.set("gflops", ep.gflops);
   } else {
     if (req.threads) o.set("threads", threads_to_json(*req.threads));
+    if (req.variant) o.set("variant", variant_to_json(*req.variant));
     o.set("feasible", model_feasible);
     o.set("talg", talg);  // null when infeasible
   }

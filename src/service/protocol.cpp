@@ -42,7 +42,8 @@ bool key_allowed(RequestKind kind, std::string_view key) {
   }
   switch (kind) {
     case RequestKind::kPredict:
-      return key == "problem" || key == "tile" || key == "threads";
+      return key == "problem" || key == "tile" || key == "threads" ||
+             key == "variant";
     case RequestKind::kBestTile:
       return key == "problem" || key == "delta" || key == "enum";
     case RequestKind::kCompareStrategies:
@@ -173,6 +174,44 @@ std::optional<hhc::ThreadConfig> parse_threads(const json::Value& v,
   return thr;
 }
 
+std::optional<stencil::KernelVariant> parse_variant(const json::Value& v,
+                                                    DiagnosticEngine& diags) {
+  if (!v.is_object()) {
+    diags.error(Code::kSvcBadField, "'variant' must be an object");
+    return std::nullopt;
+  }
+  for (const auto& [key, val] : v.members()) {
+    (void)val;
+    if (key != "unroll" && key != "staging") {
+      diags.error(Code::kSvcBadField,
+                  "unknown 'variant' field '" + key + "'");
+      return std::nullopt;
+    }
+  }
+  stencil::KernelVariant var;
+  if (const json::Value* u = v.find("unroll"); u != nullptr) {
+    if (!u->is_int() ||
+        !stencil::valid_unroll(static_cast<int>(u->as_int()))) {
+      diags.error(Code::kVariantResource,
+                  "'variant.unroll' must be 1, 2 or 4 (the factors the "
+                  "kernel generator emits)");
+      return std::nullopt;
+    }
+    var.unroll = static_cast<int>(u->as_int());
+  }
+  if (const json::Value* s = v.find("staging"); s != nullptr) {
+    if (!s->is_string() ||
+        (s->as_string() != "shared" && s->as_string() != "register")) {
+      diags.error(Code::kSvcBadField,
+                  "'variant.staging' must be \"shared\" or \"register\"");
+      return std::nullopt;
+    }
+    var.staging = s->as_string() == "register" ? stencil::Staging::kRegister
+                                               : stencil::Staging::kShared;
+  }
+  return var;
+}
+
 bool parse_enum_options(const json::Value& v, tuner::EnumOptions& opt,
                         DiagnosticEngine& diags) {
   if (!v.is_object()) {
@@ -262,6 +301,13 @@ json::Value threads_to_json(const hhc::ThreadConfig& thr) {
   return o;
 }
 
+json::Value variant_to_json(const stencil::KernelVariant& var) {
+  json::Value o = json::Value::object();
+  o.set("unroll", static_cast<std::int64_t>(var.unroll));
+  o.set("staging", std::string(stencil::to_string(var.staging)));
+  return o;
+}
+
 std::string Request::canonical_key() const {
   json::Value o = json::Value::object();
   o.set("v", version);
@@ -282,6 +328,10 @@ std::string Request::canonical_key() const {
     case RequestKind::kLint:
       if (tile) o.set("tile", tile_to_json(*tile));
       if (threads) o.set("threads", threads_to_json(*threads));
+      // Only when present: default-variant requests keep their
+      // pre-variant keys, so stored results stay valid (and
+      // byte-identical).
+      if (variant) o.set("variant", variant_to_json(*variant));
       // Only when on: audit-less lint requests keep their pre-audit
       // keys, so stored results stay valid (and byte-identical).
       if (audit) o.set("audit", true);
@@ -433,6 +483,10 @@ std::optional<Request> parse_request(std::string_view line,
   if (const json::Value* t = doc->find("threads"); t != nullptr) {
     req.threads = parse_threads(*t, diags);
     if (!req.threads) return std::nullopt;
+  }
+  if (const json::Value* t = doc->find("variant"); t != nullptr) {
+    req.variant = parse_variant(*t, diags);
+    if (!req.variant) return std::nullopt;
   }
   if (const json::Value* a = doc->find("audit"); a != nullptr) {
     if (!a->is_bool()) {

@@ -10,6 +10,7 @@
 //    "problem":{"S":[4096,4096],"T":1024},          // dim = |S|
 //    "tile":{"tT":6,"tS1":8,"tS2":160},             // predict / lint
 //    "threads":{"n1":32,"n2":4},                    // optional
+//    "variant":{"unroll":2,"staging":"register"},   // predict only, optional
 //    "audit":true,                                  // lint only: SL5xx pass
 //    "delta":0.1,                                   // best_tile / compare
 //    "enum":{"tT_max":24,"tS1_max":32,"tS1_step":4,"tS2_max":256},
@@ -39,6 +40,7 @@
 #include "hhc/tile_sizes.hpp"
 #include "stencil/problem.hpp"
 #include "stencil/stencil.hpp"
+#include "stencil/variant.hpp"
 #include "tuner/space.hpp"
 
 namespace repro::service {
@@ -74,6 +76,11 @@ struct Request {
   std::optional<stencil::ProblemSize> problem;
   std::optional<hhc::TileSizes> tile;
   std::optional<hhc::ThreadConfig> threads;
+  // Predict only: the kernel implementation variant to price. Absent
+  // means the default variant, and the key stays out of
+  // canonical_key() entirely — pre-variant clients (and their stored
+  // results) keep byte-identical keys and payloads.
+  std::optional<stencil::KernelVariant> variant;
   // Lint only: also run the semantic audit pass (SL5xx). Defaults off
   // so pre-audit clients (and their stored results) keep byte-
   // identical payloads.
@@ -110,5 +117,6 @@ std::string render_error(const std::string& id,
 // Payload-fragment builders shared by the executor and tests.
 json::Value tile_to_json(const hhc::TileSizes& ts);
 json::Value threads_to_json(const hhc::ThreadConfig& thr);
+json::Value variant_to_json(const stencil::KernelVariant& var);
 
 }  // namespace repro::service

@@ -1,0 +1,64 @@
+// Kernel implementation variants: the code-generation choices that
+// change how a stencil tile is *executed* without changing what it
+// computes.
+//
+// Ernst et al. ("Analytical Performance Estimation during Code
+// Generation on Modern GPUs", PAPERS.md) observe that the real tuning
+// space is the cross product of tile/thread shapes with *variants* —
+// unroll factors and operand-staging strategies that move cost
+// between issue slots, registers and shared memory. This repo models
+// two such axes, chosen because both transform the existing pricing
+// inputs deterministically:
+//
+//   * `unroll` in {1, 2, 4}: the inner iteration loop is unrolled,
+//     amortizing loop overhead (issue base, addressing arithmetic)
+//     over `unroll` grid points at the cost of extra live registers.
+//   * `staging`: kShared keeps operands in the shared-memory tile
+//     (the HHC default); kRegister stages the reuse taps through
+//     per-thread registers, trading shared-memory footprint words for
+//     register pressure and removing one shared load per point.
+//
+// The default-constructed variant is the identity: every pricing
+// formula is required to reproduce its pre-variant value bit for bit
+// when `is_default()` holds, which is what keeps all pre-variant
+// artifacts (fig3–fig6 CSVs, service cold replies) byte-stable.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace repro::stencil {
+
+enum class Staging : std::uint8_t {
+  kShared = 0,    // operands read from the shared-memory tile
+  kRegister = 1,  // reuse taps staged through registers
+};
+
+std::string_view to_string(Staging s) noexcept;
+
+struct KernelVariant {
+  int unroll = 1;
+  Staging staging = Staging::kShared;
+
+  // True for the identity variant (the pre-variant code path).
+  bool is_default() const noexcept {
+    return unroll == 1 && staging == Staging::kShared;
+  }
+
+  // "u2+reg"-style label for CSV columns and service payloads.
+  std::string to_string() const;
+
+  friend bool operator==(const KernelVariant&, const KernelVariant&) =
+      default;
+};
+
+// The legal unroll factors (the analysis layer rejects others).
+bool valid_unroll(int unroll) noexcept;
+
+// All six variants in a stable order: unroll-major, shared staging
+// first — so the default variant is always element zero.
+std::span<const KernelVariant> all_kernel_variants() noexcept;
+
+}  // namespace repro::stencil

@@ -110,7 +110,7 @@ EvaluatedPoint evaluate_point(const gpusim::DeviceParams& dev,
   ep.dp = dp;
   ep.talg = talg_of(in, p, dp.ts);
   const gpusim::SimResult res =
-      gpusim::measure_best_of(dev, def, p, dp.ts, dp.thr);
+      gpusim::measure_best_of(dev, def, p, dp.ts, dp.thr, /*runs=*/5, dp.var);
   ep.feasible = res.feasible;
   if (res.feasible) {
     ep.texec = res.seconds;
@@ -128,8 +128,8 @@ EvaluatedPoint evaluate_point(const gpusim::DeviceParams& dev,
   EvaluatedPoint ep;
   ep.dp = dp;
   ep.talg = talg_of(in, p, dp.ts);
-  const gpusim::SimResult res =
-      gpusim::measure_best_of(dev, def, p, dp.ts, dp.thr, profile);
+  const gpusim::SimResult res = gpusim::measure_best_of(
+      dev, def, p, dp.ts, dp.thr, profile, /*runs=*/5, dp.var);
   ep.feasible = res.feasible;
   if (res.feasible) {
     ep.texec = res.seconds;

@@ -24,6 +24,7 @@
 #include "hhc/tile_sizes.hpp"
 #include "model/talg.hpp"
 #include "stencil/problem.hpp"
+#include "stencil/variant.hpp"
 #include "tuner/space.hpp"
 
 namespace repro::gpusim {
@@ -32,10 +33,15 @@ class TileCostProfile;  // gpusim/cost_profile.hpp
 
 namespace repro::tuner {
 
-// One "generated program": tile sizes plus thread configuration.
+// One "generated program": tile sizes plus thread configuration plus
+// the kernel implementation variant (stencil/variant.hpp). The
+// default-constructed variant is the pre-variant program; existing
+// two-member aggregate initializers keep compiling and keep their
+// meaning.
 struct DataPoint {
   hhc::TileSizes ts;
   hhc::ThreadConfig thr;
+  stencil::KernelVariant var{};
 
   friend bool operator==(const DataPoint&, const DataPoint&) = default;
 };

@@ -62,6 +62,10 @@ std::size_t Session::PointKeyHash::operator()(
                  << 32 |
                  static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.n2))));
   h = mix64(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.n3)));
+  h = mix64(
+      h ^
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.unroll)) << 32 |
+       static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.staging))));
   return static_cast<std::size_t>(h);
 }
 
@@ -71,6 +75,16 @@ std::size_t Session::TileKeyHash::operator()(const TileKey& k) const noexcept {
   h = mix64(h ^ static_cast<std::uint64_t>(k.tS2));
   h = mix64(h ^ static_cast<std::uint64_t>(k.tS3));
   return static_cast<std::size_t>(h);
+}
+
+std::size_t Session::StepKeyHash::operator()(const StepKey& k) const noexcept {
+  std::uint64_t h = mix64(static_cast<std::uint64_t>(k.tT));
+  h = mix64(h ^ static_cast<std::uint64_t>(k.tS1));
+  return static_cast<std::size_t>(h);
+}
+
+bool Session::use_batch() const {
+  return opt_.batch && ctx_.dev.is_gpu() && !gpusim::use_reference_sim_path();
 }
 
 Session::Session(TuningContext ctx, SessionOptions opt)
@@ -127,11 +141,14 @@ void Session::clear_cache() {
   std::lock_guard<std::mutex> lk(mu_);
   cache_.clear();
   profiles_.clear();
+  steps_.clear();
 }
 
 std::shared_ptr<const gpusim::TileCostProfile> Session::profile_for(
     const hhc::TileSizes& ts) {
   const TileKey key{ts.tT, ts.tS1, ts.tS2, ts.tS3};
+  const StepKey skey{ts.tT, ts.tS1};
+  std::shared_ptr<const gpusim::TileCostProfile> base;
   {
     std::lock_guard<std::mutex> lk(mu_);
     const auto it = profiles_.find(key);
@@ -139,23 +156,46 @@ std::shared_ptr<const gpusim::TileCostProfile> Session::profile_for(
       ++stats_.profile_hits;
       return it->second;
     }
+    // A cached profile sharing (tT, tS1) serves as the base of an
+    // incremental rebuild: the hexahedral schedule depends only on
+    // those two dimensions, so build_step reuses its wavefront
+    // structure and recomputes per-class geometry only. This is part
+    // of the batched pipeline: with batch off (or under the
+    // reference sim path, whose profiles keep every band enumerated)
+    // every profile is built from scratch, reproducing the scalar
+    // pipeline's stage-one work exactly.
+    if (use_batch()) {
+      const auto sit = steps_.find(skey);
+      if (sit != steps_.end() && sit->second->valid()) base = sit->second;
+    }
   }
   // Build outside the lock (the schedule walk is the expensive part);
-  // racing builders produce identical profiles, first insert wins.
+  // racing builders produce identical profiles, first insert wins —
+  // build_step is bit-identical to a scratch build, so which base a
+  // racing worker saw can never change a result.
   const auto t0 = Clock::now();
   auto prof = std::make_shared<const gpusim::TileCostProfile>(
-      gpusim::TileCostProfile::build_auto(ctx_.problem, ts,
-                                          ctx_.def.radius));
+      base ? base->build_step(ts)
+           : gpusim::TileCostProfile::build_auto(ctx_.problem, ts,
+                                                 ctx_.def.radius));
   const double elapsed = seconds_since(t0);
   std::lock_guard<std::mutex> lk(mu_);
-  ++stats_.profile_builds;
+  if (base) {
+    ++stats_.profile_steps;
+  } else {
+    ++stats_.profile_builds;
+  }
   stats_.geometry_seconds += elapsed;
-  return profiles_.emplace(key, std::move(prof)).first->second;
+  auto inserted = profiles_.emplace(key, std::move(prof)).first->second;
+  steps_[skey] = inserted;
+  return inserted;
 }
 
 EvaluatedPoint Session::measure(const DataPoint& dp) {
-  const PointKey key{dp.ts.tT, dp.ts.tS1, dp.ts.tS2, dp.ts.tS3,
-                     dp.thr.n1, dp.thr.n2, dp.thr.n3};
+  const PointKey key{dp.ts.tT,  dp.ts.tS1, dp.ts.tS2,
+                     dp.ts.tS3, dp.thr.n1, dp.thr.n2,
+                     dp.thr.n3, dp.var.unroll,
+                     static_cast<int>(dp.var.staging)};
   if (opt_.memoize) {
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.machine_points;
@@ -209,8 +249,10 @@ std::optional<EvaluatedPoint> Session::measure_bounded(const DataPoint& dp,
   if (inc == nullptr || !opt_.prune) return measure(dp);
   // Cache first: a hit costs less than the bound and keeps the memo
   // counters meaningful (revisits stay cache hits, never prunes).
-  const PointKey key{dp.ts.tT, dp.ts.tS1, dp.ts.tS2, dp.ts.tS3,
-                     dp.thr.n1, dp.thr.n2, dp.thr.n3};
+  const PointKey key{dp.ts.tT,  dp.ts.tS1, dp.ts.tS2,
+                     dp.ts.tS3, dp.thr.n1, dp.thr.n2,
+                     dp.thr.n3, dp.var.unroll,
+                     static_cast<int>(dp.var.staging)};
   if (opt_.memoize) {
     std::lock_guard<std::mutex> lk(mu_);
     const auto it = cache_.find(key);
@@ -239,7 +281,7 @@ std::optional<EvaluatedPoint> Session::measure_bounded(const DataPoint& dp,
           profile_for(dp.ts);
       const auto t0 = Clock::now();
       bound = gpusim::lower_bound(ctx_.dev.gpu(), ctx_.def, ctx_.problem,
-                                  dp.ts, dp.thr, *prof)
+                                  dp.ts, dp.thr, *prof, dp.var)
                   .seconds;
       elapsed = seconds_since(t0);
     }
@@ -343,15 +385,167 @@ std::vector<EvaluatedPoint> Session::evaluate_points(
   return out;
 }
 
+EvaluatedPoint Session::sweep_tile(
+    const hhc::TileSizes& ts,
+    std::span<const stencil::KernelVariant> variants, Incumbent* inc) {
+  // An empty span means the default variant; CPU backends have no
+  // variant codegen, so the axis collapses to the default there too.
+  static constexpr stencil::KernelVariant kDefault{};
+  const std::span<const stencil::KernelVariant> vars =
+      (variants.empty() || ctx_.dev.is_cpu())
+          ? std::span<const stencil::KernelVariant>(&kDefault, 1)
+          : variants;
+  const std::vector<hhc::ThreadConfig> threads =
+      device_thread_configs(ctx_.dev, ctx_.problem.dim);
+  EvaluatedPoint best;
+
+  if (!use_batch()) {
+    // Scalar reference path: one measure_bounded per (variant,
+    // thread) point, variant-major — the order the batched fold
+    // below reproduces.
+    for (const stencil::KernelVariant& var : vars) {
+      for (const hhc::ThreadConfig& thr : threads) {
+        const std::optional<EvaluatedPoint> ep =
+            measure_bounded(DataPoint{ts, thr, var}, inc);
+        if (ep) fold_best(best, *ep);
+      }
+    }
+    return best;
+  }
+
+  // Batched SoA path. Pass 1 walks the sweep in the scalar visit
+  // order, serving cache hits and bounding misses exactly like
+  // measure_bounded; pass 2 prices each variant's surviving misses in
+  // one measure_best_of_batch call. Results land in visit-order slots
+  // so the final fold's tie-breaking matches the scalar loop.
+  const std::size_t nthr = threads.size();
+  std::vector<EvaluatedPoint> slot(vars.size() * nthr);
+  std::vector<char> have(vars.size() * nthr, 0);
+  std::vector<std::vector<std::size_t>> miss(vars.size());
+  for (std::size_t vi = 0; vi < vars.size(); ++vi) {
+    const stencil::KernelVariant& var = vars[vi];
+    for (std::size_t ti = 0; ti < nthr; ++ti) {
+      const hhc::ThreadConfig& thr = threads[ti];
+      if (opt_.memoize) {
+        const PointKey key{ts.tT,   ts.tS1,     ts.tS2,
+                           ts.tS3,  thr.n1,     thr.n2,
+                           thr.n3,  var.unroll,
+                           static_cast<int>(var.staging)};
+        std::lock_guard<std::mutex> lk(mu_);
+        const auto it = cache_.find(key);
+        if (it != cache_.end()) {
+          ++stats_.machine_points;
+          ++stats_.cache_hits;
+          if (inc != nullptr && opt_.prune && it->second.feasible) {
+            inc->offer(it->second.texec);
+          }
+          slot[vi * nthr + ti] = it->second;
+          have[vi * nthr + ti] = 1;
+          continue;
+        }
+      }
+      if (inc != nullptr && opt_.prune) {
+        // Same bound gate (and determinism invariant) as
+        // measure_bounded: prune only on lower_bound > incumbent
+        // strictly, incumbent being a measured texec of this scope.
+        const double cut = inc->load();
+        if (cut < std::numeric_limits<double>::infinity()) {
+          const std::shared_ptr<const gpusim::TileCostProfile> prof =
+              profile_for(ts);
+          const auto tb = Clock::now();
+          const double bound =
+              gpusim::lower_bound(ctx_.dev.gpu(), ctx_.def, ctx_.problem, ts,
+                                  thr, *prof, var)
+                  .seconds;
+          const double elapsed = seconds_since(tb);
+          std::lock_guard<std::mutex> lk(mu_);
+          stats_.bound_seconds += elapsed;
+          if (bound > cut) {
+            ++stats_.points_pruned;
+            continue;
+          }
+        }
+      }
+      miss[vi].push_back(ti);
+    }
+  }
+
+  // Talg depends only on the tile, not on threads or variant: price
+  // it once for the whole sweep (the scalar path recomputes the same
+  // double per point).
+  double talg = 0.0;
+  bool have_talg = false;
+  std::vector<hhc::ThreadConfig> batch_thrs;
+  std::vector<gpusim::SimResult> batch_res;
+  for (std::size_t vi = 0; vi < vars.size(); ++vi) {
+    if (miss[vi].empty()) continue;
+    if (!have_talg) {
+      talg = model_talg_or_inf(ctx_.inputs, ctx_.problem, ts);
+      have_talg = true;
+    }
+    // One profile_for per measured point, mirroring the scalar path
+    // so the profile-cache counters stay comparable (one build, the
+    // rest hits).
+    std::shared_ptr<const gpusim::TileCostProfile> prof;
+    for (std::size_t k = 0; k < miss[vi].size(); ++k) prof = profile_for(ts);
+    batch_thrs.clear();
+    for (const std::size_t ti : miss[vi]) batch_thrs.push_back(threads[ti]);
+    batch_res.assign(batch_thrs.size(), gpusim::SimResult{});
+    const auto t0 = Clock::now();
+    gpusim::measure_best_of_batch(ctx_.dev.gpu(), ctx_.def, ctx_.problem, ts,
+                                  batch_thrs, *prof, batch_res, /*runs=*/5,
+                                  vars[vi]);
+    const double priced = seconds_since(t0);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stats_.machine_points += miss[vi].size();
+      stats_.pricing_seconds += priced;
+    }
+    for (std::size_t k = 0; k < miss[vi].size(); ++k) {
+      const std::size_t ti = miss[vi][k];
+      EvaluatedPoint ep;
+      ep.dp = DataPoint{ts, threads[ti], vars[vi]};
+      ep.talg = talg;
+      const gpusim::SimResult& res = batch_res[k];
+      ep.feasible = res.feasible;
+      if (res.feasible) {
+        ep.texec = res.seconds;
+        ep.gflops = res.gflops;
+      }
+      if (opt_.memoize) {
+        const PointKey key{ts.tT,  ts.tS1,
+                           ts.tS2, ts.tS3,
+                           threads[ti].n1, threads[ti].n2,
+                           threads[ti].n3, vars[vi].unroll,
+                           static_cast<int>(vars[vi].staging)};
+        std::lock_guard<std::mutex> lk(mu_);
+        cache_.emplace(key, ep);
+      }
+      if (inc != nullptr && opt_.prune && ep.feasible) inc->offer(ep.texec);
+      slot[vi * nthr + ti] = ep;
+      have[vi * nthr + ti] = 1;
+    }
+  }
+  for (std::size_t i = 0; i < slot.size(); ++i) {
+    if (have[i]) fold_best(best, slot[i]);
+  }
+  return best;
+}
+
 EvaluatedPoint Session::best_over_threads(const hhc::TileSizes& ts) {
   const auto t0 = Clock::now();
   Incumbent inc;  // thread-sweep-scoped
-  EvaluatedPoint best;
-  for (const auto& thr : device_thread_configs(ctx_.dev, ctx_.problem.dim)) {
-    const std::optional<EvaluatedPoint> ep =
-        measure_bounded(DataPoint{ts, thr}, &inc);
-    if (ep) fold_best(best, *ep);
-  }
+  const EvaluatedPoint best = sweep_tile(ts, {}, &inc);
+  add_machine_time(seconds_since(t0));
+  return best;
+}
+
+EvaluatedPoint Session::best_over_variants(
+    const hhc::TileSizes& ts,
+    std::span<const stencil::KernelVariant> variants) {
+  const auto t0 = Clock::now();
+  Incumbent inc;  // sweep-scoped, shared across the variant axis
+  const EvaluatedPoint best = sweep_tile(ts, variants, &inc);
   add_machine_time(seconds_since(t0));
   return best;
 }
@@ -359,35 +553,26 @@ EvaluatedPoint Session::best_over_threads(const hhc::TileSizes& ts) {
 std::vector<EvaluatedPoint> Session::best_over_threads_many(
     std::span<const hhc::TileSizes> tiles) {
   const auto t0 = Clock::now();
-  const auto threads = device_thread_configs(ctx_.dev, ctx_.problem.dim);
   // The incumbent is per tile, not shared: every tile's best is an
   // output here (fig5 emits one CSV row per tile), so pruning may
   // only ever discard points dominated within their own tile.
   std::vector<EvaluatedPoint> out = parallel_map<EvaluatedPoint>(
       pool_, tiles.size(), /*grain=*/4, [&](std::size_t i) {
         Incumbent inc;
-        EvaluatedPoint best;
-        for (const auto& thr : threads) {
-          const std::optional<EvaluatedPoint> ep =
-              measure_bounded(DataPoint{tiles[i], thr}, &inc);
-          if (ep) fold_best(best, *ep);
-        }
-        return best;
+        return sweep_tile(tiles[i], {}, &inc);
       });
   add_machine_time(seconds_since(t0));
   return out;
 }
 
-EvaluatedPoint Session::best_of_tiles(std::span<const hhc::TileSizes> tiles,
-                                      double incumbent_seed) {
-  const auto threads = device_thread_configs(ctx_.dev, ctx_.problem.dim);
+EvaluatedPoint Session::best_of_tiles(
+    std::span<const hhc::TileSizes> tiles,
+    std::span<const stencil::KernelVariant> variants, double incumbent_seed) {
   if (!opt_.prune) {
     return parallel_reduce<EvaluatedPoint>(
         pool_, tiles.size(), /*grain=*/4, EvaluatedPoint{},
         [&](EvaluatedPoint& acc, std::size_t i) {
-          for (const auto& thr : threads) {
-            fold_best(acc, measure(DataPoint{tiles[i], thr}));
-          }
+          fold_best(acc, sweep_tile(tiles[i], variants, nullptr));
         },
         [](EvaluatedPoint a, EvaluatedPoint b) {
           fold_best(a, b);
@@ -420,13 +605,7 @@ EvaluatedPoint Session::best_of_tiles(std::span<const hhc::TileSizes> tiles,
   std::vector<EvaluatedPoint> slot(tiles.size());
   pool_.for_each_index(tiles.size(), /*grain=*/1, [&](std::size_t j) {
     const std::size_t i = order[j];
-    EvaluatedPoint best;
-    for (const auto& thr : threads) {
-      const std::optional<EvaluatedPoint> ep =
-          measure_bounded(DataPoint{tiles[i], thr}, &inc);
-      if (ep) fold_best(best, *ep);
-    }
-    slot[i] = best;
+    slot[i] = sweep_tile(tiles[i], variants, &inc);
   });
   EvaluatedPoint out;
   for (const EvaluatedPoint& ep : slot) fold_best(out, ep);
@@ -444,6 +623,12 @@ StrategyComparison Session::compare_strategies(const CompareOptions& opt) {
   const std::vector<hhc::TileSizes> space =
       enumerate_feasible(dim, ctx_.inputs.hw, opt.enumeration,
                          ctx_.def.radius);
+  // Every *tuned* pass searches the variant axis too (empty = default
+  // variant only, byte-identical to the pre-variant comparison). The
+  // untuned HHC default stays on the default variant: an untuned
+  // compile picks no variant either.
+  const std::span<const stencil::KernelVariant> vars(
+      opt.enumeration.variants);
 
   // 1. Untuned compiler defaults: default tile sizes AND the default
   // 32x2 thread block — no tuning of any kind (the paper's "HHC" bar).
@@ -460,17 +645,17 @@ StrategyComparison Session::compare_strategies(const CompareOptions& opt) {
   cmp.space_size = sweep.space_size;
 
   const auto t_machine = Clock::now();
-  cmp.talg_min = best_of_tiles({&sweep.argmin, 1});
+  cmp.talg_min = best_of_tiles({&sweep.argmin, 1}, vars);
 
   // 3. Best of the paper's baseline experiment set.
   const std::vector<hhc::TileSizes> baseline = baseline_tile_set(
       dim, ctx_.inputs.hw, opt.baseline_count, opt.enumeration,
       ctx_.def.radius);
-  cmp.baseline_best = best_of_tiles(baseline);
+  cmp.baseline_best = best_of_tiles(baseline, vars);
 
   // 4. Best of the within-10 %-of-Talg_min candidates.
   cmp.candidates_tried = sweep.candidates.size();
-  cmp.within10_best = best_of_tiles(sweep.candidates);
+  cmp.within10_best = best_of_tiles(sweep.candidates, vars);
 
   // 5. Exhaustive search over the feasible space (deterministically
   // subsampled when capped): the reference the paper could not run at
@@ -495,7 +680,7 @@ StrategyComparison Session::compare_strategies(const CompareOptions& opt) {
        {&cmp.talg_min, &cmp.within10_best, &cmp.baseline_best}) {
     if (ep->feasible && ep->texec < seed) seed = ep->texec;
   }
-  cmp.exhaustive = best_of_tiles(visited, seed);
+  cmp.exhaustive = best_of_tiles(visited, vars, seed);
 
   // The exhaustive pass subsumes every specific strategy point it
   // visited; make sure it is at least as good as the others.

@@ -54,6 +54,18 @@
 // The tuner-tier tests pin compare_strategies equality with pruning
 // on vs off across job counts; SweepStats reports the pruning volume
 // (points_pruned) and the bound-evaluation wall time (bound_seconds).
+//
+// Batched pricing (SessionOptions::batch, default on): a thread sweep
+// over one (tile, variant) is priced in one gpusim::measure_best_of_batch
+// call against the tile's SoA profile instead of one simulate_time
+// call per config — Talg is computed once per tile, the profile is
+// fetched per point but built once, and the per-class unit fold runs
+// over the contiguous slab. The batch path is bit-identical to the
+// scalar path (gpusim/cost_profile.hpp documents why), so flipping
+// `batch` — or setting REPRO_SIM_PATH=reference, which forces the
+// scalar AoS path — never changes a result, only the wall time; the
+// tuner-tier tests pin byte-equality across batch on/off, prune
+// on/off and job counts over the variant-extended space.
 #pragma once
 
 #include <atomic>
@@ -130,8 +142,15 @@ struct SweepStats {
 
   // Two-stage pipeline split: a tile size's geometry profile is built
   // once (stage one, the schedule walk) and every thread config after
-  // the first reuses it (stage two, closed-form pricing).
-  std::size_t profile_builds = 0;   // geometry profiles built
+  // the first reuses it (stage two, closed-form pricing). A "step" is
+  // an incremental rebuild (TileCostProfile::build_step) from a
+  // cached profile sharing (tT, tS1) — the schedule walk is skipped
+  // and only the per-class geometry is recomputed. Steps belong to
+  // the batched pipeline: with batch off every profile is a scratch
+  // build, so the scalar A/B arm reproduces the pre-batch stage-one
+  // work (results are bit-identical either way).
+  std::size_t profile_builds = 0;   // geometry profiles built from scratch
+  std::size_t profile_steps = 0;    // ... rebuilt incrementally instead
   std::size_t profile_hits = 0;     // served from the profile cache
   double geometry_seconds = 0.0;    // wall time building profiles
   double pricing_seconds = 0.0;     // wall time pricing via profiles
@@ -155,10 +174,16 @@ struct SessionOptions {
   // measures every requested point — the A/B switch the pruning
   // equality tests and benches flip.
   bool prune = true;
+  // Batched SoA pricing of thread sweeps (see the header comment).
+  // Off forces the scalar per-point path — the A/B switch the batch
+  // equality tests and the throughput bench flip. REPRO_SIM_PATH=
+  // reference overrides this to off at runtime.
+  bool batch = true;
 
   SessionOptions& with_jobs(int j) noexcept { jobs = j; return *this; }
   SessionOptions& with_memoize(bool m) noexcept { memoize = m; return *this; }
   SessionOptions& with_prune(bool p) noexcept { prune = p; return *this; }
+  SessionOptions& with_batch(bool b) noexcept { batch = b; return *this; }
 };
 
 class Session {
@@ -204,6 +229,16 @@ class Session {
   // batch APIs parallelize over).
   EvaluatedPoint best_over_threads(const hhc::TileSizes& ts);
 
+  // Variant-extended form: best measured (thread config, kernel
+  // variant) pair for one tile size. An empty span means the default
+  // variant only (== best_over_threads); the fold visits variants in
+  // span order, thread configs innermost, with the serial loops'
+  // first-strictly-better tie-breaking. CPU sessions collapse the
+  // axis to the default variant.
+  EvaluatedPoint best_over_variants(
+      const hhc::TileSizes& ts,
+      std::span<const stencil::KernelVariant> variants);
+
   // Batch form: out[i] corresponds to tiles[i]; evaluated in parallel.
   std::vector<EvaluatedPoint> best_over_threads_many(
       std::span<const hhc::TileSizes> tiles);
@@ -238,6 +273,9 @@ class Session {
   struct PointKey {
     std::int64_t tT, tS1, tS2, tS3;
     int n1, n2, n3;
+    // Kernel variant (stencil/variant.hpp), flattened so the key
+    // stays a plain aggregate. Default variant: {1, 0}.
+    int unroll, staging;
     friend bool operator==(const PointKey&, const PointKey&) = default;
   };
   struct PointKeyHash {
@@ -258,6 +296,18 @@ class Session {
   std::shared_ptr<const gpusim::TileCostProfile> profile_for(
       const hhc::TileSizes& ts);
 
+  struct StepKey {
+    std::int64_t tT, tS1;
+    friend bool operator==(const StepKey&, const StepKey&) = default;
+  };
+  struct StepKeyHash {
+    std::size_t operator()(const StepKey& k) const noexcept;
+  };
+
+  // Whether thread sweeps run through the batched SoA pricing path
+  // (GPU device, batch option on, reference sim path not forced).
+  bool use_batch() const;
+
   // Cache-aware single measurement; also bumps the point counters.
   EvaluatedPoint measure(const DataPoint& dp);
   // Like measure(), but consults `inc` first: cache hits and fresh
@@ -270,6 +320,18 @@ class Session {
   // Fold `candidate` into `best` with the serial loops' tie-breaking
   // (first strictly-better point wins).
   static void fold_best(EvaluatedPoint& best, const EvaluatedPoint& candidate);
+  // The unit of work of every thread sweep: the best measured
+  // (thread, variant) point of one tile, folded variant-major in span
+  // order (empty span = default variant; CPU devices always collapse
+  // to it). Routes through the batched SoA pricing path when
+  // use_batch(), the scalar per-point path otherwise — bit-identical
+  // either way. `inc` participates exactly like measure_bounded's:
+  // nullptr (or prune off) measures every point. Not timed — callers
+  // own the phase.
+  EvaluatedPoint sweep_tile(const hhc::TileSizes& ts,
+                            std::span<const stencil::KernelVariant> variants,
+                            Incumbent* inc);
+
   // Best-over-threads reduction across a tile list, parallel with
   // deterministic chunk order. Not timed — callers own the phase.
   // With pruning on, tiles are visited in ascending model-Talg order
@@ -279,6 +341,7 @@ class Session {
   // the earlier passes — all of which it folds into the result).
   EvaluatedPoint best_of_tiles(
       std::span<const hhc::TileSizes> tiles,
+      std::span<const stencil::KernelVariant> variants = {},
       double incumbent_seed = std::numeric_limits<double>::infinity());
   void add_model_time(double seconds, std::size_t points);
   void add_machine_time(double seconds);
@@ -287,11 +350,22 @@ class Session {
   SessionOptions opt_;
   ThreadPool pool_;
 
-  mutable std::mutex mu_;  // guards cache_, profiles_ and stats_
+  mutable std::mutex mu_;  // guards cache_, profiles_, steps_, stats_
   std::unordered_map<PointKey, EvaluatedPoint, PointKeyHash> cache_;
   std::unordered_map<TileKey, std::shared_ptr<const gpusim::TileCostProfile>,
                      TileKeyHash>
       profiles_;
+  // Latest cached profile per (tT, tS1): HexSchedule depends only on
+  // those two tile dimensions, so a miss whose (tT, tS1) matches a
+  // cached profile rebuilds incrementally via build_step (the
+  // schedule walk is skipped) instead of from scratch. Consulted only
+  // when use_batch() — the scalar A/B arm pays the full scratch
+  // build, like the pre-batch pipeline did. Bit-identical to a
+  // scratch build, so which base a racing worker sees can never
+  // change a result, only the profile_builds/profile_steps split.
+  std::unordered_map<StepKey, std::shared_ptr<const gpusim::TileCostProfile>,
+                     StepKeyHash>
+      steps_;
   SweepStats stats_;
 };
 

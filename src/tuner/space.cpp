@@ -36,6 +36,14 @@ void EnumOptions::validate(analysis::DiagnosticEngine& eng) const {
   check_max("tS1_max", tS1_max);
   check_max("tS2_max", tS2_max);
   check_max("tS3_max", tS3_max);
+  for (const stencil::KernelVariant& v : variants) {
+    if (!stencil::valid_unroll(v.unroll)) {
+      eng.error(analysis::Code::kOptionRange,
+                "EnumOptions.variants contains unroll factor " +
+                    std::to_string(v.unroll) +
+                    " (the kernel generator only emits unroll 1, 2 or 4)");
+    }
+  }
 }
 
 void EnumOptions::validate() const {

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "analysis/diagnostics.hpp"
@@ -13,6 +14,7 @@
 #include "device/descriptor.hpp"
 #include "hhc/tile_sizes.hpp"
 #include "model/params.hpp"
+#include "stencil/variant.hpp"
 
 namespace repro::tuner {
 
@@ -30,6 +32,13 @@ struct EnumOptions {
   std::int64_t tT_step = 2;
   std::int64_t tS1_step = 1;
 
+  // Kernel implementation variants to search per (tile, thread)
+  // point. Empty (the default) means the default variant only —
+  // byte-identical to the pre-variant search; pass
+  // stencil::all_kernel_variants() for the full axis. CPU sessions
+  // ignore the axis (variants are a GPU codegen concept).
+  std::vector<stencil::KernelVariant> variants;
+
   // Builder-style setters, so callers can configure inline:
   //   enumerate_feasible(2, hw, EnumOptions{}.with_tT_max(24).with_tS1_step(4))
   EnumOptions& with_tT_max(std::int64_t v) noexcept { tT_max = v; return *this; }
@@ -40,11 +49,16 @@ struct EnumOptions {
   EnumOptions& with_tS2_step(std::int64_t v) noexcept { tS2_step = v; return *this; }
   EnumOptions& with_tS3_max(std::int64_t v) noexcept { tS3_max = v; return *this; }
   EnumOptions& with_tS3_step(std::int64_t v) noexcept { tS3_step = v; return *this; }
+  EnumOptions& with_variants(std::vector<stencil::KernelVariant> v) {
+    variants = std::move(v);
+    return *this;
+  }
 
   // Collect every problem with these options into `eng` as SLxxx
   // diagnostics: SL310 for steps that can never advance the
   // enumeration (previously an infinite-loop hazard), SL312 for
-  // bounds that can never admit a single lattice point.
+  // bounds that can never admit a single lattice point or a variant
+  // whose unroll factor the codegen cannot produce.
   void validate(analysis::DiagnosticEngine& eng) const;
 
   // Throwing form: std::invalid_argument carrying the first error's
