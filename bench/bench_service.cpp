@@ -30,6 +30,7 @@
 
 #include "bench_util.hpp"
 #include "common/json.hpp"
+#include "common/rng.hpp"
 #include "service/core.hpp"
 
 using namespace repro;
@@ -66,6 +67,36 @@ std::vector<std::string> make_trace(bool full) {
   std::vector<std::string> trace;
   for (int r = 0; r < repeats; ++r) {
     trace.insert(trace.end(), base.begin(), base.end());
+  }
+  return trace;
+}
+
+// The near-miss trace: best_tile requests over a lattice of adjacent
+// problem sizes, drawn zipfian (rank r with weight 1/(r+1)) from a
+// fixed seed — the workload the warm-start similarity index is built
+// for. Popular sizes repeat (store hits); the long tail is all sizes
+// one lattice step from an already-tuned neighbor, so a warm service
+// prices each miss with a seeded, harder-pruning sweep.
+std::vector<std::string> make_near_miss_trace(bool full) {
+  const std::vector<int> lattice = {512, 480, 544, 448, 576, 416, 608};
+  std::vector<double> cum;
+  double total = 0.0;
+  for (std::size_t r = 0; r < lattice.size(); ++r) {
+    total += 1.0 / static_cast<double>(r + 1);
+    cum.push_back(total);
+  }
+  Rng rng(0x5eedULL);
+  const std::size_t n = full ? 48 : 24;
+  std::vector<std::string> trace;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = rng.next_double() * total;
+    std::size_t pick = 0;
+    while (pick + 1 < cum.size() && u > cum[pick]) ++pick;
+    const std::string s = std::to_string(lattice[pick]);
+    trace.push_back(
+        "{\"v\":1,\"id\":\"q\",\"kind\":\"best_tile\",\"stencil\":\"Heat2D\","
+        "\"problem\":{\"S\":[" + s + "," + s + "],\"T\":64},"
+        "\"enum\":{\"tT_max\":8,\"tS1_max\":12,\"tS2_max\":192}}");
   }
   return trace;
 }
@@ -147,6 +178,13 @@ json::Value arm_json(const ArmResult& r) {
   o.set("p50_ms", percentile(r.latencies, 0.50) * 1e3);
   o.set("p95_ms", percentile(r.latencies, 0.95) * 1e3);
   o.set("compute_seconds", r.stats.compute_seconds);
+  o.set("warm_lookups", r.stats.warm_lookups);
+  o.set("warm_seeds", r.stats.warm_seeds);
+  o.set("machine_points", r.stats.session_machine_points);
+  o.set("points_pruned", r.stats.session_points_pruned);
+  o.set("pricings_per_request",
+        total > 0 ? static_cast<double>(r.stats.session_machine_points) / total
+                  : 0.0);
   return o;
 }
 
@@ -179,6 +217,24 @@ int main(int argc, char** argv) {
       "duplicate", trace, service::ServiceOptions(base).with_coalesce(false),
       clients, &duplicate_out);
 
+  // Near-miss A/B: the zipfian adjacent-size trace replayed against a
+  // fresh store with warm-start seeding off, then on. Seeding is
+  // advisory, so the responses must stay byte-identical; the win is
+  // fewer simulator pricings per request.
+  const std::vector<std::string> near_trace = make_near_miss_trace(scale.full);
+  const std::string nm_cold_dir = scale.csv_dir + "/bench_service_nm_cold";
+  const std::string nm_warm_dir = scale.csv_dir + "/bench_service_nm_warm";
+  std::filesystem::remove_all(nm_cold_dir);
+  std::filesystem::remove_all(nm_warm_dir);
+  const ArmResult near_cold =
+      replay_serial("near_miss_cold", near_trace,
+                    service::ServiceOptions(base)
+                        .with_store_dir(nm_cold_dir)
+                        .with_warm_start(false));
+  const ArmResult near_warm =
+      replay_serial("near_miss_warm", near_trace,
+                    service::ServiceOptions(base).with_store_dir(nm_warm_dir));
+
   // Determinism checks: every arm must serve byte-identical responses.
   int mismatches = 0;
   for (std::size_t i = 0; i < trace.size(); ++i) {
@@ -190,6 +246,9 @@ int main(int argc, char** argv) {
       if (client[i] != cold.responses[i]) ++mismatches;
     }
   }
+  for (std::size_t i = 0; i < near_trace.size(); ++i) {
+    if (near_warm.responses[i] != near_cold.responses[i]) ++mismatches;
+  }
 
   std::cout << "=== bench_service: " << trace.size() << "-request trace, "
             << clients << " concurrent clients ===\n";
@@ -200,6 +259,19 @@ int main(int argc, char** argv) {
               << r->stats.computed << ", coalesced " << r->stats.coalesced
               << ", store hits " << r->stats.store_hits << "/"
               << r->stats.requests << "\n";
+  }
+  const auto per_req = [](const ArmResult& r) {
+    return r.stats.requests > 0
+               ? static_cast<double>(r.stats.session_machine_points) /
+                     static_cast<double>(r.stats.requests)
+               : 0.0;
+  };
+  for (const ArmResult* r : {&near_cold, &near_warm}) {
+    std::cout << r->name << " (" << near_trace.size() << " reqs): "
+              << r->stats.session_machine_points << " pricings ("
+              << per_req(*r) << "/request), "
+              << r->stats.session_points_pruned << " pruned, warm seeds "
+              << r->stats.warm_seeds << "\n";
   }
   std::cout << "byte mismatches across arms: " << mismatches << "\n";
 
@@ -214,7 +286,10 @@ int main(int argc, char** argv) {
   arms.set("warm", arm_json(warm));
   arms.set("coalesce", arm_json(coalesce));
   arms.set("duplicate", arm_json(duplicate));
+  arms.set("near_miss_cold", arm_json(near_cold));
+  arms.set("near_miss_warm", arm_json(near_warm));
   doc.set("arms", std::move(arms));
+  doc.set("near_miss_requests", near_trace.size());
   {
     std::ofstream os(scale.csv_dir + "/BENCH_service.json");
     os << doc.dump() << "\n";
@@ -229,6 +304,13 @@ int main(int argc, char** argv) {
     std::cerr << "FAIL: warm arm missed the store ("
               << warm.stats.store_hits << "/" << warm.stats.requests
               << " hits)\n";
+    return 1;
+  }
+  if (near_warm.stats.session_machine_points >=
+      near_cold.stats.session_machine_points) {
+    std::cerr << "FAIL: warm-start did not reduce pricings per request ("
+              << near_warm.stats.session_machine_points << " warm vs "
+              << near_cold.stats.session_machine_points << " cold)\n";
     return 1;
   }
   return 0;

@@ -82,10 +82,37 @@ struct BatchReport {
   bool results_identical = false;
 };
 
+// The warm-start A/B: the same best_tile sweep run cold (no seed) and
+// warm (seeded with the best point a donor session found on an
+// adjacent problem size — exactly what the service's similarity index
+// supplies). Results must match exactly; the pruned-fraction increase
+// is the acceptance metric.
+struct WarmstartReport {
+  std::size_t machine_points_cold = 0;
+  std::size_t points_pruned_cold = 0;
+  std::size_t machine_points_warm = 0;
+  std::size_t points_pruned_warm = 0;
+  std::size_t seeds_admitted = 0;
+  bool results_identical = false;
+
+  static double fraction(std::size_t machine, std::size_t pruned) {
+    const std::size_t total = machine + pruned;
+    return total > 0 ? static_cast<double>(pruned) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
+  double fraction_cold() const {
+    return fraction(machine_points_cold, points_pruned_cold);
+  }
+  double fraction_warm() const {
+    return fraction(machine_points_warm, points_pruned_warm);
+  }
+};
+
 void emit_json(const std::string& path, const std::vector<ArmResult>& arms,
                const std::vector<std::pair<std::string, double>>& speedups,
-               const PruningReport& pr, const BatchReport& br, int jobs,
-               bool full) {
+               const PruningReport& pr, const BatchReport& br,
+               const WarmstartReport& wr, int jobs, bool full) {
   std::ofstream os(path);
   os << "{\n  \"bench\": \"bench_sim_throughput\",\n"
      << "  \"mode\": \"" << (full ? "full" : "smoke") << "\",\n"
@@ -114,7 +141,17 @@ void emit_json(const std::string& path, const std::vector<ArmResult>& arms,
      << ",\n    \"bound_seconds\": " << pr.bound_seconds
      << ",\n    \"machine_point_reduction\": " << pr.reduction()
      << ",\n    \"results_identical\": "
-     << (pr.results_identical ? "true" : "false") << "\n  }\n}\n";
+     << (pr.results_identical ? "true" : "false") << "\n  },\n"
+     << "  \"warmstart\": {\n"
+     << "    \"machine_points_cold\": " << wr.machine_points_cold
+     << ",\n    \"points_pruned_cold\": " << wr.points_pruned_cold
+     << ",\n    \"pruned_fraction_cold\": " << wr.fraction_cold()
+     << ",\n    \"machine_points_warm\": " << wr.machine_points_warm
+     << ",\n    \"points_pruned_warm\": " << wr.points_pruned_warm
+     << ",\n    \"pruned_fraction_warm\": " << wr.fraction_warm()
+     << ",\n    \"seeds_admitted\": " << wr.seeds_admitted
+     << ",\n    \"results_identical\": "
+     << (wr.results_identical ? "true" : "false") << "\n  }\n}\n";
 }
 
 }  // namespace
@@ -270,6 +307,7 @@ int main(int argc, char** argv) {
   // StrategyComparisons must be equal; the machine-point cut is the
   // pruning acceptance metric recorded in BENCH_gpusim.json.
   PruningReport pruning;
+  WarmstartReport warmstart;
   {
     tuner::CompareOptions copt;
     copt.enumeration.tT_max = scale.full ? 48 : 24;
@@ -323,6 +361,44 @@ int main(int argc, char** argv) {
               << AsciiTable::fmt(ref.exhaustive.gflops, 1)
               << " default-variant)\n";
     bench::print_sweep_stats(std::cout, vs.stats(), vs.jobs());
+
+    // --- Warm-start transfer: near-miss seeded best_tile ------------
+    // A donor session tunes an adjacent problem (one lattice step
+    // down in S), then the fig6 problem is swept cold and warm — the
+    // warm sweep seeded with the donor's best point, the way the
+    // service seeds from its similarity index. The seed starts the
+    // incumbent near the optimum, so the bound prunes from the very
+    // first visit; results must be byte-identical by construction.
+    const std::vector<hhc::TileSizes> wtiles =
+        tuner::enumerate_feasible(2, in.hw, copt.enumeration, def.radius);
+    const stencil::ProblemSize donor_p{
+        .dim = 2, .S = {3584, 3584, 0}, .T = 1024};
+    tuner::Session donor(
+        tuner::TuningContext::with_inputs(dev, def, donor_p, in),
+        tuner::SessionOptions{}.with_jobs(1));
+    const tuner::EvaluatedPoint donor_best = donor.best_tile(wtiles);
+
+    tuner::Session cold(ctx, tuner::SessionOptions{}.with_jobs(1));
+    const auto t_cold = Clock::now();
+    const tuner::EvaluatedPoint cold_best = cold.best_tile(wtiles);
+    arms.push_back({"warmstart_cold", cold.stats().machine_points,
+                    seconds_since(t_cold)});
+
+    const tuner::WarmSeed seed{donor_best.dp.ts, donor_best.dp.thr,
+                               donor_best.dp.var};
+    tuner::Session warm(ctx, tuner::SessionOptions{}.with_jobs(1));
+    const auto t_warm = Clock::now();
+    const tuner::EvaluatedPoint warm_best =
+        warm.best_tile(wtiles, {}, {&seed, 1});
+    arms.push_back({"warmstart_warm", warm.stats().machine_points,
+                    seconds_since(t_warm)});
+
+    warmstart.machine_points_cold = cold.stats().machine_points;
+    warmstart.points_pruned_cold = cold.stats().points_pruned;
+    warmstart.machine_points_warm = warm.stats().machine_points;
+    warmstart.points_pruned_warm = warm.stats().points_pruned;
+    warmstart.seeds_admitted = warm.stats().seeds_admitted;
+    warmstart.results_identical = cold_best == warm_best;
   }
 
   const auto arm = [&](const std::string& name) -> const ArmResult& {
@@ -367,9 +443,15 @@ int main(int argc, char** argv) {
             << " machine points (" << pruning.points_pruned << " pruned, "
             << AsciiTable::fmt(pruning.reduction(), 2) << "x fewer), results "
             << (pruning.results_identical ? "identical" : "DIVERGED") << "\n";
+  std::cout << "warm-start seeding: pruned fraction "
+            << AsciiTable::fmt(warmstart.fraction_cold(), 3) << " cold -> "
+            << AsciiTable::fmt(warmstart.fraction_warm(), 3) << " warm ("
+            << warmstart.seeds_admitted << " seed admitted), results "
+            << (warmstart.results_identical ? "identical" : "DIVERGED")
+            << "\n";
 
   emit_json(scale.csv_dir + "/BENCH_gpusim.json", arms, speedups, pruning,
-            batch, scale.resolved_jobs(), scale.full);
+            batch, warmstart, scale.resolved_jobs(), scale.full);
   std::cout << "wrote " << scale.csv_dir << "/BENCH_gpusim.json\n";
   return 0;
 }

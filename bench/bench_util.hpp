@@ -115,7 +115,12 @@ inline void print_sweep_stats(std::ostream& os, const tuner::SweepStats& st,
      << " stepped (" << st.profile_hits << " hits), "
      << st.geometry_seconds << " s geometry + " << st.pricing_seconds
      << " s pricing; pruned: " << st.points_pruned << " pts in "
-     << st.bound_seconds << " s bounds\n";
+     << st.bound_seconds << " s bounds";
+  if (st.seeds_offered > 0) {
+    os << "; warm seeds: " << st.seeds_admitted << "/" << st.seeds_offered
+       << " admitted";
+  }
+  os << "\n";
 }
 
 // --stats-json=PATH: persist the accumulated engine counters as one
@@ -138,6 +143,8 @@ inline bool write_stats_json(const std::string& path,
   o.set("pricing_seconds", st.pricing_seconds);
   o.set("points_pruned", st.points_pruned);
   o.set("bound_seconds", st.bound_seconds);
+  o.set("seeds_offered", st.seeds_offered);
+  o.set("seeds_admitted", st.seeds_admitted);
   std::ofstream out(path, std::ios::trunc);
   if (!out) return false;
   out << o.dump() << "\n";

@@ -15,7 +15,7 @@ struct CodeInfo {
 };
 
 // Numeric order; all_codes() exposes this table for docs and tests.
-constexpr std::array<CodeInfo, 56> kCodeTable{{
+constexpr std::array<CodeInfo, 57> kCodeTable{{
     {Code::kParseSyntax, "SL101", "malformed stencil DSL syntax"},
     {Code::kParseDim, "SL102", "missing or out-of-range 'dim'"},
     {Code::kParseTapBeyondDim, "SL103",
@@ -62,6 +62,9 @@ constexpr std::array<CodeInfo, 56> kCodeTable{{
     {Code::kVariantResource, "SL314",
      "kernel variant is invalid or pushes the register estimate over "
      "the register file"},
+    {Code::kIncumbentSeed, "SL315",
+     "incumbent seed must be a non-negative number (NaN or a negative "
+     "seed would poison the prune cutoff)"},
     {Code::kSvcMalformed, "SL401",
      "service request is not a valid JSON object"},
     {Code::kSvcVersion, "SL402", "unsupported service protocol version"},

@@ -63,6 +63,7 @@ enum class Code : std::uint16_t {
   kOptionRange = 312,       // tuning option out of range (Enum/CompareOptions)
   kSweepDelta = 313,        // model-sweep delta not a finite fraction >= 0
   kVariantResource = 314,   // kernel variant invalid or over the register file
+  kIncumbentSeed = 315,     // incumbent seed NaN or negative (would poison CAS-min)
   // --- tuned service protocol (src/service) --------------------------
   kSvcMalformed = 401,   // request line is not a JSON object
   kSvcVersion = 402,     // unsupported protocol version

@@ -60,7 +60,8 @@ std::string compute_predict(const Request& req, tuner::Session& session) {
   return o.dump();
 }
 
-std::string compute_best_tile(const Request& req, tuner::Session& session) {
+std::string compute_best_tile(const Request& req, tuner::Session& session,
+                              std::span<const tuner::WarmSeed> seeds) {
   const std::vector<hhc::TileSizes> space = tuner::enumerate_feasible(
       req.problem->dim, session.inputs().hw, req.enumeration, req.def.radius);
   const tuner::ModelSweep sweep = session.sweep_model(space, req.delta);
@@ -77,17 +78,13 @@ std::string compute_best_tile(const Request& req, tuner::Session& session) {
   o.set("talg_min", sweep.talg_min);
   o.set("argmin", tile_to_json(sweep.argmin));
 
-  // Measure every within-delta candidate, then fold serially with the
-  // first-strictly-better rule (index order — deterministic for any
-  // job count, same as the Session's own reductions).
-  const std::vector<tuner::EvaluatedPoint> evaluated =
-      session.best_over_threads_many(sweep.candidates);
-  const tuner::EvaluatedPoint* best = nullptr;
-  for (const tuner::EvaluatedPoint& ep : evaluated) {
-    if (!ep.feasible) continue;
-    if (best == nullptr || ep.texec < best->texec) best = &ep;
-  }
-  o.set("best", best != nullptr ? point_to_json(*best) : json::Value());
+  // Measure every within-delta candidate and reduce with the
+  // first-strictly-better rule in candidate index order (best_tile's
+  // reduction — deterministic for any job count, any pruning setting,
+  // and any seed list; seeds only tighten the prune cutoff).
+  const tuner::EvaluatedPoint best = session.best_tile(sweep.candidates,
+                                                       {}, seeds);
+  o.set("best", best.feasible ? point_to_json(best) : json::Value());
   return o.dump();
 }
 
@@ -213,25 +210,40 @@ std::string ServiceStats::to_json() const {
   kinds.set("compare_strategies", compare);
   kinds.set("lint", lint);
   kinds.set("devices", devices);
+  kinds.set("stats", stats_kind);
   o.set("kinds", std::move(kinds));
+  o.set("warm_lookups", warm_lookups);
+  o.set("warm_seeds", warm_seeds);
+  o.set("session_machine_points", session_machine_points);
+  o.set("session_cache_hits", session_cache_hits);
+  o.set("session_points_pruned", session_points_pruned);
+  o.set("store_entries", store_entries);
+  o.set("store_bytes", store_bytes);
+  o.set("store_oldest_age_s", store_oldest_age_s);
+  o.set("store_newest_age_s", store_newest_age_s);
   o.set("compute_seconds", compute_seconds);
   o.set("latency_seconds", latency_seconds);
   o.set("latency_max", latency_max);
   return o.dump();
 }
 
-std::string compute_payload(const Request& req, tuner::Session* session) {
+std::string compute_payload(const Request& req, tuner::Session* session,
+                            std::span<const tuner::WarmSeed> seeds) {
   switch (req.kind) {
     case RequestKind::kPredict:
       return compute_predict(req, *session);
     case RequestKind::kBestTile:
-      return compute_best_tile(req, *session);
+      return compute_best_tile(req, *session, seeds);
     case RequestKind::kCompareStrategies:
       return compute_compare(req, *session);
     case RequestKind::kLint:
       return compute_lint(req);
     case RequestKind::kDevices:
       return compute_devices();
+    case RequestKind::kStats:
+      // Stats describe a serving instance; outside one (`tuned once`)
+      // every counter is legitimately zero.
+      return ServiceStats{}.to_json();
   }
   throw std::logic_error("compute_payload: unhandled request kind");
 }
@@ -239,7 +251,10 @@ std::string compute_payload(const Request& req, tuner::Session* session) {
 ServiceCore::ServiceCore(ServiceOptions opt)
     : opt_(std::move(opt)),
       queue_(opt_.workers, opt_.queue_depth) {
-  if (!opt_.store_dir.empty()) store_.emplace(opt_.store_dir);
+  if (!opt_.store_dir.empty()) {
+    store_.emplace(opt_.store_dir);
+    if (opt_.warm_start) index_.emplace(opt_.store_dir);
+  }
 }
 
 ServiceCore::~ServiceCore() = default;
@@ -257,6 +272,24 @@ ServiceStats ServiceCore::stats() const {
     s.store_misses = c.misses;
     s.store_writes = c.writes;
     s.store_errors = c.errors;
+    const ResultStore::DirStats d = store_->dir_stats();
+    s.store_entries = d.entries;
+    s.store_bytes = d.bytes;
+    s.store_oldest_age_s = d.oldest_age_seconds;
+    s.store_newest_age_s = d.newest_age_seconds;
+  }
+  {
+    // Tuner activity across the cached sessions. Sessions are only
+    // ever appended, and a Session's stats() takes its own lock, so a
+    // snapshot here is consistent per session.
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    for (const auto& [key, entry] : sessions_) {
+      if (!entry || !entry->session) continue;
+      const tuner::SweepStats ss = entry->session->stats();
+      s.session_machine_points += ss.machine_points;
+      s.session_cache_hits += ss.cache_hits;
+      s.session_points_pruned += ss.points_pruned;
+    }
   }
   return s;
 }
@@ -316,9 +349,35 @@ void ServiceCore::run_compute(const std::string& key, const Request& req,
   const Clock::time_point t0 = Clock::now();
   try {
     if (hook_) hook_();
+
+    // Warm-start transfer: on a best_tile miss, ask the similarity
+    // index for the best configs of nearby problems on the same
+    // (device, stencil). Seeds are advisory (re-priced, admitted only
+    // in-space — see Session::best_tile), so the payload is the same
+    // with or without them; they only let the sweep prune harder.
+    std::vector<tuner::WarmSeed> seeds;
+    if (index_ && req.kind == RequestKind::kBestTile && req.problem) {
+      std::vector<SimilarityIndex::Neighbor> near;
+      {
+        std::lock_guard<std::mutex> lk(store_mu_);
+        near = index_->neighbors(req.device, req.stencil_name,
+                                 req.stencil_text, *req.problem,
+                                 opt_.warm_seed_limit);
+      }
+      seeds.reserve(near.size());
+      for (const SimilarityIndex::Neighbor& n : near) {
+        seeds.push_back(
+            {n.entry.tile, n.entry.threads, n.entry.variant});
+      }
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      ++stats_.warm_lookups;
+      stats_.warm_seeds += seeds.size();
+    }
+
     tuner::Session* session = nullptr;
     std::unique_lock<std::mutex> session_lock;
-    if (req.kind != RequestKind::kLint && req.kind != RequestKind::kDevices) {
+    if (req.kind != RequestKind::kLint && req.kind != RequestKind::kDevices &&
+        req.kind != RequestKind::kStats) {
       SessionEntry& entry = session_entry(req);
       session_lock = std::unique_lock<std::mutex>(entry.mu);
       if (!entry.session) {
@@ -330,7 +389,7 @@ void ServiceCore::run_compute(const std::string& key, const Request& req,
       }
       session = entry.session.get();
     }
-    payload = compute_payload(req, session);
+    payload = compute_payload(req, session, seeds);
     ok = true;
   } catch (const std::exception& e) {
     diags.error(analysis::Code::kSvcInternal,
@@ -351,7 +410,16 @@ void ServiceCore::run_compute(const std::string& key, const Request& req,
   // shadow devices registered since.
   if (ok && store_ && req.kind != RequestKind::kDevices) {
     std::lock_guard<std::mutex> lk(store_mu_);
-    store_->save(key, payload);
+    if (store_->save(key, payload) && index_) {
+      // Keep the similarity index in step with the store. A payload
+      // that carries no usable point (lint, infeasible best) simply
+      // yields no entry; append failures are tolerated — the index is
+      // a rebuildable cache, never the source of truth.
+      if (const std::optional<IndexEntry> e =
+              SimilarityIndex::entry_from(key, payload)) {
+        index_->append(*e);
+      }
+    }
   }
   finish_flight(key, flight, ok, std::move(payload), diags.diagnostics());
 }
@@ -379,7 +447,21 @@ std::string ServiceCore::handle(const std::string& line) {
       case RequestKind::kCompareStrategies: ++stats_.compare; break;
       case RequestKind::kLint: ++stats_.lint; break;
       case RequestKind::kDevices: ++stats_.devices; break;
+      case RequestKind::kStats: ++stats_.stats_kind; break;
     }
+  }
+
+  // `stats` is instance state, answered inline: never stored, never
+  // coalesced, never queued (it must stay responsive when the compute
+  // queue is saturated — that is exactly when you ask for stats).
+  if (req->kind == RequestKind::kStats) {
+    const std::string out =
+        render_result(req->id, req->kind, stats().to_json());
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    const double elapsed = seconds_since(t0);
+    stats_.latency_seconds += elapsed;
+    if (elapsed > stats_.latency_max) stats_.latency_max = elapsed;
+    return out;
   }
 
   const std::string key = req->canonical_key();

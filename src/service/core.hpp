@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/parallel.hpp"
+#include "service/index.hpp"
 #include "service/protocol.hpp"
 #include "service/store.hpp"
 #include "tuner/session.hpp"
@@ -59,6 +60,15 @@ struct ServiceOptions {
   int session_jobs = 1;
   // Persistent result store directory; empty disables the store.
   std::string store_dir;
+  // Warm-start transfer: on a best_tile store miss, consult the
+  // store's similarity index for results of the same (device,
+  // stencil) on nearby problems and seed the sweep's incumbent with
+  // them (tuner::Session::best_tile). Strictly advisory — responses
+  // stay byte-identical with it off — so it defaults on; the A/B
+  // switch the near-miss bench flips. Needs a store_dir.
+  bool warm_start = true;
+  // At most this many neighbor candidates are handed to a sweep.
+  std::size_t warm_seed_limit = 3;
 
   ServiceOptions& with_workers(int w) noexcept { workers = w; return *this; }
   ServiceOptions& with_queue_depth(std::size_t d) noexcept {
@@ -76,6 +86,14 @@ struct ServiceOptions {
   }
   ServiceOptions& with_store_dir(std::string d) {
     store_dir = std::move(d);
+    return *this;
+  }
+  ServiceOptions& with_warm_start(bool w) noexcept {
+    warm_start = w;
+    return *this;
+  }
+  ServiceOptions& with_warm_seed_limit(std::size_t n) noexcept {
+    warm_seed_limit = n;
     return *this;
   }
 };
@@ -98,6 +116,23 @@ struct ServiceStats {
   std::uint64_t compare = 0;
   std::uint64_t lint = 0;
   std::uint64_t devices = 0;
+  std::uint64_t stats_kind = 0;  // `stats` requests served
+  // Warm-start transfer: similarity-index consultations and the
+  // candidate seeds they produced.
+  std::uint64_t warm_lookups = 0;
+  std::uint64_t warm_seeds = 0;
+  // Tuner activity aggregated over the live sessions (simulator
+  // pricings requested, memo-cache hits, bound-pruned points) — the
+  // near-miss bench's pricings-per-request numerator.
+  std::uint64_t session_machine_points = 0;
+  std::uint64_t session_cache_hits = 0;
+  std::uint64_t session_points_pruned = 0;
+  // Result-store directory scan (ResultStore::dir_stats; zeros
+  // without a store).
+  std::uint64_t store_entries = 0;
+  std::uint64_t store_bytes = 0;
+  double store_oldest_age_s = 0.0;
+  double store_newest_age_s = 0.0;
   double compute_seconds = 0.0;  // wall time inside compute_payload
   double latency_seconds = 0.0;  // summed handle() wall time
   double latency_max = 0.0;
@@ -109,10 +144,15 @@ struct ServiceStats {
 // serialized result payload. This is THE payload producer: the
 // service core, the `tuned once` mode and the byte-identity tests all
 // call it, so "served result == direct Session result" holds by
-// construction. `session` may be null for kLint and kDevices (which
-// need no per-problem tuner state). Throws on internal failure (the
-// core converts that to SL407).
-std::string compute_payload(const Request& req, tuner::Session* session);
+// construction. `session` may be null for kLint, kDevices and kStats
+// (which need no per-problem tuner state). `seeds` are warm-start
+// candidates for kBestTile, ignored by every other kind; because a
+// seed is strictly advisory (Session::best_tile re-prices it and only
+// admits in-space points), the payload is byte-identical for any
+// seed list, including none. Throws on internal failure (the core
+// converts that to SL407).
+std::string compute_payload(const Request& req, tuner::Session* session,
+                            std::span<const tuner::WarmSeed> seeds = {});
 
 class ServiceCore {
  public:
@@ -168,12 +208,15 @@ class ServiceCore {
 
   ServiceOptions opt_;
   std::optional<ResultStore> store_;
+  // The warm-start similarity index over store_ (same directory).
+  // Guarded by store_mu_ alongside the store it mirrors.
+  std::optional<SimilarityIndex> index_;
   mutable std::mutex store_mu_;
 
   std::mutex flights_mu_;
   std::map<std::string, std::shared_ptr<Flight>> flights_;
 
-  std::mutex sessions_mu_;
+  mutable std::mutex sessions_mu_;
   std::map<std::string, std::unique_ptr<SessionEntry>> sessions_;
 
   mutable std::mutex stats_mu_;

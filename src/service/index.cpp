@@ -1,0 +1,352 @@
+#include "service/index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <system_error>
+
+#include "common/json.hpp"
+#include "service/protocol.hpp"
+#include "service/store.hpp"
+
+namespace repro::service {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Lenient decoders for the fragments the index round-trips. Unlike
+// the protocol parsers these never diagnose — a fragment that does
+// not decode simply disqualifies its line/payload.
+std::optional<stencil::ProblemSize> problem_from(const json::Value* v) {
+  if (v == nullptr || !v->is_object()) return std::nullopt;
+  const json::Value* s = v->find("S");
+  const json::Value* t = v->find("T");
+  if (s == nullptr || !s->is_array() || s->size() < 1 || s->size() > 3 ||
+      t == nullptr || !t->is_int() || t->as_int() < 1) {
+    return std::nullopt;
+  }
+  stencil::ProblemSize p;
+  p.dim = static_cast<int>(s->size());
+  for (std::size_t i = 0; i < s->size(); ++i) {
+    const json::Value& e = s->items()[i];
+    if (!e.is_int() || e.as_int() < 1) return std::nullopt;
+    p.S[i] = e.as_int();
+  }
+  p.T = t->as_int();
+  return p;
+}
+
+std::optional<hhc::TileSizes> tile_from(const json::Value* v) {
+  if (v == nullptr || !v->is_object()) return std::nullopt;
+  hhc::TileSizes ts;
+  struct Field {
+    std::string_view key;
+    std::int64_t* slot;
+  };
+  for (const Field& f : {Field{"tT", &ts.tT}, Field{"tS1", &ts.tS1},
+                         Field{"tS2", &ts.tS2}, Field{"tS3", &ts.tS3}}) {
+    const json::Value* e = v->find(f.key);
+    if (e == nullptr || !e->is_int() || e->as_int() < 1) return std::nullopt;
+    *f.slot = e->as_int();
+  }
+  return ts;
+}
+
+std::optional<hhc::ThreadConfig> threads_from(const json::Value* v) {
+  if (v == nullptr || !v->is_object()) return std::nullopt;
+  hhc::ThreadConfig thr;
+  struct Field {
+    std::string_view key;
+    int* slot;
+  };
+  for (const Field& f :
+       {Field{"n1", &thr.n1}, Field{"n2", &thr.n2}, Field{"n3", &thr.n3}}) {
+    const json::Value* e = v->find(f.key);
+    if (e == nullptr || !e->is_int() || e->as_int() < 1) return std::nullopt;
+    *f.slot = static_cast<int>(e->as_int());
+  }
+  return thr;
+}
+
+std::optional<stencil::KernelVariant> variant_from(const json::Value* v) {
+  if (v == nullptr) return stencil::KernelVariant{};  // absent = default
+  if (!v->is_object()) return std::nullopt;
+  stencil::KernelVariant var;
+  const json::Value* u = v->find("unroll");
+  const json::Value* s = v->find("staging");
+  if (u == nullptr || !u->is_int() ||
+      !stencil::valid_unroll(static_cast<int>(u->as_int())) || s == nullptr ||
+      !s->is_string() ||
+      (s->as_string() != "shared" && s->as_string() != "register")) {
+    return std::nullopt;
+  }
+  var.unroll = static_cast<int>(u->as_int());
+  var.staging = s->as_string() == "register" ? stencil::Staging::kRegister
+                                             : stencil::Staging::kShared;
+  return var;
+}
+
+// Both the index line and the canonical key use the either-or
+// stencil identity convention: exactly one of "stencil" / "text".
+bool stencil_identity_from(const json::Value& obj, IndexEntry& e) {
+  const json::Value* name = obj.find("stencil");
+  const json::Value* text = obj.find("text");
+  if ((name == nullptr) == (text == nullptr)) return false;
+  if (name != nullptr) {
+    if (!name->is_string()) return false;
+    e.stencil_name = name->as_string();
+  } else {
+    if (!text->is_string()) return false;
+    e.stencil_text = text->as_string();
+  }
+  return true;
+}
+
+std::string render_line(const IndexEntry& e) {
+  json::Value o = json::Value::object();
+  o.set("index_version", SimilarityIndex::kIndexVersion);
+  o.set("key", e.key);
+  o.set("kind", e.kind);
+  o.set("device", e.device);
+  if (!e.stencil_text.empty()) {
+    o.set("text", e.stencil_text);
+  } else {
+    o.set("stencil", e.stencil_name);
+  }
+  json::Value p = json::Value::object();
+  json::Value s = json::Value::array();
+  for (int i = 0; i < e.problem.dim; ++i) {
+    s.push_back(e.problem.S[static_cast<std::size_t>(i)]);
+  }
+  p.set("S", std::move(s));
+  p.set("T", e.problem.T);
+  o.set("problem", std::move(p));
+  o.set("tile", tile_to_json(e.tile));
+  o.set("threads", threads_to_json(e.threads));
+  o.set("variant", variant_to_json(e.variant));
+  o.set("texec", e.texec);
+  return o.dump();
+}
+
+std::optional<IndexEntry> entry_from_line(const std::string& line) {
+  const std::optional<json::Value> doc = json::parse(line);
+  if (!doc || !doc->is_object()) return std::nullopt;
+  const json::Value* ver = doc->find("index_version");
+  if (ver == nullptr || !ver->is_int() ||
+      ver->as_int() != SimilarityIndex::kIndexVersion) {
+    return std::nullopt;
+  }
+  IndexEntry e;
+  const json::Value* key = doc->find("key");
+  const json::Value* kind = doc->find("kind");
+  const json::Value* dev = doc->find("device");
+  const json::Value* texec = doc->find("texec");
+  if (key == nullptr || !key->is_string() || kind == nullptr ||
+      !kind->is_string() || dev == nullptr || !dev->is_string() ||
+      texec == nullptr || !texec->is_number() ||
+      !stencil_identity_from(*doc, e)) {
+    return std::nullopt;
+  }
+  e.key = key->as_string();
+  e.kind = kind->as_string();
+  e.device = dev->as_string();
+  e.texec = texec->as_double();
+  const auto problem = problem_from(doc->find("problem"));
+  const auto tile = tile_from(doc->find("tile"));
+  const auto threads = threads_from(doc->find("threads"));
+  const auto variant = variant_from(doc->find("variant"));
+  if (!problem || !tile || !threads || !variant) return std::nullopt;
+  e.problem = *problem;
+  e.tile = *tile;
+  e.threads = *threads;
+  e.variant = *variant;
+  return e;
+}
+
+}  // namespace
+
+SimilarityIndex::SimilarityIndex(std::string store_dir)
+    : dir_(std::move(store_dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  // Failure is tolerated: append degrades to a counted no-op and
+  // load/rebuild to an empty index — exactly like the store itself.
+}
+
+std::string SimilarityIndex::path() const { return dir_ + "/index.jsonl"; }
+
+std::optional<IndexEntry> SimilarityIndex::entry_from(
+    const std::string& key, const std::string& payload) {
+  const std::optional<json::Value> kdoc = json::parse(key);
+  if (!kdoc || !kdoc->is_object()) return std::nullopt;
+  IndexEntry e;
+  e.key = key;
+  const json::Value* kind = kdoc->find("kind");
+  const json::Value* dev = kdoc->find("device");
+  if (kind == nullptr || !kind->is_string() || dev == nullptr ||
+      !dev->is_string() || !stencil_identity_from(*kdoc, e)) {
+    return std::nullopt;
+  }
+  e.kind = kind->as_string();
+  e.device = dev->as_string();
+  const auto problem = problem_from(kdoc->find("problem"));
+  if (!problem) return std::nullopt;
+  e.problem = *problem;
+
+  const std::optional<json::Value> pdoc = json::parse(payload);
+  if (!pdoc || !pdoc->is_object()) return std::nullopt;
+  // Which payload fragment carries the tuned point: the predict
+  // payload is its own (tile, threads, texec) record; best_tile and
+  // compare_strategies nest theirs under "best" / "exhaustive". Other
+  // kinds carry nothing seedable.
+  const json::Value* point = nullptr;
+  if (e.kind == "predict") {
+    point = &*pdoc;
+  } else if (e.kind == "best_tile") {
+    point = pdoc->find("best");
+  } else if (e.kind == "compare_strategies") {
+    point = pdoc->find("exhaustive");
+  } else {
+    return std::nullopt;
+  }
+  if (point == nullptr || !point->is_object()) return std::nullopt;
+  const json::Value* feasible = point->find("feasible");
+  const json::Value* texec = point->find("texec");
+  if (feasible == nullptr || !feasible->is_bool() || !feasible->as_bool() ||
+      texec == nullptr || !texec->is_number()) {
+    return std::nullopt;
+  }
+  const auto tile = tile_from(point->find("tile"));
+  const auto threads = threads_from(point->find("threads"));
+  // Only predict payloads record a variant (top-level, when the
+  // request priced one); best/exhaustive points are default-variant.
+  const auto variant = variant_from(
+      e.kind == "predict" ? pdoc->find("variant") : nullptr);
+  if (!tile || !threads || !variant) return std::nullopt;
+  e.tile = *tile;
+  e.threads = *threads;
+  e.variant = *variant;
+  e.texec = texec->as_double();
+  return e;
+}
+
+bool SimilarityIndex::append(const IndexEntry& e) {
+  std::ofstream out(path(), std::ios::binary | std::ios::app);
+  if (!out) return false;
+  out << render_line(e) << "\n";
+  out.flush();
+  if (!out.good()) return false;
+  ++counters_.appends;
+  return true;
+}
+
+std::vector<IndexEntry> SimilarityIndex::load() {
+  std::ifstream in(path(), std::ios::binary);
+  // Ascending-key map: later lines supersede earlier ones, and the
+  // returned order is deterministic regardless of append history.
+  std::map<std::string, IndexEntry> live;
+  std::string line;
+  while (in && std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::optional<IndexEntry> e = entry_from_line(line);
+    if (!e) {
+      ++counters_.skipped;
+      continue;
+    }
+    live[e->key] = std::move(*e);
+  }
+  std::vector<IndexEntry> out;
+  out.reserve(live.size());
+  for (auto& [key, e] : live) {
+    // The index only ever *describes* the store; an entry whose
+    // backing file is gone (pruned, hand-deleted) is a miss.
+    std::error_code ec;
+    if (!fs::exists(dir_ + "/" + fnv1a_hex(key) + ".json", ec)) {
+      ++counters_.stale;
+      continue;
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::optional<std::size_t> SimilarityIndex::rebuild() {
+  std::error_code ec;
+  fs::directory_iterator it(dir_, ec);
+  if (ec) return std::nullopt;
+  std::map<std::string, IndexEntry> entries;
+  for (const fs::directory_entry& de : it) {
+    if (!de.is_regular_file(ec) || de.path().extension() != ".json") continue;
+    std::ifstream in(de.path(), std::ios::binary);
+    if (!in) continue;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::optional<json::Value> doc = json::parse(buf.str());
+    if (!doc || !doc->is_object()) continue;
+    const json::Value* ver = doc->find("store_version");
+    const json::Value* key = doc->find("key");
+    const json::Value* payload = doc->find("payload");
+    if (ver == nullptr || !ver->is_int() ||
+        ver->as_int() != ResultStore::kStoreVersion || key == nullptr ||
+        !key->is_string() || payload == nullptr || !payload->is_string()) {
+      continue;
+    }
+    std::optional<IndexEntry> e =
+        entry_from(key->as_string(), payload->as_string());
+    if (e) entries[e->key] = std::move(*e);
+  }
+  const std::string tmp = path() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return std::nullopt;
+    for (const auto& [key, e] : entries) out << render_line(e) << "\n";
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return std::nullopt;
+    }
+  }
+  if (std::rename(tmp.c_str(), path().c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return std::nullopt;
+  }
+  return entries.size();
+}
+
+std::vector<SimilarityIndex::Neighbor> SimilarityIndex::neighbors(
+    const std::string& device, const std::string& stencil_name,
+    const std::string& stencil_text, const stencil::ProblemSize& problem,
+    std::size_t max_results) {
+  std::vector<Neighbor> out;
+  if (max_results == 0) return out;
+  for (IndexEntry& e : load()) {
+    if (e.device != device || e.stencil_name != stencil_name ||
+        e.stencil_text != stencil_text || e.problem.dim != problem.dim) {
+      continue;
+    }
+    double dist = std::abs(std::log(static_cast<double>(problem.T) /
+                                    static_cast<double>(e.problem.T)));
+    for (int i = 0; i < problem.dim; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      dist += std::abs(std::log(static_cast<double>(problem.S[idx]) /
+                                static_cast<double>(e.problem.S[idx])));
+    }
+    out.push_back(Neighbor{std::move(e), dist});
+  }
+  // load() returns ascending-key order, so equal distances tie-break
+  // on the key deterministically.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Neighbor& a, const Neighbor& b) {
+                     return a.distance < b.distance;
+                   });
+  if (out.size() > max_results) out.resize(max_results);
+  return out;
+}
+
+}  // namespace repro::service

@@ -25,14 +25,15 @@ constexpr KindInfo kKinds[] = {
     {RequestKind::kCompareStrategies, "compare_strategies"},
     {RequestKind::kLint, "lint"},
     {RequestKind::kDevices, "devices"},
+    {RequestKind::kStats, "stats"},
 };
 
 // Per-kind allowed top-level keys: a misspelled or misplaced field is
 // an SL405 error, never a silently ignored no-op.
 bool key_allowed(RequestKind kind, std::string_view key) {
-  // `devices` is a pure registry listing: no device, stencil or
-  // computation fields apply.
-  if (kind == RequestKind::kDevices) {
+  // `devices` is a pure registry listing and `stats` a pure counter
+  // snapshot: no device, stencil or computation fields apply.
+  if (kind == RequestKind::kDevices || kind == RequestKind::kStats) {
     return key == "v" || key == "id" || key == "kind";
   }
   static constexpr std::string_view kCommon[] = {"v",       "id",   "kind",
@@ -44,6 +45,8 @@ bool key_allowed(RequestKind kind, std::string_view key) {
     case RequestKind::kPredict:
       return key == "problem" || key == "tile" || key == "threads" ||
              key == "variant";
+    case RequestKind::kStats:
+      return false;  // handled above
     case RequestKind::kBestTile:
       return key == "problem" || key == "delta" || key == "enum";
     case RequestKind::kCompareStrategies:
@@ -312,10 +315,12 @@ std::string Request::canonical_key() const {
   json::Value o = json::Value::object();
   o.set("v", version);
   o.set("kind", std::string(to_string(kind)));
-  // A `devices` listing depends on nothing but the protocol version
-  // (the registry is process-global); its key carries no device or
-  // stencil identity.
-  if (kind == RequestKind::kDevices) return o.dump_canonical();
+  // A `devices` listing or `stats` snapshot depends on nothing but
+  // the protocol version (registry and counters are process state);
+  // the key carries no device or stencil identity.
+  if (kind == RequestKind::kDevices || kind == RequestKind::kStats) {
+    return o.dump_canonical();
+  }
   o.set("device", device);
   if (!stencil_text.empty()) {
     o.set("text", stencil_text);
@@ -345,6 +350,7 @@ std::string Request::canonical_key() const {
       o.set("enum", enum_to_json(enumeration));
       break;
     case RequestKind::kDevices:
+    case RequestKind::kStats:
       break;  // unreachable: early return above
   }
   return o.dump_canonical();
@@ -398,7 +404,7 @@ std::optional<Request> parse_request(std::string_view line,
     diags.error(Code::kSvcUnknownKind,
                 "unknown kind '" + kind->as_string() +
                     "' (expected predict, best_tile, compare_strategies, "
-                    "lint or devices)");
+                    "lint, devices or stats)");
     return std::nullopt;
   }
   req.kind = *k;
@@ -413,9 +419,13 @@ std::optional<Request> parse_request(std::string_view line,
   }
   if (diags.has_errors()) return std::nullopt;
 
-  // A `devices` listing has no further fields: the key_allowed pass
-  // above already rejected anything beyond {v, id, kind}.
-  if (req.kind == RequestKind::kDevices) return req;
+  // A `devices` listing or `stats` snapshot has no further fields:
+  // the key_allowed pass above already rejected anything beyond
+  // {v, id, kind}.
+  if (req.kind == RequestKind::kDevices ||
+      req.kind == RequestKind::kStats) {
+    return req;
+  }
 
   if (const json::Value* dev = doc->find("device"); dev != nullptr) {
     if (!dev->is_string()) {
@@ -536,6 +546,7 @@ std::optional<Request> parse_request(std::string_view line,
       break;
     case RequestKind::kLint:
     case RequestKind::kDevices:
+    case RequestKind::kStats:
       break;
   }
   if (diags.has_errors()) return std::nullopt;

@@ -4,7 +4,7 @@
 //
 // Request schema (version 1):
 //   {"v":1, "id":"r1",
-//    "kind":"predict|best_tile|compare_strategies|lint|devices",
+//    "kind":"predict|best_tile|compare_strategies|lint|devices|stats",
 //    "device":"GTX 980",                             // any registered name
 //    "stencil":"Heat2D" | "text":"dim 2\n...",      // catalogue or DSL
 //    "problem":{"S":[4096,4096],"T":1024},          // dim = |S|
@@ -56,6 +56,13 @@ enum class RequestKind : std::uint8_t {
   // summary). Takes no device/stencil/problem fields; its canonical
   // key is {v, kind} alone.
   kDevices,
+  // The serving instance's live counters (requests, store size/age,
+  // warm-start activity). Takes no device/stencil/problem fields.
+  // Instance state, not a computation: the answer is never stored,
+  // never coalesced, and exempt from the cold==warm byte-identity
+  // contract (like `devices`, it describes the process, not a
+  // problem).
+  kStats,
 };
 
 std::string_view to_string(RequestKind k) noexcept;

@@ -1,5 +1,6 @@
 #include "service/store.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -35,6 +36,32 @@ ResultStore::ResultStore(std::string dir) : dir_(std::move(dir)) {
 
 std::string ResultStore::path_for(const std::string& key) const {
   return dir_ + "/" + fnv1a_hex(key) + ".json";
+}
+
+ResultStore::DirStats ResultStore::dir_stats() const {
+  DirStats s;
+  std::error_code ec;
+  fs::directory_iterator it(dir_, ec);
+  if (ec) return s;
+  const fs::file_time_type now = fs::file_time_type::clock::now();
+  for (const fs::directory_entry& de : it) {
+    if (!de.is_regular_file(ec) || de.path().extension() != ".json") continue;
+    const std::uintmax_t size = de.file_size(ec);
+    if (ec) continue;
+    const fs::file_time_type mtime = de.last_write_time(ec);
+    if (ec) continue;
+    const double age =
+        std::chrono::duration<double>(now - mtime).count();
+    if (s.entries == 0 || age > s.oldest_age_seconds) {
+      s.oldest_age_seconds = age;
+    }
+    if (s.entries == 0 || age < s.newest_age_seconds) {
+      s.newest_age_seconds = age;
+    }
+    ++s.entries;
+    s.bytes += static_cast<std::uint64_t>(size);
+  }
+  return s;
 }
 
 std::optional<std::string> ResultStore::load(const std::string& key) {

@@ -61,6 +61,21 @@ class ResultStore {
   // Full path of the entry file for `key` (exposed for tests).
   std::string path_for(const std::string& key) const;
 
+  // A directory scan over the store's entry files (*.json — the
+  // warm-start index sidecar is not an entry): how many results are
+  // persisted, their total size, and the age of the oldest/newest
+  // entry in seconds (0 when empty). Groundwork for eviction; also
+  // surfaced in the daemon's shutdown stats line and the `stats`
+  // request kind. Never throws; an unscannable directory reads as
+  // empty.
+  struct DirStats {
+    std::uint64_t entries = 0;
+    std::uint64_t bytes = 0;
+    double oldest_age_seconds = 0.0;
+    double newest_age_seconds = 0.0;
+  };
+  DirStats dir_stats() const;
+
   Counters counters() const noexcept { return counters_; }
 
  private:

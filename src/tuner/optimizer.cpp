@@ -56,6 +56,28 @@ void validate_sweep_delta(double delta) {
   }
 }
 
+void validate_incumbent_seed(double seed, analysis::DiagnosticEngine& eng) {
+  if (std::isnan(seed) || seed < 0.0) {
+    eng.error(analysis::Code::kIncumbentSeed,
+              "incumbent seed must be a non-negative number, got " +
+                  std::to_string(seed) +
+                  " (NaN disables the cutoff silently; a negative seed "
+                  "prunes every point, the true argmin included)");
+  }
+}
+
+void validate_incumbent_seed(double seed) {
+  analysis::DiagnosticEngine eng;
+  validate_incumbent_seed(seed, eng);
+  for (const analysis::Diagnostic& d : eng.diagnostics()) {
+    if (d.severity == analysis::Severity::kError) {
+      throw std::invalid_argument(
+          std::string("[") + std::string(analysis::code_name(d.code)) + "] " +
+          d.message);
+    }
+  }
+}
+
 void CompareOptions::validate(analysis::DiagnosticEngine& eng) const {
   validate_sweep_delta(delta, eng);
   if (baseline_count == 0) {

@@ -77,6 +77,15 @@ double model_talg_or_inf(const model::ModelInputs& in,
 void validate_sweep_delta(double delta, analysis::DiagnosticEngine& eng);
 void validate_sweep_delta(double delta);
 
+// An incumbent seed is used as the prune cutoff of a CAS-min
+// incumbent. NaN never compares smaller, so it silently disables both
+// the seed and every later offer's sanity; a negative seed (-inf
+// included) prunes every point, the true argmin with them. Both are
+// SL315 errors; +infinity (no seed) and any non-negative finite texec
+// are valid. Same engine/throwing split as validate_sweep_delta.
+void validate_incumbent_seed(double seed, analysis::DiagnosticEngine& eng);
+void validate_incumbent_seed(double seed);
+
 struct ModelSweep {
   double talg_min = 0.0;
   hhc::TileSizes argmin;

@@ -352,6 +352,9 @@ std::vector<EvaluatedPoint> Session::evaluate_points(
 
 std::vector<EvaluatedPoint> Session::evaluate_points(
     std::span<const DataPoint> dps, Incumbent& inc) {
+  // A poisoned incumbent (NaN / negative) would silently prune valid
+  // points — reject it at the entry point, like a bad seed (SL315).
+  validate_incumbent_seed(inc.load());
   const auto t0 = Clock::now();
   // Visit in ascending model-Talg order so the incumbent tightens
   // early; results still land in their original slots, so out[i]
@@ -565,9 +568,60 @@ std::vector<EvaluatedPoint> Session::best_over_threads_many(
   return out;
 }
 
+EvaluatedPoint Session::best_tile(
+    std::span<const hhc::TileSizes> tiles,
+    std::span<const stencil::KernelVariant> variants,
+    std::span<const WarmSeed> seeds, double incumbent_seed) {
+  validate_incumbent_seed(incumbent_seed);
+  const auto t0 = Clock::now();
+  // Admissibility filter: a seed may only enter the incumbent when
+  // its point lies inside THIS sweep's space — otherwise a foreign
+  // point could beat the space's argmin and prune it away. The space
+  // membership test mirrors sweep_tile exactly: the variant axis
+  // collapses to the default on an empty span or a CPU device.
+  static constexpr stencil::KernelVariant kDefaultVar{};
+  const std::span<const stencil::KernelVariant> vars =
+      (variants.empty() || ctx_.dev.is_cpu())
+          ? std::span<const stencil::KernelVariant>(&kDefaultVar, 1)
+          : variants;
+  const std::vector<hhc::ThreadConfig> threads =
+      device_thread_configs(ctx_.dev, ctx_.problem.dim);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.seeds_offered += seeds.size();
+  }
+  double seed = incumbent_seed;
+  std::vector<hhc::TileSizes> priority;
+  for (const WarmSeed& ws : seeds) {
+    const bool in_space =
+        std::find(tiles.begin(), tiles.end(), ws.ts) != tiles.end() &&
+        std::find(threads.begin(), threads.end(), ws.thr) != threads.end() &&
+        std::find(vars.begin(), vars.end(), ws.var) != vars.end();
+    if (!in_space) continue;
+    // Re-price the neighbor's point under this session's problem. The
+    // sweep below revisits the point (it is in space), so the memo
+    // cache serves it back and it participates in the final
+    // reduction — which is exactly what makes seeding it admissible.
+    const EvaluatedPoint ep = measure(DataPoint{ws.ts, ws.thr, ws.var});
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.seeds_admitted;
+    }
+    if (ep.feasible && ep.texec < seed) seed = ep.texec;
+    if (std::find(priority.begin(), priority.end(), ws.ts) ==
+        priority.end()) {
+      priority.push_back(ws.ts);
+    }
+  }
+  const EvaluatedPoint best = best_of_tiles(tiles, variants, seed, priority);
+  add_machine_time(seconds_since(t0));
+  return best;
+}
+
 EvaluatedPoint Session::best_of_tiles(
     std::span<const hhc::TileSizes> tiles,
-    std::span<const stencil::KernelVariant> variants, double incumbent_seed) {
+    std::span<const stencil::KernelVariant> variants, double incumbent_seed,
+    std::span<const hhc::TileSizes> priority) {
   if (!opt_.prune) {
     return parallel_reduce<EvaluatedPoint>(
         pool_, tiles.size(), /*grain=*/4, EvaluatedPoint{},
@@ -581,19 +635,26 @@ EvaluatedPoint Session::best_of_tiles(
   }
   // Pruned path: one incumbent spans the whole reduction (a single
   // best is returned, so cross-tile pruning is safe), tiles are
-  // visited in ascending model-Talg order so it tightens early, and
-  // the per-tile bests are folded serially in the original index
-  // order afterwards — identical tie-breaking to the unpruned
-  // reduction above.
+  // visited candidate-first (warm-seeded tiles, when any), then in
+  // ascending model-Talg order so it tightens early, and the per-tile
+  // bests are folded serially in the original index order afterwards
+  // — identical tie-breaking to the unpruned reduction above.
   const auto tb = Clock::now();
   const std::vector<double> talg = parallel_map<double>(
       pool_, tiles.size(), /*grain=*/64, [&](std::size_t i) {
         return model_talg_or_inf(ctx_.inputs, ctx_.problem, tiles[i]);
       });
+  std::vector<char> seeded(tiles.size(), 0);
+  for (const hhc::TileSizes& ts : priority) {
+    for (std::size_t i = 0; i < tiles.size(); ++i) {
+      if (tiles[i] == ts) seeded[i] = 1;
+    }
+  }
   std::vector<std::size_t> order(tiles.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::stable_sort(order.begin(), order.end(),
                    [&](std::size_t a, std::size_t b) {
+                     if (seeded[a] != seeded[b]) return seeded[a] > seeded[b];
                      return talg[a] < talg[b];
                    });
   {

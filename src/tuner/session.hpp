@@ -161,6 +161,24 @@ struct SweepStats {
   // gpusim::lower_bound / Talg visit ordering.
   std::size_t points_pruned = 0;
   double bound_seconds = 0.0;
+
+  // Warm-start transfer (best_tile): candidate seeds offered, and the
+  // subset admitted — in-space points that were re-priced under this
+  // session's problem and allowed to tighten the incumbent.
+  std::size_t seeds_offered = 0;
+  std::size_t seeds_admitted = 0;
+};
+
+// A warm-start candidate: a (tile, thread, variant) point some
+// earlier tuning run found good on a *nearby* problem (the service's
+// similarity index supplies these). A seed is only a visit-order and
+// prune hint — Session::best_tile re-prices it under its own problem
+// and admits it only when the point lies inside the requested sweep
+// space, so seeding can never change a result, only skip work.
+struct WarmSeed {
+  hhc::TileSizes ts;
+  hhc::ThreadConfig thr;
+  stencil::KernelVariant var{};
 };
 
 struct SessionOptions {
@@ -242,6 +260,29 @@ class Session {
   // Batch form: out[i] corresponds to tiles[i]; evaluated in parallel.
   std::vector<EvaluatedPoint> best_over_threads_many(
       std::span<const hhc::TileSizes> tiles);
+
+  // Single best point over a tile list (optionally crossed with
+  // kernel variants), with optional warm-start transfer: one shared
+  // incumbent spans the reduction, and each candidate seed whose
+  // point lies inside the sweep space — tile in `tiles`, threads in
+  // this device's thread configs, variant in `variants` (or default
+  // when the span is empty) — is re-priced under this session's
+  // problem first. An admitted seed (a) tightens the incumbent with
+  // its measured texec and (b) moves its tile to the front of the
+  // visit order. Both are strictly admissible: the seed is a measured
+  // point of this very reduction (the sweep revisits it as a cache
+  // hit), and visit order never affects the index-ordered fold — so
+  // warm results are byte-identical to cold, seeded or not, for any
+  // prune/batch/jobs setting. Out-of-space seeds are ignored
+  // (counted in SweepStats::seeds_offered but not seeds_admitted).
+  // `incumbent_seed` must be a valid cutoff (SL315 otherwise): +inf
+  // means none; a finite value must be the measured texec of a point
+  // the caller folds into the same final answer.
+  EvaluatedPoint best_tile(
+      std::span<const hhc::TileSizes> tiles,
+      std::span<const stencil::KernelVariant> variants = {},
+      std::span<const WarmSeed> seeds = {},
+      double incumbent_seed = std::numeric_limits<double>::infinity());
 
   // The Fig 5/6 strategy comparison. All four machine-evaluation
   // passes run on the pool; the baseline/within-10% points revisited
@@ -339,10 +380,14 @@ class Session {
   // texec that participates in the caller's final reduction
   // (compare_strategies seeds the exhaustive pass with the best of
   // the earlier passes — all of which it folds into the result).
+  // `priority` tiles are visited before the Talg-ordered rest
+  // (best_tile puts admitted warm-seed tiles there); order cannot
+  // affect the fold, only how early the incumbent tightens.
   EvaluatedPoint best_of_tiles(
       std::span<const hhc::TileSizes> tiles,
       std::span<const stencil::KernelVariant> variants = {},
-      double incumbent_seed = std::numeric_limits<double>::infinity());
+      double incumbent_seed = std::numeric_limits<double>::infinity(),
+      std::span<const hhc::TileSizes> priority = {});
   void add_model_time(double seconds, std::size_t points);
   void add_machine_time(double seconds);
 

@@ -311,6 +311,56 @@ TEST_F(CoreTest, StatsJsonIsValidAndComplete) {
   EXPECT_TRUE(doc->find("latency_seconds")->is_number());
 }
 
+TEST_F(CoreTest, StatsKindReportsLiveCountersAndBypassesStore) {
+  ServiceCore core(ServiceOptions{}.with_store_dir(store_dir_.string()));
+  core.handle(kPredict);
+  const std::string out = core.handle(R"({"v":1,"id":"s1","kind":"stats"})");
+  const auto doc = json::parse(out);
+  ASSERT_TRUE(doc && doc->is_object()) << out;
+  EXPECT_TRUE(doc->find("ok")->as_bool());
+  const json::Value* r = doc->find("result");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->find("requests")->as_int(), 2);  // itself included
+  EXPECT_EQ(r->find("computed")->as_int(), 1);
+  EXPECT_EQ(r->find("kinds")->find("stats")->as_int(), 1);
+  // The store scan and session aggregation are live.
+  EXPECT_EQ(r->find("store_entries")->as_int(), 1);
+  EXPECT_GT(r->find("store_bytes")->as_int(), 0);
+  EXPECT_GE(r->find("session_machine_points")->as_int(), 1);
+  EXPECT_TRUE(r->find("store_oldest_age_s")->is_number());
+  // Instance state: answered inline, never computed, never stored.
+  EXPECT_EQ(core.stats().computed, 1u);
+  EXPECT_EQ(core.stats().store_writes, 1u);
+  EXPECT_EQ(core.stats().stats_kind, 1u);
+  // Strict schema still applies: stats takes no computation fields.
+  const std::string bad = core.handle(
+      R"({"v":1,"id":"s2","kind":"stats","problem":{"S":[8],"T":1}})");
+  EXPECT_NE(bad.find("SL405"), std::string::npos);
+}
+
+TEST_F(CoreTest, WarmStartSeedingKeepsBestTileBytesIdentical) {
+  // A donor problem then an adjacent one, served by a seeding core
+  // and a non-seeding core over separate stores: the similarity index
+  // must be consulted, and must not change a single served byte.
+  const std::string donor = kBestTile;
+  const std::string near_miss =
+      R"({"v":1,"id":"b2","kind":"best_tile","stencil":"Heat2D",)"
+      R"("problem":{"S":[480,480],"T":64},)"
+      R"("enum":{"tT_max":8,"tS1_max":12,"tS2_max":192}})";
+
+  ServiceCore off(ServiceOptions{}
+                      .with_store_dir((store_dir_ / "off").string())
+                      .with_warm_start(false));
+  ServiceCore on(ServiceOptions{}
+                     .with_store_dir((store_dir_ / "on").string()));
+  for (const std::string& line : {donor, near_miss}) {
+    EXPECT_EQ(on.handle(line), off.handle(line));
+  }
+  EXPECT_EQ(off.stats().warm_lookups, 0u);
+  EXPECT_EQ(on.stats().warm_lookups, 2u);
+  EXPECT_GE(on.stats().warm_seeds, 1u);  // the near miss found the donor
+}
+
 TEST_F(CoreTest, InternalFailuresBecomeSL407) {
   ServiceCore core{ServiceOptions{}};
   core.set_compute_hook([] { throw std::runtime_error("injected failure"); });

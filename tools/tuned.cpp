@@ -26,6 +26,13 @@
 //     summary); --json dumps the full registry JSON, which re-imports
 //     byte-identically via --devices.
 //
+//   tuned index --store=DIR [--rebuild] [--json]
+//     Inspects (or, with --rebuild, regenerates from the store entry
+//     files) the warm-start similarity index sidecar of a result
+//     store directory (service/index.hpp). The human listing prints
+//     one line per live entry; --json dumps entries plus the
+//     load/rebuild counters.
+//
 // Every mode accepts --devices=FILE to import additional descriptors
 // ({"devices":[...]}, the exact format `tuned devices --json` emits)
 // into the process registry before serving/computing.
@@ -45,6 +52,7 @@
 #include "common/cli.hpp"
 #include "device/registry.hpp"
 #include "service/core.hpp"
+#include "service/index.hpp"
 #include "service/protocol.hpp"
 
 namespace {
@@ -65,13 +73,16 @@ void on_signal(int) {
 }
 
 int usage(const char* argv0) {
-  std::cerr << "usage: " << argv0 << " serve|client|once|devices [options]\n"
+  std::cerr << "usage: " << argv0
+            << " serve|client|once|devices|index [options]\n"
             << "  serve   [--store=DIR] [--socket=PATH] [--workers=N]\n"
             << "          [--queue-depth=N] [--submit-wait-ms=MS]\n"
             << "          [--no-coalesce] [--session-jobs=N]\n"
+            << "          [--no-warm-start] [--warm-seeds=N]\n"
             << "  client  --socket=PATH\n"
             << "  once    [--request='<json>']\n"
             << "  devices [--json]\n"
+            << "  index   --store=DIR [--rebuild] [--json]\n"
             << "every mode also accepts --devices=FILE (registry import)\n";
   return 2;
 }
@@ -164,6 +175,9 @@ service::ServiceOptions serve_options(const CliArgs& args) {
   opt.coalesce = !args.has_flag("no-coalesce");
   opt.session_jobs = static_cast<int>(args.get_int_or("session-jobs", 1));
   opt.store_dir = args.get_or("store", "");
+  opt.warm_start = !args.has_flag("no-warm-start");
+  opt.warm_seed_limit =
+      static_cast<std::size_t>(args.get_int_or("warm-seeds", 3));
   return opt;
 }
 
@@ -221,7 +235,7 @@ int serve_socket(service::ServiceCore& core, const std::string& path) {
 int cmd_serve(const CliArgs& args) {
   if (!check_options(args, {"socket", "store", "workers", "queue-depth",
                             "submit-wait-ms", "no-coalesce", "session-jobs",
-                            "devices"})) {
+                            "no-warm-start", "warm-seeds", "devices"})) {
     return 2;
   }
   service::ServiceCore core(serve_options(args));
@@ -309,7 +323,8 @@ int cmd_once(const CliArgs& args) {
   try {
     std::unique_ptr<tuner::Session> session;
     if (req->kind != service::RequestKind::kLint &&
-        req->kind != service::RequestKind::kDevices) {
+        req->kind != service::RequestKind::kDevices &&
+        req->kind != service::RequestKind::kStats) {
       session = std::make_unique<tuner::Session>(
           *device::registry().find(req->device), req->def, *req->problem,
           tuner::SessionOptions{}.with_jobs(1));
@@ -326,16 +341,96 @@ int cmd_once(const CliArgs& args) {
   }
 }
 
+int cmd_index(const CliArgs& args) {
+  if (!check_options(args, {"store", "rebuild", "json", "devices"})) return 2;
+  const std::optional<std::string> dir = args.get("store");
+  if (!dir) {
+    std::cerr << "error: index requires --store=DIR\n";
+    return 2;
+  }
+  service::SimilarityIndex index(*dir);
+  if (args.has_flag("rebuild")) {
+    const std::optional<std::size_t> n = index.rebuild();
+    if (!n) {
+      std::cerr << "error: cannot rebuild " << index.path() << "\n";
+      return 1;
+    }
+    std::cerr << "rebuilt " << index.path() << ": " << *n << " entries\n";
+  }
+  const std::vector<service::IndexEntry> entries = index.load();
+  const service::SimilarityIndex::Counters c = index.counters();
+
+  const auto problem_to_json = [](const stencil::ProblemSize& p) {
+    json::Value o = json::Value::object();
+    json::Value s = json::Value::array();
+    for (int i = 0; i < p.dim; ++i) {
+      s.push_back(p.S[static_cast<std::size_t>(i)]);
+    }
+    o.set("S", std::move(s));
+    o.set("T", p.T);
+    return o;
+  };
+
+  if (args.has_flag("json")) {
+    json::Value o = json::Value::object();
+    o.set("path", index.path());
+    o.set("index_version", service::SimilarityIndex::kIndexVersion);
+    o.set("count", entries.size());
+    o.set("skipped", c.skipped);
+    o.set("stale", c.stale);
+    json::Value arr = json::Value::array();
+    for (const service::IndexEntry& e : entries) {
+      json::Value v = json::Value::object();
+      v.set("key", e.key);
+      v.set("kind", e.kind);
+      v.set("device", e.device);
+      if (!e.stencil_text.empty()) {
+        v.set("text", e.stencil_text);
+      } else {
+        v.set("stencil", e.stencil_name);
+      }
+      v.set("problem", problem_to_json(e.problem));
+      v.set("tile", service::tile_to_json(e.tile));
+      v.set("threads", service::threads_to_json(e.threads));
+      v.set("variant", service::variant_to_json(e.variant));
+      v.set("texec", e.texec);
+      arr.push_back(std::move(v));
+    }
+    o.set("entries", std::move(arr));
+    std::cout << o.dump() << "\n";
+    return 0;
+  }
+
+  std::cout << index.path() << ": " << entries.size() << " entries ("
+            << c.skipped << " skipped, " << c.stale << " stale)\n";
+  for (const service::IndexEntry& e : entries) {
+    std::cout << "  " << e.device << "  "
+              << (!e.stencil_name.empty() ? e.stencil_name : "<inline dsl>")
+              << "  S=";
+    for (int i = 0; i < e.problem.dim; ++i) {
+      if (i > 0) std::cout << "x";
+      std::cout << e.problem.S[static_cast<std::size_t>(i)];
+    }
+    std::cout << " T=" << e.problem.T
+              << "  tile=" << service::tile_to_json(e.tile).dump()
+              << " threads=" << service::threads_to_json(e.threads).dump()
+              << " texec=" << e.texec << "  [" << e.kind << "]\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
   const std::string mode = argv[1];
-  const CliArgs args(argc - 1, argv + 1, {"no-coalesce", "json"});
+  const CliArgs args(argc - 1, argv + 1,
+                     {"no-coalesce", "json", "rebuild", "no-warm-start"});
   if (!import_devices(args)) return 2;
   if (mode == "serve") return cmd_serve(args);
   if (mode == "client") return cmd_client(args);
   if (mode == "once") return cmd_once(args);
   if (mode == "devices") return cmd_devices(args);
+  if (mode == "index") return cmd_index(args);
   return usage(argv[0]);
 }
