@@ -1,0 +1,296 @@
+// Pipeline-planner benchmark: plans the 3-level multigrid V-cycle
+// (the shipped examples/pipelines/vcycle3.json workload) under four
+// planner arms that peel the reuse stack apart:
+//
+//   isolated  — dedup off, session sharing off, warm seeding off:
+//               every stage tuned from scratch (the naive baseline);
+//   no_dedup  — shared sessions only: repeated stages re-sweep but
+//               every measurement replays the memo;
+//   no_warm   — dedup + shared sessions, no cross-level seeding;
+//   all_on    — the full stack (what the service runs).
+//
+// plus a service cold/warm pair over one store directory. The reuse
+// mechanisms are strictly work-saving, so the bench *checks* that all
+// four arms produce identical per-stage winners and end-to-end Talg
+// (results_identical), that warm service responses byte-equal cold
+// ones, that dedup leaves distinct_tasks < total_stages, and that the
+// full stack prices strictly fewer fresh points than the isolated
+// baseline — and exits nonzero otherwise, so it doubles as a smoke
+// test. Emits BENCH_pipeline.json into --csv-dir.
+//
+// Flags: --full (wider enumeration caps) --csv-dir=DIR
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/json.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/planner.hpp"
+#include "service/core.hpp"
+
+using namespace repro;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// The 3-level V-cycle, kept in sync with examples/pipelines/
+// vcycle3.json (the corpus test pins that file's shape): 11 stages,
+// 8 distinct tasks — smooth_l0_up/smooth_l1_up duplicate the downward
+// smoothers and prolong_21 duplicates restrict_01.
+constexpr const char* kVcycle = R"({
+  "pipeline_version": 1,
+  "name": "vcycle3",
+  "stages": [
+    {"id": "smooth_l0", "stencil": "Jacobi2D",
+     "problem": {"S": [512, 512], "T": 8}, "repeat": 2, "level": 0},
+    {"id": "residual_l0", "stencil": "Laplacian2D",
+     "problem": {"S": [512, 512], "T": 2}, "after": ["smooth_l0"],
+     "level": 0},
+    {"id": "restrict_01", "stencil": "Gradient2D",
+     "problem": {"S": [256, 256], "T": 2}, "after": ["residual_l0"],
+     "level": 1},
+    {"id": "smooth_l1", "stencil": "Jacobi2D",
+     "problem": {"S": [256, 256], "T": 8}, "repeat": 2,
+     "after": ["restrict_01"], "level": 1},
+    {"id": "residual_l1", "stencil": "Laplacian2D",
+     "problem": {"S": [256, 256], "T": 2}, "after": ["smooth_l1"],
+     "level": 1},
+    {"id": "restrict_12", "stencil": "Gradient2D",
+     "problem": {"S": [128, 128], "T": 2}, "after": ["residual_l1"],
+     "level": 2},
+    {"id": "solve_l2", "stencil": "Jacobi2D",
+     "problem": {"S": [128, 128], "T": 16}, "after": ["restrict_12"],
+     "level": 2},
+    {"id": "prolong_21", "stencil": "Gradient2D",
+     "problem": {"S": [256, 256], "T": 2}, "after": ["solve_l2"],
+     "level": 1},
+    {"id": "smooth_l1_up", "stencil": "Jacobi2D",
+     "problem": {"S": [256, 256], "T": 8}, "repeat": 2,
+     "after": ["prolong_21"], "level": 1},
+    {"id": "prolong_10", "stencil": "Gradient2D",
+     "problem": {"S": [512, 512], "T": 2}, "after": ["smooth_l1_up"],
+     "level": 0},
+    {"id": "smooth_l0_up", "stencil": "Jacobi2D",
+     "problem": {"S": [512, 512], "T": 8}, "repeat": 2,
+     "after": ["prolong_10"], "level": 0}
+  ]
+})";
+
+struct Arm {
+  std::string name;
+  pipeline::PipelinePlan plan;
+  double seconds = 0.0;
+};
+
+std::size_t fresh_pricings(const pipeline::PipelinePlan& p) {
+  return p.stats.machine_points - p.stats.cache_hits;
+}
+
+// The answer an arm produced, stripped of reuse bookkeeping (reused /
+// distinct_tasks legitimately differ across arms): per-stage winners
+// plus the end-to-end aggregates. All arms must agree byte for byte.
+std::string result_fingerprint(const pipeline::PipelinePlan& p) {
+  json::Value full = pipeline::plan_to_json(p);
+  json::Value o = json::Value::object();
+  o.set("feasible", full.find("feasible") ? *full.find("feasible")
+                                          : json::Value());
+  o.set("talg", *full.find("talg"));
+  o.set("texec", *full.find("texec"));
+  json::Value stages = json::Value::array();
+  for (const json::Value& s : full.find("stages")->items()) {
+    json::Value t = json::Value::object();
+    t.set("id", *s.find("id"));
+    t.set("best", *s.find("best"));
+    t.set("talg_total", *s.find("talg_total"));
+    stages.push_back(std::move(t));
+  }
+  o.set("stages", std::move(stages));
+  return o.dump();
+}
+
+Arm run_arm(const std::string& name, const device::Descriptor& dev,
+            const pipeline::Pipeline& p, const pipeline::PlanOptions& opt) {
+  Arm a;
+  a.name = name;
+  pipeline::Planner planner(dev, opt);
+  const Clock::time_point t0 = Clock::now();
+  a.plan = planner.plan(p);
+  a.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  return a;
+}
+
+json::Value arm_json(const Arm& a) {
+  json::Value o = json::Value::object();
+  o.set("feasible", a.plan.feasible);
+  o.set("total_stages", a.plan.total_stages);
+  o.set("stage_executions", a.plan.stage_executions);
+  o.set("distinct_tasks", a.plan.distinct_tasks);
+  o.set("talg", a.plan.talg);
+  o.set("machine_points", a.plan.stats.machine_points);
+  o.set("cache_hits", a.plan.stats.cache_hits);
+  o.set("fresh_pricings", fresh_pricings(a.plan));
+  o.set("points_pruned", a.plan.stats.points_pruned);
+  o.set("seeds_offered", a.plan.stats.seeds_offered);
+  o.set("seeds_admitted", a.plan.stats.seeds_admitted);
+  o.set("plan_seconds", a.seconds);
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const bench::Scale scale = bench::Scale::from_args(args);
+
+  analysis::DiagnosticEngine diags;
+  const auto parsed = pipeline::parse_pipeline_text(kVcycle, diags);
+  if (!parsed) {
+    std::cerr << analysis::render_human(diags.diagnostics());
+    return 2;
+  }
+
+  const device::Descriptor* dev = device::registry().find("GTX 980");
+  if (!dev) {
+    std::cerr << "FAIL: GTX 980 not registered\n";
+    return 2;
+  }
+
+  pipeline::PlanOptions base;
+  base.session = tuner::SessionOptions{}.with_jobs(1);
+  base.enumeration = scale.full ? tuner::EnumOptions{}
+                                      .with_tT_max(16)
+                                      .with_tS1_max(24)
+                                      .with_tS2_max(384)
+                                : tuner::EnumOptions{}
+                                      .with_tT_max(8)
+                                      .with_tS1_max(12)
+                                      .with_tS2_max(192);
+
+  const Arm isolated =
+      run_arm("isolated", *dev, *parsed,
+              pipeline::PlanOptions(base).with_dedup(false)
+                  .with_share_sessions(false)
+                  .with_warm_seed(false));
+  const Arm no_dedup = run_arm(
+      "no_dedup", *dev, *parsed,
+      pipeline::PlanOptions(base).with_dedup(false).with_warm_seed(false));
+  const Arm no_warm = run_arm("no_warm", *dev, *parsed,
+                              pipeline::PlanOptions(base).with_warm_seed(false));
+  const Arm all_on = run_arm("all_on", *dev, *parsed, base);
+
+  // Service cold/warm over one store: the `pipeline` kind obeys the
+  // byte-identity contract like every other cacheable kind.
+  const std::string store_dir = scale.csv_dir + "/bench_pipeline_store";
+  std::filesystem::remove_all(store_dir);
+  json::Value req = json::Value::object();
+  req.set("v", service::kProtocolVersion);
+  req.set("id", std::string("bench"));
+  req.set("kind", std::string("pipeline"));
+  req.set("pipeline", parsed->to_json());
+  {
+    json::Value caps = json::Value::object();
+    caps.set("tT_max", base.enumeration.tT_max);
+    caps.set("tS1_max", base.enumeration.tS1_max);
+    caps.set("tS2_max", base.enumeration.tS2_max);
+    req.set("enum", std::move(caps));
+  }
+  const std::string line = req.dump();
+  std::string cold_response;
+  std::string warm_response;
+  service::ServiceStats warm_stats;
+  {
+    service::ServiceCore core(
+        service::ServiceOptions{}.with_store_dir(store_dir));
+    cold_response = core.handle(line);
+  }
+  {
+    service::ServiceCore core(
+        service::ServiceOptions{}.with_store_dir(store_dir));
+    warm_response = core.handle(line);
+    warm_stats = core.stats();
+  }
+
+  // Gates.
+  int failures = 0;
+  const int mismatches = cold_response == warm_response ? 0 : 1;
+  if (mismatches != 0) {
+    std::cerr << "FAIL: warm service response differs from cold\n";
+    ++failures;
+  }
+  if (warm_stats.store_hits != 1) {
+    std::cerr << "FAIL: warm service arm missed the store\n";
+    ++failures;
+  }
+  const std::string want = result_fingerprint(isolated.plan);
+  bool results_identical = true;
+  for (const Arm* a : {&no_dedup, &no_warm, &all_on}) {
+    if (result_fingerprint(a->plan) != want) {
+      std::cerr << "FAIL: arm " << a->name
+                << " changed a result (reuse must be invisible)\n";
+      results_identical = false;
+      ++failures;
+    }
+  }
+  if (!all_on.plan.feasible) {
+    std::cerr << "FAIL: V-cycle plan infeasible\n";
+    ++failures;
+  }
+  if (all_on.plan.distinct_tasks >= all_on.plan.total_stages) {
+    std::cerr << "FAIL: dedup found no repeated stages ("
+              << all_on.plan.distinct_tasks << "/" << all_on.plan.total_stages
+              << ")\n";
+    ++failures;
+  }
+  if (fresh_pricings(all_on.plan) >= fresh_pricings(isolated.plan)) {
+    std::cerr << "FAIL: reuse stack did not save pricings ("
+              << fresh_pricings(all_on.plan) << " vs "
+              << fresh_pricings(isolated.plan) << " isolated)\n";
+    ++failures;
+  }
+  if (all_on.plan.stats.points_pruned <= no_warm.plan.stats.points_pruned) {
+    std::cerr << "FAIL: warm seeding did not prune harder ("
+              << all_on.plan.stats.points_pruned << " vs "
+              << no_warm.plan.stats.points_pruned << " unseeded)\n";
+    ++failures;
+  }
+
+  std::cout << "=== bench_pipeline: " << parsed->name << ", "
+            << all_on.plan.total_stages << " stages, "
+            << all_on.plan.stage_executions << " executions ===\n";
+  for (const Arm* a : {&isolated, &no_dedup, &no_warm, &all_on}) {
+    std::cout << a->name << ": " << a->plan.distinct_tasks
+              << " distinct tasks, " << fresh_pricings(a->plan)
+              << " fresh pricings, " << a->plan.stats.points_pruned
+              << " pruned, " << a->plan.stats.seeds_admitted
+              << " seeds admitted, " << a->seconds * 1e3 << " ms\n";
+  }
+  std::cout << "end-to-end Talg: " << all_on.plan.talg << " s, mismatches: "
+            << mismatches << ", results_identical: "
+            << (results_identical ? "true" : "false") << "\n";
+
+  json::Value doc = json::Value::object();
+  doc.set("bench", "bench_pipeline");
+  doc.set("full", scale.full);
+  doc.set("pipeline", parsed->name);
+  doc.set("mismatches", mismatches);
+  doc.set("results_identical", results_identical);
+  doc.set("talg", all_on.plan.talg);
+  json::Value arms = json::Value::object();
+  arms.set("isolated", arm_json(isolated));
+  arms.set("no_dedup", arm_json(no_dedup));
+  arms.set("no_warm", arm_json(no_warm));
+  arms.set("all_on", arm_json(all_on));
+  doc.set("arms", std::move(arms));
+  {
+    std::ofstream os(scale.csv_dir + "/BENCH_pipeline.json");
+    os << doc.dump() << "\n";
+  }
+  std::cout << "wrote " << scale.csv_dir << "/BENCH_pipeline.json\n";
+
+  return failures == 0 ? 0 : 1;
+}

@@ -15,7 +15,7 @@ struct CodeInfo {
 };
 
 // Numeric order; all_codes() exposes this table for docs and tests.
-constexpr std::array<CodeInfo, 57> kCodeTable{{
+constexpr std::array<CodeInfo, 62> kCodeTable{{
     {Code::kParseSyntax, "SL101", "malformed stencil DSL syntax"},
     {Code::kParseDim, "SL102", "missing or out-of-range 'dim'"},
     {Code::kParseTapBeyondDim, "SL103",
@@ -117,6 +117,16 @@ constexpr std::array<CodeInfo, 57> kCodeTable{{
      "sweep sub-region certified infeasible (dead-region certificate)"},
     {Code::kAuditEmptySweep, "SL531",
      "sweep space is provably empty: no feasible tile size exists"},
+    {Code::kPipeMalformed, "SL601",
+     "pipeline JSON is malformed or carries an invalid field"},
+    {Code::kPipeUnknownStencil, "SL602",
+     "pipeline stage references an unknown catalogue stencil"},
+    {Code::kPipeUnknownStage, "SL603",
+     "duplicate stage id or dependency on an undeclared stage"},
+    {Code::kPipeCycle, "SL604",
+     "pipeline stage dependencies form a cycle"},
+    {Code::kPipeLevelMismatch, "SL605",
+     "stage problem size inconsistent with its stencil or level"},
 }};
 
 const CodeInfo& info(Code c) noexcept {

@@ -30,7 +30,9 @@ std::string_view to_string(Severity s) noexcept;
 //   SL40x — tuned service protocol / admission control,
 //   SL41x — calibration persistence (gpusim/calibration_io),
 //   SL5xx — semantic audit (analysis/audit: tap ranges, resource
-//           prediction, descriptor invariants, sweep certificates).
+//           prediction, descriptor invariants, sweep certificates),
+//   SL6xx — pipeline IR (src/pipeline: stage DAG structure and
+//           level consistency).
 // Codes are append-only: never renumber, the CLI and docs expose them.
 enum class Code : std::uint16_t {
   // --- parse ---------------------------------------------------------
@@ -99,6 +101,12 @@ enum class Code : std::uint16_t {
   // --- semantic audit: sweep-space certificates -----------------------
   kAuditDeadRegion = 530,        // note: sub-box certified infeasible
   kAuditEmptySweep = 531,        // the whole sweep space is infeasible
+  // --- pipeline IR (src/pipeline) -------------------------------------
+  kPipeMalformed = 601,       // pipeline JSON malformed / invalid field
+  kPipeUnknownStencil = 602,  // stage references an unknown catalogue stencil
+  kPipeUnknownStage = 603,    // duplicate stage id or edge to undeclared id
+  kPipeCycle = 604,           // stage dependency graph has a cycle
+  kPipeLevelMismatch = 605,   // problem inconsistent with stencil dim / level
 };
 
 // "SL104" etc. — the stable identifier used in output and tests.

@@ -9,6 +9,7 @@
 #include "analysis/audit.hpp"
 #include "analysis/lint.hpp"
 #include "device/registry.hpp"
+#include "pipeline/planner.hpp"
 #include "tuner/space.hpp"
 
 namespace repro::service {
@@ -174,6 +175,19 @@ std::string compute_lint(const Request& req) {
   return o.dump();
 }
 
+std::string compute_pipeline(const Request& req) {
+  // The planner runs its own shared Session pool (dedup + memo +
+  // warm seeding, all strictly work-saving), so the payload is
+  // jobs-invariant and byte-deterministic: cold == warm == coalesced
+  // == CLI `once`. One job keeps the serving cost predictable.
+  pipeline::PlanOptions popt;
+  popt.delta = req.delta;
+  popt.enumeration = req.enumeration;
+  popt.session = tuner::SessionOptions{}.with_jobs(1);
+  pipeline::Planner planner(*device::registry().find(req.device), popt);
+  return pipeline::plan_to_json(planner.plan(*req.pipe)).dump();
+}
+
 std::string compute_devices() {
   // A registry listing in registration order: stable identity plus
   // the human-oriented capability summary each descriptor renders.
@@ -211,6 +225,7 @@ std::string ServiceStats::to_json() const {
   kinds.set("lint", lint);
   kinds.set("devices", devices);
   kinds.set("stats", stats_kind);
+  kinds.set("pipeline", pipeline);
   o.set("kinds", std::move(kinds));
   o.set("warm_lookups", warm_lookups);
   o.set("warm_seeds", warm_seeds);
@@ -244,6 +259,8 @@ std::string compute_payload(const Request& req, tuner::Session* session,
       // Stats describe a serving instance; outside one (`tuned once`)
       // every counter is legitimately zero.
       return ServiceStats{}.to_json();
+    case RequestKind::kPipeline:
+      return compute_pipeline(req);
   }
   throw std::logic_error("compute_payload: unhandled request kind");
 }
@@ -360,8 +377,12 @@ void ServiceCore::run_compute(const std::string& key, const Request& req,
       std::vector<SimilarityIndex::Neighbor> near;
       {
         std::lock_guard<std::mutex> lk(store_mu_);
+        // best_tile sweeps the default variant, so same-(default-)
+        // variant neighbors rank first — any other variant's seed
+        // would be rejected in-space and waste its slot.
         near = index_->neighbors(req.device, req.stencil_name,
                                  req.stencil_text, *req.problem,
+                                 stencil::KernelVariant{},
                                  opt_.warm_seed_limit);
       }
       seeds.reserve(near.size());
@@ -377,7 +398,8 @@ void ServiceCore::run_compute(const std::string& key, const Request& req,
     tuner::Session* session = nullptr;
     std::unique_lock<std::mutex> session_lock;
     if (req.kind != RequestKind::kLint && req.kind != RequestKind::kDevices &&
-        req.kind != RequestKind::kStats) {
+        req.kind != RequestKind::kStats &&
+        req.kind != RequestKind::kPipeline) {
       SessionEntry& entry = session_entry(req);
       session_lock = std::unique_lock<std::mutex>(entry.mu);
       if (!entry.session) {
@@ -448,6 +470,7 @@ std::string ServiceCore::handle(const std::string& line) {
       case RequestKind::kLint: ++stats_.lint; break;
       case RequestKind::kDevices: ++stats_.devices; break;
       case RequestKind::kStats: ++stats_.stats_kind; break;
+      case RequestKind::kPipeline: ++stats_.pipeline; break;
     }
   }
 

@@ -117,6 +117,7 @@ struct ServiceStats {
   std::uint64_t lint = 0;
   std::uint64_t devices = 0;
   std::uint64_t stats_kind = 0;  // `stats` requests served
+  std::uint64_t pipeline = 0;    // composed-pipeline requests
   // Warm-start transfer: similarity-index consultations and the
   // candidate seeds they produced.
   std::uint64_t warm_lookups = 0;
@@ -144,8 +145,9 @@ struct ServiceStats {
 // serialized result payload. This is THE payload producer: the
 // service core, the `tuned once` mode and the byte-identity tests all
 // call it, so "served result == direct Session result" holds by
-// construction. `session` may be null for kLint, kDevices and kStats
-// (which need no per-problem tuner state). `seeds` are warm-start
+// construction. `session` may be null for kLint, kDevices, kStats and
+// kPipeline (the planner owns its own shared Session pool; the others
+// need no per-problem tuner state). `seeds` are warm-start
 // candidates for kBestTile, ignored by every other kind; because a
 // seed is strictly advisory (Session::best_tile re-prices it and only
 // admits in-space points), the payload is byte-identical for any

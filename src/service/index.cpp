@@ -322,7 +322,7 @@ std::optional<std::size_t> SimilarityIndex::rebuild() {
 std::vector<SimilarityIndex::Neighbor> SimilarityIndex::neighbors(
     const std::string& device, const std::string& stencil_name,
     const std::string& stencil_text, const stencil::ProblemSize& problem,
-    std::size_t max_results) {
+    const stencil::KernelVariant& variant, std::size_t max_results) {
   std::vector<Neighbor> out;
   if (max_results == 0) return out;
   for (IndexEntry& e : load()) {
@@ -339,10 +339,15 @@ std::vector<SimilarityIndex::Neighbor> SimilarityIndex::neighbors(
     }
     out.push_back(Neighbor{std::move(e), dist});
   }
-  // load() returns ascending-key order, so equal distances tie-break
-  // on the key deterministically.
+  // Same-variant entries first (another variant's point is rejected
+  // in-space by a default-variant sweep, wasting the seed slot), then
+  // by distance. load() returns ascending-key order, so equal ranks
+  // tie-break on the key deterministically via the stable sort.
   std::stable_sort(out.begin(), out.end(),
-                   [](const Neighbor& a, const Neighbor& b) {
+                   [&variant](const Neighbor& a, const Neighbor& b) {
+                     const bool am = a.entry.variant == variant;
+                     const bool bm = b.entry.variant == variant;
+                     if (am != bm) return am;
                      return a.distance < b.distance;
                    });
   if (out.size() > max_results) out.resize(max_results);

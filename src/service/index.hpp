@@ -101,16 +101,21 @@ class SimilarityIndex {
   };
 
   // Stored results usable as warm-start candidates for (device,
-  // stencil identity, problem): same device, same stencil, same
-  // dimensionality, ranked by log-space problem distance
-  // sum_i |ln(S_i/S'_i)| + |ln(T/T')| with ascending-key tie-breaks,
-  // at most `max_results`. An entry for the *identical* problem is a
-  // legitimate distance-0 neighbor (a different request kind or
-  // option set can share the problem).
+  // stencil identity, problem, variant): same device, same stencil,
+  // same dimensionality, ranked same-variant-first (a seed whose
+  // variant lies outside the sweep's span is rejected in-space and
+  // wastes its slot — see Session::best_tile), then by log-space
+  // problem distance sum_i |ln(S_i/S'_i)| + |ln(T/T')| with
+  // ascending-key tie-breaks, at most `max_results`. Other-variant
+  // entries still rank (the fallback when same-variant neighbors run
+  // out); an entry for the *identical* problem is a legitimate
+  // distance-0 neighbor (a different request kind or option set can
+  // share the problem).
   std::vector<Neighbor> neighbors(const std::string& device,
                                   const std::string& stencil_name,
                                   const std::string& stencil_text,
                                   const stencil::ProblemSize& problem,
+                                  const stencil::KernelVariant& variant,
                                   std::size_t max_results);
 
   Counters counters() const noexcept { return counters_; }

@@ -26,6 +26,7 @@ constexpr KindInfo kKinds[] = {
     {RequestKind::kLint, "lint"},
     {RequestKind::kDevices, "devices"},
     {RequestKind::kStats, "stats"},
+    {RequestKind::kPipeline, "pipeline"},
 };
 
 // Per-kind allowed top-level keys: a misspelled or misplaced field is
@@ -35,6 +36,12 @@ bool key_allowed(RequestKind kind, std::string_view key) {
   // snapshot: no device, stencil or computation fields apply.
   if (kind == RequestKind::kDevices || kind == RequestKind::kStats) {
     return key == "v" || key == "id" || key == "kind";
+  }
+  // A pipeline request names its stencils inside the "pipeline"
+  // document, never at the top level.
+  if (kind == RequestKind::kPipeline) {
+    return key == "v" || key == "id" || key == "kind" || key == "device" ||
+           key == "pipeline" || key == "delta" || key == "enum";
   }
   static constexpr std::string_view kCommon[] = {"v",       "id",   "kind",
                                                  "device",  "stencil", "text"};
@@ -56,6 +63,7 @@ bool key_allowed(RequestKind kind, std::string_view key) {
       return key == "problem" || key == "tile" || key == "threads" ||
              key == "audit";
     case RequestKind::kDevices:
+    case RequestKind::kPipeline:
       return false;  // handled above
   }
   return false;
@@ -322,6 +330,14 @@ std::string Request::canonical_key() const {
     return o.dump_canonical();
   }
   o.set("device", device);
+  // A pipeline names its stencils inside the normalized pipeline
+  // document: two spellings of the same DAG key identically.
+  if (kind == RequestKind::kPipeline) {
+    if (pipe) o.set("pipeline", pipe->to_json());
+    o.set("delta", delta);
+    o.set("enum", enum_to_json(enumeration));
+    return o.dump_canonical();
+  }
   if (!stencil_text.empty()) {
     o.set("text", stencil_text);
   } else {
@@ -351,6 +367,7 @@ std::string Request::canonical_key() const {
       break;
     case RequestKind::kDevices:
     case RequestKind::kStats:
+    case RequestKind::kPipeline:
       break;  // unreachable: early return above
   }
   return o.dump_canonical();
@@ -404,7 +421,7 @@ std::optional<Request> parse_request(std::string_view line,
     diags.error(Code::kSvcUnknownKind,
                 "unknown kind '" + kind->as_string() +
                     "' (expected predict, best_tile, compare_strategies, "
-                    "lint, devices or stats)");
+                    "lint, devices, stats or pipeline)");
     return std::nullopt;
   }
   req.kind = *k;
@@ -440,39 +457,48 @@ std::optional<Request> parse_request(std::string_view line,
     return std::nullopt;
   }
 
-  const json::Value* name = doc->find("stencil");
-  const json::Value* text = doc->find("text");
-  if ((name == nullptr) == (text == nullptr)) {
-    diags.error(Code::kSvcMissingField,
-                "exactly one of 'stencil' (catalogue name) or 'text' (DSL "
-                "program) is required");
-    return std::nullopt;
-  }
-  if (name != nullptr) {
-    if (!name->is_string()) {
-      diags.error(Code::kSvcBadField, "'stencil' must be a string");
-      return std::nullopt;
-    }
-    req.stencil_name = name->as_string();
-    try {
-      req.def = stencil::get_stencil_by_name(req.stencil_name);
-    } catch (const std::exception&) {
-      diags.error(Code::kSvcBadField,
-                  "unknown catalogue stencil '" + req.stencil_name + "'");
-      return std::nullopt;
+  if (req.kind == RequestKind::kPipeline) {
+    if (const json::Value* pl = doc->find("pipeline"); pl != nullptr) {
+      // SL6xx (and, for inline DSL stages, SL1xx) diagnostics flow
+      // straight into the error response.
+      req.pipe = pipeline::parse_pipeline(*pl, diags);
+      if (!req.pipe) return std::nullopt;
     }
   } else {
-    if (!text->is_string()) {
-      diags.error(Code::kSvcBadField, "'text' must be a string");
+    const json::Value* name = doc->find("stencil");
+    const json::Value* text = doc->find("text");
+    if ((name == nullptr) == (text == nullptr)) {
+      diags.error(Code::kSvcMissingField,
+                  "exactly one of 'stencil' (catalogue name) or 'text' (DSL "
+                  "program) is required");
       return std::nullopt;
     }
-    req.stencil_text = text->as_string();
-    // Parse diagnostics (SL1xx, with line numbers into the DSL text)
-    // flow straight into the response.
-    const std::optional<stencil::StencilDef> def =
-        stencil::parse_stencil(req.stencil_text, diags);
-    if (!def) return std::nullopt;
-    req.def = *def;
+    if (name != nullptr) {
+      if (!name->is_string()) {
+        diags.error(Code::kSvcBadField, "'stencil' must be a string");
+        return std::nullopt;
+      }
+      req.stencil_name = name->as_string();
+      try {
+        req.def = stencil::get_stencil_by_name(req.stencil_name);
+      } catch (const std::exception&) {
+        diags.error(Code::kSvcBadField,
+                    "unknown catalogue stencil '" + req.stencil_name + "'");
+        return std::nullopt;
+      }
+    } else {
+      if (!text->is_string()) {
+        diags.error(Code::kSvcBadField, "'text' must be a string");
+        return std::nullopt;
+      }
+      req.stencil_text = text->as_string();
+      // Parse diagnostics (SL1xx, with line numbers into the DSL text)
+      // flow straight into the response.
+      const std::optional<stencil::StencilDef> def =
+          stencil::parse_stencil(req.stencil_text, diags);
+      if (!def) return std::nullopt;
+      req.def = *def;
+    }
   }
 
   if (const json::Value* p = doc->find("problem"); p != nullptr) {
@@ -542,6 +568,11 @@ std::optional<Request> parse_request(std::string_view line,
     case RequestKind::kCompareStrategies:
       if (!req.problem) {
         diags.error(Code::kSvcMissingField, "'problem' is required");
+      }
+      break;
+    case RequestKind::kPipeline:
+      if (!req.pipe) {
+        diags.error(Code::kSvcMissingField, "'pipeline' is required");
       }
       break;
     case RequestKind::kLint:

@@ -4,7 +4,8 @@
 //
 // Request schema (version 1):
 //   {"v":1, "id":"r1",
-//    "kind":"predict|best_tile|compare_strategies|lint|devices|stats",
+//    "kind":"predict|best_tile|compare_strategies|lint|devices|stats
+//           |pipeline",
 //    "device":"GTX 980",                             // any registered name
 //    "stencil":"Heat2D" | "text":"dim 2\n...",      // catalogue or DSL
 //    "problem":{"S":[4096,4096],"T":1024},          // dim = |S|
@@ -14,7 +15,8 @@
 //    "audit":true,                                  // lint only: SL5xx pass
 //    "delta":0.1,                                   // best_tile / compare
 //    "enum":{"tT_max":24,"tS1_max":32,"tS1_step":4,"tS2_max":256},
-//    "exhaustive_cap":150, "baseline_count":40}     // compare only
+//    "exhaustive_cap":150, "baseline_count":40,     // compare only
+//    "pipeline":{"pipeline_version":1,...}}         // pipeline only
 // Unknown fields are rejected (SL405) — a typo must not silently
 // select a different computation.
 //
@@ -38,6 +40,7 @@
 #include "analysis/diagnostics.hpp"
 #include "common/json.hpp"
 #include "hhc/tile_sizes.hpp"
+#include "pipeline/pipeline.hpp"
 #include "stencil/problem.hpp"
 #include "stencil/stencil.hpp"
 #include "stencil/variant.hpp"
@@ -63,6 +66,12 @@ enum class RequestKind : std::uint8_t {
   // contract (like `devices`, it describes the process, not a
   // problem).
   kStats,
+  // Tune a composed stencil pipeline (pipeline/pipeline.hpp): the
+  // request carries a "pipeline" document instead of a single
+  // stencil/problem pair; the planner's per-stage breakdown and
+  // end-to-end Talg come back as the payload. Fully deterministic,
+  // so it participates in the cold==warm byte-identity contract.
+  kPipeline,
 };
 
 std::string_view to_string(RequestKind k) noexcept;
@@ -92,6 +101,10 @@ struct Request {
   // so pre-audit clients (and their stored results) keep byte-
   // identical payloads.
   bool audit = false;
+  // Pipeline only: the parsed stage DAG. Its normalized to_json()
+  // form — never the client's spelling — enters canonical_key(), so
+  // two spellings of the same pipeline share one computation.
+  std::optional<pipeline::Pipeline> pipe;
   double delta = 0.10;
   tuner::EnumOptions enumeration;
   std::size_t exhaustive_cap = 150;

@@ -1,0 +1,184 @@
+#include "pipeline/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "device/registry.hpp"
+#include "pipeline/pipeline.hpp"
+
+namespace repro::pipeline {
+namespace {
+
+// Small enumeration caps keep every sweep in test-friendly territory
+// (the same caps the service tests use).
+PlanOptions test_options() {
+  PlanOptions opt;
+  opt.enumeration =
+      tuner::EnumOptions{}.with_tT_max(8).with_tS1_max(12).with_tS2_max(192);
+  opt.session = tuner::SessionOptions{}.with_jobs(1);
+  return opt;
+}
+
+Pipeline parse(const std::string& text) {
+  analysis::DiagnosticEngine diags;
+  auto p = parse_pipeline_text(text, diags);
+  EXPECT_TRUE(p) << analysis::render_human(diags.diagnostics());
+  return *p;
+}
+
+const device::Descriptor& gtx980() {
+  const device::Descriptor* d = device::registry().find("GTX 980");
+  EXPECT_NE(d, nullptr);
+  return *d;
+}
+
+// Fresh pricings: simulator measurements that actually ran (the
+// memo absorbed the rest).
+std::size_t fresh_pricings(const PipelinePlan& plan) {
+  return plan.stats.machine_points - plan.stats.cache_hits;
+}
+
+constexpr const char* kSingle =
+    R"({"pipeline_version":1,"name":"one","stages":[
+         {"id":"a","stencil":"Jacobi2D","problem":{"S":[256,256],"T":4}}]})";
+
+constexpr const char* kRepeated =
+    R"({"pipeline_version":1,"name":"two","stages":[
+         {"id":"a","stencil":"Jacobi2D","problem":{"S":[256,256],"T":4}},
+         {"id":"b","stencil":"Jacobi2D","problem":{"S":[256,256],"T":4},
+          "after":["a"]}]})";
+
+TEST(Planner, AggregatesRepeatIntoEndToEndTalg) {
+  const Pipeline p = parse(
+      R"({"pipeline_version":1,"name":"rep","stages":[
+           {"id":"a","stencil":"Jacobi2D","problem":{"S":[256,256],"T":4},
+            "repeat":3}]})");
+  Planner planner(gtx980(), test_options());
+  const PipelinePlan plan = planner.plan(p);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.total_stages, 1u);
+  EXPECT_EQ(plan.stage_executions, 3);
+  EXPECT_EQ(plan.distinct_tasks, 1u);
+  EXPECT_DOUBLE_EQ(plan.talg, 3.0 * plan.stages[0].best.talg);
+  EXPECT_DOUBLE_EQ(plan.texec, 3.0 * plan.stages[0].best.texec);
+  EXPECT_DOUBLE_EQ(plan.stages[0].talg_total, plan.talg);
+}
+
+// Satellite pin: a repeated stage costs ZERO additional pricings.
+// With dedup the second copy never touches a session; with dedup off
+// but shared sessions on, its sweep replays the memo point for point.
+TEST(Planner, RepeatedStageCostsZeroAdditionalPricings) {
+  const Pipeline one = parse(kSingle);
+  const Pipeline two = parse(kRepeated);
+
+  Planner base(gtx980(), test_options());
+  const PipelinePlan ref = base.plan(one);
+  ASSERT_TRUE(ref.feasible);
+  const std::size_t single_cost = fresh_pricings(ref);
+  ASSERT_GT(single_cost, 0u);
+
+  // Dedup path: the duplicate is copied, not recomputed.
+  Planner dedup(gtx980(), test_options());
+  const PipelinePlan d = dedup.plan(two);
+  ASSERT_TRUE(d.feasible);
+  EXPECT_EQ(d.distinct_tasks, 1u);
+  EXPECT_FALSE(d.stages[0].reused);
+  EXPECT_TRUE(d.stages[1].reused);
+  EXPECT_EQ(fresh_pricings(d), single_cost);
+
+  // Memo path (dedup off, shared sessions on): the duplicate runs a
+  // full sweep, but every measurement is a cache hit.
+  Planner memo(gtx980(), test_options().with_dedup(false));
+  const PipelinePlan m = memo.plan(two);
+  ASSERT_TRUE(m.feasible);
+  EXPECT_EQ(m.distinct_tasks, 2u);
+  EXPECT_FALSE(m.stages[1].reused);
+  EXPECT_GT(m.stats.machine_points, d.stats.machine_points);
+  EXPECT_EQ(fresh_pricings(m), single_cost);
+
+  // All three agree on the winning configurations and the end-to-end
+  // times (only the reuse bookkeeping — reused/distinct_tasks — may
+  // differ between the dedup and memo spellings).
+  ASSERT_EQ(d.stages.size(), m.stages.size());
+  for (std::size_t i = 0; i < d.stages.size(); ++i) {
+    EXPECT_EQ(d.stages[i].best, m.stages[i].best);
+  }
+  EXPECT_DOUBLE_EQ(d.talg, m.talg);
+  EXPECT_EQ(d.stages[0].best.dp.ts, ref.stages[0].best.dp.ts);
+}
+
+// Satellite pin: the warm-seeded level descent prunes strictly more
+// than the cold sweep, and the results are byte-identical.
+TEST(Planner, WarmSeededDescentPrunesStrictlyMoreThanCold) {
+  // Two levels of the same smoother: the 512-level winner seeds the
+  // 256-level sweep (same stencil, nearest problem).
+  const Pipeline p = parse(
+      R"({"pipeline_version":1,"name":"descent","stages":[
+           {"id":"fine","stencil":"Jacobi2D","problem":{"S":[512,512],"T":4}},
+           {"id":"coarse","stencil":"Jacobi2D","problem":{"S":[256,256],"T":4},
+            "after":["fine"]}]})");
+
+  Planner cold_planner(gtx980(), test_options().with_warm_seed(false));
+  const PipelinePlan cold = cold_planner.plan(p);
+  ASSERT_TRUE(cold.feasible);
+  EXPECT_EQ(cold.stats.seeds_offered, 0u);
+
+  Planner warm_planner(gtx980(), test_options());
+  const PipelinePlan warm = warm_planner.plan(p);
+  ASSERT_TRUE(warm.feasible);
+  EXPECT_GT(warm.stats.seeds_offered, 0u);
+  EXPECT_GT(warm.stats.seeds_admitted, 0u);
+
+  // Seeding is strictly work-saving and cannot change any answer.
+  EXPECT_GT(warm.stats.points_pruned, cold.stats.points_pruned);
+  EXPECT_LT(fresh_pricings(warm), fresh_pricings(cold));
+  EXPECT_EQ(plan_to_json(warm).dump(), plan_to_json(cold).dump());
+}
+
+TEST(Planner, SharedCalibrationAcrossProblemSizes) {
+  // Two problems of one stencil share a calibration; the plan still
+  // tunes two distinct tasks and stays deterministic across runs.
+  const Pipeline p = parse(
+      R"({"pipeline_version":1,"name":"cal","stages":[
+           {"id":"a","stencil":"Heat2D","problem":{"S":[256,256],"T":4}},
+           {"id":"b","stencil":"Heat2D","problem":{"S":[128,128],"T":4},
+            "after":["a"]}]})");
+  Planner p1(gtx980(), test_options());
+  Planner p2(gtx980(), test_options());
+  const PipelinePlan a = p1.plan(p);
+  const PipelinePlan b = p2.plan(p);
+  EXPECT_EQ(a.distinct_tasks, 2u);
+  EXPECT_EQ(plan_to_json(a).dump(), plan_to_json(b).dump());
+}
+
+TEST(Planner, PinnedVariantIsHonored) {
+  const Pipeline p = parse(
+      R"({"pipeline_version":1,"name":"var","stages":[
+           {"id":"a","stencil":"Jacobi2D","problem":{"S":[256,256],"T":4},
+            "variant":{"unroll":2,"staging":"register"}}]})");
+  Planner planner(gtx980(), test_options());
+  const PipelinePlan plan = planner.plan(p);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.stages[0].best.dp.var.unroll, 2);
+  EXPECT_EQ(plan.stages[0].best.dp.var.staging, stencil::Staging::kRegister);
+}
+
+TEST(Planner, CyclicPipelineThrows) {
+  // Hand-built (parse_pipeline would reject it): plan() refuses.
+  Pipeline p;
+  Stage a;
+  a.id = "a";
+  a.stencil_name = "Jacobi2D";
+  a.after = {"b"};
+  Stage b;
+  b.id = "b";
+  b.stencil_name = "Jacobi2D";
+  b.after = {"a"};
+  p.stages = {a, b};
+  Planner planner(gtx980(), test_options());
+  EXPECT_THROW(planner.plan(p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace repro::pipeline

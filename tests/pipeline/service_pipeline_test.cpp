@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/core.hpp"
+#include "service/protocol.hpp"
+
+namespace repro::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+// The request every test serves: a two-level descent with one
+// duplicated stage, under small enumeration caps.
+constexpr const char* kPipelineReq =
+    R"({"v":1,"id":"pl1","kind":"pipeline",)"
+    R"("pipeline":{"pipeline_version":1,"name":"svc","stages":[)"
+    R"({"id":"fine","stencil":"Jacobi2D","problem":{"S":[512,512],"T":4}},)"
+    R"({"id":"coarse","stencil":"Jacobi2D","problem":{"S":[256,256],"T":4},)"
+    R"("after":["fine"]},)"
+    R"({"id":"fine_up","stencil":"Jacobi2D","problem":{"S":[512,512],"T":4},)"
+    R"("after":["coarse"]}]},)"
+    R"("enum":{"tT_max":8,"tS1_max":12,"tS2_max":192}})";
+
+class ServicePipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Unique per test case: ctest -j runs the cases concurrently.
+    const std::string name =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    store_dir_ =
+        fs::temp_directory_path() / ("repro_pipeline_svc_store_" + name);
+    fs::remove_all(store_dir_);
+  }
+  void TearDown() override { fs::remove_all(store_dir_); }
+
+  fs::path store_dir_;
+};
+
+// The service determinism contract extends to the pipeline kind: a
+// cold computation, a warm-store replay from a brand-new core, and a
+// direct compute_payload call all serve byte-identical responses.
+TEST_F(ServicePipelineTest, ColdWarmAndDirectAreByteIdentical) {
+  std::string cold;
+  {
+    ServiceCore core(ServiceOptions{}.with_store_dir(store_dir_.string()));
+    cold = core.handle(kPipelineReq);
+    const ServiceStats s = core.stats();
+    EXPECT_EQ(s.computed, 1u);
+    EXPECT_EQ(s.pipeline, 1u);
+    EXPECT_EQ(s.errors, 0u);
+  }
+  EXPECT_NE(cold.find(R"("ok":true)"), std::string::npos);
+  EXPECT_NE(cold.find(R"("distinct_tasks":2)"), std::string::npos) << cold;
+  EXPECT_NE(cold.find(R"("reused":true)"), std::string::npos);
+
+  {
+    ServiceCore core(ServiceOptions{}.with_store_dir(store_dir_.string()));
+    EXPECT_EQ(core.handle(kPipelineReq), cold);
+    const ServiceStats s = core.stats();
+    EXPECT_EQ(s.computed, 0u);
+    EXPECT_EQ(s.store_hits, 1u);
+    EXPECT_EQ(s.pipeline, 1u);
+  }
+
+  analysis::DiagnosticEngine diags;
+  const auto req = parse_request(kPipelineReq, diags);
+  ASSERT_TRUE(req) << analysis::render_human(diags.diagnostics());
+  EXPECT_EQ(render_result(req->id, req->kind, compute_payload(*req, nullptr)),
+            cold);
+}
+
+TEST_F(ServicePipelineTest, TwoSpellingsShareOneCanonicalKey) {
+  // Same DAG, members shuffled and defaults spelled out: the
+  // canonical key embeds the normalized pipeline form, so both
+  // spellings hit one store entry.
+  const std::string variant_spelling =
+      R"({"kind":"pipeline","v":1,"id":"other",)"
+      R"("enum":{"tS2_max":192,"tT_max":8,"tS1_max":12},)"
+      R"("pipeline":{"name":"svc","pipeline_version":1,"stages":[)"
+      R"({"id":"fine","stencil":"Jacobi2D","repeat":1,"after":[],)"
+      R"("problem":{"T":4,"S":[512,512]}},)"
+      R"({"id":"coarse","stencil":"Jacobi2D","problem":{"S":[256,256],"T":4},)"
+      R"("after":["fine"]},)"
+      R"({"id":"fine_up","stencil":"Jacobi2D","problem":{"S":[512,512],"T":4},)"
+      R"("after":["coarse"]}]}})";
+
+  analysis::DiagnosticEngine diags;
+  const auto a = parse_request(kPipelineReq, diags);
+  const auto b = parse_request(variant_spelling, diags);
+  ASSERT_TRUE(a);
+  ASSERT_TRUE(b);
+  EXPECT_EQ(a->canonical_key(), b->canonical_key());
+
+  ServiceCore core(ServiceOptions{}.with_store_dir(store_dir_.string()));
+  (void)core.handle(kPipelineReq);
+  (void)core.handle(variant_spelling);
+  const ServiceStats s = core.stats();
+  EXPECT_EQ(s.computed, 1u);
+  EXPECT_EQ(s.store_hits, 1u);
+}
+
+TEST_F(ServicePipelineTest, KeyWhitelistRejectsForeignFields) {
+  // predict/best_tile fields are not pipeline fields.
+  ServiceCore core{ServiceOptions{}};
+  const std::string out = core.handle(
+      R"({"v":1,"id":"bad","kind":"pipeline",)"
+      R"("pipeline":{"pipeline_version":1,"stages":[)"
+      R"({"id":"a","stencil":"Jacobi2D","problem":{"S":[256,256],"T":4}}]},)"
+      R"("tile":{"tT":4,"tS1":8,"tS2":64}})");
+  EXPECT_NE(out.find(R"("ok":false)"), std::string::npos);
+  EXPECT_NE(out.find("SL405"), std::string::npos);
+}
+
+TEST_F(ServicePipelineTest, MalformedPipelineReportsSL6xx) {
+  ServiceCore core{ServiceOptions{}};
+  const std::string cyclic = core.handle(
+      R"({"v":1,"id":"c","kind":"pipeline",)"
+      R"("pipeline":{"pipeline_version":1,"stages":[)"
+      R"({"id":"a","stencil":"Jacobi2D","problem":{"S":[256,256],"T":4},)"
+      R"("after":["b"]},)"
+      R"({"id":"b","stencil":"Jacobi2D","problem":{"S":[256,256],"T":4},)"
+      R"("after":["a"]}]}})");
+  EXPECT_NE(cyclic.find(R"("ok":false)"), std::string::npos);
+  EXPECT_NE(cyclic.find("SL604"), std::string::npos);
+
+  const std::string missing = core.handle(
+      R"({"v":1,"id":"m","kind":"pipeline"})");
+  EXPECT_NE(missing.find(R"("ok":false)"), std::string::npos);
+  EXPECT_NE(missing.find("SL404"), std::string::npos);
+}
+
+// Satellite pin: the stats request reports per-kind counters,
+// including the pipeline kind.
+TEST_F(ServicePipelineTest, StatsRequestReportsPerKindCounters) {
+  ServiceCore core(ServiceOptions{}.with_store_dir(store_dir_.string()));
+  (void)core.handle(kPipelineReq);
+  (void)core.handle(
+      R"({"v":1,"id":"l1","kind":"lint","stencil":"Heat2D",)"
+      R"("tile":{"tT":2,"tS1":4,"tS2":32}})");
+  const std::string out =
+      core.handle(R"({"v":1,"id":"s1","kind":"stats"})");
+  EXPECT_NE(out.find(R"("ok":true)"), std::string::npos);
+  const auto doc = json::parse(out);
+  ASSERT_TRUE(doc && doc->is_object()) << out;
+  const json::Value* kinds = doc->find("result")->find("kinds");
+  ASSERT_NE(kinds, nullptr);
+  EXPECT_EQ(kinds->find("pipeline")->as_int(), 1);
+  EXPECT_EQ(kinds->find("lint")->as_int(), 1);
+}
+
+// The corpus pin: both shipped example pipelines parse cleanly and
+// plan end to end through the service (exercised under tiny caps).
+TEST_F(ServicePipelineTest, ExamplePipelinesServeFeasiblePlans) {
+  const fs::path root = fs::path(REPRO_SOURCE_DIR) / "examples" / "pipelines";
+  const struct {
+    const char* file;
+    std::size_t total;
+    std::size_t distinct;
+  } cases[] = {{"vcycle3.json", 11, 8}, {"substep2.json", 2, 2}};
+
+  ServiceCore core(ServiceOptions{}.with_store_dir(store_dir_.string()));
+  for (const auto& c : cases) {
+    std::ifstream in(root / c.file);
+    ASSERT_TRUE(in.is_open()) << (root / c.file);
+    std::stringstream ss;
+    ss << in.rdbuf();
+
+    json::Value req = json::Value::object();
+    req.set("v", kProtocolVersion);
+    req.set("id", std::string(c.file));
+    req.set("kind", std::string("pipeline"));
+    const auto pl = json::parse(ss.str());
+    ASSERT_TRUE(pl) << c.file;
+    req.set("pipeline", *pl);
+    const auto caps =
+        json::parse(R"({"tT_max":8,"tS1_max":12,"tS2_max":192})");
+    req.set("enum", *caps);
+
+    const std::string out = core.handle(req.dump());
+    EXPECT_NE(out.find(R"("ok":true)"), std::string::npos) << out;
+    const auto doc = json::parse(out);
+    ASSERT_TRUE(doc && doc->is_object()) << out;
+    const json::Value* r = doc->find("result");
+    ASSERT_NE(r, nullptr);
+    EXPECT_TRUE(r->find("feasible")->as_bool()) << c.file;
+    EXPECT_EQ(r->find("total_stages")->as_int(),
+              static_cast<std::int64_t>(c.total));
+    EXPECT_EQ(r->find("distinct_tasks")->as_int(),
+              static_cast<std::int64_t>(c.distinct));
+  }
+}
+
+}  // namespace
+}  // namespace repro::service

@@ -239,8 +239,8 @@ TEST_F(IndexTest, NeighborsRankByLogDistanceAndFilterIdentity) {
 
   // Query 500^2: |ln(500/512)| < |ln(500/256)| < |ln(500/1024)|.
   const stencil::ProblemSize q{.dim = 2, .S = {500, 500, 0}, .T = 64};
-  const std::vector<SimilarityIndex::Neighbor> near =
-      index.neighbors("GTX 980", "Heat2D", "", q, 8);
+  const std::vector<SimilarityIndex::Neighbor> near = index.neighbors(
+      "GTX 980", "Heat2D", "", q, stencil::KernelVariant{}, 8);
   ASSERT_EQ(near.size(), 3u);
   EXPECT_EQ(near[0].entry.problem.S[0], 512);
   EXPECT_EQ(near[1].entry.problem.S[0], 256);
@@ -250,19 +250,74 @@ TEST_F(IndexTest, NeighborsRankByLogDistanceAndFilterIdentity) {
 
   // The cap truncates after ranking; an identical problem is a
   // legitimate distance-0 neighbor.
-  const std::vector<SimilarityIndex::Neighbor> capped =
-      index.neighbors("GTX 980", "Heat2D", "", q, 1);
+  const std::vector<SimilarityIndex::Neighbor> capped = index.neighbors(
+      "GTX 980", "Heat2D", "", q, stencil::KernelVariant{}, 1);
   ASSERT_EQ(capped.size(), 1u);
   EXPECT_EQ(capped[0].entry.problem.S[0], 512);
   const stencil::ProblemSize exact{.dim = 2, .S = {512, 512, 0}, .T = 64};
-  const std::vector<SimilarityIndex::Neighbor> self =
-      index.neighbors("GTX 980", "Heat2D", "", exact, 1);
+  const std::vector<SimilarityIndex::Neighbor> self = index.neighbors(
+      "GTX 980", "Heat2D", "", exact, stencil::KernelVariant{}, 1);
   ASSERT_EQ(self.size(), 1u);
   EXPECT_EQ(self[0].distance, 0.0);
 
   // Dimensionality is part of the identity: a 1D query sees nothing.
   const stencil::ProblemSize q1{.dim = 1, .S = {500, 0, 0}, .T = 64};
-  EXPECT_TRUE(index.neighbors("GTX 980", "Heat2D", "", q1, 8).empty());
+  EXPECT_TRUE(index
+                  .neighbors("GTX 980", "Heat2D", "", q1,
+                             stencil::KernelVariant{}, 8)
+                  .empty());
+}
+
+TEST_F(IndexTest, NeighborsPreferSameVariantBeforeDistance) {
+  SimilarityIndex index(dir_.string());
+  // A default-variant best_tile at 256^2 (far from the 500^2 query)
+  // and a register-staged predict at 512^2 (near).
+  {
+    const std::string key = best_tile_key(256);
+    back(key, best_tile_payload());
+    ASSERT_TRUE(
+        index.append(*SimilarityIndex::entry_from(key, best_tile_payload())));
+  }
+  const std::string pkey =
+      "{\"device\":\"GTX 980\",\"kind\":\"predict\",\"problem\":"
+      "{\"S\":[512,512],\"T\":64},\"stencil\":\"Heat2D\","
+      "\"tile\":{\"tT\":6,\"tS1\":8,\"tS2\":160},"
+      "\"variant\":{\"unroll\":2,\"staging\":\"register\"},\"v\":1}";
+  const std::string ppayload =
+      "{\"tile\":{\"tT\":6,\"tS1\":8,\"tS2\":160,\"tS3\":1},"
+      "\"threads\":{\"n1\":32,\"n2\":4,\"n3\":1},"
+      "\"variant\":{\"unroll\":2,\"staging\":\"register\"},"
+      "\"feasible\":true,\"talg\":1e-4,\"texec\":2e-4,\"gflops\":300.0}";
+  back(pkey, ppayload);
+  ASSERT_TRUE(index.append(*SimilarityIndex::entry_from(pkey, ppayload)));
+
+  // A default-variant query ranks the matching (default) entry first
+  // even though the register-staged one is nearer in problem space —
+  // an out-of-span seed would be rejected in-space and waste its
+  // slot. The other-variant entry still ranks as the fallback.
+  const stencil::ProblemSize q{.dim = 2, .S = {500, 500, 0}, .T = 64};
+  const std::vector<SimilarityIndex::Neighbor> def = index.neighbors(
+      "GTX 980", "Heat2D", "", q, stencil::KernelVariant{}, 8);
+  ASSERT_EQ(def.size(), 2u);
+  EXPECT_EQ(def[0].entry.problem.S[0], 256);
+  EXPECT_EQ(def[0].entry.variant, stencil::KernelVariant{});
+  EXPECT_EQ(def[1].entry.problem.S[0], 512);
+  EXPECT_GT(def[0].distance, def[1].distance);  // variant outranks distance
+
+  // Querying for the register-staged variant flips the order.
+  const stencil::KernelVariant reg{2, stencil::Staging::kRegister};
+  const std::vector<SimilarityIndex::Neighbor> rv =
+      index.neighbors("GTX 980", "Heat2D", "", q, reg, 8);
+  ASSERT_EQ(rv.size(), 2u);
+  EXPECT_EQ(rv[0].entry.problem.S[0], 512);
+  EXPECT_EQ(rv[0].entry.variant, reg);
+  EXPECT_EQ(rv[1].entry.problem.S[0], 256);
+
+  // With the cap at 1, only the same-variant entry survives.
+  const std::vector<SimilarityIndex::Neighbor> capped = index.neighbors(
+      "GTX 980", "Heat2D", "", q, stencil::KernelVariant{}, 1);
+  ASSERT_EQ(capped.size(), 1u);
+  EXPECT_EQ(capped[0].entry.variant, stencil::KernelVariant{});
 }
 
 }  // namespace

@@ -21,6 +21,13 @@
 //     line. Exits 0 on an ok response, 1 on an error response. The CI
 //     smoke job byte-compares this against daemon output.
 //
+//   tuned pipeline --file=FILE [--device=NAME] [--delta=X]
+//                  [--enum='<json>'] [--id=ID]
+//     Reads a pipeline IR document (pipeline/pipeline.hpp), wraps it
+//     in a `pipeline` service request and computes it in-process —
+//     the printed response line is byte-identical to serving the same
+//     request through a daemon.
+//
 //   tuned devices [--json]
 //     Lists the registered device descriptors (name, kind, capability
 //     summary); --json dumps the full registry JSON, which re-imports
@@ -74,15 +81,17 @@ void on_signal(int) {
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " serve|client|once|devices|index [options]\n"
-            << "  serve   [--store=DIR] [--socket=PATH] [--workers=N]\n"
-            << "          [--queue-depth=N] [--submit-wait-ms=MS]\n"
-            << "          [--no-coalesce] [--session-jobs=N]\n"
-            << "          [--no-warm-start] [--warm-seeds=N]\n"
-            << "  client  --socket=PATH\n"
-            << "  once    [--request='<json>']\n"
-            << "  devices [--json]\n"
-            << "  index   --store=DIR [--rebuild] [--json]\n"
+            << " serve|client|once|pipeline|devices|index [options]\n"
+            << "  serve    [--store=DIR] [--socket=PATH] [--workers=N]\n"
+            << "           [--queue-depth=N] [--submit-wait-ms=MS]\n"
+            << "           [--no-coalesce] [--session-jobs=N]\n"
+            << "           [--no-warm-start] [--warm-seeds=N]\n"
+            << "  client   --socket=PATH\n"
+            << "  once     [--request='<json>']\n"
+            << "  pipeline --file=FILE [--device=NAME] [--delta=X]\n"
+            << "           [--enum='<json>'] [--id=ID]\n"
+            << "  devices  [--json]\n"
+            << "  index    --store=DIR [--rebuild] [--json]\n"
             << "every mode also accepts --devices=FILE (registry import)\n";
   return 2;
 }
@@ -303,15 +312,11 @@ int cmd_devices(const CliArgs& args) {
   return 0;
 }
 
-int cmd_once(const CliArgs& args) {
-  if (!check_options(args, {"request", "devices"})) return 2;
-  std::string line = args.get_or("request", "");
-  if (line.empty() && !std::getline(std::cin, line)) {
-    std::cerr << "error: once needs --request='<json>' or a request line "
-                 "on stdin\n";
-    return 2;
-  }
-
+// Shared by `once` and `pipeline`: compute one request line
+// in-process via compute_payload — the same payload producer the
+// daemon uses, so the printed response line is byte-identical to a
+// served one.
+int run_request_line(const std::string& line) {
   analysis::DiagnosticEngine diags;
   std::string id;
   const std::optional<service::Request> req =
@@ -324,7 +329,8 @@ int cmd_once(const CliArgs& args) {
     std::unique_ptr<tuner::Session> session;
     if (req->kind != service::RequestKind::kLint &&
         req->kind != service::RequestKind::kDevices &&
-        req->kind != service::RequestKind::kStats) {
+        req->kind != service::RequestKind::kStats &&
+        req->kind != service::RequestKind::kPipeline) {
       session = std::make_unique<tuner::Session>(
           *device::registry().find(req->device), req->def, *req->problem,
           tuner::SessionOptions{}.with_jobs(1));
@@ -339,6 +345,67 @@ int cmd_once(const CliArgs& args) {
     std::cout << service::render_error(req->id, diags.diagnostics()) << "\n";
     return 1;
   }
+}
+
+int cmd_once(const CliArgs& args) {
+  if (!check_options(args, {"request", "devices"})) return 2;
+  std::string line = args.get_or("request", "");
+  if (line.empty() && !std::getline(std::cin, line)) {
+    std::cerr << "error: once needs --request='<json>' or a request line "
+                 "on stdin\n";
+    return 2;
+  }
+  return run_request_line(line);
+}
+
+// `tuned pipeline --file=FILE`: read a pipeline IR document
+// (pipeline/pipeline.hpp), wrap it in a service request envelope and
+// compute it in-process. The response line is byte-identical to
+// serving the same request through a daemon.
+int cmd_pipeline(const CliArgs& args) {
+  if (!check_options(args,
+                     {"file", "device", "delta", "enum", "id", "devices"})) {
+    return 2;
+  }
+  const std::optional<std::string> file = args.get("file");
+  if (!file) {
+    std::cerr << "error: pipeline requires --file=FILE\n";
+    return 2;
+  }
+  std::ifstream in(*file);
+  if (!in) {
+    std::cerr << "error: cannot read pipeline file: " << *file << "\n";
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::string err;
+  const std::optional<json::Value> doc = json::parse(text.str(), &err);
+  if (!doc) {
+    std::cerr << "error: " << *file << ": invalid JSON: " << err << "\n";
+    return 1;
+  }
+
+  json::Value req = json::Value::object();
+  req.set("v", service::kProtocolVersion);
+  req.set("id", args.get_or("id", "cli"));
+  req.set("kind", std::string("pipeline"));
+  if (const std::optional<std::string> dev = args.get("device")) {
+    req.set("device", *dev);
+  }
+  req.set("pipeline", *doc);
+  if (args.get("delta")) {
+    req.set("delta", args.get_double_or("delta", 0.10));
+  }
+  if (const std::optional<std::string> en = args.get("enum")) {
+    const std::optional<json::Value> e = json::parse(*en, &err);
+    if (!e) {
+      std::cerr << "error: --enum: invalid JSON: " << err << "\n";
+      return 2;
+    }
+    req.set("enum", *e);
+  }
+  return run_request_line(req.dump());
 }
 
 int cmd_index(const CliArgs& args) {
@@ -430,6 +497,7 @@ int main(int argc, char** argv) {
   if (mode == "serve") return cmd_serve(args);
   if (mode == "client") return cmd_client(args);
   if (mode == "once") return cmd_once(args);
+  if (mode == "pipeline") return cmd_pipeline(args);
   if (mode == "devices") return cmd_devices(args);
   if (mode == "index") return cmd_index(args);
   return usage(argv[0]);
